@@ -1,0 +1,75 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//! the immutable-label comparison cache (§4) and write-ahead logging vs
+//! full checkpoints for synchronous updates (§7.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use histar_label::{Category, Label, LabelCache, Level};
+use histar_sim::SimClock;
+use histar_store::{SingleLevelStore, StoreConfig, SyncPolicy};
+use std::hint::black_box;
+
+fn label_cache_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_label_cache");
+    group.sample_size(20);
+    // A pair of realistic labels (a user thread and a private file).
+    let thread = Label::builder()
+        .own(Category::from_raw(1))
+        .own(Category::from_raw(2))
+        .own(Category::from_raw(3))
+        .build();
+    let file = Label::builder()
+        .set(Category::from_raw(2), Level::L3)
+        .set(Category::from_raw(3), Level::L0)
+        .set(Category::from_raw(9), Level::L2)
+        .build();
+    group.bench_function("uncached_comparisons", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(file.leq_high_rhs(&thread));
+            }
+        })
+    });
+    group.bench_function("cached_comparisons", |b| {
+        let mut cache = LabelCache::new();
+        let f = cache.intern(&file);
+        let t = cache.intern(&thread);
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(cache.leq_high_rhs(f, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn wal_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sync_strategy");
+    group.sample_size(10);
+    group.bench_function("per_op_sync_via_wal", |b| {
+        b.iter(|| {
+            let config = StoreConfig {
+                sync_policy: SyncPolicy::PerOperation,
+                ..StoreConfig::default()
+            };
+            let mut store = SingleLevelStore::format(config, SimClock::new());
+            for i in 0..50u64 {
+                store.put(i, vec![0u8; 1024]);
+            }
+            black_box(store.disk().clock().now())
+        })
+    });
+    group.bench_function("per_op_sync_via_full_checkpoint", |b| {
+        b.iter(|| {
+            let mut store = SingleLevelStore::format(StoreConfig::default(), SimClock::new());
+            for i in 0..50u64 {
+                store.put(i, vec![0u8; 1024]);
+                store.checkpoint();
+            }
+            black_box(store.disk().clock().now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, label_cache_ablation, wal_ablation);
+criterion_main!(benches);

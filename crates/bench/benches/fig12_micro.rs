@@ -1,0 +1,35 @@
+//! Criterion wrappers for the Figure 12 microbenchmarks.  These measure the
+//! wall-clock cost of running each simulated workload; the simulated-time
+//! results themselves are printed by `cargo run -p histar-bench --bin fig12`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use histar_bench::fig12::{
+    histar_fork_exec, histar_ipc_rtt, histar_lfs_small, histar_lfs_small_uncached_read,
+    histar_spawn, SyncMode,
+};
+use std::hint::black_box;
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("ipc_rtt_200", |b| {
+        b.iter(|| black_box(histar_ipc_rtt(200)))
+    });
+    group.bench_function("fork_exec_3", |b| {
+        b.iter(|| black_box(histar_fork_exec(3)))
+    });
+    group.bench_function("spawn_3", |b| b.iter(|| black_box(histar_spawn(3))));
+    group.bench_function("lfs_small_async_40", |b| {
+        b.iter(|| black_box(histar_lfs_small(40, 1024, SyncMode::Async)))
+    });
+    group.bench_function("lfs_small_group_40", |b| {
+        b.iter(|| black_box(histar_lfs_small(40, 1024, SyncMode::Group)))
+    });
+    group.bench_function("lfs_uncached_read_100", |b| {
+        b.iter(|| black_box(histar_lfs_small_uncached_read(100, 1024, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion wrappers for the Figure 13 application benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use histar_bench::fig13::{histar_build, histar_scan, histar_wget, Fig13Params};
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    let params = Fig13Params::smoke();
+    group.bench_function("build_smoke", |b| b.iter(|| black_box(histar_build(params))));
+    group.bench_function("wget_smoke", |b| b.iter(|| black_box(histar_wget(params))));
+    group.bench_function("scan_wrapped_smoke", |b| {
+        b.iter(|| black_box(histar_scan(params, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Figure 13 (application-level benchmarks).
+
+use histar_bench::fig13::{run, Fig13Params};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let params = if full {
+        Fig13Params {
+            build_files: 300,
+            build_file_size: 32 * 1024,
+            wget_bytes: 100 * 1024 * 1024,
+            scan_bytes: 100 * 1024 * 1024,
+        }
+    } else {
+        Fig13Params::default()
+    };
+    println!("parameters: {params:?}\n");
+    print!("{}", run(params).render());
+}

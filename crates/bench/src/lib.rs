@@ -1,0 +1,22 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§7) on the simulated substrate.
+//!
+//! * [`fig12`] — the microbenchmarks of Figure 12 (IPC, fork/exec, spawn,
+//!   LFS small-file and large-file phases) for HiStar and the two baseline
+//!   models.
+//! * [`fig13`] — the application benchmarks of Figure 13 (kernel build,
+//!   wget, virus scan with and without the isolation wrapper).
+//! * [`report`] — small helpers for printing paper-style tables and
+//!   recording paper-vs-measured comparisons.
+//!
+//! Absolute numbers are *simulated* time; EXPERIMENTS.md discusses how the
+//! shapes compare against the paper's measurements on real hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig12;
+pub mod fig13;
+pub mod report;
+
+pub use report::{Row, Table};

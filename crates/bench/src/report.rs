@@ -1,0 +1,104 @@
+//! Table formatting and paper-vs-measured bookkeeping.
+
+use histar_sim::SimDuration;
+
+/// One benchmark row: a label, the measured values per system, and the
+/// paper's reported values for the same cell (when the paper reports one).
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Human-readable benchmark name (matches the paper's row label).
+    pub name: String,
+    /// `(system name, measured simulated time)` pairs.
+    pub measured: Vec<(String, SimDuration)>,
+    /// `(system name, paper-reported value as printed in the paper)` pairs.
+    pub paper: Vec<(String, String)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(name: &str) -> Row {
+        Row {
+            name: name.to_string(),
+            measured: Vec::new(),
+            paper: Vec::new(),
+        }
+    }
+
+    /// Adds a measured value.
+    pub fn measure(mut self, system: &str, value: SimDuration) -> Row {
+        self.measured.push((system.to_string(), value));
+        self
+    }
+
+    /// Adds the paper's reported value.
+    pub fn paper_value(mut self, system: &str, value: &str) -> Row {
+        self.paper.push((system.to_string(), value.to_string()));
+        self
+    }
+}
+
+/// A collection of rows printed as an aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (e.g. "Figure 12: microbenchmarks").
+    pub title: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: &str) -> Table {
+        Table {
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        for row in &self.rows {
+            out.push_str(&format!("{:<44}", row.name));
+            for (sys, v) in &row.measured {
+                out.push_str(&format!(" | {sys}: {:>12}", v.to_string()));
+            }
+            if !row.paper.is_empty() {
+                out.push_str("  [paper:");
+                for (sys, v) in &row.paper {
+                    out.push_str(&format!(" {sys}={v}"));
+                }
+                out.push(']');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_rows_and_paper_values() {
+        let mut t = Table::new("Figure 12");
+        t.push(
+            Row::new("IPC benchmark, per RTT")
+                .measure("HiStar", SimDuration::from_nanos(3110))
+                .measure("Linux", SimDuration::from_nanos(4320))
+                .paper_value("HiStar", "3.11 usec"),
+        );
+        let s = t.render();
+        assert!(s.contains("Figure 12"));
+        assert!(s.contains("IPC benchmark"));
+        assert!(s.contains("HiStar"));
+        assert!(s.contains("paper"));
+    }
+}

@@ -1,0 +1,2334 @@
+//! The kernel proper: object table plus the system-call surface.
+//!
+//! Every public `sys_*` method corresponds to a HiStar system call and is
+//! invoked on behalf of a *calling thread* named by its object ID.  Each
+//! call performs exactly the label checks the paper specifies before
+//! touching any state, counts itself in [`SyscallStats`], and charges its
+//! CPU cost to the machine clock (when one is attached).
+
+use crate::bodies::{
+    AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody,
+    SegmentBody, ThreadBody, ThreadState,
+};
+use crate::object::{
+    truncate_descrip, ContainerEntry, ObjectHeader, ObjectId, ObjectType, METADATA_LEN,
+    OBJECT_ID_MASK, QUOTA_INFINITE,
+};
+use crate::syscall::{SyscallError, SyscallStats};
+use histar_label::category::FeistelCipher;
+use histar_label::{Category, CategoryAllocator, Label, LabelCache, Level};
+use histar_sim::{CostModel, OsFlavor, SimClock, SimDuration};
+use std::collections::HashMap;
+
+/// Size of one page, matching the simulated hardware.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// One kernel object: header plus type-specific body.
+#[derive(Clone, Debug)]
+pub struct KObject {
+    /// The object's header (identity, label, quota, flags).
+    pub header: ObjectHeader,
+    /// The object's type-specific payload.
+    pub body: ObjectBody,
+}
+
+/// The result of a successful gate invocation: where the thread now runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateEntryResult {
+    /// The thread's new label.
+    pub label: Label,
+    /// The thread's new clearance.
+    pub clearance: Label,
+    /// The address space the thread switched to (if the gate named one).
+    pub address_space: Option<ContainerEntry>,
+    /// The gate's entry point.
+    pub entry_point: u64,
+    /// The gate's initial stack pointer.
+    pub stack_pointer: u64,
+    /// The gate's closure arguments.
+    pub closure_args: Vec<u64>,
+}
+
+/// Where a page fault resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFaultResolution {
+    /// The mapped segment.
+    pub segment: ContainerEntry,
+    /// Byte offset within the segment corresponding to the faulting address.
+    pub offset: u64,
+    /// Whether the mapping permits writes.
+    pub writable: bool,
+}
+
+/// The HiStar kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    objects: HashMap<ObjectId, KObject>,
+    root: ObjectId,
+    categories: CategoryAllocator,
+    id_cipher: FeistelCipher,
+    id_counter: u64,
+    label_cache: LabelCache,
+    clock: Option<SimClock>,
+    cost: CostModel,
+    stats: SyscallStats,
+    /// The address space of the most recently active thread, used to decide
+    /// whether a switch can use the cheap `invlpg` path.
+    last_address_space: Option<ContainerEntry>,
+}
+
+impl Kernel {
+    /// Creates a kernel with a fresh root container.
+    ///
+    /// `seed` keys the object-ID and category-name ciphers (deterministic
+    /// for a given seed); `clock` is the machine clock costs are charged to
+    /// (pass `None` for pure functional tests).
+    pub fn new(seed: u64, clock: Option<SimClock>) -> Kernel {
+        let mut kernel = Kernel {
+            objects: HashMap::new(),
+            root: ObjectId::from_raw(0),
+            categories: CategoryAllocator::new(seed ^ 0xcafe),
+            id_cipher: FeistelCipher::new(seed ^ 0xbeef),
+            id_counter: 0,
+            label_cache: LabelCache::new(),
+            clock,
+            cost: CostModel::for_flavor(OsFlavor::HiStar),
+            stats: SyscallStats::default(),
+            last_address_space: None,
+        };
+        let root_id = kernel.fresh_id();
+        let mut header = ObjectHeader::new(
+            root_id,
+            ObjectType::Container,
+            Label::unrestricted(),
+            QUOTA_INFINITE,
+            "root container",
+        );
+        header.links = 1; // the root is always referenced
+        kernel.objects.insert(
+            root_id,
+            KObject {
+                header,
+                body: ObjectBody::Container(ContainerBody::default()),
+            },
+        );
+        kernel.root = root_id;
+        kernel
+    }
+
+    /// The root container's object ID.
+    pub fn root_container(&self) -> ObjectId {
+        self.root
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> SyscallStats {
+        self.stats
+    }
+
+    /// Number of live objects (including the root container).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The label-comparison cache statistics (for the ablation benchmark).
+    pub fn label_cache_stats(&self) -> histar_label::cache::CacheStats {
+        self.label_cache.stats()
+    }
+
+    /// Disables the immutable-label comparison cache (ablation benchmark).
+    pub fn clear_label_cache(&mut self) {
+        self.label_cache.clear_comparisons();
+    }
+
+    // ----- internal helpers ---------------------------------------------
+
+    fn fresh_id(&mut self) -> ObjectId {
+        let id = self.id_cipher.encrypt(self.id_counter) & OBJECT_ID_MASK;
+        self.id_counter += 1;
+        ObjectId::from_raw(id)
+    }
+
+    fn charge(&mut self, d: SimDuration) {
+        if let Some(clock) = &self.clock {
+            clock.advance(d);
+        }
+    }
+
+    fn charge_syscall(&mut self) {
+        self.stats.syscalls += 1;
+        let c = self.cost.syscall;
+        self.charge(c);
+    }
+
+    fn obj(&self, id: ObjectId) -> Result<&KObject, SyscallError> {
+        self.objects.get(&id).ok_or(SyscallError::NoSuchObject(id))
+    }
+
+    fn obj_mut(&mut self, id: ObjectId) -> Result<&mut KObject, SyscallError> {
+        self.objects
+            .get_mut(&id)
+            .ok_or(SyscallError::NoSuchObject(id))
+    }
+
+    /// Returns the object if it has the expected type.
+    fn typed(&self, id: ObjectId, expected: ObjectType) -> Result<&KObject, SyscallError> {
+        let o = self.obj(id)?;
+        if o.header.object_type != expected {
+            return Err(SyscallError::WrongType {
+                found: o.header.object_type,
+                expected,
+            });
+        }
+        Ok(o)
+    }
+
+    fn container(&self, id: ObjectId) -> Result<(&ObjectHeader, &ContainerBody), SyscallError> {
+        let o = self.typed(id, ObjectType::Container)?;
+        match &o.body {
+            ObjectBody::Container(c) => Ok((&o.header, c)),
+            _ => unreachable!("typed() checked the object type"),
+        }
+    }
+
+    fn thread(&self, id: ObjectId) -> Result<(&ObjectHeader, &ThreadBody), SyscallError> {
+        let o = self.typed(id, ObjectType::Thread)?;
+        match &o.body {
+            ObjectBody::Thread(t) => Ok((&o.header, t)),
+            _ => unreachable!("typed() checked the object type"),
+        }
+    }
+
+    fn thread_mut(
+        &mut self,
+        id: ObjectId,
+    ) -> Result<(&mut ObjectHeader, &mut ThreadBody), SyscallError> {
+        let o = self.obj_mut(id)?;
+        match &mut o.body {
+            ObjectBody::Thread(t) => Ok((&mut o.header, t)),
+            _ => Err(SyscallError::WrongType {
+                found: o.header.object_type,
+                expected: ObjectType::Thread,
+            }),
+        }
+    }
+
+    /// Fetches the calling thread's label and clearance, verifying the
+    /// thread exists and is runnable.  Also accounts for the syscall.
+    fn calling_thread(&mut self, tid: ObjectId) -> Result<(Label, Label), SyscallError> {
+        self.charge_syscall();
+        let (header, body) = match self.thread(tid) {
+            Ok(x) => x,
+            Err(e) => {
+                self.stats.errors += 1;
+                return Err(e);
+            }
+        };
+        if body.state == ThreadState::Halted {
+            self.stats.errors += 1;
+            return Err(SyscallError::ThreadHalted(tid));
+        }
+        Ok((header.label.clone(), body.clearance.clone()))
+    }
+
+    /// The label of any thread (kernel-internal, no checks).
+    pub fn thread_label(&self, tid: ObjectId) -> Result<Label, SyscallError> {
+        Ok(self.thread(tid)?.0.label.clone())
+    }
+
+    /// The clearance of any thread (kernel-internal, no checks).
+    pub fn thread_clearance(&self, tid: ObjectId) -> Result<Label, SyscallError> {
+        Ok(self.thread(tid)?.1.clearance.clone())
+    }
+
+    fn count_label_check(&mut self, a: &Label, b: &Label, immutable: bool) {
+        self.stats.label_checks += 1;
+        let cached = if immutable {
+            // Memoize comparisons between immutable labels (§4).
+            let ia = self.label_cache.intern(a);
+            let ib = self.label_cache.intern(b);
+            let before = self.label_cache.stats().hits;
+            let _ = self.label_cache.leq_high_rhs(ia, ib);
+            self.label_cache.stats().hits > before
+        } else {
+            false
+        };
+        if cached {
+            self.stats.label_cache_hits += 1;
+        }
+        let c = self.cost.label_check(a.len() + b.len(), cached);
+        self.charge(c);
+    }
+
+    /// "No read up": may a thread labelled `tl` observe object `o`?
+    fn check_observe(&mut self, tl: &Label, oid: ObjectId) -> Result<(), SyscallError> {
+        let (olabel, immutable) = {
+            let o = self.obj(oid)?;
+            (o.header.label.clone(), o.header.object_type != ObjectType::Thread)
+        };
+        self.count_label_check(&olabel, tl, immutable);
+        if olabel.leq_high_rhs(tl) {
+            Ok(())
+        } else {
+            Err(SyscallError::CannotObserve(oid))
+        }
+    }
+
+    /// "No write down": may a thread labelled `tl` modify object `o`?
+    fn check_modify(&mut self, tl: &Label, oid: ObjectId) -> Result<(), SyscallError> {
+        let (olabel, immutable_flag, otype) = {
+            let o = self.obj(oid)?;
+            (
+                o.header.label.clone(),
+                o.header.flags.immutable,
+                o.header.object_type,
+            )
+        };
+        if immutable_flag {
+            return Err(SyscallError::Immutable(oid));
+        }
+        self.count_label_check(&olabel, tl, otype != ObjectType::Thread);
+        if tl.leq(&olabel) && olabel.leq_high_rhs(tl) {
+            Ok(())
+        } else {
+            Err(SyscallError::CannotModify(oid))
+        }
+    }
+
+    /// Verifies a container entry `⟨D, O⟩`: the thread must be able to read
+    /// `D`, and `D` must hold a link to `O` (or `O == D`, since every
+    /// container contains itself).
+    fn check_entry(&mut self, tl: &Label, entry: ContainerEntry) -> Result<(), SyscallError> {
+        self.check_observe(tl, entry.container)?;
+        if entry.container == entry.object {
+            // ⟨D, D⟩ is always valid once D is readable.
+            self.typed(entry.container, ObjectType::Container)?;
+            return Ok(());
+        }
+        let (_, cbody) = self.container(entry.container)?;
+        if !cbody.contains(entry.object) {
+            return Err(SyscallError::NotInContainer {
+                container: entry.container,
+                object: entry.object,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the label of a to-be-created object and the container it
+    /// will live in, then inserts it, charging quota.
+    #[allow(clippy::too_many_arguments)]
+    fn create_object(
+        &mut self,
+        tl: &Label,
+        tc: &Label,
+        container: ObjectId,
+        label: Label,
+        quota: u64,
+        descrip: &str,
+        body: ObjectBody,
+    ) -> Result<ObjectId, SyscallError> {
+        let otype = body.object_type();
+        // Only thread and gate labels may contain ⋆.
+        if !otype.may_own_categories() && label.contains_star() {
+            return Err(SyscallError::OwnershipNotAllowed(otype));
+        }
+        // The creating thread must be able to write the container...
+        self.check_modify(tl, container)?;
+        // ...and allocate at this label: L_T ⊑ L ⊑ C_T.
+        tl.can_allocate(tc, &label)?;
+        // The container hierarchy may forbid this object type.
+        let (cheader, cbody) = self.container(container)?;
+        if !cbody.allows_type(otype) {
+            return Err(SyscallError::TypeForbidden(otype));
+        }
+        let avoid = cbody.avoid_types;
+        // Quota check.
+        let available = cheader.quota_remaining();
+        if quota != QUOTA_INFINITE && available != QUOTA_INFINITE && quota > available {
+            return Err(SyscallError::QuotaExceeded {
+                container,
+                requested: quota,
+                available,
+            });
+        }
+        if quota == QUOTA_INFINITE {
+            return Err(SyscallError::InvalidArgument(
+                "only the root container has an infinite quota",
+            ));
+        }
+
+        let id = self.fresh_id();
+        let mut header = ObjectHeader::new(id, otype, label, quota, descrip);
+        header.usage = body.storage_bytes();
+        header.links = 1;
+        self.objects.insert(id, KObject { header, body });
+
+        // Charge the container.
+        let parent_container = container;
+        {
+            let cobj = self.obj_mut(parent_container)?;
+            cobj.header.usage += quota;
+            match &mut cobj.body {
+                ObjectBody::Container(c) => c.link(id),
+                _ => unreachable!("container() checked the type"),
+            }
+        }
+        // New containers inherit the avoid mask and record their parent.
+        if let Ok(o) = self.obj_mut(id) {
+            if let ObjectBody::Container(c) = &mut o.body {
+                c.parent = Some(parent_container);
+                c.avoid_types |= avoid;
+            }
+        }
+        self.stats.objects_created += 1;
+        Ok(id)
+    }
+
+    /// Removes an object once its last hard link disappears; containers drop
+    /// their whole subtree.
+    fn dealloc(&mut self, id: ObjectId) {
+        let Some(obj) = self.objects.remove(&id) else {
+            return;
+        };
+        self.stats.objects_deallocated += 1;
+        if let ObjectBody::Container(c) = obj.body {
+            for child in c.links {
+                if let Some(child_obj) = self.objects.get_mut(&child) {
+                    child_obj.header.links = child_obj.header.links.saturating_sub(1);
+                    if child_obj.header.links == 0 {
+                        self.dealloc(child);
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- categories and thread labels (§3.1) --------------------------
+
+    /// `cat_t create_category(void)`: allocates a fresh category, granting
+    /// the calling thread ownership (`⋆`) and clearance `3` in it.
+    pub fn sys_create_category(&mut self, tid: ObjectId) -> Result<Category, SyscallError> {
+        let (label, clearance) = self.calling_thread(tid)?;
+        let cat = self.categories.alloc();
+        let new_label = label.with(cat, Level::Star);
+        let new_clearance = clearance.with(cat, Level::L3);
+        let (header, body) = self.thread_mut(tid)?;
+        header.label = new_label;
+        body.clearance = new_clearance;
+        Ok(cat)
+    }
+
+    /// `self_set_label(L)`: sets the calling thread's label, subject to
+    /// `L_T ⊑ L ⊑ C_T`.
+    pub fn sys_self_set_label(&mut self, tid: ObjectId, new: Label) -> Result<(), SyscallError> {
+        let (label, clearance) = self.calling_thread(tid)?;
+        self.stats.label_checks += 2;
+        let c = self.cost.label_check(label.len() + new.len(), false);
+        self.charge(c);
+        if let Err(e) = label.check_set_label(&clearance, &new) {
+            self.stats.errors += 1;
+            return Err(e.into());
+        }
+        let (header, _) = self.thread_mut(tid)?;
+        header.label = new;
+        Ok(())
+    }
+
+    /// `self_set_clearance(C)`: sets the calling thread's clearance, subject
+    /// to `L_T ⊑ C ⊑ (C_T ⊔ L_T^J)`.
+    pub fn sys_self_set_clearance(
+        &mut self,
+        tid: ObjectId,
+        new: Label,
+    ) -> Result<(), SyscallError> {
+        let (label, clearance) = self.calling_thread(tid)?;
+        self.stats.label_checks += 2;
+        let c = self.cost.label_check(clearance.len() + new.len(), false);
+        self.charge(c);
+        if let Err(e) = label.check_set_clearance(&clearance, &new) {
+            self.stats.errors += 1;
+            return Err(e.into());
+        }
+        let (_, body) = self.thread_mut(tid)?;
+        body.clearance = new;
+        Ok(())
+    }
+
+    /// Returns the calling thread's own label.
+    pub fn sys_self_get_label(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
+        let (label, _) = self.calling_thread(tid)?;
+        Ok(label)
+    }
+
+    /// Returns the calling thread's own clearance.
+    pub fn sys_self_get_clearance(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
+        let (_, clearance) = self.calling_thread(tid)?;
+        Ok(clearance)
+    }
+
+    // ----- containers and quotas (§3.2, §3.3) ----------------------------
+
+    /// `container_create(D, L, descrip, avoid_types, quota)`.
+    pub fn sys_container_create(
+        &mut self,
+        tid: ObjectId,
+        parent: ObjectId,
+        label: Label,
+        descrip: &str,
+        avoid_types: u8,
+        quota: u64,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let body = ObjectBody::Container(ContainerBody {
+            links: Vec::new(),
+            parent: Some(parent),
+            avoid_types,
+        });
+        self.create_object(&tl, &tc, parent, label, quota, descrip, body)
+            .inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Unreferences an object from a container; the object is deallocated
+    /// when its last link disappears (recursively for containers).
+    pub fn sys_obj_unref(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        if entry.object == self.root {
+            self.stats.errors += 1;
+            return Err(SyscallError::RootContainer);
+        }
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_modify(&tl, entry.container)?;
+            let quota = self.obj(entry.object)?.header.quota;
+            {
+                let cobj = self.obj_mut(entry.container)?;
+                let unlinked = match &mut cobj.body {
+                    ObjectBody::Container(c) => c.unlink(entry.object),
+                    _ => {
+                        return Err(SyscallError::WrongType {
+                            found: cobj.header.object_type,
+                            expected: ObjectType::Container,
+                        })
+                    }
+                };
+                if !unlinked {
+                    return Err(SyscallError::NotInContainer {
+                        container: entry.container,
+                        object: entry.object,
+                    });
+                }
+                cobj.header.usage = cobj.header.usage.saturating_sub(quota);
+            }
+            let remaining = {
+                let o = self.obj_mut(entry.object)?;
+                o.header.links = o.header.links.saturating_sub(1);
+                o.header.links
+            };
+            if remaining == 0 {
+                self.dealloc(entry.object);
+            }
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Adds an additional hard link to an object (`⟨D_src, O⟩` into `D_dst`).
+    ///
+    /// The thread must be able to write `D_dst`, its clearance must admit
+    /// the object's label, and the object's quota must be fixed (§3.3).
+    pub fn sys_hard_link(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        dst: ObjectId,
+    ) -> Result<(), SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_modify(&tl, dst)?;
+            let (olabel, quota, fixed) = {
+                let o = self.obj(entry.object)?;
+                (
+                    o.header.label.clone(),
+                    o.header.quota,
+                    o.header.flags.fixed_quota,
+                )
+            };
+            if !fixed {
+                return Err(SyscallError::QuotaNotFixed(entry.object));
+            }
+            // Clearance must be high enough to allocate at the object's
+            // label: L_S ⊑ C_T.
+            self.stats.label_checks += 1;
+            if !olabel.leq(&tc) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::LabelExceedsClearance,
+                ));
+            }
+            // Double-charge the object's quota to the destination container.
+            let (dheader, _) = self.container(dst)?;
+            let available = dheader.quota_remaining();
+            if available != QUOTA_INFINITE && quota > available {
+                return Err(SyscallError::QuotaExceeded {
+                    container: dst,
+                    requested: quota,
+                    available,
+                });
+            }
+            {
+                let dobj = self.obj_mut(dst)?;
+                dobj.header.usage += quota;
+                match &mut dobj.body {
+                    ObjectBody::Container(c) => c.link(entry.object),
+                    _ => unreachable!("container() checked the type"),
+                }
+            }
+            self.obj_mut(entry.object)?.header.links += 1;
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Returns a container's spare quota (`quota - usage`), or `u64::MAX`
+    /// for the root container.  Requires observe access, since the answer
+    /// reveals information about the container's contents.
+    pub fn sys_container_quota_avail(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<u64, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<u64, SyscallError> {
+            self.check_observe(&tl, container)?;
+            let (header, _) = self.container(container)?;
+            Ok(header.quota_remaining())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// `container_get_parent(D)`: the parent container of `D`.
+    pub fn sys_container_get_parent(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<ObjectId, SyscallError> {
+            self.check_observe(&tl, container)?;
+            let (_, body) = self.container(container)?;
+            body.parent.ok_or(SyscallError::RootContainer)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Lists the object IDs linked into a container (requires read access).
+    pub fn sys_container_list(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<Vec<ObjectId>, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Vec<ObjectId>, SyscallError> {
+            self.check_observe(&tl, container)?;
+            let (_, body) = self.container(container)?;
+            Ok(body.links.clone())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// `quota_move(D, O, n)`: moves `n` bytes of quota from container `D`
+    /// to object `O` (or back, for negative `n`).
+    pub fn sys_quota_move(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        object: ObjectId,
+        n: i64,
+    ) -> Result<(), SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_modify(&tl, container)?;
+            let (_, cbody) = self.container(container)?;
+            if !cbody.contains(object) {
+                return Err(SyscallError::NotInContainer { container, object });
+            }
+            // L_T ⊑ L_O ⊑ C_T.
+            let olabel = self.obj(object)?.header.label.clone();
+            self.stats.label_checks += 2;
+            tl.can_allocate(&tc, &olabel)?;
+            let (fixed, oquota, ousage) = {
+                let o = self.obj(object)?;
+                (o.header.flags.fixed_quota, o.header.quota, o.header.usage)
+            };
+            if fixed {
+                return Err(SyscallError::QuotaFixed(object));
+            }
+            if n >= 0 {
+                let n = n as u64;
+                let (cheader, _) = self.container(container)?;
+                let available = cheader.quota_remaining();
+                if available != QUOTA_INFINITE && n > available {
+                    return Err(SyscallError::QuotaExceeded {
+                        container,
+                        requested: n,
+                        available,
+                    });
+                }
+                self.obj_mut(object)?.header.quota = oquota.saturating_add(n);
+                let c = self.obj_mut(container)?;
+                if c.header.quota != QUOTA_INFINITE {
+                    c.header.usage += n;
+                } else {
+                    c.header.usage = c.header.usage.saturating_add(n);
+                }
+            } else {
+                let take = n.unsigned_abs();
+                // Returning quota reveals whether O has |n| spare bytes, so
+                // the caller must also be able to observe O.
+                self.check_observe(&tl, object)?;
+                if oquota.saturating_sub(ousage) < take {
+                    return Err(SyscallError::QuotaUnderflow(object));
+                }
+                self.obj_mut(object)?.header.quota = oquota - take;
+                let c = self.obj_mut(container)?;
+                c.header.usage = c.header.usage.saturating_sub(take);
+            }
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- object metadata ------------------------------------------------
+
+    /// Reads an object's label through a container entry.
+    ///
+    /// For non-thread objects, readability of the container suffices; for
+    /// threads, the caller must additionally satisfy `L_{T'}^J ⊑ L_T^J`.
+    pub fn sys_obj_get_label(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Label, SyscallError> {
+            self.check_entry(&tl, entry)?;
+            let o = self.obj(entry.object)?;
+            let label = o.header.label.clone();
+            if o.header.object_type == ObjectType::Thread {
+                self.stats.label_checks += 1;
+                if !label.leq_high_both(&tl) {
+                    return Err(SyscallError::CannotObserve(entry.object));
+                }
+            }
+            Ok(label)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Reads an object's descriptive string and type through a container
+    /// entry.
+    pub fn sys_obj_get_info(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(ObjectType, String, u64), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(ObjectType, String, u64), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            let o = self.obj(entry.object)?;
+            Ok((o.header.object_type, o.header.descrip.clone(), o.header.quota))
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Reads an object's 64-byte metadata area (requires observe).
+    pub fn sys_obj_get_metadata(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<[u8; METADATA_LEN], SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<[u8; METADATA_LEN], SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_observe(&tl, entry.object)?;
+            Ok(self.obj(entry.object)?.header.metadata)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Writes an object's 64-byte metadata area (requires modify).
+    pub fn sys_obj_set_metadata(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        metadata: [u8; METADATA_LEN],
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_modify(&tl, entry.object)?;
+            self.obj_mut(entry.object)?.header.metadata = metadata;
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Irrevocably marks an object immutable (requires modify first).
+    pub fn sys_obj_set_immutable(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_modify(&tl, entry.object)?;
+            self.obj_mut(entry.object)?.header.flags.immutable = true;
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Irrevocably fixes an object's quota so it may be hard-linked into
+    /// additional containers.
+    pub fn sys_obj_set_fixed_quota(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_modify(&tl, entry.object)?;
+            self.obj_mut(entry.object)?.header.flags.fixed_quota = true;
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- segments --------------------------------------------------------
+
+    /// Creates a segment of `len` zero bytes in `container`.
+    pub fn sys_segment_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        len: u64,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        // Zeroing freshly allocated pages is charged explicitly; HiStar has
+        // no pre-zeroed page pool (§7.1).
+        let pages = len.div_ceil(PAGE_SIZE);
+        let zero_cost = self.cost.page_zero * pages;
+        self.charge(zero_cost);
+        let quota = (len.max(1)).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let body = ObjectBody::Segment(SegmentBody::zeroed(len as usize));
+        self.create_object(&tl, &tc, container, label, quota, descrip, body)
+            .inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Resizes a segment (zero-filling growth), within its quota.
+    pub fn sys_segment_resize(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        len: u64,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, entry)?;
+            self.check_modify(&tl, entry.object)?;
+            let grow_pages;
+            {
+                let o = self.obj_mut(entry.object)?;
+                let quota = o.header.quota;
+                match &mut o.body {
+                    ObjectBody::Segment(s) => {
+                        if len > quota {
+                            return Err(SyscallError::QuotaExceeded {
+                                container: entry.container,
+                                requested: len,
+                                available: quota,
+                            });
+                        }
+                        let old = s.len() as u64;
+                        grow_pages = len.saturating_sub(old).div_ceil(PAGE_SIZE);
+                        s.resize(len as usize);
+                        o.header.usage = len;
+                    }
+                    _ => {
+                        return Err(SyscallError::WrongType {
+                            found: o.header.object_type,
+                            expected: ObjectType::Segment,
+                        })
+                    }
+                }
+            }
+            let zero_cost = self.cost.page_zero * grow_pages;
+            self.charge(zero_cost);
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Reads bytes from a segment (models a load through a mapping; the same
+    /// label checks as a read page fault apply).
+    pub fn sys_segment_read(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Vec<u8>, SyscallError> {
+            let local = self.thread(tid)?.1.local_segment;
+            if local != Some(entry.object) {
+                self.check_entry(&tl, entry)?;
+                self.check_observe(&tl, entry.object)?;
+            }
+            let copy_cost = self.cost.copy(len);
+            self.charge(copy_cost);
+            let o = self.obj(entry.object)?;
+            match &o.body {
+                ObjectBody::Segment(s) => {
+                    let start = offset as usize;
+                    let end = (offset + len) as usize;
+                    if end > s.len() {
+                        return Err(SyscallError::InvalidArgument("read beyond end of segment"));
+                    }
+                    Ok(s.bytes[start..end].to_vec())
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::Segment,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Writes bytes into a segment (models a store through a mapping).
+    ///
+    /// The calling thread's local segment is always writable by that thread,
+    /// regardless of its current taint (§3.4).
+    pub fn sys_segment_write(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            let local = self.thread(tid)?.1.local_segment;
+            if local != Some(entry.object) {
+                self.check_entry(&tl, entry)?;
+                self.check_modify(&tl, entry.object)?;
+            }
+            let copy_cost = self.cost.copy(data.len() as u64);
+            self.charge(copy_cost);
+            let o = self.obj_mut(entry.object)?;
+            let quota = o.header.quota;
+            match &mut o.body {
+                ObjectBody::Segment(s) => {
+                    let end = offset + data.len() as u64;
+                    if end > quota {
+                        return Err(SyscallError::QuotaExceeded {
+                            container: entry.container,
+                            requested: end,
+                            available: quota,
+                        });
+                    }
+                    if end as usize > s.len() {
+                        s.resize(end as usize);
+                        o.header.usage = end;
+                    }
+                    s.bytes[offset as usize..end as usize].copy_from_slice(data);
+                    Ok(())
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::Segment,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Returns the length of a segment (requires observe).
+    pub fn sys_segment_len(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<u64, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<u64, SyscallError> {
+            let local = self.thread(tid)?.1.local_segment;
+            if local != Some(entry.object) {
+                self.check_entry(&tl, entry)?;
+                self.check_observe(&tl, entry.object)?;
+            }
+            let o = self.obj(entry.object)?;
+            match &o.body {
+                ObjectBody::Segment(s) => Ok(s.len() as u64),
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::Segment,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Copies a segment into `dst_container` under a (possibly different)
+    /// label — the "efficient copies with different labels" of §3, used for
+    /// taint-forking address spaces and segments.
+    pub fn sys_segment_copy(
+        &mut self,
+        tid: ObjectId,
+        src: ContainerEntry,
+        dst_container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<ObjectId, SyscallError> {
+            self.check_entry(&tl, src)?;
+            self.check_observe(&tl, src.object)?;
+            let bytes = {
+                let o = self.obj(src.object)?;
+                match &o.body {
+                    ObjectBody::Segment(s) => s.bytes.clone(),
+                    _ => {
+                        return Err(SyscallError::WrongType {
+                            found: o.header.object_type,
+                            expected: ObjectType::Segment,
+                        })
+                    }
+                }
+            };
+            let pages = (bytes.len() as u64).div_ceil(PAGE_SIZE);
+            let copy_cost = self.cost.page_copy * pages;
+            self.charge(copy_cost);
+            let quota = (bytes.len().max(1) as u64).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+            let body = ObjectBody::Segment(SegmentBody { bytes });
+            self.create_object(&tl, &tc, dst_container, label, quota, descrip, body)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- address spaces (§3.4) -------------------------------------------
+
+    /// Creates an empty address space.
+    pub fn sys_as_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let body = ObjectBody::AddressSpace(AddressSpaceBody::default());
+        self.create_object(&tl, &tc, container, label, PAGE_SIZE, descrip, body)
+            .inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Copies an address space (and its mapping list) under a new label —
+    /// used when a tainted thread forks a writable copy of its environment.
+    pub fn sys_as_copy(
+        &mut self,
+        tid: ObjectId,
+        src: ContainerEntry,
+        dst_container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<ObjectId, SyscallError> {
+            self.check_entry(&tl, src)?;
+            self.check_observe(&tl, src.object)?;
+            let mappings = {
+                let o = self.obj(src.object)?;
+                match &o.body {
+                    ObjectBody::AddressSpace(a) => a.mappings.clone(),
+                    _ => {
+                        return Err(SyscallError::WrongType {
+                            found: o.header.object_type,
+                            expected: ObjectType::AddressSpace,
+                        })
+                    }
+                }
+            };
+            let body = ObjectBody::AddressSpace(AddressSpaceBody { mappings });
+            self.create_object(&tl, &tc, dst_container, label, PAGE_SIZE, descrip, body)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Adds (or replaces) a mapping in an address space.
+    pub fn sys_as_map(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+        mapping: Mapping,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, aspace)?;
+            self.check_modify(&tl, aspace.object)?;
+            if mapping.va % PAGE_SIZE != 0 {
+                return Err(SyscallError::InvalidArgument("va must be page-aligned"));
+            }
+            let o = self.obj_mut(aspace.object)?;
+            match &mut o.body {
+                ObjectBody::AddressSpace(a) => {
+                    a.map(mapping);
+                    Ok(())
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::AddressSpace,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Removes a mapping from an address space.
+    pub fn sys_as_unmap(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+        va: u64,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, aspace)?;
+            self.check_modify(&tl, aspace.object)?;
+            let o = self.obj_mut(aspace.object)?;
+            match &mut o.body {
+                ObjectBody::AddressSpace(a) => {
+                    a.unmap(va);
+                    Ok(())
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::AddressSpace,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// `self_set_as`: switches the calling thread to a different address
+    /// space.
+    pub fn sys_self_set_as(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, aspace)?;
+            // Using an address space requires observing it.
+            self.check_observe(&tl, aspace.object)?;
+            self.typed(aspace.object, ObjectType::AddressSpace)?;
+            self.account_context_switch(Some(aspace));
+            let (_, body) = self.thread_mut(tid)?;
+            body.address_space = Some(aspace);
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    fn account_context_switch(&mut self, new_as: Option<ContainerEntry>) {
+        self.stats.context_switches += 1;
+        let cost = if new_as.is_some() && new_as == self.last_address_space {
+            self.stats.invlpg_switches += 1;
+            self.cost.context_switch_invlpg
+        } else {
+            self.cost.context_switch_full
+        };
+        self.charge(cost);
+        self.last_address_space = new_as;
+    }
+
+    /// Simulates a memory access by the thread at virtual address `va`,
+    /// walking its address space exactly as the page-fault handler would.
+    pub fn sys_page_fault(
+        &mut self,
+        tid: ObjectId,
+        va: u64,
+        write: bool,
+    ) -> Result<PageFaultResolution, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        self.stats.page_faults += 1;
+        let fault_cost = self.cost.page_fault;
+        self.charge(fault_cost);
+        let result = (|| -> Result<PageFaultResolution, SyscallError> {
+            let aspace_entry = self
+                .thread(tid)?
+                .1
+                .address_space
+                .ok_or(SyscallError::PageFault { va, write })?;
+            self.check_observe(&tl, aspace_entry.object)?;
+            let mapping = {
+                let o = self.obj(aspace_entry.object)?;
+                match &o.body {
+                    ObjectBody::AddressSpace(a) => a.lookup(va).copied(),
+                    _ => None,
+                }
+            }
+            .ok_or(SyscallError::PageFault { va, write })?;
+            if write && !mapping.flags.write || !write && !mapping.flags.read {
+                return Err(SyscallError::PageFault { va, write });
+            }
+            // The kernel checks that T can read D and O; for writes it also
+            // checks that T can modify O.
+            self.check_observe(&tl, mapping.segment.container)
+                .map_err(|_| SyscallError::PageFault { va, write })?;
+            self.check_observe(&tl, mapping.segment.object)
+                .map_err(|_| SyscallError::PageFault { va, write })?;
+            if write {
+                let olabel = self.obj(mapping.segment.object)?.header.label.clone();
+                self.stats.label_checks += 1;
+                if !tl.leq(&olabel) {
+                    return Err(SyscallError::PageFault { va, write });
+                }
+            }
+            Ok(PageFaultResolution {
+                segment: mapping.segment,
+                offset: mapping.offset + (va - mapping.va),
+                writable: mapping.flags.write,
+            })
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- threads ---------------------------------------------------------
+
+    /// Creates a new thread in `container` with the given label and
+    /// clearance, subject to `L_T ⊑ L_{T'} ⊑ C_{T'} ⊑ C_T`.
+    ///
+    /// The new thread gets a one-page thread-local segment in the same
+    /// container.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_thread_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        clearance: Label,
+        entry_point: u64,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<ObjectId, SyscallError> {
+            self.stats.label_checks += 3;
+            tl.check_spawn(&tc, &label, &clearance)?;
+            let mut thread_body = ThreadBody::new(clearance);
+            thread_body.entry_point = entry_point;
+            // Inherit the parent's address space by default.
+            thread_body.address_space = self.thread(tid)?.1.address_space;
+            let new_tid = self.create_object(
+                &tl,
+                &tc,
+                container,
+                label.clone(),
+                PAGE_SIZE,
+                descrip,
+                ObjectBody::Thread(thread_body),
+            )?;
+            // Thread-local segment: one page, private to the thread.
+            let local_label = label.drop_ownership(Level::L1);
+            let local = self.create_object(
+                &tl,
+                &tc,
+                container,
+                local_label,
+                PAGE_SIZE,
+                &format!("tls:{descrip}"),
+                ObjectBody::Segment(SegmentBody::zeroed(PAGE_SIZE as usize)),
+            )?;
+            if let Ok((_, body)) = self.thread_mut(new_tid) {
+                body.local_segment = Some(local);
+            }
+            Ok(new_tid)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Bootstrap path: creates the first thread of the machine without a
+    /// calling thread.  Only the machine boot code uses this.
+    pub fn bootstrap_thread(
+        &mut self,
+        container: ObjectId,
+        label: Label,
+        clearance: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let id = self.fresh_id();
+        let mut header = ObjectHeader::new(id, ObjectType::Thread, label.clone(), PAGE_SIZE, descrip);
+        header.links = 1;
+        let mut body = ThreadBody::new(clearance);
+        // Thread-local segment for the bootstrap thread.
+        let local_id = self.fresh_id();
+        let mut local_header = ObjectHeader::new(
+            local_id,
+            ObjectType::Segment,
+            label.drop_ownership(Level::L1),
+            PAGE_SIZE,
+            &format!("tls:{descrip}"),
+        );
+        local_header.links = 1;
+        body.local_segment = Some(local_id);
+        self.objects.insert(
+            local_id,
+            KObject {
+                header: local_header,
+                body: ObjectBody::Segment(SegmentBody::zeroed(PAGE_SIZE as usize)),
+            },
+        );
+        self.objects.insert(
+            id,
+            KObject {
+                header,
+                body: ObjectBody::Thread(body),
+            },
+        );
+        // Link both into the container and charge quota.
+        let cobj = self.obj_mut(container)?;
+        cobj.header.usage += 2 * PAGE_SIZE;
+        match &mut cobj.body {
+            ObjectBody::Container(c) => {
+                c.link(id);
+                c.link(local_id);
+            }
+            _ => {
+                return Err(SyscallError::WrongType {
+                    found: cobj.header.object_type,
+                    expected: ObjectType::Container,
+                })
+            }
+        }
+        self.stats.objects_created += 2;
+        Ok(id)
+    }
+
+    /// The calling thread's thread-local segment.
+    pub fn sys_self_local_segment(&mut self, tid: ObjectId) -> Result<ObjectId, SyscallError> {
+        self.calling_thread(tid)?;
+        self.thread(tid)?
+            .1
+            .local_segment
+            .ok_or(SyscallError::InvalidArgument("thread has no local segment"))
+    }
+
+    /// Halts the calling thread; it can never run (or make syscalls) again.
+    pub fn sys_self_halt(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        self.calling_thread(tid)?;
+        let (_, body) = self.thread_mut(tid)?;
+        body.state = ThreadState::Halted;
+        Ok(())
+    }
+
+    /// Sends an alert to another thread: the caller must be able to write
+    /// the target's address space and observe the target (§3.4).
+    pub fn sys_thread_alert(
+        &mut self,
+        tid: ObjectId,
+        target: ContainerEntry,
+        code: u64,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, target)?;
+            let target_as = {
+                let (_, tbody) = match self.thread(target.object) {
+                    Ok(x) => x,
+                    Err(e) => return Err(e),
+                };
+                tbody.address_space
+            };
+            if let Some(aspace) = target_as {
+                self.check_modify(&tl, aspace.object)?;
+            } else {
+                return Err(SyscallError::InvalidArgument(
+                    "target thread has no address space",
+                ));
+            }
+            // The alert also lets the target learn something about the
+            // sender, so the sender must be allowed to convey information to
+            // it: L_T ⊑ L_{T'}^J.
+            let target_label = self.obj(target.object)?.header.label.clone();
+            self.stats.label_checks += 1;
+            if !tl.leq_high_rhs(&target_label) {
+                return Err(SyscallError::CannotModify(target.object));
+            }
+            let (_, body) = self.thread_mut(target.object)?;
+            body.pending_alerts.push(Alert { code });
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Removes and returns the oldest pending alert for the calling thread.
+    pub fn sys_self_take_alert(&mut self, tid: ObjectId) -> Result<Option<Alert>, SyscallError> {
+        self.calling_thread(tid)?;
+        let (_, body) = self.thread_mut(tid)?;
+        if body.pending_alerts.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(body.pending_alerts.remove(0)))
+        }
+    }
+
+    /// Reads another thread's label, subject to `L_{T'}^J ⊑ L_T^J`.
+    pub fn sys_thread_get_label(
+        &mut self,
+        tid: ObjectId,
+        target: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        self.sys_obj_get_label(tid, target)
+    }
+
+    // ----- gates (§3.5) ------------------------------------------------------
+
+    /// Creates a gate.  The gate's label (which may contain `⋆`) and
+    /// clearance must satisfy `L_T ⊑ L_G ⊑ C_G ⊑ C_T`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_gate_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        clearance: Label,
+        address_space: Option<ContainerEntry>,
+        entry_point: u64,
+        closure_args: Vec<u64>,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<ObjectId, SyscallError> {
+            self.stats.label_checks += 3;
+            if !tl.leq(&label) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::LabelNotMonotonic,
+                ));
+            }
+            if !label.leq(&clearance) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::ClearanceBelowLabel,
+                ));
+            }
+            if !clearance.leq(&tc) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::LabelExceedsClearance,
+                ));
+            }
+            let mut gate = GateBody::new(clearance, entry_point);
+            gate.address_space = address_space;
+            gate.closure_args = closure_args;
+            self.create_object(
+                &tl,
+                &tc,
+                container,
+                label,
+                PAGE_SIZE,
+                descrip,
+                ObjectBody::Gate(gate),
+            )
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Invokes a gate.  The calling thread specifies the label `requested`
+    /// and clearance `requested_clearance` it wants on entry, plus a verify
+    /// label used only to prove category possession to the gate's code.
+    ///
+    /// Permitted when `L_T ⊑ C_G`, `L_T ⊑ L_V`, and
+    /// `(L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G)`.
+    pub fn sys_gate_enter(
+        &mut self,
+        tid: ObjectId,
+        gate: ContainerEntry,
+        requested: Label,
+        requested_clearance: Label,
+        verify: Label,
+    ) -> Result<GateEntryResult, SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<GateEntryResult, SyscallError> {
+            self.check_entry(&tl, gate)?;
+            let (glabel, gclearance, gbody) = {
+                let o = self.typed(gate.object, ObjectType::Gate)?;
+                match &o.body {
+                    ObjectBody::Gate(g) => {
+                        (o.header.label.clone(), g.clearance.clone(), g.clone())
+                    }
+                    _ => unreachable!("typed() checked the object type"),
+                }
+            };
+            self.stats.label_checks += 5;
+            let lc = self.cost.label_check(tl.len() + glabel.len(), false);
+            self.charge(lc);
+            if !tl.leq(&gclearance) {
+                return Err(SyscallError::GateClearance(gate.object));
+            }
+            if !tl.leq(&verify) {
+                return Err(SyscallError::VerifyLabel);
+            }
+            let floor = tl.ownership_union(&glabel);
+            if !floor.leq(&requested) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::LabelNotMonotonic,
+                ));
+            }
+            if !requested.leq(&requested_clearance) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::ClearanceBelowLabel,
+                ));
+            }
+            let clearance_bound = tc.lub(&gclearance);
+            if !requested_clearance.leq(&clearance_bound) {
+                return Err(SyscallError::Label(
+                    histar_label::LabelError::LabelExceedsClearance,
+                ));
+            }
+
+            self.stats.gate_invocations += 1;
+            let gate_cost = self.cost.gate_overhead;
+            self.charge(gate_cost);
+            self.account_context_switch(gbody.address_space);
+
+            {
+                let (header, body) = self.thread_mut(tid)?;
+                header.label = requested.clone();
+                body.clearance = requested_clearance.clone();
+                if gbody.address_space.is_some() {
+                    body.address_space = gbody.address_space;
+                }
+                body.entry_point = gbody.entry_point;
+            }
+            Ok(GateEntryResult {
+                label: requested,
+                clearance: requested_clearance,
+                address_space: gbody.address_space,
+                entry_point: gbody.entry_point,
+                stack_pointer: gbody.stack_pointer,
+                closure_args: gbody.closure_args,
+            })
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Reads a gate's clearance (for callers deciding how to invoke it).
+    pub fn sys_gate_clearance(
+        &mut self,
+        tid: ObjectId,
+        gate: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Label, SyscallError> {
+            self.check_entry(&tl, gate)?;
+            let o = self.typed(gate.object, ObjectType::Gate)?;
+            match &o.body {
+                ObjectBody::Gate(g) => Ok(g.clearance.clone()),
+                _ => unreachable!("typed() checked the object type"),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- devices (§4, §5.7) ------------------------------------------------
+
+    /// Bootstrap path: creates a device object directly in a container.
+    /// Only machine boot code uses this (devices are discovered by the
+    /// kernel, not created by threads).
+    pub fn boot_create_device(
+        &mut self,
+        container: ObjectId,
+        label: Label,
+        body: DeviceBody,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        let id = self.fresh_id();
+        let mut header = ObjectHeader::new(id, ObjectType::Device, label, PAGE_SIZE, descrip);
+        header.links = 1;
+        self.objects.insert(
+            id,
+            KObject {
+                header,
+                body: ObjectBody::Device(body),
+            },
+        );
+        let cobj = self.obj_mut(container)?;
+        cobj.header.usage += PAGE_SIZE;
+        match &mut cobj.body {
+            ObjectBody::Container(c) => c.link(id),
+            _ => {
+                return Err(SyscallError::WrongType {
+                    found: cobj.header.object_type,
+                    expected: ObjectType::Container,
+                })
+            }
+        }
+        self.stats.objects_created += 1;
+        Ok(id)
+    }
+
+    /// Returns the MAC address of a network device (requires observe).
+    pub fn sys_net_mac(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+    ) -> Result<[u8; 6], SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<[u8; 6], SyscallError> {
+            self.check_entry(&tl, device)?;
+            self.check_observe(&tl, device.object)?;
+            let o = self.typed(device.object, ObjectType::Device)?;
+            match &o.body {
+                ObjectBody::Device(d) => Ok(d.mac),
+                _ => unreachable!("typed() checked the object type"),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Queues a frame for transmission (requires modify on the device).
+    pub fn sys_net_transmit(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+        frame: Vec<u8>,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            self.check_entry(&tl, device)?;
+            self.check_modify(&tl, device.object)?;
+            let o = self.obj_mut(device.object)?;
+            match &mut o.body {
+                ObjectBody::Device(d) => {
+                    d.tx_queue.push(frame);
+                    Ok(())
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::Device,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Takes the next received frame, if any (requires modify on the device,
+    /// since consuming a frame changes its state).
+    pub fn sys_net_receive(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+    ) -> Result<Option<Vec<u8>>, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Option<Vec<u8>>, SyscallError> {
+            self.check_entry(&tl, device)?;
+            self.check_modify(&tl, device.object)?;
+            let o = self.obj_mut(device.object)?;
+            match &mut o.body {
+                ObjectBody::Device(d) => {
+                    if d.rx_queue.is_empty() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(d.rx_queue.remove(0)))
+                    }
+                }
+                _ => Err(SyscallError::WrongType {
+                    found: o.header.object_type,
+                    expected: ObjectType::Device,
+                }),
+            }
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Simulation hook (not a system call): delivers a frame "from the
+    /// wire" into a device's receive queue.
+    pub fn device_inject_rx(&mut self, device: ObjectId, frame: Vec<u8>) -> Result<(), SyscallError> {
+        let o = self.obj_mut(device)?;
+        match &mut o.body {
+            ObjectBody::Device(d) => {
+                d.rx_queue.push(frame);
+                Ok(())
+            }
+            _ => Err(SyscallError::WrongType {
+                found: o.header.object_type,
+                expected: ObjectType::Device,
+            }),
+        }
+    }
+
+    /// Simulation hook (not a system call): drains frames the machine has
+    /// transmitted, as the physical wire would.
+    pub fn device_drain_tx(&mut self, device: ObjectId) -> Result<Vec<Vec<u8>>, SyscallError> {
+        let o = self.obj_mut(device)?;
+        match &mut o.body {
+            ObjectBody::Device(d) => Ok(std::mem::take(&mut d.tx_queue)),
+            _ => Err(SyscallError::WrongType {
+                found: o.header.object_type,
+                expected: ObjectType::Device,
+            }),
+        }
+    }
+
+    // ----- introspection used by the store / machine -------------------------
+
+    /// Iterates over all objects (used by snapshotting).
+    pub fn objects(&self) -> impl Iterator<Item = (&ObjectId, &KObject)> {
+        self.objects.iter()
+    }
+
+    /// Looks up an object directly (kernel-internal / persistence).
+    pub fn raw_object(&self, id: ObjectId) -> Option<&KObject> {
+        self.objects.get(&id)
+    }
+
+    /// Replaces the entire object table (used by recovery).
+    pub fn restore_objects(
+        &mut self,
+        root: ObjectId,
+        objects: HashMap<ObjectId, KObject>,
+        id_counter: u64,
+        category_counter: u64,
+        seed: u64,
+    ) {
+        self.objects = objects;
+        self.root = root;
+        self.id_counter = id_counter;
+        self.id_cipher = FeistelCipher::new(seed ^ 0xbeef);
+        self.categories = CategoryAllocator::resume(seed ^ 0xcafe, category_counter);
+    }
+
+    /// Counters needed to persist allocator state across snapshots.
+    pub fn allocator_counters(&self) -> (u64, u64) {
+        (self.id_counter, self.categories.allocated())
+    }
+
+    /// Truncates a descriptive string the way object creation would.
+    pub fn normalize_descrip(s: &str) -> String {
+        truncate_descrip(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Boots a bare kernel with one unrestricted thread in the root
+    /// container and returns `(kernel, thread id)`.
+    fn boot() -> (Kernel, ObjectId) {
+        let mut k = Kernel::new(42, None);
+        let root = k.root_container();
+        let tid = k
+            .bootstrap_thread(root, Label::unrestricted(), Label::default_clearance(), "init")
+            .unwrap();
+        (k, tid)
+    }
+
+    fn entry(k: &Kernel, o: ObjectId) -> ContainerEntry {
+        ContainerEntry::new(k.root_container(), o)
+    }
+
+    #[test]
+    fn bootstrap_creates_root_and_thread() {
+        let (k, tid) = boot();
+        assert_eq!(k.object_count(), 3); // root + thread + tls
+        assert_eq!(k.thread_label(tid).unwrap(), Label::unrestricted());
+        assert_eq!(k.thread_clearance(tid).unwrap(), Label::default_clearance());
+    }
+
+    #[test]
+    fn create_category_grants_ownership_and_clearance() {
+        let (mut k, tid) = boot();
+        let c = k.sys_create_category(tid).unwrap();
+        let label = k.thread_label(tid).unwrap();
+        let clearance = k.thread_clearance(tid).unwrap();
+        assert!(label.owns(c));
+        assert_eq!(clearance.level(c), Level::L3);
+        // Another category is distinct.
+        let c2 = k.sys_create_category(tid).unwrap();
+        assert_ne!(c, c2);
+    }
+
+    #[test]
+    fn self_set_label_respects_clearance() {
+        let (mut k, tid) = boot();
+        let c = k.sys_create_category(tid).unwrap();
+        // Tainting to 3 in an owned category is allowed (clearance 3 there).
+        let lbl = k.thread_label(tid).unwrap().with(c, Level::L3);
+        k.sys_self_set_label(tid, lbl.clone()).unwrap();
+        assert_eq!(k.thread_label(tid).unwrap(), lbl);
+        // Tainting to 3 in an unowned category exceeds the {2} clearance.
+        let other = Category::from_raw(12345);
+        let too_high = lbl.with(other, Level::L3);
+        assert!(matches!(
+            k.sys_self_set_label(tid, too_high),
+            Err(SyscallError::Label(_))
+        ));
+    }
+
+    #[test]
+    fn segment_create_read_write() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let seg = k
+            .sys_segment_create(tid, root, Label::unrestricted(), 100, "data")
+            .unwrap();
+        let e = entry(&k, seg);
+        k.sys_segment_write(tid, e, 10, b"hello").unwrap();
+        assert_eq!(k.sys_segment_read(tid, e, 10, 5).unwrap(), b"hello");
+        assert_eq!(k.sys_segment_len(tid, e).unwrap(), 100);
+        k.sys_segment_resize(tid, e, 200).unwrap();
+        assert_eq!(k.sys_segment_len(tid, e).unwrap(), 200);
+        // Reads past the end are rejected.
+        assert!(k.sys_segment_read(tid, e, 190, 100).is_err());
+    }
+
+    #[test]
+    fn tainted_segment_is_unreadable_without_taint() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        // An owner creates a secret segment tainted in its category.
+        let c = k.sys_create_category(tid).unwrap();
+        let secret_label = Label::builder().set(c, Level::L3).build();
+        let seg = k
+            .sys_segment_create(tid, root, secret_label, 10, "secret")
+            .unwrap();
+        let e = entry(&k, seg);
+        // The owner can read it.
+        assert!(k.sys_segment_read(tid, e, 0, 1).is_ok());
+
+        // A second, unprivileged thread cannot.
+        let other = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "other",
+            )
+            .unwrap();
+        assert_eq!(
+            k.sys_segment_read(other, e, 0, 1),
+            Err(SyscallError::CannotObserve(seg))
+        );
+        // It can taint itself up to clearance 2... which is still below 3,
+        // so even after self-tainting the read fails.
+        let tainted = Label::builder().set(c, Level::L2).build();
+        k.sys_self_set_label(other, tainted).unwrap();
+        assert!(k.sys_segment_read(other, e, 0, 1).is_err());
+    }
+
+    #[test]
+    fn low_integrity_thread_cannot_write_high_integrity_segment() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let c = k.sys_create_category(tid).unwrap();
+        // {c0, 1}: only owners of c may modify.
+        let protected = Label::builder().set(c, Level::L0).build();
+        let seg = k
+            .sys_segment_create(tid, root, protected, 10, "protected")
+            .unwrap();
+        let e = entry(&k, seg);
+        // The owner can write.
+        k.sys_segment_write(tid, e, 0, b"x").unwrap();
+        // An unprivileged thread can read but not write.
+        let other = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "other",
+            )
+            .unwrap();
+        assert!(k.sys_segment_read(other, e, 0, 1).is_ok());
+        assert_eq!(
+            k.sys_segment_write(other, e, 0, b"y"),
+            Err(SyscallError::CannotModify(seg))
+        );
+    }
+
+    #[test]
+    fn container_hierarchy_and_unref() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let dir = k
+            .sys_container_create(tid, root, Label::unrestricted(), "dir", 0, 1 << 20)
+            .unwrap();
+        let seg = k
+            .sys_segment_create(tid, dir, Label::unrestricted(), 4096, "file")
+            .unwrap();
+        assert_eq!(k.sys_container_get_parent(tid, dir).unwrap(), root);
+        assert!(k
+            .sys_container_list(tid, dir)
+            .unwrap()
+            .contains(&seg));
+        // Unreferencing the directory drops the whole subtree.
+        let count_before = k.object_count();
+        k.sys_obj_unref(tid, entry(&k, dir)).unwrap();
+        assert_eq!(k.object_count(), count_before - 2);
+        assert!(k.raw_object(seg).is_none());
+    }
+
+    #[test]
+    fn quota_is_charged_and_enforced() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let small = k
+            .sys_container_create(tid, root, Label::unrestricted(), "small", 0, 8192)
+            .unwrap();
+        // A 4-KiB segment fits.
+        let _seg = k
+            .sys_segment_create(tid, small, Label::unrestricted(), 4096, "a")
+            .unwrap();
+        // Another 8-KiB segment does not.
+        assert!(matches!(
+            k.sys_segment_create(tid, small, Label::unrestricted(), 8192, "b"),
+            Err(SyscallError::QuotaExceeded { .. })
+        ));
+        // Moving quota into the container's child makes room... first grow
+        // the container itself from the root.
+        k.sys_quota_move(tid, root, small, 8192).unwrap();
+        assert!(k
+            .sys_segment_create(tid, small, Label::unrestricted(), 8192, "b")
+            .is_ok());
+    }
+
+    #[test]
+    fn avoid_types_is_inherited() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let no_threads = k
+            .sys_container_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                "nothreads",
+                ObjectType::Thread.mask_bit(),
+                1 << 20,
+            )
+            .unwrap();
+        let sub = k
+            .sys_container_create(tid, no_threads, Label::unrestricted(), "sub", 0, 1 << 16)
+            .unwrap();
+        assert!(matches!(
+            k.sys_thread_create(
+                tid,
+                sub,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "t"
+            ),
+            Err(SyscallError::TypeForbidden(ObjectType::Thread))
+        ));
+        // Segments are still allowed.
+        assert!(k
+            .sys_segment_create(tid, sub, Label::unrestricted(), 16, "s")
+            .is_ok());
+    }
+
+    #[test]
+    fn thread_spawn_rules() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        // Clearance above the parent's clearance is rejected.
+        let too_high = Label::new(Level::L3);
+        assert!(k
+            .sys_thread_create(tid, root, Label::unrestricted(), too_high, 0, "t")
+            .is_err());
+        // A properly bounded child works and inherits the address space.
+        let child = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                7,
+                "child",
+            )
+            .unwrap();
+        assert_eq!(k.thread_label(child).unwrap(), Label::unrestricted());
+    }
+
+    #[test]
+    fn address_space_and_page_fault() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let seg = k
+            .sys_segment_create(tid, root, Label::unrestricted(), 8192, "text")
+            .unwrap();
+        let aspace = k
+            .sys_as_create(tid, root, Label::unrestricted(), "as")
+            .unwrap();
+        let ae = entry(&k, aspace);
+        k.sys_as_map(
+            tid,
+            ae,
+            Mapping {
+                va: 0x10_0000,
+                segment: entry(&k, seg),
+                offset: 0,
+                npages: 2,
+                flags: crate::bodies::MappingFlags::rw(),
+            },
+        )
+        .unwrap();
+        k.sys_self_set_as(tid, ae).unwrap();
+        let r = k.sys_page_fault(tid, 0x10_1000, false).unwrap();
+        assert_eq!(r.segment.object, seg);
+        assert_eq!(r.offset, 4096);
+        assert!(r.writable);
+        // An unmapped address faults to the user handler.
+        assert!(matches!(
+            k.sys_page_fault(tid, 0x20_0000, false),
+            Err(SyscallError::PageFault { .. })
+        ));
+        // A write fault on a read-only mapping is refused.
+        k.sys_as_map(
+            tid,
+            ae,
+            Mapping {
+                va: 0x20_0000,
+                segment: entry(&k, seg),
+                offset: 0,
+                npages: 1,
+                flags: crate::bodies::MappingFlags::ro(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            k.sys_page_fault(tid, 0x20_0000, true),
+            Err(SyscallError::PageFault { write: true, .. })
+        ));
+    }
+
+    #[test]
+    fn gate_transfers_privilege() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        // A "daemon" thread owning category d creates a gate granting d.
+        let daemon = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "daemon",
+            )
+            .unwrap();
+        let d = k.sys_create_category(daemon).unwrap();
+        let gate_label = k.thread_label(daemon).unwrap(); // owns d
+        let gate = k
+            .sys_gate_create(
+                tid_owner(&k, daemon),
+                root,
+                gate_label,
+                Label::default_clearance(),
+                None,
+                0xdead,
+                vec![1, 2, 3],
+                "service",
+            )
+            .unwrap();
+
+        // An unprivileged client invokes the gate, requesting ownership of d.
+        let client = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "client",
+            )
+            .unwrap();
+        let requested = Label::builder().own(d).build();
+        let res = k
+            .sys_gate_enter(
+                client,
+                entry(&k, gate),
+                requested.clone(),
+                Label::default_clearance(),
+                Label::unrestricted(),
+            )
+            .unwrap();
+        assert_eq!(res.entry_point, 0xdead);
+        assert_eq!(res.closure_args, vec![1, 2, 3]);
+        assert!(k.thread_label(client).unwrap().owns(d));
+
+        // Requesting ownership of a category the gate does not own fails.
+        let bogus = Category::from_raw(999_999);
+        let too_much = Label::builder().own(d).own(bogus).build();
+        let client2 = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "client2",
+            )
+            .unwrap();
+        assert!(k
+            .sys_gate_enter(
+                client2,
+                entry(&k, gate),
+                too_much,
+                Label::default_clearance(),
+                Label::unrestricted(),
+            )
+            .is_err());
+    }
+
+    /// Helper used by the gate test: the daemon itself creates the gate.
+    fn tid_owner(_k: &Kernel, daemon: ObjectId) -> ObjectId {
+        daemon
+    }
+
+    #[test]
+    fn gate_clearance_gates_entry() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let d = k.sys_create_category(tid).unwrap();
+        // The gate requires ownership of d to invoke: clearance {d0, 2}.
+        let gate_clearance = Label::builder().set(d, Level::L0).default_level(Level::L2).build();
+        let gate = k
+            .sys_gate_create(
+                tid,
+                root,
+                k.thread_label(tid).unwrap(),
+                gate_clearance,
+                None,
+                1,
+                vec![],
+                "guarded",
+            )
+            .unwrap();
+        // A thread without d cannot invoke it (its label {1} ⋢ {d0,2}).
+        let outsider = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "outsider",
+            )
+            .unwrap();
+        assert_eq!(
+            k.sys_gate_enter(
+                outsider,
+                entry(&k, gate),
+                Label::unrestricted(),
+                Label::default_clearance(),
+                Label::unrestricted(),
+            )
+            .unwrap_err(),
+            SyscallError::GateClearance(gate)
+        );
+    }
+
+    #[test]
+    fn thread_alert_requires_address_space_write() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let aspace = k
+            .sys_as_create(tid, root, Label::unrestricted(), "as")
+            .unwrap();
+        k.sys_self_set_as(tid, entry(&k, aspace)).unwrap();
+        let peer = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "peer",
+            )
+            .unwrap();
+        // peer inherits tid's address space, which it can write; alert works.
+        k.sys_thread_alert(peer, entry(&k, tid), 15).unwrap();
+        assert_eq!(
+            k.sys_self_take_alert(tid).unwrap(),
+            Some(crate::bodies::Alert { code: 15 })
+        );
+        assert_eq!(k.sys_self_take_alert(tid).unwrap(), None);
+    }
+
+    #[test]
+    fn immutable_objects_reject_writes() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let seg = k
+            .sys_segment_create(tid, root, Label::unrestricted(), 10, "ro")
+            .unwrap();
+        let e = entry(&k, seg);
+        k.sys_obj_set_immutable(tid, e).unwrap();
+        assert_eq!(
+            k.sys_segment_write(tid, e, 0, b"x"),
+            Err(SyscallError::Immutable(seg))
+        );
+        // Reads still work.
+        assert!(k.sys_segment_read(tid, e, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn hard_link_requires_fixed_quota() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let dir = k
+            .sys_container_create(tid, root, Label::unrestricted(), "dir", 0, 1 << 20)
+            .unwrap();
+        let seg = k
+            .sys_segment_create(tid, root, Label::unrestricted(), 10, "shared")
+            .unwrap();
+        let e = entry(&k, seg);
+        assert_eq!(
+            k.sys_hard_link(tid, e, dir),
+            Err(SyscallError::QuotaNotFixed(seg))
+        );
+        k.sys_obj_set_fixed_quota(tid, e).unwrap();
+        k.sys_hard_link(tid, e, dir).unwrap();
+        // The object now survives removal of one link.
+        k.sys_obj_unref(tid, e).unwrap();
+        assert!(k.raw_object(seg).is_some());
+        k.sys_obj_unref(tid, ContainerEntry::new(dir, seg)).unwrap();
+        assert!(k.raw_object(seg).is_none());
+    }
+
+    #[test]
+    fn unref_root_is_rejected() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        assert_eq!(
+            k.sys_obj_unref(tid, ContainerEntry::self_entry(root)),
+            Err(SyscallError::RootContainer)
+        );
+    }
+
+    #[test]
+    fn network_device_with_taint() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        // Create netd-ish categories and the device label {nr3, nw0, i2, 1}.
+        let nr = k.sys_create_category(tid).unwrap();
+        let nw = k.sys_create_category(tid).unwrap();
+        let i = k.sys_create_category(tid).unwrap();
+        let dev_label = Label::builder()
+            .set(nr, Level::L3)
+            .set(nw, Level::L0)
+            .set(i, Level::L2)
+            .build();
+        let dev = k
+            .boot_create_device(root, dev_label, DeviceBody::network([1, 2, 3, 4, 5, 6]), "eth0")
+            .unwrap();
+        let de = entry(&k, dev);
+        // The owner of nr/nw (which also owns i here) can use the device.
+        k.sys_net_transmit(tid, de, vec![0xaa]).unwrap();
+        k.device_inject_rx(dev, vec![0xbb]).unwrap();
+        assert_eq!(k.sys_net_receive(tid, de).unwrap(), Some(vec![0xbb]));
+        assert_eq!(k.sys_net_mac(tid, de).unwrap(), [1, 2, 3, 4, 5, 6]);
+        assert_eq!(k.device_drain_tx(dev).unwrap(), vec![vec![0xaa]]);
+        // An unprivileged thread cannot even observe the device (nr 3).
+        let other = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "other",
+            )
+            .unwrap();
+        assert!(k.sys_net_mac(other, de).is_err());
+        assert!(k.sys_net_transmit(other, de, vec![1]).is_err());
+    }
+
+    #[test]
+    fn syscall_stats_accumulate() {
+        let (mut k, tid) = boot();
+        let before = k.stats();
+        let root = k.root_container();
+        let _ = k.sys_segment_create(tid, root, Label::unrestricted(), 10, "s");
+        let _ = k.sys_self_get_label(tid);
+        let after = k.stats();
+        let delta = after.since(&before);
+        assert_eq!(delta.syscalls, 2);
+        assert_eq!(delta.objects_created, 1);
+        assert!(delta.label_checks >= 1);
+    }
+
+    #[test]
+    fn halted_thread_cannot_syscall() {
+        let (mut k, tid) = boot();
+        k.sys_self_halt(tid).unwrap();
+        assert_eq!(
+            k.sys_self_get_label(tid),
+            Err(SyscallError::ThreadHalted(tid))
+        );
+    }
+
+    #[test]
+    fn thread_local_segment_is_always_writable() {
+        let (mut k, tid) = boot();
+        let local = k.sys_self_local_segment(tid).unwrap();
+        // Even after tainting itself, the thread can use its local segment.
+        let c = k.sys_create_category(tid).unwrap();
+        let tainted = k.thread_label(tid).unwrap().with(c, Level::L3);
+        k.sys_self_set_label(tid, tainted).unwrap();
+        let e = ContainerEntry::new(k.root_container(), local);
+        k.sys_segment_write(tid, e, 0, b"scratch").unwrap();
+        assert_eq!(k.sys_segment_read(tid, e, 0, 7).unwrap(), b"scratch");
+    }
+
+    #[test]
+    fn observing_requires_container_readability() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        // A private container readable only by owners of category c.
+        let c = k.sys_create_category(tid).unwrap();
+        let private = Label::builder().set(c, Level::L3).build();
+        let dir = k
+            .sys_container_create(tid, root, private, "private-dir", 0, 1 << 20)
+            .unwrap();
+        let seg = k
+            .sys_segment_create(tid, dir, Label::unrestricted(), 10, "leaf")
+            .unwrap();
+        // Another thread cannot name the segment through the private
+        // container, even though the segment itself is unrestricted.
+        let other = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "other",
+            )
+            .unwrap();
+        assert!(matches!(
+            k.sys_segment_read(other, ContainerEntry::new(dir, seg), 0, 1),
+            Err(SyscallError::CannotObserve(_))
+        ));
+    }
+}

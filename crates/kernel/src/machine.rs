@@ -1,0 +1,413 @@
+//! A complete simulated HiStar machine: kernel + single-level store + clock.
+//!
+//! The machine owns the pieces a real installation would have — the kernel,
+//! the disk with its single-level store, the network device, and the machine
+//! clock — and provides the boot, snapshot and crash-recovery paths.  On
+//! bootup the entire system state is restored from the most recent on-disk
+//! snapshot (§3); there are no boot scripts.
+
+use crate::bodies::DeviceBody;
+use crate::kernel::{KObject, Kernel};
+use crate::object::ObjectId;
+use crate::serialize::{decode_object, encode_object};
+use crate::syscall::SyscallError;
+use histar_label::Label;
+use histar_sim::{SimClock, SimDuration};
+use histar_store::codec::{Decoder, Encoder};
+use histar_store::{SingleLevelStore, StoreConfig, StoreError, SyncPolicy};
+use std::collections::HashMap;
+
+/// Store key (outside the 61-bit object-ID space) holding machine metadata.
+const MACHINE_META_KEY: u64 = 1 << 62;
+
+/// Configuration for booting a [`Machine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Seed for the object-ID and category ciphers.
+    pub seed: u64,
+    /// Configuration of the single-level store and its disk.
+    pub store: StoreConfig,
+    /// Whether to create a network device at boot.
+    pub network_device: bool,
+    /// Whether to create a console device at boot.
+    pub console_device: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            seed: 0x5157_4f53_4f31_3337,
+            store: StoreConfig::default(),
+            network_device: true,
+            console_device: true,
+        }
+    }
+}
+
+/// Errors raised by machine-level operations (boot, snapshot, recovery).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// The store failed.
+    Store(StoreError),
+    /// A kernel object could not be decoded during recovery.
+    Corrupt(String),
+    /// A kernel call failed during boot.
+    Syscall(SyscallError),
+}
+
+impl From<StoreError> for MachineError {
+    fn from(e: StoreError) -> MachineError {
+        MachineError::Store(e)
+    }
+}
+
+impl From<SyscallError> for MachineError {
+    fn from(e: SyscallError) -> MachineError {
+        MachineError::Syscall(e)
+    }
+}
+
+impl core::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineError::Store(e) => write!(f, "store error: {e}"),
+            MachineError::Corrupt(what) => write!(f, "corrupt machine state: {what}"),
+            MachineError::Syscall(e) => write!(f, "boot-time kernel error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A simulated HiStar machine.
+#[derive(Debug)]
+pub struct Machine {
+    kernel: Kernel,
+    store: SingleLevelStore,
+    clock: SimClock,
+    config: MachineConfig,
+    kernel_thread: ObjectId,
+    net_device: Option<ObjectId>,
+    console_device: Option<ObjectId>,
+}
+
+impl Machine {
+    /// Boots a fresh machine: formats the disk, creates the root container,
+    /// the initial kernel thread and the boot-time devices.
+    pub fn boot(config: MachineConfig) -> Machine {
+        let clock = SimClock::new();
+        let store = SingleLevelStore::format(config.store, clock.clone());
+        let mut kernel = Kernel::new(config.seed, Some(clock.clone()));
+        let root = kernel.root_container();
+        let kernel_thread = kernel
+            .bootstrap_thread(
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                "boot thread",
+            )
+            .expect("bootstrap thread creation cannot fail on a fresh kernel");
+
+        let net_device = if config.network_device {
+            Some(
+                kernel
+                    .boot_create_device(
+                        root,
+                        Label::unrestricted(),
+                        DeviceBody::network([0x52, 0x54, 0x00, 0x12, 0x34, 0x56]),
+                        "eth0",
+                    )
+                    .expect("boot device creation cannot fail on a fresh kernel"),
+            )
+        } else {
+            None
+        };
+        let console_device = if config.console_device {
+            Some(
+                kernel
+                    .boot_create_device(root, Label::unrestricted(), DeviceBody::console(), "console")
+                    .expect("boot device creation cannot fail on a fresh kernel"),
+            )
+        } else {
+            None
+        };
+
+        Machine {
+            kernel,
+            store,
+            clock,
+            config,
+            kernel_thread,
+            net_device,
+            console_device,
+        }
+    }
+
+    /// The machine-wide simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Simulated time since boot.
+    pub fn uptime(&self) -> SimDuration {
+        self.clock.now()
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The kernel, mutably (system calls take `&mut Kernel`).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The single-level store.
+    pub fn store(&self) -> &SingleLevelStore {
+        &self.store
+    }
+
+    /// The single-level store, mutably.
+    pub fn store_mut(&mut self) -> &mut SingleLevelStore {
+        &mut self.store
+    }
+
+    /// The initial kernel thread created at boot.
+    pub fn kernel_thread(&self) -> ObjectId {
+        self.kernel_thread
+    }
+
+    /// The boot-time network device, if configured.
+    pub fn net_device(&self) -> Option<ObjectId> {
+        self.net_device
+    }
+
+    /// The boot-time console device, if configured.
+    pub fn console_device(&self) -> Option<ObjectId> {
+        self.console_device
+    }
+
+    /// Changes the store's synchronous-update policy.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.store.set_sync_policy(policy);
+    }
+
+    /// Serializes the entire object table into the single-level store and
+    /// takes a checkpoint.  This is the periodic system-wide snapshot; after
+    /// it returns, a crash loses nothing.
+    pub fn snapshot(&mut self) {
+        // Write (or refresh) every live object.
+        let mut live: Vec<u64> = Vec::new();
+        let objects: Vec<(u64, Vec<u8>)> = self
+            .kernel
+            .objects()
+            .map(|(id, obj)| (id.raw(), encode_object(obj)))
+            .collect();
+        for (id, bytes) in objects {
+            live.push(id);
+            self.store.put(id, bytes);
+        }
+        // Remove objects that no longer exist in the kernel.
+        for stale in self
+            .store
+            .object_ids()
+            .into_iter()
+            .filter(|id| *id != MACHINE_META_KEY && !live.contains(id))
+        {
+            self.store.delete(stale);
+        }
+        // Machine metadata: root, counters, boot-time object IDs.
+        let (id_counter, cat_counter) = self.kernel.allocator_counters();
+        let mut e = Encoder::new();
+        e.put_u64(self.kernel.root_container().raw())
+            .put_u64(id_counter)
+            .put_u64(cat_counter)
+            .put_u64(self.kernel_thread.raw())
+            .put_u64(self.net_device.map_or(u64::MAX, ObjectId::raw))
+            .put_u64(self.console_device.map_or(u64::MAX, ObjectId::raw))
+            .put_u64(self.config.seed);
+        self.store.put(MACHINE_META_KEY, e.finish());
+        self.store.checkpoint();
+    }
+
+    /// Simulates a crash: the machine is dropped and a new one is recovered
+    /// from whatever the disk contains.  Everything since the last
+    /// [`Machine::snapshot`] (or synchronous store operation) is lost, which
+    /// is exactly the single-level-store semantics of §3.
+    pub fn crash_and_recover(self) -> Result<Machine, MachineError> {
+        let config = self.config;
+        let disk = self.store.into_disk();
+        Machine::recover(config, disk)
+    }
+
+    /// Recovers a machine from an existing disk image.
+    pub fn recover(
+        config: MachineConfig,
+        disk: histar_sim::SimDisk,
+    ) -> Result<Machine, MachineError> {
+        let clock = disk.clock().clone();
+        let mut store = SingleLevelStore::recover(config.store, disk)?;
+        let meta_bytes = store.get(MACHINE_META_KEY)?;
+        let mut d = Decoder::new(&meta_bytes);
+        let read = |d: &mut Decoder<'_>| -> Result<u64, MachineError> {
+            d.get_u64()
+                .map_err(|e| MachineError::Corrupt(format!("machine metadata: {e}")))
+        };
+        let root = ObjectId::from_raw(read(&mut d)?);
+        let id_counter = read(&mut d)?;
+        let cat_counter = read(&mut d)?;
+        let kernel_thread = ObjectId::from_raw(read(&mut d)?);
+        let net_raw = read(&mut d)?;
+        let console_raw = read(&mut d)?;
+        let seed = read(&mut d)?;
+
+        let mut objects: HashMap<ObjectId, KObject> = HashMap::new();
+        for id in store.object_ids() {
+            if id == MACHINE_META_KEY {
+                continue;
+            }
+            let bytes = store.get(id)?;
+            let obj = decode_object(&bytes)
+                .map_err(|e| MachineError::Corrupt(format!("object {id:#x}: {e}")))?;
+            objects.insert(ObjectId::from_raw(id), obj);
+        }
+
+        let mut kernel = Kernel::new(seed, Some(clock.clone()));
+        kernel.restore_objects(root, objects, id_counter, cat_counter, seed);
+
+        Ok(Machine {
+            kernel,
+            store,
+            clock,
+            config: MachineConfig { seed, ..config },
+            kernel_thread,
+            net_device: (net_raw != u64::MAX).then(|| ObjectId::from_raw(net_raw)),
+            console_device: (console_raw != u64::MAX).then(|| ObjectId::from_raw(console_raw)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ContainerEntry;
+    use histar_label::Level;
+
+    #[test]
+    fn boot_creates_devices_and_thread() {
+        let m = Machine::boot(MachineConfig::default());
+        assert!(m.net_device().is_some());
+        assert!(m.console_device().is_some());
+        assert_eq!(
+            m.kernel().thread_label(m.kernel_thread()).unwrap(),
+            Label::unrestricted()
+        );
+        assert!(m.uptime() >= SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_and_recover_preserves_objects_and_labels() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let root = m.kernel().root_container();
+
+        // Create a category, a tainted segment and write to it.
+        let cat = m.kernel_mut().sys_create_category(tid).unwrap();
+        let secret_label = Label::builder().set(cat, Level::L3).build();
+        let seg = m
+            .kernel_mut()
+            .sys_segment_create(tid, root, secret_label.clone(), 64, "secret notes")
+            .unwrap();
+        let entry = ContainerEntry::new(root, seg);
+        m.kernel_mut()
+            .sys_segment_write(tid, entry, 0, b"top secret")
+            .unwrap();
+
+        m.snapshot();
+        let mut m2 = m.crash_and_recover().unwrap();
+
+        // The thread still owns the category and the segment still exists
+        // with its label and contents.
+        assert!(m2.kernel().thread_label(tid).unwrap().owns(cat));
+        let data = m2
+            .kernel_mut()
+            .sys_segment_read(tid, entry, 0, 10)
+            .unwrap();
+        assert_eq!(data, b"top secret");
+        assert_eq!(
+            m2.kernel_mut().sys_obj_get_label(tid, entry).unwrap(),
+            secret_label
+        );
+    }
+
+    #[test]
+    fn unsnapshotted_changes_are_lost_on_crash() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let root = m.kernel().root_container();
+        m.snapshot();
+        let seg = m
+            .kernel_mut()
+            .sys_segment_create(tid, root, Label::unrestricted(), 16, "ephemeral")
+            .unwrap();
+        let mut m2 = m.crash_and_recover().unwrap();
+        assert!(
+            m2.kernel_mut()
+                .sys_segment_read(tid, ContainerEntry::new(root, seg), 0, 1)
+                .is_err(),
+            "object created after the snapshot must not survive"
+        );
+    }
+
+    #[test]
+    fn category_allocation_continues_after_recovery() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let c1 = m.kernel_mut().sys_create_category(tid).unwrap();
+        m.snapshot();
+        let mut m2 = m.crash_and_recover().unwrap();
+        let c2 = m2.kernel_mut().sys_create_category(tid).unwrap();
+        assert_ne!(c1, c2, "recovered allocator must not reuse category names");
+    }
+
+    #[test]
+    fn snapshot_removes_deleted_objects_from_store() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let root = m.kernel().root_container();
+        let seg = m
+            .kernel_mut()
+            .sys_segment_create(tid, root, Label::unrestricted(), 16, "tmp")
+            .unwrap();
+        m.snapshot();
+        m.kernel_mut()
+            .sys_obj_unref(tid, ContainerEntry::new(root, seg))
+            .unwrap();
+        m.snapshot();
+        let mut m2 = m.crash_and_recover().unwrap();
+        assert!(m2
+            .kernel_mut()
+            .sys_segment_read(tid, ContainerEntry::new(root, seg), 0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn recovery_without_metadata_fails_cleanly() {
+        let m = Machine::boot(MachineConfig::default());
+        // No snapshot was ever taken, so the disk has no superblock.
+        let err = m.crash_and_recover();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn clock_advances_with_kernel_activity() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let before = m.uptime();
+        for _ in 0..100 {
+            m.kernel_mut().sys_self_get_label(tid).unwrap();
+        }
+        assert!(m.uptime() > before, "syscalls must consume simulated time");
+    }
+}

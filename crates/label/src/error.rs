@@ -1,0 +1,63 @@
+//! Errors produced by label validation.
+
+use core::fmt;
+
+/// An error from a label operation or a label-based permission check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LabelError {
+    /// The requested object label is below the thread's label in some
+    /// category the thread does not own (`L_T ⊑ L` fails).
+    AllocationBelowLabel,
+    /// The requested object label exceeds the thread's clearance
+    /// (`L ⊑ C_T` fails).
+    AllocationAboveClearance,
+    /// A label change attempted to lower taint without ownership
+    /// (`L_T ⊑ L_new` fails).
+    LabelNotMonotonic,
+    /// A label exceeds the governing clearance (`L ⊑ C` fails).
+    LabelExceedsClearance,
+    /// A clearance was lowered below the thread's own label.
+    ClearanceBelowLabel,
+    /// A clearance was raised in a category the thread does not own.
+    ClearanceExceedsBound,
+    /// The label text could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::AllocationBelowLabel => {
+                write!(f, "object label is below the thread label in an unowned category")
+            }
+            LabelError::AllocationAboveClearance => {
+                write!(f, "object label exceeds the thread clearance")
+            }
+            LabelError::LabelNotMonotonic => {
+                write!(f, "label change lowers taint without ownership")
+            }
+            LabelError::LabelExceedsClearance => write!(f, "label exceeds clearance"),
+            LabelError::ClearanceBelowLabel => write!(f, "clearance lowered below thread label"),
+            LabelError::ClearanceExceedsBound => {
+                write!(f, "clearance raised in a category the thread does not own")
+            }
+            LabelError::Parse(msg) => write!(f, "label parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LabelError::Parse("oops".to_string());
+        assert!(e.to_string().contains("oops"));
+        assert!(LabelError::AllocationAboveClearance
+            .to_string()
+            .contains("clearance"));
+    }
+}

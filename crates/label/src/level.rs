@@ -1,0 +1,287 @@
+//! Taint levels.
+//!
+//! An object's label assigns it one of five levels in each category
+//! (Figure 3 of the paper):
+//!
+//! | level | meaning in an object's label                         |
+//! |-------|------------------------------------------------------|
+//! | `⋆`   | has untainting privileges in this category (ownership) |
+//! | `0`   | cannot be written/modified by default                |
+//! | `1`   | default level — no restriction in this category      |
+//! | `2`   | cannot be untainted/exported by default              |
+//! | `3`   | cannot be read/observed by default                   |
+//!
+//! During label checks a sixth level, `J` ("HiStar"), represents ownership
+//! treated as *high* (greater than any numeric level), whereas `⋆`
+//! represents ownership treated as *low*.  The total order used by checks is
+//! `⋆ < 0 < 1 < 2 < 3 < J`.  `J` never appears in the label of an actual
+//! object; it exists only in [`CheckLevel`].
+
+use core::fmt;
+
+/// A taint level that may appear in an object's label.
+///
+/// Only thread and gate labels may contain [`Level::Star`]; the kernel
+/// enforces that restriction (this crate does not know object types).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Level {
+    /// `⋆` — ownership / untainting privilege in the category.
+    Star,
+    /// Level `0` — others cannot write/modify the object by default.
+    L0,
+    /// Level `1` — the system-wide default; no restriction.
+    L1,
+    /// Level `2` — cannot be untainted/exported by default.
+    L2,
+    /// Level `3` — cannot be read/observed by default.
+    L3,
+}
+
+impl Level {
+    /// All levels that may appear in a label, in check order.
+    pub const ALL: [Level; 5] = [Level::Star, Level::L0, Level::L1, Level::L2, Level::L3];
+
+    /// The system-wide default taint level for freshly created objects (`1`).
+    pub const DEFAULT: Level = Level::L1;
+
+    /// The default clearance level for threads (`2`).
+    pub const DEFAULT_CLEARANCE: Level = Level::L2;
+
+    /// Returns the numeric level `0..=3`, or `None` for `⋆`.
+    pub fn numeric(self) -> Option<u8> {
+        match self {
+            Level::Star => None,
+            Level::L0 => Some(0),
+            Level::L1 => Some(1),
+            Level::L2 => Some(2),
+            Level::L3 => Some(3),
+        }
+    }
+
+    /// Builds a level from a numeric value `0..=3`.
+    pub fn from_numeric(n: u8) -> Option<Level> {
+        match n {
+            0 => Some(Level::L0),
+            1 => Some(Level::L1),
+            2 => Some(Level::L2),
+            3 => Some(Level::L3),
+            _ => None,
+        }
+    }
+
+    /// Returns true if this level is `⋆` (ownership).
+    pub fn is_star(self) -> bool {
+        matches!(self, Level::Star)
+    }
+
+    /// Interprets this label level for a check, treating `⋆` as *low* (`⋆`).
+    ///
+    /// This is the identity embedding of [`Level`] into [`CheckLevel`]; it is
+    /// what the plain label `L` denotes in the paper's formulas.
+    pub fn as_low(self) -> CheckLevel {
+        match self {
+            Level::Star => CheckLevel::Star,
+            Level::L0 => CheckLevel::L0,
+            Level::L1 => CheckLevel::L1,
+            Level::L2 => CheckLevel::L2,
+            Level::L3 => CheckLevel::L3,
+        }
+    }
+
+    /// Interprets this label level for a check, treating `⋆` as *high* (`J`).
+    ///
+    /// This implements the paper's superscript-`J` operator on a single
+    /// level: `⋆` becomes `J`, numeric levels are unchanged.
+    pub fn as_high(self) -> CheckLevel {
+        match self {
+            Level::Star => CheckLevel::HiStar,
+            other => other.as_low(),
+        }
+    }
+
+    /// Encodes the level in 3 bits, as the kernel packs it next to a 61-bit
+    /// category name in one 64-bit word (§2 of the paper).
+    pub fn encode(self) -> u8 {
+        match self {
+            Level::Star => 4,
+            Level::L0 => 0,
+            Level::L1 => 1,
+            Level::L2 => 2,
+            Level::L3 => 3,
+        }
+    }
+
+    /// Decodes a 3-bit encoding produced by [`Level::encode`].
+    pub fn decode(bits: u8) -> Option<Level> {
+        match bits {
+            4 => Some(Level::Star),
+            0 => Some(Level::L0),
+            1 => Some(Level::L1),
+            2 => Some(Level::L2),
+            3 => Some(Level::L3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Star => write!(f, "*"),
+            Level::L0 => write!(f, "0"),
+            Level::L1 => write!(f, "1"),
+            Level::L2 => write!(f, "2"),
+            Level::L3 => write!(f, "3"),
+        }
+    }
+}
+
+/// A level as it participates in a label comparison.
+///
+/// The ordering is `⋆ < 0 < 1 < 2 < 3 < J`.  `J` ("HiStar") is ownership
+/// treated as high; it never appears in stored labels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CheckLevel {
+    /// `⋆` — ownership treated as lower than any numeric level.
+    Star,
+    /// Numeric level `0`.
+    L0,
+    /// Numeric level `1`.
+    L1,
+    /// Numeric level `2`.
+    L2,
+    /// Numeric level `3`.
+    L3,
+    /// `J` — ownership treated as higher than any numeric level.
+    HiStar,
+}
+
+impl CheckLevel {
+    /// The paper's superscript-`⋆` operator on a single level: `J → ⋆`,
+    /// everything else unchanged.
+    pub fn lower_ownership(self) -> CheckLevel {
+        match self {
+            CheckLevel::HiStar => CheckLevel::Star,
+            other => other,
+        }
+    }
+
+    /// The paper's superscript-`J` operator on a single level: `⋆ → J`,
+    /// everything else unchanged.
+    pub fn raise_ownership(self) -> CheckLevel {
+        match self {
+            CheckLevel::Star => CheckLevel::HiStar,
+            other => other,
+        }
+    }
+
+    /// Converts back to a storable [`Level`].
+    ///
+    /// `J` maps to `⋆` (this is only meaningful after
+    /// [`CheckLevel::lower_ownership`], which is how the paper's
+    /// superscript-`⋆` operator produces storable labels).
+    pub fn to_level(self) -> Level {
+        match self {
+            CheckLevel::Star | CheckLevel::HiStar => Level::Star,
+            CheckLevel::L0 => Level::L0,
+            CheckLevel::L1 => Level::L1,
+            CheckLevel::L2 => Level::L2,
+            CheckLevel::L3 => Level::L3,
+        }
+    }
+}
+
+impl From<Level> for CheckLevel {
+    fn from(l: Level) -> Self {
+        l.as_low()
+    }
+}
+
+impl fmt::Display for CheckLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckLevel::Star => write!(f, "*"),
+            CheckLevel::L0 => write!(f, "0"),
+            CheckLevel::L1 => write!(f, "1"),
+            CheckLevel::L2 => write!(f, "2"),
+            CheckLevel::L3 => write!(f, "3"),
+            CheckLevel::HiStar => write!(f, "J"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_level_total_order_matches_paper() {
+        // ⋆ < 0 < 1 < 2 < 3 < J
+        let order = [
+            CheckLevel::Star,
+            CheckLevel::L0,
+            CheckLevel::L1,
+            CheckLevel::L2,
+            CheckLevel::L3,
+            CheckLevel::HiStar,
+        ];
+        for i in 0..order.len() {
+            for j in 0..order.len() {
+                assert_eq!(order[i] < order[j], i < j, "order of {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_is_low_by_default_and_high_under_j() {
+        assert_eq!(Level::Star.as_low(), CheckLevel::Star);
+        assert_eq!(Level::Star.as_high(), CheckLevel::HiStar);
+        assert_eq!(Level::L2.as_high(), CheckLevel::L2);
+    }
+
+    #[test]
+    fn ownership_shift_operators_are_inverses_on_ownership() {
+        assert_eq!(CheckLevel::Star.raise_ownership(), CheckLevel::HiStar);
+        assert_eq!(CheckLevel::HiStar.lower_ownership(), CheckLevel::Star);
+        assert_eq!(CheckLevel::L3.raise_ownership(), CheckLevel::L3);
+        assert_eq!(CheckLevel::L0.lower_ownership(), CheckLevel::L0);
+    }
+
+    #[test]
+    fn numeric_round_trip() {
+        for n in 0..=3u8 {
+            assert_eq!(Level::from_numeric(n).unwrap().numeric(), Some(n));
+        }
+        assert_eq!(Level::from_numeric(4), None);
+        assert_eq!(Level::Star.numeric(), None);
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        for l in Level::ALL {
+            assert_eq!(Level::decode(l.encode()), Some(l));
+        }
+        assert_eq!(Level::decode(7), None);
+    }
+
+    #[test]
+    fn default_levels_match_paper() {
+        assert_eq!(Level::DEFAULT, Level::L1);
+        assert_eq!(Level::DEFAULT_CLEARANCE, Level::L2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Level::Star.to_string(), "*");
+        assert_eq!(Level::L3.to_string(), "3");
+        assert_eq!(CheckLevel::HiStar.to_string(), "J");
+    }
+
+    #[test]
+    fn figure3_read_write_semantics() {
+        // Level 3: cannot be read/observed by default (default observer at 1).
+        assert!(CheckLevel::L1 < CheckLevel::L3);
+        // Level 0: cannot be written by default (writer at 1 is above it).
+        assert!(CheckLevel::L0 < CheckLevel::L1);
+    }
+}

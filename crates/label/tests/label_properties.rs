@@ -1,0 +1,202 @@
+//! Property-based tests for the label lattice.
+//!
+//! These check the algebraic laws the kernel's security argument relies on:
+//! `⊑` is a partial order, `⊔` is the least upper bound, the observation /
+//! modification checks are monotone, and `raise_for_observe` returns the
+//! least label that permits observation.
+
+use histar_label::{Category, Label, Level};
+use proptest::prelude::*;
+
+/// A small universe of categories keeps collisions (shared categories)
+/// likely, which is where the interesting lattice behaviour lives.
+fn arb_category() -> impl Strategy<Value = Category> {
+    (0u64..8).prop_map(Category::from_raw)
+}
+
+fn arb_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::Star),
+        Just(Level::L0),
+        Just(Level::L1),
+        Just(Level::L2),
+        Just(Level::L3),
+    ]
+}
+
+fn arb_numeric_level() -> impl Strategy<Value = Level> {
+    prop_oneof![
+        Just(Level::L0),
+        Just(Level::L1),
+        Just(Level::L2),
+        Just(Level::L3),
+    ]
+}
+
+prop_compose! {
+    fn arb_label()(default in arb_numeric_level(),
+                   entries in prop::collection::vec((arb_category(), arb_level()), 0..6))
+                   -> Label {
+        let mut b = Label::builder().default_level(default);
+        for (c, l) in entries {
+            b = b.set(c, l);
+        }
+        b.build()
+    }
+}
+
+prop_compose! {
+    /// Labels without ownership, where ⊑ restricted to them forms a lattice.
+    fn arb_taint_label()(default in arb_numeric_level(),
+                         entries in prop::collection::vec((arb_category(), arb_numeric_level()), 0..6))
+                         -> Label {
+        let mut b = Label::builder().default_level(default);
+        for (c, l) in entries {
+            b = b.set(c, l);
+        }
+        b.build()
+    }
+}
+
+proptest! {
+    #[test]
+    fn leq_is_reflexive(l in arb_label()) {
+        prop_assert!(l.leq(&l));
+    }
+
+    #[test]
+    fn leq_is_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn leq_is_antisymmetric(a in arb_label(), b in arb_label()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn lub_is_an_upper_bound(a in arb_taint_label(), b in arb_taint_label()) {
+        let j = a.lub(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn lub_is_least(a in arb_taint_label(), b in arb_taint_label(), c in arb_taint_label()) {
+        // Any common upper bound is above the lub.
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(a.lub(&b).leq(&c));
+        }
+    }
+
+    #[test]
+    fn glb_is_a_lower_bound(a in arb_taint_label(), b in arb_taint_label()) {
+        let m = a.glb(&b);
+        prop_assert!(m.leq(&a));
+        prop_assert!(m.leq(&b));
+    }
+
+    #[test]
+    fn glb_is_greatest(a in arb_taint_label(), b in arb_taint_label(), c in arb_taint_label()) {
+        if c.leq(&a) && c.leq(&b) {
+            prop_assert!(c.leq(&a.glb(&b)));
+        }
+    }
+
+    #[test]
+    fn lub_commutative_and_idempotent(a in arb_taint_label(), b in arb_taint_label()) {
+        prop_assert_eq!(a.lub(&b), b.lub(&a));
+        prop_assert_eq!(a.lub(&a), a.clone());
+    }
+
+    #[test]
+    fn ownership_always_permits_observation(obj in arb_taint_label()) {
+        // A thread owning every category mentioned by the object (and whose
+        // default matches) can always observe it.
+        let mut b = Label::builder().default_level(Level::L3);
+        for (c, _) in obj.entries() {
+            b = b.set(c, Level::Star);
+        }
+        let owner = b.build();
+        prop_assert!(owner.can_observe(&obj));
+    }
+
+    #[test]
+    fn modification_implies_observation(thread in arb_label(), obj in arb_taint_label()) {
+        if thread.can_modify(&obj) {
+            prop_assert!(thread.can_observe(&obj));
+        }
+    }
+
+    #[test]
+    fn raise_for_observe_is_sound(thread in arb_label(), obj in arb_taint_label()) {
+        let raised = thread.raise_for_observe(&obj);
+        // The raised label permits the observation...
+        prop_assert!(raised.can_observe(&obj));
+        // ...and is a label the thread could legally move to if its
+        // clearance allowed it (monotonic in unowned categories).
+        prop_assert!(thread.leq(&raised));
+    }
+
+    #[test]
+    fn raise_for_observe_is_least(thread in arb_label(), obj in arb_taint_label(),
+                                  other in arb_label()) {
+        // Any label above the thread that can observe the object is above
+        // the computed raise target.
+        if thread.leq(&other) && other.can_observe(&obj) {
+            prop_assert!(thread.raise_for_observe(&obj).leq(&other));
+        }
+    }
+
+    #[test]
+    fn observation_is_monotone_in_thread_label(a in arb_taint_label(),
+                                               b in arb_taint_label(),
+                                               obj in arb_taint_label()) {
+        // If a ⊑ b then anything a can observe, b can observe.
+        if a.leq(&b) && a.can_observe(&obj) {
+            prop_assert!(b.can_observe(&obj));
+        }
+    }
+
+    #[test]
+    fn flow_composition_is_safe(a in arb_taint_label(), b in arb_taint_label(),
+                                c in arb_taint_label()) {
+        // If information can flow a -> b and b -> c (pure taint labels,
+        // no ownership anywhere), then it can flow a -> c.  This is the
+        // end-to-end guarantee of §3.
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn drop_ownership_removes_all_stars(l in arb_label()) {
+        prop_assert!(!l.drop_ownership(Level::L1).contains_star());
+    }
+
+    #[test]
+    fn display_parse_round_trip(l in arb_taint_label()) {
+        // Numeric-only labels round-trip through the text notation when the
+        // resolver maps the printed names back to categories.
+        let text = l.to_string();
+        let parsed = Label::parse(&text, |name| {
+            name.strip_prefix('c')
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .map(Category::from_raw)
+        }).unwrap();
+        prop_assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip(raw in 0u64..(1 << 61), lvl in arb_level()) {
+        let c = Category::from_raw(raw);
+        let word = c.pack_with_level(lvl.encode());
+        let (c2, bits) = Category::unpack_with_level(word);
+        prop_assert_eq!(c2, c);
+        prop_assert_eq!(Level::decode(bits), Some(lvl));
+    }
+}

@@ -1,0 +1,391 @@
+//! Networking for the HiStar reproduction: `netd` and VPN isolation.
+//!
+//! HiStar's network stack runs entirely in user space (§5.7): a `netd`
+//! process owns the network device's read/write categories (`nr`, `nw`) and
+//! exposes socket operations to other processes; everything received from
+//! the network is tainted in a category `i`, so network data cannot affect
+//! system files unless an owner of `i` explicitly untaints it.  §6.3 builds
+//! VPN isolation on the same idea with a second category `v` for the
+//! private network.
+//!
+//! The stack itself is deliberately minimal — the paper uses lwIP and we
+//! only need the label behaviour — but the structure is the paper's: a
+//! device object with a taint label, an untrusted daemon owning the device
+//! categories, and clients whose ability to reach the network is decided
+//! purely by the kernel's label checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use histar_kernel::bodies::DeviceBody;
+use histar_kernel::object::{ContainerEntry, ObjectId};
+use histar_label::{Category, Label, Level};
+use histar_unix::process::Pid;
+use histar_unix::{UnixEnv, UnixError};
+
+/// Result alias for networking operations.
+pub type Result<T> = core::result::Result<T, UnixError>;
+
+/// The user-level network daemon and its device.
+///
+/// The device is labelled `{nr 3, nw 0, i 2, 1}`: only owners of `nr`/`nw`
+/// (netd) may drive it, and everything read from it carries taint `i 2`.
+#[derive(Clone, Copy, Debug)]
+pub struct Netd {
+    /// The netd process.
+    pub pid: Pid,
+    /// The network device object.
+    pub device: ObjectId,
+    /// Category restricting who may read the device (`nr`).
+    pub nr: Category,
+    /// Category restricting who may write the device (`nw`).
+    pub nw: Category,
+    /// Category tainting all data received from this network (`i`).
+    pub taint: Category,
+    /// Container entry through which netd names the device.
+    pub device_entry: ContainerEntry,
+    /// Transmit buffer shared between clients and netd, labelled `{i 2, 1}`.
+    pub tx_buffer: ContainerEntry,
+    /// Receive buffer netd publishes incoming frames in, labelled `{i 2, 1}`.
+    pub rx_buffer: ContainerEntry,
+}
+
+impl Netd {
+    /// Starts a network daemon: spawns the netd process, allocates the
+    /// `nr`/`nw`/`i` categories on its thread, and attaches a network
+    /// device labelled `{nr 3, nw 0, i 2, 1}`.
+    ///
+    /// `name` distinguishes multiple stacks (e.g. `"internet"` / `"vpn"`).
+    pub fn start(env: &mut UnixEnv, parent: Pid, name: &str) -> Result<Netd> {
+        // The network taint category belongs to the boot environment (the
+        // parent), matching the paper: "the bootstrap procedure already
+        // labels the network device to taint anything received from the
+        // Internet {i 2, 1}".  netd itself never owns it.
+        let parent_thread = env.process(parent)?.thread;
+        let taint = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(parent_thread)?;
+
+        let pid = env.spawn(parent, &format!("/sbin/netd-{name}"), None)?;
+        let thread = env.process(pid)?.thread;
+        let kroot = env.machine().kernel().root_container();
+        let kernel = env.machine_mut().kernel_mut();
+        let nr = kernel.sys_create_category(thread)?;
+        let nw = kernel.sys_create_category(thread)?;
+        let label = Label::builder()
+            .set(nr, Level::L3)
+            .set(nw, Level::L0)
+            .set(taint, Level::L2)
+            .build();
+        // The kernel "discovers" the device at netd start in this
+        // reproduction; on real hardware it exists from boot and netd is
+        // granted its categories by the administrator's boot environment.
+        let device = kernel.boot_create_device(
+            kroot,
+            label,
+            DeviceBody::network([0x52, 0x54, 0, 0, 0, 1]),
+            &format!("nic-{name}"),
+        )?;
+        // Shared packet buffers, tainted like the network itself.
+        let buffer_label = Label::builder().set(taint, Level::L2).build();
+        let kernel = env.machine_mut().kernel_mut();
+        let tx_buffer = kernel.sys_segment_create(
+            parent_thread,
+            kroot,
+            buffer_label.clone(),
+            64 * 1024,
+            &format!("netd-{name} tx"),
+        )?;
+        let rx_buffer = kernel.sys_segment_create(
+            parent_thread,
+            kroot,
+            buffer_label,
+            64 * 1024,
+            &format!("netd-{name} rx"),
+        )?;
+        // netd itself runs tainted `i 2` from here on (Figure 11): it can
+        // eavesdrop on or tamper with packets, but cannot leak tainted data
+        // anywhere untainted — "a compromised netd can only mount the
+        // equivalent of a network eavesdropping or packet tampering attack".
+        let netd_label = kernel.thread_label(thread)?.with(taint, Level::L2);
+        kernel.sys_self_set_label(thread, netd_label)?;
+        Ok(Netd {
+            pid,
+            device,
+            nr,
+            nw,
+            taint,
+            device_entry: ContainerEntry::new(kroot, device),
+            tx_buffer: ContainerEntry::new(kroot, tx_buffer),
+            rx_buffer: ContainerEntry::new(kroot, rx_buffer),
+        })
+    }
+
+    /// Transmits a payload on behalf of a client process.
+    ///
+    /// The client's thread writes the payload into netd's (untainted)
+    /// transmit buffer segment, and netd's own thread — which owns `nr`/`nw`
+    /// and runs tainted `i 2` — moves it onto the device.  The first step is
+    /// an ordinary kernel write check, so a client tainted in any category
+    /// the buffer is not (the isolated virus scanner, a `v`-tainted VPN
+    /// application) is refused by the kernel: its data cannot reach the
+    /// wire.
+    pub fn send(&self, env: &mut UnixEnv, client: Pid, payload: &[u8]) -> Result<()> {
+        let client_thread = env.process(client)?.thread;
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        // Interacting with the network taints the client `i 2` (the paper's
+        // web browser runs at `{i 2, 1}`), unless it owns `i`.
+        let label = kernel.thread_label(client_thread)?;
+        if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
+            kernel.sys_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+        }
+        // Information-flow step: the client conveys the payload to netd.
+        let mut msg = (payload.len() as u64).to_le_bytes().to_vec();
+        msg.extend_from_slice(payload);
+        kernel.sys_segment_write(client_thread, self.tx_buffer, 0, &msg)?;
+        // netd drains its buffer onto the device.
+        let len = u64::from_le_bytes(
+            kernel.sys_segment_read(netd_thread, self.tx_buffer, 0, 8)?[..8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let frame = kernel.sys_segment_read(netd_thread, self.tx_buffer, 8, len)?;
+        kernel.sys_net_transmit(netd_thread, self.device_entry, frame)?;
+        Ok(())
+    }
+
+    /// Receives the next pending frame for a client.
+    ///
+    /// netd's thread takes the frame off the device and publishes it in the
+    /// receive buffer segment, which is labelled `{i 2, 1}`; the client must
+    /// therefore taint itself `i 2` (up to its clearance) to observe it —
+    /// unless it owns `i`, like the VPN client.  The taint sticks: network
+    /// input cannot silently flow into untainted system files afterwards.
+    pub fn recv(&self, env: &mut UnixEnv, client: Pid) -> Result<Option<Vec<u8>>> {
+        let client_thread = env.process(client)?.thread;
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let Some(frame) = kernel.sys_net_receive(netd_thread, self.device_entry)? else {
+            return Ok(None);
+        };
+        // netd publishes the frame in the {i 2, 1} receive buffer.
+        let mut msg = (frame.len() as u64).to_le_bytes().to_vec();
+        msg.extend_from_slice(&frame);
+        kernel.sys_segment_write(netd_thread, self.rx_buffer, 0, &msg)?;
+        // The client raises its taint (if it does not own i) and reads it.
+        let label = kernel.thread_label(client_thread)?;
+        if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
+            kernel.sys_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+        }
+        let len = u64::from_le_bytes(
+            kernel.sys_segment_read(client_thread, self.rx_buffer, 0, 8)?[..8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let data = kernel.sys_segment_read(client_thread, self.rx_buffer, 8, len)?;
+        Ok(Some(data))
+    }
+
+    /// Simulation hook: a frame arrives from the physical wire.
+    pub fn wire_deliver(&self, env: &mut UnixEnv, frame: Vec<u8>) -> Result<()> {
+        env.machine_mut()
+            .kernel_mut()
+            .device_inject_rx(self.device, frame)?;
+        Ok(())
+    }
+
+    /// Simulation hook: frames the machine has put on the physical wire.
+    pub fn wire_collect(&self, env: &mut UnixEnv) -> Result<Vec<Vec<u8>>> {
+        Ok(env
+            .machine_mut()
+            .kernel_mut()
+            .device_drain_tx(self.device)?)
+    }
+}
+
+/// VPN isolation (§6.3): two network stacks whose taints keep the corporate
+/// network and the Internet apart, bridged only by the VPN client, which
+/// owns both `i` and `v` and swaps the taints as it encrypts/decrypts.
+#[derive(Clone, Copy, Debug)]
+pub struct VpnIsolation {
+    /// The Internet-facing stack (taints received data `i 2`).
+    pub internet: Netd,
+    /// The VPN-facing stack (taints received data `v 2`).
+    pub vpn: Netd,
+    /// The VPN client process, the only owner of both taint categories.
+    pub client: Pid,
+}
+
+impl VpnIsolation {
+    /// Builds the two stacks and the VPN client process.
+    pub fn start(env: &mut UnixEnv, parent: Pid) -> Result<VpnIsolation> {
+        let internet = Netd::start(env, parent, "internet")?;
+        let vpn = Netd::start(env, parent, "vpn")?;
+        // The VPN client owns both taint categories so it can move (encrypt
+        // / decrypt) data between the two networks.
+        let client = env.spawn_with_label(
+            parent,
+            "/usr/sbin/openvpn",
+            vec![internet.taint, vpn.taint],
+            vec![],
+        )?;
+        Ok(VpnIsolation {
+            internet,
+            vpn,
+            client,
+        })
+    }
+
+    /// The VPN client takes one frame that arrived from the Internet side,
+    /// "decrypts" it and delivers it into the VPN stack (swapping taint `i`
+    /// for taint `v`).  Returns false if nothing was pending.
+    pub fn pump_inbound(&self, env: &mut UnixEnv) -> Result<bool> {
+        let Some(frame) = self.internet.recv(env, self.client)? else {
+            return Ok(false);
+        };
+        // "Decrypt" (identity in the simulation) and forward.  The client
+        // owns both i and v, so untainting i and retainting v is legal for
+        // it and only for it.
+        self.vpn.wire_deliver(env, frame)?;
+        self.reset_client_label(env)?;
+        Ok(true)
+    }
+
+    /// The reverse direction: a frame from the VPN side is encrypted and
+    /// sent out over the Internet stack.
+    pub fn pump_outbound(&self, env: &mut UnixEnv) -> Result<bool> {
+        let Some(frame) = self.vpn.recv(env, self.client)? else {
+            return Ok(false);
+        };
+        self.reset_client_label(env)?;
+        self.internet.send(env, self.client, &frame)?;
+        Ok(true)
+    }
+
+    fn reset_client_label(&self, env: &mut UnixEnv) -> Result<()> {
+        // The client owns i and v, so it may clear the taint it picked up
+        // while reading a device (this is the untainting step of OpenVPN's
+        // taint swap).
+        let p = env.process(self.client)?.clone();
+        let thread = p.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        kernel.sys_self_set_label(thread, p.thread_label())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histar_kernel::syscall::SyscallError;
+
+    fn setup() -> (UnixEnv, Pid, Netd) {
+        let mut env = UnixEnv::boot();
+        let init = env.init_pid();
+        let netd = Netd::start(&mut env, init, "internet").unwrap();
+        (env, init, netd)
+    }
+
+    #[test]
+    fn untainted_client_can_send_and_receive() {
+        let (mut env, init, netd) = setup();
+        let client = env.spawn(init, "/usr/bin/wget", None).unwrap();
+        netd.send(&mut env, client, b"GET / HTTP/1.0").unwrap();
+        assert_eq!(
+            netd.wire_collect(&mut env).unwrap(),
+            vec![b"GET / HTTP/1.0".to_vec()]
+        );
+        netd.wire_deliver(&mut env, b"200 OK".to_vec()).unwrap();
+        assert_eq!(netd.recv(&mut env, client).unwrap(), Some(b"200 OK".to_vec()));
+        // After receiving, the client is tainted in i.
+        let thread = env.process(client).unwrap().thread;
+        let label = env.machine().kernel().thread_label(thread).unwrap();
+        assert_eq!(label.level(netd.taint), Level::L2);
+    }
+
+    #[test]
+    fn tainted_process_cannot_reach_the_network() {
+        let (mut env, init, netd) = setup();
+        // A process tainted in a fresh category (like the virus scanner).
+        let wrap_thread = env.process(init).unwrap().thread;
+        let v = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(wrap_thread)
+            .unwrap();
+        let scanner = env
+            .spawn_with_label(init, "/usr/bin/clamscan", vec![], vec![(v, Level::L3)])
+            .unwrap();
+        let err = netd.send(&mut env, scanner, b"exfiltrate").unwrap_err();
+        assert!(
+            matches!(err, UnixError::Kernel(SyscallError::CannotModify(_))),
+            "tainted sends must be refused by the kernel, got {err:?}"
+        );
+        assert!(netd.wire_collect(&mut env).unwrap().is_empty());
+    }
+
+    #[test]
+    fn network_taint_blocks_writes_to_protected_files() {
+        let (mut env, init, netd) = setup();
+        // A protected "system file" writable only by owners of category s.
+        let init_thread = env.process(init).unwrap().thread;
+        let s = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(init_thread)
+            .unwrap();
+        let protected = Label::builder().set(s, Level::L0).build();
+        env.write_file_as(init, "/system.conf", b"safe", Some(protected))
+            .unwrap();
+
+        // A downloader owning s reads the network, picking up taint i...
+        let downloader = env.spawn_with_label(init, "/bin/dl", vec![s], vec![]).unwrap();
+        netd.wire_deliver(&mut env, b"malicious payload".to_vec()).unwrap();
+        let body = netd.recv(&mut env, downloader).unwrap().unwrap();
+        assert_eq!(body, b"malicious payload");
+        // ...and can now no longer modify the protected file, even though it
+        // owns the file's write category: taint i flows nowhere untainted.
+        let err = env.write_file_as(downloader, "/system.conf", &body, None);
+        assert!(
+            matches!(
+                err,
+                Err(UnixError::Kernel(SyscallError::CannotModify(_)))
+                    | Err(UnixError::Kernel(SyscallError::Label(_)))
+            ),
+            "trojan-horse write must be refused, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn vpn_isolates_the_two_networks() {
+        let mut env = UnixEnv::boot();
+        let init = env.init_pid();
+        let vpn = VpnIsolation::start(&mut env, init).unwrap();
+
+        // Traffic arriving from the Internet is delivered to the VPN side
+        // only through the client.
+        vpn.internet
+            .wire_deliver(&mut env, b"encrypted blob".to_vec())
+            .unwrap();
+        assert!(vpn.pump_inbound(&mut env).unwrap());
+        assert!(!vpn.pump_inbound(&mut env).unwrap());
+
+        // A process on the VPN side reads it (tainted v), and cannot then
+        // send anything to the Internet.
+        let corp_app = env.spawn(init, "/bin/corp-app", None).unwrap();
+        let data = vpn.vpn.recv(&mut env, corp_app).unwrap().unwrap();
+        assert_eq!(data, b"encrypted blob");
+        let err = vpn.internet.send(&mut env, corp_app, b"leak to internet");
+        assert!(err.is_err(), "v-tainted data must not reach the Internet");
+
+        // Outbound pumping works for the client itself.
+        vpn.vpn.wire_deliver(&mut env, b"corp reply".to_vec()).unwrap();
+        assert!(vpn.pump_outbound(&mut env).unwrap());
+        assert_eq!(
+            vpn.internet.wire_collect(&mut env).unwrap(),
+            vec![b"corp reply".to_vec()]
+        );
+    }
+}

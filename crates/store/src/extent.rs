@@ -1,0 +1,307 @@
+//! Free disk-space management.
+//!
+//! The store tracks free space as *extents* (contiguous byte ranges) using
+//! two B+-trees: one indexed by extent size, used to find an
+//! appropriately-sized extent quickly, and one indexed by extent location,
+//! used to coalesce adjacent extents when space is freed (§4).  Disk space
+//! allocation is delayed until an object is written to disk, which makes it
+//! easier to allocate contiguous extents; the allocator itself only hands
+//! out ranges.
+
+use crate::bptree::BPlusTree;
+
+/// A contiguous range of free (or allocated) disk space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent {
+    /// Byte offset of the start of the extent.
+    pub offset: u64,
+    /// Length of the extent in bytes.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Creates an extent.
+    pub fn new(offset: u64, len: u64) -> Extent {
+        Extent { offset, len }
+    }
+
+    /// One-past-the-end offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// Free-space allocator backed by two B+-trees.
+///
+/// *By-size* tree: key is `size << 20 | (fingerprint of offset)` so that
+/// extents of equal size get distinct keys; value is the offset.
+/// *By-location* tree: key is the offset, value is the length.
+#[derive(Debug)]
+pub struct ExtentAllocator {
+    by_location: BPlusTree,
+    by_size: BPlusTree,
+    total_free: u64,
+    capacity: u64,
+}
+
+/// Number of low bits reserved to disambiguate same-size extents in the
+/// by-size index.
+const SIZE_KEY_SHIFT: u32 = 24;
+
+fn size_key(len: u64, offset: u64) -> u64 {
+    // Same-size extents are ordered by a hash of their offset so that the
+    // by-size tree never has duplicate keys.  The offset fingerprint is
+    // recoverable only through the by-location tree, which is fine — the
+    // value field carries the real offset.
+    (len << SIZE_KEY_SHIFT) | (offset.wrapping_mul(0x9E3779B97F4A7C15) >> (64 - SIZE_KEY_SHIFT))
+}
+
+impl ExtentAllocator {
+    /// Creates an allocator managing `capacity` bytes starting at
+    /// `data_start` (space before `data_start` is reserved for superblocks
+    /// and the log).
+    pub fn new(data_start: u64, capacity: u64) -> ExtentAllocator {
+        let mut alloc = ExtentAllocator {
+            by_location: BPlusTree::new(),
+            by_size: BPlusTree::new(),
+            total_free: 0,
+            capacity,
+        };
+        if capacity > data_start {
+            alloc.insert_free(Extent::new(data_start, capacity - data_start));
+        }
+        alloc
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.total_free
+    }
+
+    /// Total managed capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of distinct free extents (a fragmentation metric).
+    pub fn fragments(&self) -> usize {
+        self.by_location.len()
+    }
+
+    fn insert_free(&mut self, e: Extent) {
+        if e.len == 0 {
+            return;
+        }
+        self.by_location.insert(e.offset, e.len);
+        self.by_size.insert(size_key(e.len, e.offset), e.offset);
+        self.total_free += e.len;
+    }
+
+    fn remove_free(&mut self, e: Extent) {
+        self.by_location.remove(e.offset);
+        self.by_size.remove(size_key(e.len, e.offset));
+        self.total_free -= e.len;
+    }
+
+    /// Allocates an extent of at least `len` bytes (best-fit on the by-size
+    /// tree).  Returns `None` if no single free extent is large enough.
+    pub fn alloc(&mut self, len: u64) -> Option<Extent> {
+        if len == 0 {
+            return Some(Extent::new(0, 0));
+        }
+        // Smallest size-key ≥ (len << SHIFT) is the best-fit extent.
+        let (key, offset) = self.by_size.lower_bound(len << SIZE_KEY_SHIFT)?;
+        let actual_len = key >> SIZE_KEY_SHIFT;
+        debug_assert!(actual_len >= len);
+        let whole = Extent::new(offset, actual_len);
+        self.remove_free(whole);
+        if actual_len > len {
+            self.insert_free(Extent::new(offset + len, actual_len - len));
+        }
+        Some(Extent::new(offset, len))
+    }
+
+    /// Frees an extent, coalescing with free neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the extent overlaps existing free space,
+    /// which would indicate a double free.
+    pub fn free(&mut self, extent: Extent) {
+        if extent.len == 0 {
+            return;
+        }
+        let mut merged = extent;
+
+        // Coalesce with the following extent, if adjacent.
+        if let Some((next_off, next_len)) = self.by_location.lower_bound(extent.offset) {
+            debug_assert!(
+                next_off >= merged.end() || next_off + next_len <= merged.offset,
+                "double free or overlap at offset {next_off}"
+            );
+            if next_off == merged.end() {
+                self.remove_free(Extent::new(next_off, next_len));
+                merged.len += next_len;
+            }
+        }
+
+        // Coalesce with the preceding extent, if adjacent.  The by-location
+        // tree has no "predecessor" query, so scan the range just before the
+        // freed offset; extents are bounded by the capacity so this range is
+        // cheap to compute via lower_bound from 0 only when small.  We use a
+        // bounded backwards probe: find the largest key < offset by scanning
+        // the range [0, offset) lazily from the closest candidates.
+        if let Some((prev_off, prev_len)) = self.predecessor(extent.offset) {
+            if prev_off + prev_len == merged.offset {
+                self.remove_free(Extent::new(prev_off, prev_len));
+                merged = Extent::new(prev_off, prev_len + merged.len);
+            } else {
+                debug_assert!(
+                    prev_off + prev_len <= merged.offset,
+                    "double free or overlap before offset {}",
+                    merged.offset
+                );
+            }
+        }
+
+        self.insert_free(merged);
+    }
+
+    /// Largest free extent starting strictly before `offset`.
+    fn predecessor(&self, offset: u64) -> Option<(u64, u64)> {
+        // The by-location tree is keyed by offset; take the greatest entry
+        // below `offset`.  BPlusTree has no reverse iterator, so use range
+        // collection over [0, offset) and take the last element.  Free lists
+        // are small relative to object counts, and this path only runs on
+        // deallocation, so the linear cost is acceptable for the simulator.
+        self.by_location.range(0, offset).into_iter().next_back()
+    }
+
+    /// All free extents in ascending offset order (used by checkpointing).
+    pub fn free_list(&self) -> Vec<Extent> {
+        self.by_location
+            .iter()
+            .into_iter()
+            .map(|(off, len)| Extent::new(off, len))
+            .collect()
+    }
+
+    /// Rebuilds an allocator from a saved free list.
+    pub fn from_free_list(capacity: u64, free: &[Extent]) -> ExtentAllocator {
+        let mut alloc = ExtentAllocator {
+            by_location: BPlusTree::new(),
+            by_size: BPlusTree::new(),
+            total_free: 0,
+            capacity,
+        };
+        for &e in free {
+            alloc.insert_free(e);
+        }
+        alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let mut a = ExtentAllocator::new(0, 1_000_000);
+        assert_eq!(a.free_bytes(), 1_000_000);
+        let e1 = a.alloc(1000).unwrap();
+        let e2 = a.alloc(2000).unwrap();
+        assert_eq!(a.free_bytes(), 997_000);
+        assert_ne!(e1.offset, e2.offset);
+        a.free(e1);
+        a.free(e2);
+        assert_eq!(a.free_bytes(), 1_000_000);
+        // Everything coalesces back into one extent.
+        assert_eq!(a.fragments(), 1);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = ExtentAllocator::new(4096, 10_000_000);
+        let mut extents = Vec::new();
+        for i in 0..500u64 {
+            let len = 100 + (i % 37) * 64;
+            extents.push(a.alloc(len).unwrap());
+        }
+        let mut sorted = extents.clone();
+        sorted.sort_by_key(|e| e.offset);
+        for w in sorted.windows(2) {
+            assert!(w[0].end() <= w[1].offset, "extents overlap: {w:?}");
+        }
+        // None may fall below the data start.
+        assert!(sorted[0].offset >= 4096);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_extent() {
+        let mut a = ExtentAllocator::new(0, 100_000);
+        // Carve the space into free fragments of size 1000, 5000 and the rest.
+        let big = a.alloc(100_000).unwrap();
+        a.free(Extent::new(big.offset, 1000));
+        a.free(Extent::new(big.offset + 2000, 5000));
+        a.free(Extent::new(big.offset + 10_000, 90_000));
+        // A 900-byte request should come from the 1000-byte fragment.
+        let got = a.alloc(900).unwrap();
+        assert_eq!(got.offset, big.offset);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = ExtentAllocator::new(0, 10_000);
+        assert!(a.alloc(10_001).is_none());
+        let e = a.alloc(10_000).unwrap();
+        assert!(a.alloc(1).is_none());
+        a.free(e);
+        assert!(a.alloc(1).is_some());
+    }
+
+    #[test]
+    fn coalescing_with_both_neighbours() {
+        let mut a = ExtentAllocator::new(0, 30_000);
+        let e = a.alloc(30_000).unwrap();
+        // Free three adjacent pieces out of order; they must merge into one.
+        a.free(Extent::new(e.offset, 10_000));
+        a.free(Extent::new(e.offset + 20_000, 10_000));
+        assert_eq!(a.fragments(), 2);
+        a.free(Extent::new(e.offset + 10_000, 10_000));
+        assert_eq!(a.fragments(), 1);
+        assert_eq!(a.free_bytes(), 30_000);
+        let again = a.alloc(30_000).unwrap();
+        assert_eq!(again.len, 30_000);
+    }
+
+    #[test]
+    fn free_list_round_trip() {
+        let mut a = ExtentAllocator::new(0, 50_000);
+        let e1 = a.alloc(1234).unwrap();
+        let _e2 = a.alloc(4321).unwrap();
+        a.free(e1);
+        let list = a.free_list();
+        let b = ExtentAllocator::from_free_list(50_000, &list);
+        assert_eq!(b.free_bytes(), a.free_bytes());
+        assert_eq!(b.free_list(), list);
+    }
+
+    #[test]
+    fn zero_length_requests_are_trivial() {
+        let mut a = ExtentAllocator::new(0, 1000);
+        assert_eq!(a.alloc(0), Some(Extent::new(0, 0)));
+        a.free(Extent::new(500, 0));
+        assert_eq!(a.free_bytes(), 1000);
+    }
+
+    #[test]
+    fn sequential_allocations_are_contiguous_when_space_allows() {
+        // Delayed allocation relies on the allocator handing out adjacent
+        // ranges for back-to-back writes.
+        let mut a = ExtentAllocator::new(0, 1_000_000);
+        let e1 = a.alloc(4096).unwrap();
+        let e2 = a.alloc(4096).unwrap();
+        assert_eq!(e1.end(), e2.offset);
+    }
+}

@@ -1,0 +1,34 @@
+//! The HiStar single-level store.
+//!
+//! HiStar has no separate file system: on bootup the entire system state is
+//! restored from the most recent on-disk snapshot, and the file system is
+//! implemented with the same kernel abstractions as virtual memory (§3).
+//! This crate implements the storage layer described in §4:
+//!
+//! * [`bptree::BPlusTree`] — B+-trees with fixed-size keys and values
+//!   (object IDs and disk offsets), used for the object map and for the two
+//!   free-extent indexes.
+//! * [`extent::ExtentAllocator`] — free disk space tracked by two B+-trees,
+//!   one indexed by extent size (for allocation) and one by location (for
+//!   coalescing); allocation is delayed until an object is written so that
+//!   contiguous extents are easy to find.
+//! * [`wal::WriteAheadLog`] — write-ahead logging for atomicity and crash
+//!   consistency; synchronous operations append to a sequential log that is
+//!   applied in batches.
+//! * [`store::SingleLevelStore`] — the snapshot/recovery engine tying the
+//!   pieces together over a [`histar_sim::SimDisk`].
+//! * [`codec`] — the small binary encoding used for on-disk records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bptree;
+pub mod codec;
+pub mod extent;
+pub mod store;
+pub mod wal;
+
+pub use bptree::BPlusTree;
+pub use extent::{Extent, ExtentAllocator};
+pub use store::{SingleLevelStore, StoreConfig, StoreError, StoreStats, SyncPolicy};
+pub use wal::{LogRecord, WriteAheadLog};

@@ -1,0 +1,812 @@
+//! The single-level store: snapshots, recovery, and synchronous updates.
+//!
+//! On bootup the entire system state is restored from the most recent
+//! on-disk snapshot (§3).  All kernel objects are written to disk at each
+//! snapshot and can be evicted from memory once stably stored.  Synchronous
+//! operations (the Unix library's `fsync`) either append to the write-ahead
+//! log or checkpoint the entire system state, and the paper's "group sync"
+//! mode checkpoints once at the end of a batch of operations (§7.1).
+
+use crate::bptree::BPlusTree;
+use crate::codec::{frame, unframe, Decoder, Encoder};
+use crate::extent::{Extent, ExtentAllocator};
+use crate::wal::{LogRecord, WriteAheadLog};
+use histar_sim::disk::BLOCK_SIZE;
+use histar_sim::{DiskConfig, SimClock, SimDisk};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How synchronous updates are made durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Updates stay in memory until an explicit checkpoint (or the periodic
+    /// snapshot).  This is the "async" row of the LFS benchmarks.
+    Async,
+    /// Every synchronous operation appends to the write-ahead log, which is
+    /// applied in batches.  This is HiStar's per-file `fsync` behaviour.
+    PerOperation,
+    /// Nothing is written until [`SingleLevelStore::checkpoint`] is called
+    /// once for the whole batch — the paper's "group sync" mode, which is
+    /// only possible because of the single-level store.
+    GroupSync,
+}
+
+/// Configuration of the store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Configuration of the underlying simulated disk.
+    pub disk: DiskConfig,
+    /// Bytes reserved at the start of the disk for the superblock.
+    pub superblock_len: u64,
+    /// Bytes reserved for the write-ahead log region.
+    pub log_region_len: u64,
+    /// Apply (truncate) the log after this many pending records, modelling
+    /// the paper's observation of one application per ~1,000 synchronous
+    /// operations.
+    pub apply_batch: usize,
+    /// Synchronous-update policy.
+    pub sync_policy: SyncPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            disk: DiskConfig::default(),
+            superblock_len: 4096,
+            log_region_len: 64 * 1024 * 1024,
+            apply_batch: 1000,
+            sync_policy: SyncPolicy::Async,
+        }
+    }
+}
+
+/// Statistics describing store activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Objects written to their home location.
+    pub objects_written: u64,
+    /// Objects read from disk (cache misses).
+    pub objects_read: u64,
+    /// Full checkpoints taken.
+    pub checkpoints: u64,
+    /// Log applications triggered by batching.
+    pub log_applications: u64,
+    /// In-place page flushes (large-file sync writes).
+    pub inplace_flushes: u64,
+}
+
+/// Errors from store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The object is not present in memory or on disk.
+    NoSuchObject(u64),
+    /// The disk is out of space for the requested allocation.
+    OutOfSpace,
+    /// The on-disk state is corrupt and cannot be recovered.
+    Corrupt(&'static str),
+    /// The operation cannot be applied to this object in its current state
+    /// (e.g. an in-place flush of an object whose size has changed).
+    InvalidOperation(&'static str),
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StoreError::NoSuchObject(id) => write!(f, "no such object: {id}"),
+            StoreError::OutOfSpace => write!(f, "out of disk space"),
+            StoreError::Corrupt(what) => write!(f, "corrupt on-disk state: {what}"),
+            StoreError::InvalidOperation(what) => write!(f, "invalid store operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Header bytes preceding an object's body in its home-location record:
+/// 8 bytes of object ID plus the 8-byte body length prefix.
+const RECORD_HEADER: u64 = 16;
+
+/// The single-level store.
+///
+/// The store holds the authoritative serialized form of every kernel object.
+/// Objects live in an in-memory cache (the machine's RAM) and are written to
+/// disk by checkpoints, by the write-ahead log, or by in-place page flushes.
+#[derive(Debug)]
+pub struct SingleLevelStore {
+    config: StoreConfig,
+    disk: SimDisk,
+    wal: WriteAheadLog,
+    alloc: ExtentAllocator,
+    /// Object ID → home-location offset on disk.
+    object_loc: BPlusTree,
+    /// Object ID → allocated extent length at the home location.
+    object_extent_len: BPlusTree,
+    /// Object ID → body length as last written to the home location.
+    object_body_len: BPlusTree,
+    /// In-memory object cache.
+    cache: BTreeMap<u64, Vec<u8>>,
+    /// Objects modified since they were last written to disk.
+    dirty: BTreeSet<u64>,
+    /// Objects deleted since the last checkpoint.
+    deleted: BTreeSet<u64>,
+    /// Extent holding the metadata blob of the most recent checkpoint; it is
+    /// released only once the *next* checkpoint's superblock is durable, so
+    /// a crash between checkpoints always finds intact metadata.
+    prev_meta: Option<Extent>,
+    /// Monotonic checkpoint sequence number.
+    sequence: u64,
+    stats: StoreStats,
+}
+
+/// Magic number identifying a formatted superblock ("HISTAR!!").
+const SUPERBLOCK_MAGIC: u64 = 0x4849_5354_4152_2121;
+
+impl SingleLevelStore {
+    /// Creates a fresh store (equivalent to formatting the disk).
+    pub fn format(config: StoreConfig, clock: SimClock) -> SingleLevelStore {
+        let disk = SimDisk::new(config.disk, clock);
+        let data_start = config.superblock_len + config.log_region_len;
+        SingleLevelStore {
+            wal: WriteAheadLog::new(config.superblock_len, config.log_region_len),
+            alloc: ExtentAllocator::new(data_start, config.disk.capacity),
+            object_loc: BPlusTree::new(),
+            object_extent_len: BPlusTree::new(),
+            object_body_len: BPlusTree::new(),
+            cache: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            deleted: BTreeSet::new(),
+            prev_meta: None,
+            sequence: 0,
+            stats: StoreStats::default(),
+            config,
+            disk,
+        }
+    }
+
+    /// The current synchronous-update policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.config.sync_policy
+    }
+
+    /// Changes the synchronous-update policy (used by the benchmarks to run
+    /// the same workload under different durability modes).
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.config.sync_policy = policy;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// A reference to the underlying simulated disk (for its statistics).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// The latest checkpoint sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// Number of objects currently resident in the in-memory cache.
+    pub fn cached_objects(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops clean objects from the in-memory cache (memory pressure); they
+    /// can be re-read from their home locations on demand.
+    pub fn evict_clean(&mut self) {
+        let dirty = &self.dirty;
+        self.cache.retain(|id, _| dirty.contains(id));
+    }
+
+    /// Stores (creates or overwrites) an object's serialized bytes.
+    pub fn put(&mut self, id: u64, data: Vec<u8>) {
+        self.cache.insert(id, data);
+        self.dirty.insert(id);
+        self.deleted.remove(&id);
+        if self.config.sync_policy == SyncPolicy::PerOperation {
+            self.sync_object(id);
+        }
+    }
+
+    /// Reads an object's serialized bytes, from cache or disk.
+    pub fn get(&mut self, id: u64) -> Result<Vec<u8>, StoreError> {
+        if let Some(data) = self.cache.get(&id) {
+            return Ok(data.clone());
+        }
+        if self.deleted.contains(&id) {
+            return Err(StoreError::NoSuchObject(id));
+        }
+        let offset = self
+            .object_loc
+            .get(id)
+            .ok_or(StoreError::NoSuchObject(id))?;
+        let body_len = self
+            .object_body_len
+            .get(id)
+            .ok_or(StoreError::Corrupt("object map missing body length"))?;
+        let raw = self.disk.read(offset, RECORD_HEADER + body_len);
+        let mut d = Decoder::new(&raw);
+        let stored_id = d.get_u64().map_err(|_| StoreError::Corrupt("object id"))?;
+        if stored_id != id {
+            return Err(StoreError::Corrupt("object id mismatch"));
+        }
+        let data = d
+            .get_bytes()
+            .map_err(|_| StoreError::Corrupt("object body"))?;
+        self.stats.objects_read += 1;
+        self.cache.insert(id, data.clone());
+        Ok(data)
+    }
+
+    /// Returns true if an object exists (in memory or on disk).
+    pub fn contains(&self, id: u64) -> bool {
+        if self.deleted.contains(&id) {
+            return false;
+        }
+        self.cache.contains_key(&id) || self.object_loc.contains(id)
+    }
+
+    /// Deletes an object.
+    pub fn delete(&mut self, id: u64) {
+        self.cache.remove(&id);
+        self.dirty.remove(&id);
+        self.deleted.insert(id);
+        self.drop_home(id);
+        if self.config.sync_policy == SyncPolicy::PerOperation {
+            self.append_log(LogRecord::DeleteObject(id));
+        }
+    }
+
+    fn drop_home(&mut self, id: u64) {
+        if let (Some(off), Some(len)) = (self.object_loc.get(id), self.object_extent_len.get(id)) {
+            self.alloc.free(Extent::new(off, len));
+            self.object_loc.remove(id);
+            self.object_extent_len.remove(id);
+            self.object_body_len.remove(id);
+        }
+    }
+
+    /// Synchronously logs the current contents of one object (the HiStar
+    /// per-file `fsync` path): an append to the sequential write-ahead log,
+    /// with the log applied in batches.
+    pub fn sync_object(&mut self, id: u64) {
+        if let Some(data) = self.cache.get(&id).cloned() {
+            self.append_log(LogRecord::PutObject(id, data));
+        }
+    }
+
+    fn append_log(&mut self, record: LogRecord) {
+        let approx = match &record {
+            LogRecord::PutObject(_, d) => d.len() as u64 + 64,
+            _ => 64,
+        };
+        if self.wal.needs_application(approx)
+            || self.wal.pending_records() >= self.config.apply_batch
+        {
+            self.apply_log();
+        }
+        self.wal.append(&mut self.disk, record);
+        self.disk.flush();
+    }
+
+    /// Applies every pending log record by writing the objects to their home
+    /// locations, then truncates the log.
+    pub fn apply_log(&mut self) {
+        let pending = self.wal.take_pending();
+        if pending.is_empty() {
+            return;
+        }
+        let mut latest: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+        for rec in pending {
+            match rec {
+                LogRecord::PutObject(id, data) => {
+                    latest.insert(id, Some(data));
+                }
+                LogRecord::DeleteObject(id) => {
+                    latest.insert(id, None);
+                }
+                LogRecord::CheckpointMarker { .. } => {}
+            }
+        }
+        for (id, data) in latest {
+            match data {
+                Some(data) => {
+                    self.write_home(id, &data);
+                    self.dirty.remove(&id);
+                }
+                None => self.drop_home(id),
+            }
+        }
+        self.disk.flush();
+        self.stats.log_applications += 1;
+    }
+
+    /// Writes one object record to a (possibly new) home location.
+    ///
+    /// Record layout: `object id (8) || body length (8) || body`.
+    fn write_home(&mut self, id: u64, data: &[u8]) {
+        let mut e = Encoder::new();
+        e.put_u64(id).put_bytes(data);
+        let record = e.finish();
+        let need = record.len() as u64;
+
+        // Reuse the existing extent if the new record still fits; otherwise
+        // allocate a fresh one (delayed allocation).
+        let reuse = match (self.object_loc.get(id), self.object_extent_len.get(id)) {
+            (Some(off), Some(len)) if len >= need => Some(Extent::new(off, len)),
+            (Some(off), Some(len)) => {
+                self.alloc.free(Extent::new(off, len));
+                self.object_loc.remove(id);
+                self.object_extent_len.remove(id);
+                self.object_body_len.remove(id);
+                None
+            }
+            _ => None,
+        };
+        let extent = reuse.unwrap_or_else(|| {
+            self.alloc
+                .alloc(need.max(BLOCK_SIZE))
+                .expect("simulated disk out of space")
+        });
+        self.disk.write(extent.offset, &record);
+        self.object_loc.insert(id, extent.offset);
+        self.object_extent_len.insert(id, extent.len);
+        self.object_body_len.insert(id, data.len() as u64);
+        self.stats.objects_written += 1;
+    }
+
+    /// Flushes specific pages of an already-persistent object in place,
+    /// without checkpointing the entire system state (the LFS large-file
+    /// random-write path, §7.1).
+    ///
+    /// The object's size must not have changed since it was last written to
+    /// its home location; otherwise the caller must fall back to
+    /// [`SingleLevelStore::sync_object`] or a checkpoint.
+    pub fn sync_pages_in_place(&mut self, id: u64, pages: &[u64]) -> Result<usize, StoreError> {
+        let data = self
+            .cache
+            .get(&id)
+            .cloned()
+            .ok_or(StoreError::NoSuchObject(id))?;
+        let off = self
+            .object_loc
+            .get(id)
+            .ok_or(StoreError::NoSuchObject(id))?;
+        let body_len = self
+            .object_body_len
+            .get(id)
+            .ok_or(StoreError::NoSuchObject(id))?;
+        if body_len != data.len() as u64 {
+            return Err(StoreError::InvalidOperation(
+                "object size changed since last home write",
+            ));
+        }
+        let mut written = 0;
+        for &page in pages {
+            let start = (page * BLOCK_SIZE) as usize;
+            if start >= data.len() {
+                continue;
+            }
+            let end = core::cmp::min(start + BLOCK_SIZE as usize, data.len());
+            self.disk
+                .write(off + RECORD_HEADER + start as u64, &data[start..end]);
+            written += 1;
+        }
+        self.disk.flush();
+        self.stats.inplace_flushes += 1;
+        // The home copy now reflects the cached pages the caller flushed.
+        self.dirty.remove(&id);
+        Ok(written)
+    }
+
+    /// Takes a full checkpoint: every dirty object is written to its home
+    /// location, the object map and free list are serialized, and the
+    /// superblock is updated.  After a checkpoint the system can recover to
+    /// exactly this state.
+    pub fn checkpoint(&mut self) {
+        // 0. The metadata blob from the previous checkpoint can be recycled
+        //    now; the superblock will be rewritten before this call returns.
+        if let Some(prev) = self.prev_meta.take() {
+            self.alloc.free(prev);
+        }
+
+        // 1. Write dirty objects and drop records of deleted objects.
+        let dirty: Vec<u64> = self.dirty.iter().copied().collect();
+        for id in dirty {
+            if let Some(data) = self.cache.get(&id).cloned() {
+                self.write_home(id, &data);
+            }
+        }
+        self.dirty.clear();
+        self.deleted.clear();
+
+        // 2. Serialize metadata (object maps + free list) into a fresh extent.
+        let loc_bytes = self.object_loc.serialize();
+        let extent_len_bytes = self.object_extent_len.serialize();
+        let body_len_bytes = self.object_body_len.serialize();
+        let free_list = self.alloc.free_list();
+        let mut free_enc = Encoder::new();
+        free_enc.put_u64(free_list.len() as u64);
+        for e in &free_list {
+            free_enc.put_u64(e.offset).put_u64(e.len);
+        }
+        let free_bytes = free_enc.finish();
+
+        let meta_blob = {
+            let mut e = Encoder::new();
+            e.put_bytes(&loc_bytes)
+                .put_bytes(&extent_len_bytes)
+                .put_bytes(&body_len_bytes)
+                .put_bytes(&free_bytes);
+            frame(&e.finish())
+        };
+        let meta_extent = self
+            .alloc
+            .alloc((meta_blob.len() as u64).max(BLOCK_SIZE))
+            .expect("disk out of space for checkpoint metadata");
+        self.disk.write(meta_extent.offset, &meta_blob);
+
+        // 3. Superblock points at the metadata blob.
+        self.sequence += 1;
+        let mut sb = Encoder::new();
+        sb.put_u64(SUPERBLOCK_MAGIC)
+            .put_u64(self.sequence)
+            .put_u64(meta_extent.offset)
+            .put_u64(meta_blob.len() as u64)
+            .put_u64(meta_extent.len);
+        self.disk.write(0, &frame(&sb.finish()));
+        self.disk.flush();
+
+        // 4. The log contents are now folded into the checkpoint.
+        let _ = self.wal.take_pending();
+        self.wal.append(
+            &mut self.disk,
+            LogRecord::CheckpointMarker {
+                sequence: self.sequence,
+            },
+        );
+        self.prev_meta = Some(meta_extent);
+        self.stats.checkpoints += 1;
+    }
+
+    /// Restores a store from the most recent on-disk snapshot plus any log
+    /// records appended after it.  This is what "bootup" means in HiStar —
+    /// there are no boot scripts, the entire system state simply reappears.
+    pub fn recover(config: StoreConfig, mut disk: SimDisk) -> Result<SingleLevelStore, StoreError> {
+        let raw_sb = disk.read(0, config.superblock_len.min(4096));
+        let (sb_payload, _) =
+            unframe(&raw_sb).map_err(|_| StoreError::Corrupt("superblock frame"))?;
+        let mut d = Decoder::new(&sb_payload);
+        let magic = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
+        if magic != SUPERBLOCK_MAGIC {
+            return Err(StoreError::Corrupt("superblock magic"));
+        }
+        let sequence = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
+        let meta_off = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
+        let meta_len = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
+        let meta_alloc_len = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
+
+        let raw_meta = disk.read(meta_off, meta_len);
+        let (meta_payload, _) =
+            unframe(&raw_meta).map_err(|_| StoreError::Corrupt("checkpoint metadata"))?;
+        let mut d = Decoder::new(&meta_payload);
+        let loc_bytes = d.get_bytes().map_err(|_| StoreError::Corrupt("object map"))?;
+        let extent_len_bytes = d
+            .get_bytes()
+            .map_err(|_| StoreError::Corrupt("object extent lengths"))?;
+        let body_len_bytes = d
+            .get_bytes()
+            .map_err(|_| StoreError::Corrupt("object body lengths"))?;
+        let free_bytes = d.get_bytes().map_err(|_| StoreError::Corrupt("free list"))?;
+
+        let object_loc = BPlusTree::deserialize(&loc_bytes);
+        let object_extent_len = BPlusTree::deserialize(&extent_len_bytes);
+        let object_body_len = BPlusTree::deserialize(&body_len_bytes);
+        let mut d = Decoder::new(&free_bytes);
+        let n = d.get_u64().map_err(|_| StoreError::Corrupt("free list"))? as usize;
+        let mut free = Vec::with_capacity(n);
+        for _ in 0..n {
+            let off = d.get_u64().map_err(|_| StoreError::Corrupt("free list"))?;
+            let len = d.get_u64().map_err(|_| StoreError::Corrupt("free list"))?;
+            free.push(Extent::new(off, len));
+        }
+        let alloc = ExtentAllocator::from_free_list(config.disk.capacity, &free);
+
+        let wal = WriteAheadLog::new(config.superblock_len, config.log_region_len);
+        let mut store = SingleLevelStore {
+            config,
+            wal,
+            alloc,
+            object_loc,
+            object_extent_len,
+            object_body_len,
+            cache: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            deleted: BTreeSet::new(),
+            prev_meta: Some(Extent::new(meta_off, meta_alloc_len)),
+            sequence,
+            stats: StoreStats::default(),
+            disk,
+        };
+
+        // Replay any log records appended after the checkpoint marker for
+        // this sequence number (records before it are already reflected in
+        // the checkpoint).
+        let records = store.wal.recover(&mut store.disk);
+        let mut after_marker = Vec::new();
+        for rec in records {
+            match rec {
+                LogRecord::CheckpointMarker { sequence: s } if s == sequence => {
+                    after_marker.clear();
+                }
+                other => after_marker.push(other),
+            }
+        }
+        for rec in after_marker {
+            match rec {
+                LogRecord::PutObject(id, data) => {
+                    store.deleted.remove(&id);
+                    store.cache.insert(id, data);
+                    store.dirty.insert(id);
+                }
+                LogRecord::DeleteObject(id) => {
+                    store.cache.remove(&id);
+                    store.deleted.insert(id);
+                    store.drop_home(id);
+                }
+                LogRecord::CheckpointMarker { .. } => {}
+            }
+        }
+        Ok(store)
+    }
+
+    /// Consumes the store, returning its disk (for crash/recovery testing).
+    pub fn into_disk(self) -> SimDisk {
+        self.disk
+    }
+
+    /// All object IDs currently known to the store (cached or on disk).
+    pub fn object_ids(&self) -> Vec<u64> {
+        let mut ids: BTreeSet<u64> = self.cache.keys().copied().collect();
+        for (id, _) in self.object_loc.iter() {
+            ids.insert(id);
+        }
+        for id in &self.deleted {
+            ids.remove(id);
+        }
+        ids.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(policy: SyncPolicy) -> SingleLevelStore {
+        let config = StoreConfig {
+            sync_policy: policy,
+            ..StoreConfig::default()
+        };
+        SingleLevelStore::format(config, SimClock::new())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(1, vec![1, 2, 3]);
+        s.put(2, vec![4; 10_000]);
+        assert_eq!(s.get(1).unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.get(2).unwrap().len(), 10_000);
+        assert!(s.contains(1));
+        s.delete(1);
+        assert!(!s.contains(1));
+        assert_eq!(s.get(1), Err(StoreError::NoSuchObject(1)));
+    }
+
+    #[test]
+    fn checkpoint_and_recover_round_trip() {
+        let config = StoreConfig::default();
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        for i in 0..200u64 {
+            s.put(i, vec![i as u8; (i as usize % 700) + 1]);
+        }
+        s.delete(3);
+        s.checkpoint();
+        let disk = s.into_disk();
+        let mut r = SingleLevelStore::recover(config, disk).unwrap();
+        assert_eq!(r.sequence(), 1);
+        for i in 0..200u64 {
+            if i == 3 {
+                assert!(!r.contains(i));
+            } else {
+                assert_eq!(r.get(i).unwrap(), vec![i as u8; (i as usize % 700) + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn unsynced_updates_are_lost_on_crash() {
+        let config = StoreConfig::default();
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        s.put(1, vec![1]);
+        s.checkpoint();
+        s.put(2, vec![2]); // never synced
+        let disk = s.into_disk();
+        let mut r = SingleLevelStore::recover(config, disk).unwrap();
+        assert!(r.contains(1));
+        assert!(!r.contains(2), "unsynced object must not survive the crash");
+        assert_eq!(r.get(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn per_operation_sync_survives_crash_via_log() {
+        let config = StoreConfig {
+            sync_policy: SyncPolicy::PerOperation,
+            ..StoreConfig::default()
+        };
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        s.checkpoint();
+        for i in 0..50u64 {
+            s.put(i, vec![i as u8; 100]);
+        }
+        // No checkpoint after the puts; the log alone must carry them.
+        let disk = s.into_disk();
+        let mut r = SingleLevelStore::recover(config, disk).unwrap();
+        for i in 0..50u64 {
+            assert_eq!(r.get(i).unwrap(), vec![i as u8; 100], "object {i}");
+        }
+    }
+
+    #[test]
+    fn log_application_batches() {
+        let config = StoreConfig {
+            sync_policy: SyncPolicy::PerOperation,
+            apply_batch: 10,
+            ..StoreConfig::default()
+        };
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        for i in 0..35u64 {
+            s.put(i, vec![0u8; 64]);
+        }
+        assert!(
+            s.stats().log_applications >= 3,
+            "expected ~3 applications, got {}",
+            s.stats().log_applications
+        );
+    }
+
+    #[test]
+    fn group_sync_writes_nothing_until_checkpoint() {
+        let mut s = store(SyncPolicy::GroupSync);
+        for i in 0..100u64 {
+            s.put(i, vec![7u8; 1024]);
+        }
+        assert_eq!(s.disk().stats().writes, 0, "group sync defers all writes");
+        s.checkpoint();
+        assert!(s.disk().stats().writes > 0);
+        assert_eq!(s.stats().checkpoints, 1);
+    }
+
+    #[test]
+    fn eviction_and_reread() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(42, vec![9u8; 5000]);
+        s.checkpoint();
+        s.evict_clean();
+        assert_eq!(s.cached_objects(), 0);
+        assert_eq!(s.get(42).unwrap(), vec![9u8; 5000]);
+        assert_eq!(s.stats().objects_read, 1);
+    }
+
+    #[test]
+    fn in_place_page_sync() {
+        let mut s = store(SyncPolicy::Async);
+        let big = vec![1u8; 1024 * 1024];
+        s.put(7, big.clone());
+        s.checkpoint();
+
+        // Modify two pages and flush them in place.
+        let mut modified = big;
+        modified[0] = 0xaa;
+        modified[5000] = 0xbb;
+        s.put(7, modified.clone());
+        let writes_before = s.disk().stats().writes;
+        assert_eq!(s.sync_pages_in_place(7, &[0, 1]).unwrap(), 2);
+        assert!(s.disk().stats().writes > writes_before);
+        assert_eq!(s.stats().inplace_flushes, 1);
+
+        // After eviction the flushed pages are visible from disk.
+        s.evict_clean();
+        let read_back = s.get(7).unwrap();
+        assert_eq!(read_back[0], 0xaa);
+        assert_eq!(read_back[5000], 0xbb);
+
+        // An object with no home location is rejected.
+        s.put(8, vec![0u8; 10]);
+        assert!(s.sync_pages_in_place(8, &[0]).is_err());
+
+        // A resized object is rejected.
+        s.put(7, vec![2u8; 100]);
+        assert!(matches!(
+            s.sync_pages_in_place(7, &[0]),
+            Err(StoreError::InvalidOperation(_))
+        ));
+    }
+
+    #[test]
+    fn recover_rejects_unformatted_disk() {
+        let disk = SimDisk::new(DiskConfig::default(), SimClock::new());
+        assert!(matches!(
+            SingleLevelStore::recover(StoreConfig::default(), disk),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn object_ids_lists_everything() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(5, vec![1]);
+        s.put(9, vec![2]);
+        s.checkpoint();
+        s.put(11, vec![3]);
+        s.delete(9);
+        assert_eq!(s.object_ids(), vec![5, 11]);
+    }
+
+    #[test]
+    fn multiple_checkpoints_advance_sequence() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(1, vec![1]);
+        s.checkpoint();
+        s.put(2, vec![2]);
+        s.checkpoint();
+        assert_eq!(s.sequence(), 2);
+        let disk = s.into_disk();
+        let mut r = SingleLevelStore::recover(StoreConfig::default(), disk).unwrap();
+        assert_eq!(r.sequence(), 2);
+        assert!(r.get(1).is_ok());
+        assert!(r.get(2).is_ok());
+    }
+
+    #[test]
+    fn growing_object_moves_to_new_extent() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(1, vec![1u8; 100]);
+        s.checkpoint();
+        let small_extent = s.object_extent_len.get(1).unwrap();
+        assert!(small_extent < 100_016);
+        s.put(1, vec![2u8; 100_000]);
+        s.checkpoint();
+        let big_loc = s.object_loc.get(1).unwrap();
+        assert!(
+            s.object_extent_len.get(1).unwrap() >= 100_016,
+            "grown object needs a larger extent"
+        );
+        s.evict_clean();
+        assert_eq!(s.get(1).unwrap(), vec![2u8; 100_000]);
+        // Shrinking keeps it in place (the extent is large enough).
+        s.put(1, vec![3u8; 50]);
+        s.checkpoint();
+        assert_eq!(s.object_loc.get(1).unwrap(), big_loc);
+        s.evict_clean();
+        assert_eq!(s.get(1).unwrap(), vec![3u8; 50]);
+    }
+
+    #[test]
+    fn delete_then_recreate_after_recovery() {
+        let config = StoreConfig {
+            sync_policy: SyncPolicy::PerOperation,
+            ..StoreConfig::default()
+        };
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        s.put(1, vec![1]);
+        s.checkpoint();
+        s.delete(1);
+        s.put(1, vec![2]);
+        let disk = s.into_disk();
+        let mut r = SingleLevelStore::recover(config, disk).unwrap();
+        assert_eq!(r.get(1).unwrap(), vec![2]);
+    }
+}

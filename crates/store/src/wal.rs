@@ -1,0 +1,273 @@
+//! Write-ahead logging.
+//!
+//! "Write-ahead logging ensures atomicity and crash-consistency" (§4), and
+//! §7.1 explains how it makes synchronous operations affordable: a
+//! synchronous update appends a record to a sequential on-disk log, and the
+//! log is *applied* to the object map in batches (about once every 1,000
+//! synchronous operations in the LFS benchmark).  The log therefore turns
+//! random synchronous writes into sequential appends.
+//!
+//! The log lives in a reserved region at the start of the simulated disk.
+//! Each record is a checksummed frame; recovery replays every valid frame
+//! up to the first corrupt/torn record.
+
+use crate::codec::{frame, unframe, Decoder, Encoder};
+use histar_sim::disk::SimDisk;
+
+/// One logical update captured in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// An object was written or updated: `(object id, serialized bytes)`.
+    PutObject(u64, Vec<u8>),
+    /// An object was deleted.
+    DeleteObject(u64),
+    /// A full checkpoint completed; records before this point are obsolete.
+    CheckpointMarker {
+        /// Sequence number of the checkpoint.
+        sequence: u64,
+    },
+}
+
+impl LogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        match self {
+            LogRecord::PutObject(id, data) => {
+                e.put_u8(1).put_u64(*id).put_bytes(data);
+            }
+            LogRecord::DeleteObject(id) => {
+                e.put_u8(2).put_u64(*id);
+            }
+            LogRecord::CheckpointMarker { sequence } => {
+                e.put_u8(3).put_u64(*sequence);
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(data: &[u8]) -> Option<LogRecord> {
+        let mut d = Decoder::new(data);
+        match d.get_u8().ok()? {
+            1 => Some(LogRecord::PutObject(d.get_u64().ok()?, d.get_bytes().ok()?)),
+            2 => Some(LogRecord::DeleteObject(d.get_u64().ok()?)),
+            3 => Some(LogRecord::CheckpointMarker {
+                sequence: d.get_u64().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics about log activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since creation.
+    pub appends: u64,
+    /// Bytes appended since creation.
+    pub bytes_appended: u64,
+    /// Number of times the log has been applied (truncated).
+    pub applications: u64,
+}
+
+/// A write-ahead log stored in a reserved region of the disk.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    /// Byte offset of the log region on disk.
+    region_start: u64,
+    /// Size of the log region in bytes.
+    region_len: u64,
+    /// Next append position, relative to `region_start`.
+    head: u64,
+    /// Records appended since the last application (in-memory mirror used
+    /// for applying without re-reading the disk).
+    pending: Vec<LogRecord>,
+    stats: WalStats,
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log occupying `[region_start, region_start + region_len)`.
+    pub fn new(region_start: u64, region_len: u64) -> WriteAheadLog {
+        WriteAheadLog {
+            region_start,
+            region_len,
+            head: 0,
+            pending: Vec::new(),
+            stats: WalStats::default(),
+        }
+    }
+
+    /// Size of the log region.
+    pub fn region_len(&self) -> u64 {
+        self.region_len
+    }
+
+    /// Bytes of log space currently used.
+    pub fn used(&self) -> u64 {
+        self.head
+    }
+
+    /// Number of records appended but not yet applied.
+    pub fn pending_records(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Returns true if appending `approx_bytes` more would overflow the
+    /// region (the caller should apply the log first).
+    pub fn needs_application(&self, approx_bytes: u64) -> bool {
+        self.head + approx_bytes + 64 > self.region_len
+    }
+
+    /// Appends a record to the log, synchronously writing it to disk.
+    ///
+    /// Returns the number of bytes written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record does not fit in the log region; callers must
+    /// check [`WriteAheadLog::needs_application`] first.
+    pub fn append(&mut self, disk: &mut SimDisk, record: LogRecord) -> u64 {
+        let framed = frame(&record.encode());
+        let len = framed.len() as u64;
+        assert!(
+            self.head + len <= self.region_len,
+            "log region overflow; apply the log before appending"
+        );
+        disk.write(self.region_start + self.head, &framed);
+        self.head += len;
+        // Terminate the log with a zero frame so that recovery never
+        // replays stale records left over from before the last truncation.
+        if self.head + 8 <= self.region_len {
+            disk.write(self.region_start + self.head, &[0u8; 8]);
+        }
+        self.pending.push(record);
+        self.stats.appends += 1;
+        self.stats.bytes_appended += len;
+        len
+    }
+
+    /// Takes every record appended since the last application and resets the
+    /// log head.  The caller is responsible for durably applying the records
+    /// (writing objects to their home locations) before the next crash point
+    /// — in the simulator this ordering is enforced by the store.
+    pub fn take_pending(&mut self) -> Vec<LogRecord> {
+        self.head = 0;
+        self.stats.applications += 1;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Replays the log region from disk, returning every valid record up to
+    /// the first torn or corrupt frame.  Used at recovery time.
+    pub fn recover(&self, disk: &mut SimDisk) -> Vec<LogRecord> {
+        let raw = disk.read(self.region_start, self.region_len);
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 16 <= raw.len() {
+            match unframe(&raw[pos..]) {
+                Ok((payload, consumed)) => {
+                    if payload.is_empty() {
+                        break;
+                    }
+                    match LogRecord::decode(&payload) {
+                        Some(rec) => out.push(rec),
+                        None => break,
+                    }
+                    pos += consumed;
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histar_sim::{DiskConfig, SimClock};
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskConfig::default(), SimClock::new())
+    }
+
+    #[test]
+    fn append_and_recover() {
+        let mut d = disk();
+        let mut wal = WriteAheadLog::new(4096, 1 << 20);
+        wal.append(&mut d, LogRecord::PutObject(7, vec![1, 2, 3]));
+        wal.append(&mut d, LogRecord::DeleteObject(9));
+        wal.append(&mut d, LogRecord::CheckpointMarker { sequence: 4 });
+        let recovered = wal.recover(&mut d);
+        assert_eq!(
+            recovered,
+            vec![
+                LogRecord::PutObject(7, vec![1, 2, 3]),
+                LogRecord::DeleteObject(9),
+                LogRecord::CheckpointMarker { sequence: 4 },
+            ]
+        );
+        assert_eq!(wal.stats().appends, 3);
+    }
+
+    #[test]
+    fn recovery_stops_at_corruption() {
+        let mut d = disk();
+        let mut wal = WriteAheadLog::new(0, 1 << 20);
+        wal.append(&mut d, LogRecord::PutObject(1, vec![9; 100]));
+        let first_len = wal.used();
+        wal.append(&mut d, LogRecord::PutObject(2, vec![8; 100]));
+        // Corrupt the second record on disk.
+        d.write(first_len + 20, &[0xff, 0xee, 0xdd]);
+        let recovered = wal.recover(&mut d);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0], LogRecord::PutObject(1, vec![9; 100]));
+    }
+
+    #[test]
+    fn take_pending_resets_head() {
+        let mut d = disk();
+        let mut wal = WriteAheadLog::new(0, 4096);
+        for i in 0..10u64 {
+            wal.append(&mut d, LogRecord::DeleteObject(i));
+        }
+        assert_eq!(wal.pending_records(), 10);
+        let pending = wal.take_pending();
+        assert_eq!(pending.len(), 10);
+        assert_eq!(wal.used(), 0);
+        assert_eq!(wal.pending_records(), 0);
+        assert_eq!(wal.stats().applications, 1);
+    }
+
+    #[test]
+    fn needs_application_when_region_fills() {
+        let mut d = disk();
+        let mut wal = WriteAheadLog::new(0, 2048);
+        let payload = vec![0u8; 400];
+        let mut appended = 0;
+        while !wal.needs_application(450) {
+            wal.append(&mut d, LogRecord::PutObject(appended, payload.clone()));
+            appended += 1;
+        }
+        assert!(appended >= 3, "several records should fit");
+        assert!(wal.needs_application(450));
+    }
+
+    #[test]
+    #[should_panic(expected = "log region overflow")]
+    fn overflowing_append_panics() {
+        let mut d = disk();
+        let mut wal = WriteAheadLog::new(0, 128);
+        wal.append(&mut d, LogRecord::PutObject(1, vec![0u8; 500]));
+    }
+
+    #[test]
+    fn empty_region_recovers_nothing() {
+        let mut d = disk();
+        let wal = WriteAheadLog::new(0, 4096);
+        assert!(wal.recover(&mut d).is_empty());
+    }
+}

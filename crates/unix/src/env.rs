@@ -1,0 +1,1769 @@
+//! The Unix environment: the library state tying processes, the file system
+//! and file descriptors together over a simulated HiStar machine.
+//!
+//! Everything in this module is *untrusted library code* in the paper's
+//! sense: it only ever acts through kernel system calls made on behalf of
+//! some process's thread, so every access it performs is subject to the
+//! kernel's label checks.  A process with insufficient privilege simply gets
+//! `CannotObserve`/`CannotModify` errors back, exactly as a buggy or
+//! malicious library would.
+
+use crate::fdtable::{Fd, FdKind, FdState, FdTable, FLAG_APPEND, FLAG_RDONLY, FLAG_WRONLY};
+use crate::fs::{join_path, split_path, DirEntry, Directory, FileStat, MountTable, OpenFlags};
+use crate::process::{ExitStatus, Pid, Process, ProcessState};
+use crate::users::{User, UserTable};
+use histar_kernel::bodies::{Mapping, MappingFlags};
+use histar_kernel::kernel::PAGE_SIZE;
+use histar_kernel::object::{ContainerEntry, ObjectId, METADATA_LEN};
+use histar_kernel::serialize::encode_object;
+use histar_kernel::syscall::SyscallError;
+use histar_kernel::{Machine, MachineConfig};
+use histar_label::{Category, Label, Level};
+use std::collections::HashMap;
+
+/// Errors returned by the Unix library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnixError {
+    /// A kernel system call failed (usually a label check).
+    Kernel(SyscallError),
+    /// A path component does not exist.
+    NotFound(String),
+    /// The path already exists.
+    Exists(String),
+    /// A non-directory appeared where a directory was required.
+    NotADirectory(String),
+    /// A directory appeared where a file was required.
+    IsADirectory(String),
+    /// The file descriptor is not open.
+    BadFd(Fd),
+    /// No such process.
+    NoSuchProcess(Pid),
+    /// The process has not exited yet.
+    StillRunning(Pid),
+    /// The operation would block (e.g. reading an empty pipe).
+    WouldBlock,
+    /// No such user.
+    NoSuchUser(String),
+    /// The descriptor or operation does not support this action.
+    Unsupported(&'static str),
+    /// The corrupted state was detected in a library data structure.
+    Corrupt(&'static str),
+}
+
+impl From<SyscallError> for UnixError {
+    fn from(e: SyscallError) -> UnixError {
+        UnixError::Kernel(e)
+    }
+}
+
+impl core::fmt::Display for UnixError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UnixError::Kernel(e) => write!(f, "kernel error: {e}"),
+            UnixError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            UnixError::Exists(p) => write!(f, "file exists: {p}"),
+            UnixError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            UnixError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            UnixError::BadFd(fd) => write!(f, "bad file descriptor: {fd}"),
+            UnixError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            UnixError::StillRunning(p) => write!(f, "process {p} is still running"),
+            UnixError::WouldBlock => write!(f, "operation would block"),
+            UnixError::NoSuchUser(u) => write!(f, "no such user: {u}"),
+            UnixError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            UnixError::Corrupt(what) => write!(f, "corrupt library state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for UnixError {}
+
+type Result<T> = core::result::Result<T, UnixError>;
+
+/// Default quota handed to each process container.
+const PROCESS_QUOTA: u64 = 64 * 1024 * 1024;
+/// Initial quota handed to each directory container; the library tops
+/// directories up automatically from their ancestors as they fill.
+const DIRECTORY_QUOTA: u64 = 4 * 1024 * 1024;
+/// Size of the ring buffer inside a pipe segment.
+const PIPE_CAPACITY: u64 = 64 * 1024;
+/// Header bytes of a pipe segment: read position, write position, writer count.
+const PIPE_HEADER: u64 = 24;
+/// Number of pages in a freshly exec'd heap.
+const HEAP_PAGES: u64 = 16;
+/// Number of pages in a freshly exec'd stack.
+const STACK_PAGES: u64 = 4;
+
+/// The Unix environment (§5): the untrusted library that makes a HiStar
+/// machine feel like Unix.
+#[derive(Debug)]
+pub struct UnixEnv {
+    machine: Machine,
+    processes: HashMap<Pid, Process>,
+    next_pid: Pid,
+    users: UserTable,
+    mounts: MountTable,
+    fs_root: ObjectId,
+    init_pid: Pid,
+}
+
+impl UnixEnv {
+    /// Boots a fresh machine and builds a Unix environment on it, with a
+    /// root file system and an `init` process (PID 1).
+    pub fn boot() -> UnixEnv {
+        UnixEnv::on_machine(Machine::boot(MachineConfig::default()))
+    }
+
+    /// Builds a Unix environment on an existing machine.
+    pub fn on_machine(machine: Machine) -> UnixEnv {
+        let mut env = UnixEnv {
+            machine,
+            processes: HashMap::new(),
+            next_pid: 1,
+            users: UserTable::new(),
+            mounts: MountTable::new(),
+            fs_root: ObjectId::from_raw(0),
+            init_pid: 1,
+        };
+        let boot_thread = env.machine.kernel_thread();
+        let kernel_root = env.machine.kernel().root_container();
+        // The root directory.
+        env.fs_root = env
+            .make_directory_in(boot_thread, kernel_root, Label::unrestricted(), "/")
+            .expect("creating the root directory cannot fail on a fresh machine");
+        // PID 1.
+        let init = env
+            .create_process(boot_thread, None, None, "/sbin/init", Vec::new(), &[])
+            .expect("creating init cannot fail on a fresh machine");
+        env.init_pid = init;
+        env
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The underlying machine, mutably (benchmarks use this to reach the
+    /// store and clock).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The PID of the `init` process.
+    pub fn init_pid(&self) -> Pid {
+        self.init_pid
+    }
+
+    /// The object ID of the root directory container.
+    pub fn fs_root(&self) -> ObjectId {
+        self.fs_root
+    }
+
+    /// The registered users.
+    pub fn users(&self) -> &UserTable {
+        &self.users
+    }
+
+    /// Mounts a container at a path in the (shared) mount table.
+    pub fn mount(&mut self, path: &str, container: ObjectId) {
+        self.mounts.mount(path, container);
+    }
+
+    /// A process's bookkeeping record.
+    pub fn process(&self, pid: Pid) -> Result<&Process> {
+        self.processes.get(&pid).ok_or(UnixError::NoSuchProcess(pid))
+    }
+
+    fn process_mut(&mut self, pid: Pid) -> Result<&mut Process> {
+        self.processes
+            .get_mut(&pid)
+            .ok_or(UnixError::NoSuchProcess(pid))
+    }
+
+    /// Mutable access to a process's library bookkeeping record.
+    ///
+    /// Services that legitimately change what a process is (the
+    /// authentication service granting a user's categories, a shell
+    /// adjusting ownership it received through a gate) update the record
+    /// here; the kernel-side state is always changed through system calls
+    /// first, so this bookkeeping can never grant privilege by itself.
+    pub fn process_record_mut(&mut self, pid: Pid) -> Result<&mut Process> {
+        self.process_mut(pid)
+    }
+
+    /// Number of live (non-reaped) processes.
+    pub fn process_count(&self) -> usize {
+        self.processes
+            .values()
+            .filter(|p| p.state != ProcessState::Reaped)
+            .count()
+    }
+
+    // ----- users -----------------------------------------------------------
+
+    /// Creates a user account: allocates its `ur`/`uw` categories on the
+    /// init process's thread (which therefore holds the privilege to grant
+    /// them, playing the role of the user's authentication service owner).
+    pub fn create_user(&mut self, name: &str) -> Result<User> {
+        let init_thread = self.process(self.init_pid)?.thread;
+        let kernel = self.machine.kernel_mut();
+        let read_cat = kernel.sys_create_category(init_thread)?;
+        let write_cat = kernel.sys_create_category(init_thread)?;
+        let user = User {
+            name: name.to_string(),
+            read_cat,
+            write_cat,
+        };
+        let init = self.process_mut(self.init_pid)?;
+        init.extra_ownership.push(read_cat);
+        init.extra_ownership.push(write_cat);
+        self.users.add(user.clone());
+        Ok(user)
+    }
+
+    /// Looks up a user by name.
+    pub fn user(&self, name: &str) -> Result<User> {
+        self.users
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| UnixError::NoSuchUser(name.to_string()))
+    }
+
+    // ----- process management (§5.2) ---------------------------------------
+
+    /// Spawns a new process running `path` as a child of `parent`, with the
+    /// given user's privileges (if any).  This is the paper's `spawn`: it
+    /// builds the process directly rather than going through fork + exec,
+    /// which is roughly 3× cheaper.
+    pub fn spawn(&mut self, parent: Pid, path: &str, user: Option<&str>) -> Result<Pid> {
+        let creator = self.process(parent)?.thread;
+        let user = match user {
+            Some(name) => Some(self.user(name)?),
+            None => None,
+        };
+        let extra = match &user {
+            Some(u) => vec![u.read_cat, u.write_cat],
+            None => Vec::new(),
+        };
+        let pid = self.create_process(
+            creator,
+            Some(parent),
+            user.as_ref().map(|u| u.name.clone()),
+            path,
+            extra,
+            &[],
+        )?;
+        Ok(pid)
+    }
+
+    /// Spawns a new process whose thread additionally owns the given
+    /// categories and/or starts out tainted in others — the hook `wrap`
+    /// uses to launch the virus scanner tainted in its isolation category.
+    ///
+    /// The creating (parent) process's thread must own every category it
+    /// grants or taints the child with; the kernel's spawn rule
+    /// (`L_T ⊑ L_{T'} ⊑ C_{T'} ⊑ C_T`) enforces this.
+    pub fn spawn_with_label(
+        &mut self,
+        parent: Pid,
+        path: &str,
+        extra_ownership: Vec<Category>,
+        extra_taint: Vec<(Category, Level)>,
+    ) -> Result<Pid> {
+        let creator = self.process(parent)?.thread;
+        self.create_process(
+            creator,
+            Some(parent),
+            None,
+            path,
+            extra_ownership,
+            &extra_taint,
+        )
+    }
+
+    /// Forks a process: the child gets copies of the parent's text, heap and
+    /// stack segments and shares its open file descriptors.
+    pub fn fork(&mut self, parent: Pid) -> Result<Pid> {
+        let (creator, user, executable, cwd, extra, fds): (
+            ObjectId,
+            Option<String>,
+            String,
+            String,
+            Vec<Category>,
+            Vec<(Fd, ObjectId)>,
+        ) = {
+            let p = self.process(parent)?;
+            (
+                p.thread,
+                p.user.clone(),
+                p.executable.clone(),
+                p.cwd.clone(),
+                p.extra_ownership.clone(),
+                p.fds.iter().collect(),
+            )
+        };
+        let child = self.create_process(creator, Some(parent), user, &executable, extra, &[])?;
+
+        // Copy the parent's memory image into the child's segments.
+        let parent_proc = self.process(parent)?.clone();
+        let child_proc = self.process(child)?.clone();
+        for (src, dst) in [
+            (parent_proc.text_segment, child_proc.text_segment),
+            (parent_proc.heap_segment, child_proc.heap_segment),
+            (parent_proc.stack_segment, child_proc.stack_segment),
+        ] {
+            self.copy_segment_contents(
+                parent_proc.thread,
+                parent_proc.internal_container,
+                src,
+                child_proc.thread,
+                child_proc.internal_container,
+                dst,
+            )?;
+        }
+
+        // Share file descriptors: the child references the same descriptor
+        // segments and each descriptor's reference count goes up by one.
+        {
+            let mut child_table = FdTable::new();
+            for (fd, seg) in &fds {
+                child_table.install(*fd, *seg);
+            }
+            self.process_mut(child)?.fds = child_table;
+            self.process_mut(child)?.cwd = cwd;
+        }
+        for (_, seg) in fds {
+            self.update_fd_state(parent, seg, |st| st.refs += 1)?;
+        }
+        Ok(child)
+    }
+
+    /// Replaces a process's image with the named executable (the file's
+    /// contents become the text segment; heap and stack are reallocated).
+    pub fn exec(&mut self, pid: Pid, path: &str) -> Result<()> {
+        let image = match self.read_file_as(pid, path) {
+            Ok(bytes) => bytes,
+            Err(UnixError::NotFound(_)) => format!("#!{path}").into_bytes(),
+            Err(e) => return Err(e),
+        };
+        let (thread, internal, internal_label, aspace) = {
+            let p = self.process(pid)?;
+            (
+                p.thread,
+                p.internal_container,
+                p.internal_label(),
+                p.address_space,
+            )
+        };
+        let kernel = self.machine.kernel_mut();
+        let internal_entry = ContainerEntry::self_entry(internal);
+
+        // Fresh text/heap/stack segments (the old ones are unreferenced).
+        let text = kernel.sys_segment_create(
+            thread,
+            internal,
+            internal_label.clone(),
+            image.len().max(1) as u64,
+            "text",
+        )?;
+        kernel.sys_segment_write(thread, ContainerEntry::new(internal, text), 0, &image)?;
+        let heap = kernel.sys_segment_create(
+            thread,
+            internal,
+            internal_label.clone(),
+            HEAP_PAGES * PAGE_SIZE,
+            "heap",
+        )?;
+        let stack = kernel.sys_segment_create(
+            thread,
+            internal,
+            internal_label,
+            STACK_PAGES * PAGE_SIZE,
+            "stack",
+        )?;
+
+        let old = {
+            let p = self.process(pid)?;
+            [p.text_segment, p.heap_segment, p.stack_segment]
+        };
+        let kernel = self.machine.kernel_mut();
+        for seg in old {
+            let _ = kernel.sys_obj_unref(thread, ContainerEntry::new(internal, seg));
+        }
+        let _ = internal_entry;
+        self.map_process_image(pid, aspace, text, heap, stack)?;
+        {
+            let p = self.process_mut(pid)?;
+            p.text_segment = text;
+            p.heap_segment = heap;
+            p.stack_segment = stack;
+            p.executable = path.to_string();
+        }
+        Ok(())
+    }
+
+    /// Terminates a process with the given status: the exit status is
+    /// written to the (externally readable) exit segment and the thread is
+    /// halted.  Resources are reclaimed when the parent waits.
+    pub fn exit(&mut self, pid: Pid, status: ExitStatus) -> Result<()> {
+        let (thread, process_container, exit_segment, fds): (ObjectId, ObjectId, ObjectId, Vec<(Fd, ObjectId)>) = {
+            let p = self.process(pid)?;
+            (
+                p.thread,
+                p.process_container,
+                p.exit_segment,
+                p.fds.iter().collect(),
+            )
+        };
+        for (fd, _) in fds {
+            let _ = self.close(pid, fd);
+        }
+        let kernel = self.machine.kernel_mut();
+        kernel.sys_segment_write(
+            thread,
+            ContainerEntry::new(process_container, exit_segment),
+            0,
+            &status.encode(),
+        )?;
+        kernel.sys_self_halt(thread)?;
+        self.process_mut(pid)?.state = ProcessState::Zombie(status);
+        Ok(())
+    }
+
+    /// Waits for a child to exit, returning its status and reclaiming its
+    /// resources.  Returns [`UnixError::StillRunning`] if it has not exited.
+    pub fn wait(&mut self, parent: Pid, child: Pid) -> Result<ExitStatus> {
+        let parent_thread = self.process(parent)?.thread;
+        let (child_container, exit_segment, state) = {
+            let c = self.process(child)?;
+            (c.process_container, c.exit_segment, c.state)
+        };
+        match state {
+            ProcessState::Running => return Err(UnixError::StillRunning(child)),
+            ProcessState::Reaped => return Err(UnixError::NoSuchProcess(child)),
+            ProcessState::Zombie(_) => {}
+        }
+        // Read the exit status through the kernel (checks that the parent
+        // may observe the exit segment, which anyone may — {pw 0, 1}).
+        let kernel = self.machine.kernel_mut();
+        let bytes = kernel.sys_segment_read(
+            parent_thread,
+            ContainerEntry::new(child_container, exit_segment),
+            0,
+            8,
+        )?;
+        let status = ExitStatus::decode(&bytes).ok_or(UnixError::Corrupt("exit segment"))?;
+        // Reclaim: unreference the child's process container from the
+        // kernel root, which drops the whole subtree.
+        let kroot = kernel.root_container();
+        kernel.sys_obj_unref(parent_thread, ContainerEntry::new(kroot, child_container))?;
+        self.process_mut(child)?.state = ProcessState::Reaped;
+        Ok(status)
+    }
+
+    /// Sends a signal to a process by invoking its signal gate, which alerts
+    /// one of the process's threads (§5.6).
+    pub fn kill(&mut self, sender: Pid, target: Pid, signal: u64) -> Result<()> {
+        let sender_thread = self.process(sender)?.thread;
+        let (target_container, signal_gate, target_thread) = {
+            let t = self.process(target)?;
+            (t.process_container, t.signal_gate, t.thread)
+        };
+        // Invoking the signal gate requires passing its clearance check; we
+        // then deliver the alert with the privilege the gate carries.
+        let kernel = self.machine.kernel_mut();
+        let tl = kernel.thread_label(sender_thread)?;
+        let tc = kernel.thread_clearance(sender_thread)?;
+        let gate_entry = ContainerEntry::new(target_container, signal_gate);
+        let glabel = kernel.sys_obj_get_label(sender_thread, gate_entry)?;
+        let requested = tl.ownership_union(&glabel);
+        kernel.sys_gate_enter(sender_thread, gate_entry, requested, tc.clone(), tl.clone())?;
+        // Running in the gate's privilege, alert the target thread.
+        kernel.sys_thread_alert(
+            sender_thread,
+            ContainerEntry::new(target_container, target_thread),
+            signal,
+        )?;
+        // Return to the sender's own label (it owned everything it had).
+        kernel.sys_self_set_label(sender_thread, tl)?;
+        kernel.sys_self_set_clearance(sender_thread, tc)?;
+        Ok(())
+    }
+
+    /// Takes the next pending signal for a process, if any.
+    pub fn take_signal(&mut self, pid: Pid) -> Result<Option<u64>> {
+        let thread = self.process(pid)?.thread;
+        let alert = self.machine.kernel_mut().sys_self_take_alert(thread)?;
+        Ok(alert.map(|a| a.code))
+    }
+
+    // ----- internal process construction ------------------------------------
+
+    fn create_process(
+        &mut self,
+        creator: ObjectId,
+        parent: Option<Pid>,
+        user: Option<String>,
+        executable: &str,
+        extra_ownership: Vec<Category>,
+        extra_taint: &[(Category, Level)],
+    ) -> Result<Pid> {
+        let kroot = self.machine.kernel().root_container();
+        let kernel = self.machine.kernel_mut();
+
+        let saved_label = kernel.thread_label(creator)?;
+        let saved_clearance = kernel.thread_clearance(creator)?;
+
+        // Allocate the process's secrecy and integrity categories.
+        let pr = kernel.sys_create_category(creator)?;
+        let pw = kernel.sys_create_category(creator)?;
+
+        // A process launched pre-tainted (e.g. the virus scanner tainted
+        // `v 3`) needs that taint on everything it must be able to write:
+        // its thread, its private containers and segments, and its exit
+        // segment (reading the exit status then requires owning the taint
+        // category, which is the §5.8 "explicit leak" decision left to the
+        // category's owner).
+        let mut external_builder = Label::builder().set(pw, Level::L0);
+        let mut internal_builder = Label::builder().set(pr, Level::L3).set(pw, Level::L0);
+        let mut thread_label_builder = Label::builder().own(pr).own(pw);
+        let mut clearance_builder = Label::builder()
+            .set(pr, Level::L3)
+            .set(pw, Level::L3)
+            .default_level(Level::L2);
+        for &c in &extra_ownership {
+            thread_label_builder = thread_label_builder.own(c);
+            clearance_builder = clearance_builder.set(c, Level::L3);
+        }
+        for &(c, lvl) in extra_taint {
+            thread_label_builder = thread_label_builder.set(c, lvl);
+            external_builder = external_builder.set(c, lvl);
+            internal_builder = internal_builder.set(c, lvl);
+            clearance_builder = clearance_builder.set(c, Level::L3);
+        }
+        let external_label = external_builder.build();
+        let internal_label = internal_builder.build();
+        let thread_label = thread_label_builder.build();
+        let thread_clearance = clearance_builder.build();
+
+        // Process container and internal container (Figure 6).
+        let process_container = kernel.sys_container_create(
+            creator,
+            kroot,
+            external_label.clone(),
+            &format!("proc {executable}"),
+            0,
+            PROCESS_QUOTA,
+        )?;
+        let internal_container = kernel.sys_container_create(
+            creator,
+            process_container,
+            internal_label.clone(),
+            "internal",
+            0,
+            PROCESS_QUOTA / 2,
+        )?;
+        // Exit status segment, readable by anyone.
+        let exit_segment = kernel.sys_segment_create(
+            creator,
+            process_container,
+            external_label,
+            8,
+            "exit status",
+        )?;
+        // The process's thread.
+        let thread = kernel.sys_thread_create(
+            creator,
+            process_container,
+            thread_label.clone(),
+            thread_clearance,
+            0,
+            &format!("thread {executable}"),
+        )?;
+        // Signal gate, invocable by holders of the user's write category (or
+        // anyone, for user-less system processes).  A pre-tainted process's
+        // gate carries the taint, so its clearance must admit it.
+        let mut signal_gate_clearance = match (&user, self.users.lookup(user.as_deref().unwrap_or("")))
+        {
+            (Some(_), Some(u)) => Label::builder()
+                .set(u.write_cat, Level::L0)
+                .default_level(Level::L2)
+                .build(),
+            _ => Label::default_clearance(),
+        };
+        for &(c, lvl) in extra_taint {
+            signal_gate_clearance = signal_gate_clearance.with(c, lvl);
+        }
+        let signal_gate = kernel.sys_gate_create(
+            creator,
+            process_container,
+            thread_label.clone(),
+            signal_gate_clearance,
+            None,
+            0,
+            vec![],
+            "signal gate",
+        )?;
+
+        // Address space and the initial memory image.
+        let address_space = kernel.sys_as_create(
+            creator,
+            internal_container,
+            internal_label.clone(),
+            "address space",
+        )?;
+        let text = kernel.sys_segment_create(
+            creator,
+            internal_container,
+            internal_label.clone(),
+            PAGE_SIZE,
+            "text",
+        )?;
+        let heap = kernel.sys_segment_create(
+            creator,
+            internal_container,
+            internal_label.clone(),
+            HEAP_PAGES * PAGE_SIZE,
+            "heap",
+        )?;
+        let stack = kernel.sys_segment_create(
+            creator,
+            internal_container,
+            internal_label,
+            STACK_PAGES * PAGE_SIZE,
+            "stack",
+        )?;
+
+        // The creator drops the new process's categories again: from here on
+        // only the new process's own thread owns them.
+        kernel.sys_self_set_label(creator, saved_label)?;
+        kernel.sys_self_set_clearance(creator, saved_clearance)?;
+
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let cwd = parent
+            .and_then(|p| self.processes.get(&p))
+            .map(|p| p.cwd.clone())
+            .unwrap_or_else(|| "/".to_string());
+        let process = Process {
+            pid,
+            parent,
+            user,
+            read_cat: pr,
+            write_cat: pw,
+            process_container,
+            internal_container,
+            thread,
+            address_space,
+            exit_segment,
+            signal_gate,
+            text_segment: text,
+            heap_segment: heap,
+            stack_segment: stack,
+            executable: executable.to_string(),
+            fds: FdTable::new(),
+            cwd,
+            state: ProcessState::Running,
+            extra_ownership,
+            signal_handlers: Vec::new(),
+        };
+        self.processes.insert(pid, process);
+        self.map_process_image(pid, address_space, text, heap, stack)?;
+        Ok(pid)
+    }
+
+    /// Installs the standard text/heap/stack mappings and switches the
+    /// process's thread onto its address space.
+    fn map_process_image(
+        &mut self,
+        pid: Pid,
+        address_space: ObjectId,
+        text: ObjectId,
+        heap: ObjectId,
+        stack: ObjectId,
+    ) -> Result<()> {
+        let (thread, internal) = {
+            let p = self.process(pid)?;
+            (p.thread, p.internal_container)
+        };
+        let kernel = self.machine.kernel_mut();
+        let as_entry = ContainerEntry::new(internal, address_space);
+        let mappings = [
+            (0x0040_0000u64, text, MappingFlags::rx(), 16u64),
+            (0x1000_0000u64, heap, MappingFlags::rw(), HEAP_PAGES),
+            (0x7fff_0000u64, stack, MappingFlags::rw(), STACK_PAGES),
+        ];
+        for (va, seg, flags, npages) in mappings {
+            kernel.sys_as_map(
+                thread,
+                as_entry,
+                Mapping {
+                    va,
+                    segment: ContainerEntry::new(internal, seg),
+                    offset: 0,
+                    npages,
+                    flags,
+                },
+            )?;
+        }
+        kernel.sys_self_set_as(thread, as_entry)?;
+        Ok(())
+    }
+
+    fn copy_segment_contents(
+        &mut self,
+        src_thread: ObjectId,
+        src_container: ObjectId,
+        src: ObjectId,
+        dst_thread: ObjectId,
+        dst_container: ObjectId,
+        dst: ObjectId,
+    ) -> Result<()> {
+        let kernel = self.machine.kernel_mut();
+        let len = kernel.sys_segment_len(src_thread, ContainerEntry::new(src_container, src))?;
+        if len == 0 {
+            return Ok(());
+        }
+        let data =
+            kernel.sys_segment_read(src_thread, ContainerEntry::new(src_container, src), 0, len)?;
+        kernel.sys_segment_write(dst_thread, ContainerEntry::new(dst_container, dst), 0, &data)?;
+        Ok(())
+    }
+
+    // ----- file system (§5.1) ------------------------------------------------
+
+    /// Automatic quota management (§3.3: "the system library can manage
+    /// quotas automatically"): tops up a container from its ancestors so
+    /// that at least `need` bytes are available, moving quota down the
+    /// hierarchy from the root (whose quota is infinite).
+    fn ensure_quota(&mut self, thread: ObjectId, container: ObjectId, need: u64) -> Result<()> {
+        let kernel = self.machine.kernel_mut();
+        let avail = kernel.sys_container_quota_avail(thread, container)?;
+        if avail >= need {
+            return Ok(());
+        }
+        let grant = (need - avail).max(DIRECTORY_QUOTA);
+        let parent = kernel.sys_container_get_parent(thread, container)?;
+        self.ensure_quota(thread, parent, grant)?;
+        self.machine
+            .kernel_mut()
+            .sys_quota_move(thread, parent, container, grant as i64)?;
+        Ok(())
+    }
+
+    /// Creates a directory container plus its directory segment, recording
+    /// the directory segment's object ID in the container metadata.
+    fn make_directory_in(
+        &mut self,
+        thread: ObjectId,
+        parent_container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId> {
+        self.ensure_quota(thread, parent_container, DIRECTORY_QUOTA + 2 * PAGE_SIZE)?;
+        let kernel = self.machine.kernel_mut();
+        let dir = kernel.sys_container_create(
+            thread,
+            parent_container,
+            label.clone(),
+            descrip,
+            0,
+            DIRECTORY_QUOTA,
+        )?;
+        let dirseg = kernel.sys_segment_create(thread, dir, label, PAGE_SIZE, ".dirents")?;
+        let mut meta = [0u8; METADATA_LEN];
+        meta[..8].copy_from_slice(&dirseg.raw().to_le_bytes());
+        kernel.sys_obj_set_metadata(thread, ContainerEntry::self_entry(dir), meta)?;
+        Ok(dir)
+    }
+
+    /// Finds the directory segment of a directory container.
+    fn dirseg_of(&mut self, thread: ObjectId, dir: ObjectId) -> Result<ObjectId> {
+        let kernel = self.machine.kernel_mut();
+        let meta = kernel.sys_obj_get_metadata(thread, ContainerEntry::self_entry(dir))?;
+        let raw = u64::from_le_bytes(meta[..8].try_into().expect("metadata is 64 bytes"));
+        if raw == 0 {
+            return Err(UnixError::Corrupt("directory has no directory segment"));
+        }
+        Ok(ObjectId::from_raw(raw))
+    }
+
+    fn read_directory(&mut self, thread: ObjectId, dir: ObjectId) -> Result<Directory> {
+        let dirseg = self.dirseg_of(thread, dir)?;
+        let kernel = self.machine.kernel_mut();
+        let entry = ContainerEntry::new(dir, dirseg);
+        let len = kernel.sys_segment_len(thread, entry)?;
+        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        Directory::decode(&bytes).ok_or(UnixError::Corrupt("directory segment"))
+    }
+
+    fn write_directory(&mut self, thread: ObjectId, dir: ObjectId, d: &Directory) -> Result<()> {
+        let dirseg = self.dirseg_of(thread, dir)?;
+        let entry = ContainerEntry::new(dir, dirseg);
+        let bytes = d.encode();
+        // Large directories outgrow the directory segment's initial quota;
+        // the library moves more quota into it as needed.
+        if let Err(SyscallError::QuotaExceeded {
+            requested,
+            available,
+            ..
+        }) = self
+            .machine
+            .kernel_mut()
+            .sys_segment_resize(thread, entry, bytes.len() as u64)
+        {
+            let grow = (requested - available).max(64 * PAGE_SIZE);
+            self.ensure_quota(thread, dir, grow)?;
+            self.machine
+                .kernel_mut()
+                .sys_quota_move(thread, dir, dirseg, grow as i64)?;
+            self.machine
+                .kernel_mut()
+                .sys_segment_resize(thread, entry, bytes.len() as u64)?;
+        }
+        self.machine
+            .kernel_mut()
+            .sys_segment_write(thread, entry, 0, &bytes)?;
+        Ok(())
+    }
+
+    /// Resolves a path to its parent directory container and final
+    /// component name.
+    fn resolve_parent(
+        &mut self,
+        pid: Pid,
+        path: &str,
+    ) -> Result<(ObjectId, String, Vec<String>)> {
+        let (thread, cwd) = {
+            let p = self.process(pid)?;
+            (p.thread, p.cwd.clone())
+        };
+        let comps = split_path(&cwd, path);
+        if comps.is_empty() {
+            return Err(UnixError::Unsupported("path resolves to the root itself"));
+        }
+        let (dir_comps, name) = comps.split_at(comps.len() - 1);
+        let dir = self.resolve_dir_components(thread, dir_comps)?;
+        Ok((dir, name[0].clone(), comps))
+    }
+
+    fn resolve_dir_components(&mut self, thread: ObjectId, comps: &[String]) -> Result<ObjectId> {
+        let mut current = self.fs_root;
+        for (i, comp) in comps.iter().enumerate() {
+            // A mount exactly covering the prefix overrides the lookup.
+            if let Some(mounted) = self.mounts.resolve(&comps[..=i]) {
+                current = mounted;
+                continue;
+            }
+            let dir = self.read_directory(thread, current)?;
+            let entry = dir
+                .lookup(comp)
+                .ok_or_else(|| UnixError::NotFound(join_path(&comps[..=i].to_vec())))?;
+            if !entry.is_dir {
+                return Err(UnixError::NotADirectory(comp.clone()));
+            }
+            current = entry.object;
+        }
+        Ok(current)
+    }
+
+    /// Pre-reserves quota for a directory so that processes which cannot
+    /// modify the directory's ancestors (e.g. network-tainted downloaders)
+    /// can still grow files inside it.  The calling process must be able to
+    /// write the directory and its ancestors — this is the §5.8 observation
+    /// that quota adjustments for tainted work must be arranged by an owner
+    /// ahead of time.
+    pub fn reserve_quota(&mut self, pid: Pid, path: &str, bytes: u64) -> Result<()> {
+        let (thread, cwd) = {
+            let p = self.process(pid)?;
+            (p.thread, p.cwd.clone())
+        };
+        let comps = split_path(&cwd, path);
+        let dir = self.resolve_dir_components(thread, &comps)?;
+        self.ensure_quota(thread, dir, bytes)
+    }
+
+    /// Creates a directory at `path` with an optional explicit label.
+    pub fn mkdir(&mut self, pid: Pid, path: &str, label: Option<Label>) -> Result<ObjectId> {
+        let (dir, name, _) = self.resolve_parent(pid, path)?;
+        let thread = self.process(pid)?.thread;
+        let mut d = self.read_directory(thread, dir)?;
+        if d.lookup(&name).is_some() {
+            return Err(UnixError::Exists(path.to_string()));
+        }
+        let label = label.unwrap_or_else(Label::unrestricted);
+        let new_dir = self.make_directory_in(thread, dir, label, &name)?;
+        d.insert(DirEntry {
+            name,
+            object: new_dir,
+            is_dir: true,
+        });
+        self.write_directory(thread, dir, &d)?;
+        Ok(new_dir)
+    }
+
+    /// Creates (or opens) a file and returns a descriptor for it.
+    pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> Result<Fd> {
+        self.open_labeled(pid, path, flags, None)
+    }
+
+    /// Creates (or opens) a file with an explicit label for newly created
+    /// files (e.g. `{ur 3, uw 0, 1}` for a user's private data).
+    pub fn open_labeled(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        flags: OpenFlags,
+        label: Option<Label>,
+    ) -> Result<Fd> {
+        let (dir, name, _) = self.resolve_parent(pid, path)?;
+        let thread = self.process(pid)?.thread;
+        let mut d = self.read_directory(thread, dir)?;
+        let file_seg = match d.lookup(&name) {
+            Some(entry) if entry.is_dir => return Err(UnixError::IsADirectory(path.to_string())),
+            Some(entry) => {
+                let seg = entry.object;
+                if flags.truncate {
+                    self.machine.kernel_mut().sys_segment_resize(
+                        thread,
+                        ContainerEntry::new(dir, seg),
+                        0,
+                    )?;
+                }
+                seg
+            }
+            None => {
+                if !flags.create {
+                    return Err(UnixError::NotFound(path.to_string()));
+                }
+                let label = label.unwrap_or_else(Label::unrestricted);
+                self.ensure_quota(thread, dir, 2 * PAGE_SIZE)?;
+                let kernel = self.machine.kernel_mut();
+                let seg = kernel.sys_segment_create(thread, dir, label, 0, &name)?;
+                d.insert(DirEntry {
+                    name: name.clone(),
+                    object: seg,
+                    is_dir: false,
+                });
+                self.write_directory(thread, dir, &d)?;
+                seg
+            }
+        };
+        let mut fd_flags = 0u32;
+        if flags.append {
+            fd_flags |= FLAG_APPEND;
+        }
+        if flags.read && !flags.write {
+            fd_flags |= FLAG_RDONLY;
+        }
+        if flags.write && !flags.read {
+            fd_flags |= FLAG_WRONLY;
+        }
+        self.install_fd(
+            pid,
+            FdState {
+                kind: FdKind::File,
+                target: file_seg,
+                target_container: dir,
+                position: 0,
+                flags: fd_flags,
+                refs: 1,
+            },
+        )
+    }
+
+    fn install_fd(&mut self, pid: Pid, state: FdState) -> Result<Fd> {
+        let (thread, container) = {
+            let p = self.process(pid)?;
+            (p.thread, p.process_container)
+        };
+        let kernel = self.machine.kernel_mut();
+        // The descriptor segment carries the opening thread's taint (but not
+        // its ownership) so that tainted processes can still maintain their
+        // own descriptor state.
+        let fd_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
+        let fd_seg = kernel.sys_segment_create(thread, container, fd_label, 0, "file descriptor")?;
+        kernel.sys_segment_write(
+            thread,
+            ContainerEntry::new(container, fd_seg),
+            0,
+            &state.encode(),
+        )?;
+        Ok(self.process_mut(pid)?.fds.allocate(fd_seg))
+    }
+
+    /// Finds a container entry through which `thread` can name a (possibly
+    /// shared) descriptor segment.  After `fork`, a descriptor segment
+    /// created by the parent is still linked only in the parent's process
+    /// container, so the child names it through that container instead.
+    fn find_fd_entry(
+        &mut self,
+        thread: ObjectId,
+        preferred_container: ObjectId,
+        fd_seg: ObjectId,
+    ) -> Result<(ContainerEntry, u64)> {
+        let kernel = self.machine.kernel_mut();
+        let entry = ContainerEntry::new(preferred_container, fd_seg);
+        if let Ok(len) = kernel.sys_segment_len(thread, entry) {
+            return Ok((entry, len));
+        }
+        for p in self.processes.values() {
+            let cand = ContainerEntry::new(p.process_container, fd_seg);
+            if let Ok(len) = kernel.sys_segment_len(thread, cand) {
+                return Ok((cand, len));
+            }
+        }
+        Err(UnixError::Corrupt("shared fd segment not reachable"))
+    }
+
+    fn fd_state(&mut self, pid: Pid, fd: Fd) -> Result<(ObjectId, FdState)> {
+        let (thread, container, seg) = {
+            let p = self.process(pid)?;
+            let seg = p.fds.get(fd).ok_or(UnixError::BadFd(fd))?;
+            (p.thread, p.process_container, seg)
+        };
+        let (entry, len) = self.find_fd_entry(thread, container, seg)?;
+        let kernel = self.machine.kernel_mut();
+        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        let state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
+        Ok((seg, state))
+    }
+
+    fn update_fd_state(
+        &mut self,
+        pid: Pid,
+        fd_seg: ObjectId,
+        update: impl FnOnce(&mut FdState),
+    ) -> Result<FdState> {
+        let (thread, container) = {
+            let p = self.process(pid)?;
+            (p.thread, p.process_container)
+        };
+        let (entry, len) = self.find_fd_entry(thread, container, fd_seg)?;
+        let kernel = self.machine.kernel_mut();
+        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        let mut state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
+        update(&mut state);
+        kernel.sys_segment_write(thread, entry, 0, &state.encode())?;
+        Ok(state)
+    }
+
+    /// Closes a descriptor; the descriptor segment is dropped when the last
+    /// process sharing it closes it.
+    pub fn close(&mut self, pid: Pid, fd: Fd) -> Result<()> {
+        let fd_seg = {
+            let p = self.process_mut(pid)?;
+            p.fds.remove(fd).ok_or(UnixError::BadFd(fd))?
+        };
+        let state = self.update_fd_state(pid, fd_seg, |st| st.refs = st.refs.saturating_sub(1))?;
+        if state.refs == 0 && state.kind == FdKind::PipeWrite {
+            // Mark end-of-file for readers by clearing the writer count in
+            // the pipe header.
+            let _ = self.with_pipe(pid, &state, |_, _, writers| {
+                *writers = writers.saturating_sub(1);
+            });
+        }
+        Ok(())
+    }
+
+    /// Duplicates a descriptor (both numbers share the same descriptor
+    /// segment, hence offset and flags).
+    pub fn dup(&mut self, pid: Pid, fd: Fd) -> Result<Fd> {
+        let fd_seg = {
+            let p = self.process(pid)?;
+            p.fds.get(fd).ok_or(UnixError::BadFd(fd))?
+        };
+        self.update_fd_state(pid, fd_seg, |st| st.refs += 1)?;
+        Ok(self.process_mut(pid)?.fds.allocate(fd_seg))
+    }
+
+    /// Reads up to `len` bytes from a descriptor.
+    pub fn read(&mut self, pid: Pid, fd: Fd, len: u64) -> Result<Vec<u8>> {
+        let (fd_seg, state) = self.fd_state(pid, fd)?;
+        match state.kind {
+            FdKind::File => {
+                let thread = self.process(pid)?.thread;
+                let kernel = self.machine.kernel_mut();
+                let entry = ContainerEntry::new(state.target_container, state.target);
+                let file_len = kernel.sys_segment_len(thread, entry)?;
+                let start = state.position.min(file_len);
+                let n = len.min(file_len - start);
+                let data = kernel.sys_segment_read(thread, entry, start, n)?;
+                self.update_fd_state(pid, fd_seg, |st| st.position = start + n)?;
+                Ok(data)
+            }
+            FdKind::PipeRead => self.pipe_read(pid, &state, len),
+            FdKind::PipeWrite => Err(UnixError::Unsupported("read from pipe write end")),
+            FdKind::Console => Ok(Vec::new()),
+            FdKind::Socket => Err(UnixError::Unsupported("socket reads go through netd")),
+        }
+    }
+
+    /// Writes bytes to a descriptor, returning the number written.
+    pub fn write(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<u64> {
+        let (fd_seg, state) = self.fd_state(pid, fd)?;
+        match state.kind {
+            FdKind::File => {
+                let thread = self.process(pid)?.thread;
+                let kernel = self.machine.kernel_mut();
+                let entry = ContainerEntry::new(state.target_container, state.target);
+                let pos = if state.flags & FLAG_APPEND != 0 {
+                    kernel.sys_segment_len(thread, entry)?
+                } else {
+                    state.position
+                };
+                // Growing the file past its segment quota is handled by the
+                // library: move more quota into the segment from the
+                // directory (topping the directory up from its ancestors).
+                if let Err(SyscallError::QuotaExceeded {
+                    requested,
+                    available,
+                    ..
+                }) = kernel.sys_segment_write(thread, entry, pos, data)
+                {
+                    let grow = (requested - available).max(PAGE_SIZE * 256);
+                    self.ensure_quota(thread, state.target_container, grow)?;
+                    self.machine.kernel_mut().sys_quota_move(
+                        thread,
+                        state.target_container,
+                        state.target,
+                        grow as i64,
+                    )?;
+                    self.machine
+                        .kernel_mut()
+                        .sys_segment_write(thread, entry, pos, data)?;
+                }
+                self.update_fd_state(pid, fd_seg, |st| st.position = pos + data.len() as u64)?;
+                Ok(data.len() as u64)
+            }
+            FdKind::PipeWrite => self.pipe_write(pid, &state, data),
+            FdKind::PipeRead => Err(UnixError::Unsupported("write to pipe read end")),
+            FdKind::Console => {
+                let thread = self.process(pid)?.thread;
+                if let Some(console) = self.machine.console_device() {
+                    let kroot = self.machine.kernel().root_container();
+                    self.machine.kernel_mut().sys_net_transmit(
+                        thread,
+                        ContainerEntry::new(kroot, console),
+                        data.to_vec(),
+                    )?;
+                }
+                Ok(data.len() as u64)
+            }
+            FdKind::Socket => Err(UnixError::Unsupported("socket writes go through netd")),
+        }
+    }
+
+    /// Repositions a file descriptor (absolute seek).
+    pub fn lseek(&mut self, pid: Pid, fd: Fd, position: u64) -> Result<()> {
+        let (fd_seg, state) = self.fd_state(pid, fd)?;
+        if state.kind != FdKind::File {
+            return Err(UnixError::Unsupported("seek on a non-file descriptor"));
+        }
+        self.update_fd_state(pid, fd_seg, |st| st.position = position)?;
+        Ok(())
+    }
+
+    // ----- pipes ---------------------------------------------------------------
+
+    /// Creates a pipe, returning `(read end, write end)`.
+    pub fn pipe(&mut self, pid: Pid) -> Result<(Fd, Fd)> {
+        let (thread, container) = {
+            let p = self.process(pid)?;
+            (p.thread, p.process_container)
+        };
+        let kernel = self.machine.kernel_mut();
+        let pipe_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
+        let pipe_seg = kernel.sys_segment_create(
+            thread,
+            container,
+            pipe_label,
+            PIPE_HEADER + PIPE_CAPACITY,
+            "pipe",
+        )?;
+        // Header: read pos = 0, write pos = 0, writers = 1.
+        let mut header = [0u8; PIPE_HEADER as usize];
+        header[16..24].copy_from_slice(&1u64.to_le_bytes());
+        kernel.sys_segment_write(thread, ContainerEntry::new(container, pipe_seg), 0, &header)?;
+        let read_fd = self.install_fd(
+            pid,
+            FdState {
+                kind: FdKind::PipeRead,
+                target: pipe_seg,
+                target_container: container,
+                position: 0,
+                flags: FLAG_RDONLY,
+                refs: 1,
+            },
+        )?;
+        let write_fd = self.install_fd(
+            pid,
+            FdState {
+                kind: FdKind::PipeWrite,
+                target: pipe_seg,
+                target_container: container,
+                position: 0,
+                flags: FLAG_WRONLY,
+                refs: 1,
+            },
+        )?;
+        Ok((read_fd, write_fd))
+    }
+
+    fn with_pipe<T>(
+        &mut self,
+        pid: Pid,
+        state: &FdState,
+        f: impl FnOnce(&mut u64, &mut u64, &mut u64) -> T,
+    ) -> Result<(T, ContainerEntry, ObjectId)> {
+        let thread = self.process(pid)?.thread;
+        let kernel = self.machine.kernel_mut();
+        let entry = ContainerEntry::new(state.target_container, state.target);
+        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let mut rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        let mut wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let mut writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let out = f(&mut rpos, &mut wpos, &mut writers);
+        let mut new_header = [0u8; PIPE_HEADER as usize];
+        new_header[0..8].copy_from_slice(&rpos.to_le_bytes());
+        new_header[8..16].copy_from_slice(&wpos.to_le_bytes());
+        new_header[16..24].copy_from_slice(&writers.to_le_bytes());
+        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        Ok((out, entry, thread))
+    }
+
+    fn pipe_read(&mut self, pid: Pid, state: &FdState, len: u64) -> Result<Vec<u8>> {
+        let thread = self.process(pid)?.thread;
+        let kernel = self.machine.kernel_mut();
+        let entry = ContainerEntry::new(state.target_container, state.target);
+        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+        let available = wpos - rpos;
+        if available == 0 {
+            if writers == 0 {
+                return Ok(Vec::new()); // end of file
+            }
+            return Err(UnixError::WouldBlock);
+        }
+        let n = len.min(available);
+        let mut out = Vec::with_capacity(n as usize);
+        let start = rpos % PIPE_CAPACITY;
+        let first = n.min(PIPE_CAPACITY - start);
+        out.extend(kernel.sys_segment_read(thread, entry, PIPE_HEADER + start, first)?);
+        if first < n {
+            out.extend(kernel.sys_segment_read(thread, entry, PIPE_HEADER, n - first)?);
+        }
+        let mut new_header = header.clone();
+        new_header[0..8].copy_from_slice(&(rpos + n).to_le_bytes());
+        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        Ok(out)
+    }
+
+    fn pipe_write(&mut self, pid: Pid, state: &FdState, data: &[u8]) -> Result<u64> {
+        let thread = self.process(pid)?.thread;
+        let kernel = self.machine.kernel_mut();
+        let entry = ContainerEntry::new(state.target_container, state.target);
+        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+        let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+        let free = PIPE_CAPACITY - (wpos - rpos);
+        if free == 0 {
+            return Err(UnixError::WouldBlock);
+        }
+        let n = (data.len() as u64).min(free);
+        let start = wpos % PIPE_CAPACITY;
+        let first = n.min(PIPE_CAPACITY - start);
+        kernel.sys_segment_write(thread, entry, PIPE_HEADER + start, &data[..first as usize])?;
+        if first < n {
+            kernel.sys_segment_write(thread, entry, PIPE_HEADER, &data[first as usize..n as usize])?;
+        }
+        let mut new_header = header.clone();
+        new_header[8..16].copy_from_slice(&(wpos + n).to_le_bytes());
+        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        Ok(n)
+    }
+
+    // ----- higher-level file helpers ------------------------------------------
+
+    /// Reads an entire file into memory on behalf of a process.
+    pub fn read_file_as(&mut self, pid: Pid, path: &str) -> Result<Vec<u8>> {
+        let fd = self.open(pid, path, OpenFlags::read_only())?;
+        let stat = self.fstat(pid, fd)?;
+        let data = self.read(pid, fd, stat.len)?;
+        self.close(pid, fd)?;
+        Ok(data)
+    }
+
+    /// Writes an entire file (creating or truncating it) on behalf of a
+    /// process, with an optional label for newly created files.
+    pub fn write_file_as(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        data: &[u8],
+        label: Option<Label>,
+    ) -> Result<()> {
+        let fd = self.open_labeled(pid, path, OpenFlags::write_create(), label)?;
+        self.write(pid, fd, data)?;
+        self.close(pid, fd)?;
+        Ok(())
+    }
+
+    /// `stat` on an open descriptor.
+    pub fn fstat(&mut self, pid: Pid, fd: Fd) -> Result<FileStat> {
+        let (_, state) = self.fd_state(pid, fd)?;
+        let thread = self.process(pid)?.thread;
+        let len = match state.kind {
+            FdKind::File => self.machine.kernel_mut().sys_segment_len(
+                thread,
+                ContainerEntry::new(state.target_container, state.target),
+            )?,
+            _ => 0,
+        };
+        Ok(FileStat {
+            object: state.target,
+            is_dir: false,
+            len,
+        })
+    }
+
+    /// `stat` on a path.
+    pub fn stat(&mut self, pid: Pid, path: &str) -> Result<FileStat> {
+        let (dir, name, _) = self.resolve_parent(pid, path)?;
+        let thread = self.process(pid)?.thread;
+        let d = self.read_directory(thread, dir)?;
+        let entry = d
+            .lookup(&name)
+            .ok_or_else(|| UnixError::NotFound(path.to_string()))?
+            .clone();
+        let len = if entry.is_dir {
+            0
+        } else {
+            self.machine
+                .kernel_mut()
+                .sys_segment_len(thread, ContainerEntry::new(dir, entry.object))?
+        };
+        Ok(FileStat {
+            object: entry.object,
+            is_dir: entry.is_dir,
+            len,
+        })
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&mut self, pid: Pid, path: &str) -> Result<Vec<DirEntry>> {
+        let (thread, cwd) = {
+            let p = self.process(pid)?;
+            (p.thread, p.cwd.clone())
+        };
+        let comps = split_path(&cwd, path);
+        let dir = self.resolve_dir_components(thread, &comps)?;
+        Ok(self.read_directory(thread, dir)?.entries)
+    }
+
+    /// Removes a file (or empty directory entry) from its directory.
+    pub fn unlink(&mut self, pid: Pid, path: &str) -> Result<()> {
+        let (dir, name, _) = self.resolve_parent(pid, path)?;
+        let thread = self.process(pid)?.thread;
+        let mut d = self.read_directory(thread, dir)?;
+        let entry = d
+            .remove(&name)
+            .ok_or_else(|| UnixError::NotFound(path.to_string()))?;
+        self.write_directory(thread, dir, &d)?;
+        self.machine
+            .kernel_mut()
+            .sys_obj_unref(thread, ContainerEntry::new(dir, entry.object))?;
+        Ok(())
+    }
+
+    /// Renames a file within one directory (atomic under the directory
+    /// mutex in real HiStar).
+    pub fn rename(&mut self, pid: Pid, from: &str, to: &str) -> Result<()> {
+        let (dir_from, name_from, _) = self.resolve_parent(pid, from)?;
+        let (dir_to, name_to, _) = self.resolve_parent(pid, to)?;
+        if dir_from != dir_to {
+            return Err(UnixError::Unsupported("cross-directory rename"));
+        }
+        let thread = self.process(pid)?.thread;
+        let mut d = self.read_directory(thread, dir_from)?;
+        if !d.rename(&name_from, &name_to) {
+            return Err(UnixError::NotFound(from.to_string()));
+        }
+        self.write_directory(thread, dir_from, &d)?;
+        Ok(())
+    }
+
+    /// Changes a process's working directory.
+    pub fn chdir(&mut self, pid: Pid, path: &str) -> Result<()> {
+        let (thread, cwd) = {
+            let p = self.process(pid)?;
+            (p.thread, p.cwd.clone())
+        };
+        let comps = split_path(&cwd, path);
+        self.resolve_dir_components(thread, &comps)?;
+        self.process_mut(pid)?.cwd = join_path(&comps);
+        Ok(())
+    }
+
+    /// A process's current working directory.
+    pub fn getcwd(&self, pid: Pid) -> Result<String> {
+        Ok(self.process(pid)?.cwd.clone())
+    }
+
+    // ----- durability (§7.1) -----------------------------------------------------
+
+    /// `fsync`: makes one file (and the directory naming it) durable.  Under
+    /// the single-level store this serializes the kernel objects into the
+    /// store; with the per-operation policy that is a sequential append to
+    /// the write-ahead log.
+    pub fn fsync_path(&mut self, pid: Pid, path: &str) -> Result<()> {
+        let (dir, name, _) = self.resolve_parent(pid, path)?;
+        let thread = self.process(pid)?.thread;
+        let d = self.read_directory(thread, dir)?;
+        let dirseg = self.dirseg_of(thread, dir)?;
+        let mut ids = vec![dir, dirseg];
+        if let Some(entry) = d.lookup(&name) {
+            ids.push(entry.object);
+        }
+        for id in ids {
+            if let Some(obj) = self.machine.kernel().raw_object(id) {
+                let bytes = encode_object(obj);
+                let store = self.machine.store_mut();
+                store.put(id.raw(), bytes);
+                store.sync_object(id.raw());
+            }
+        }
+        Ok(())
+    }
+
+    /// `fdatasync` limited to specific pages of an open file: flushes those
+    /// pages of the backing segment in place, without writing any metadata —
+    /// the fast path for random writes to large existing files.
+    pub fn fsync_pages(&mut self, pid: Pid, fd: Fd, pages: &[u64]) -> Result<()> {
+        let (_, state) = self.fd_state(pid, fd)?;
+        if state.kind != FdKind::File {
+            return Err(UnixError::Unsupported("fsync on a non-file descriptor"));
+        }
+        let id = state.target;
+        if let Some(obj) = self.machine.kernel().raw_object(id) {
+            let bytes = encode_object(obj);
+            let store = self.machine.store_mut();
+            store.put(id.raw(), bytes);
+            if store.sync_pages_in_place(id.raw(), pages).is_err() {
+                store.sync_object(id.raw());
+            }
+        }
+        Ok(())
+    }
+
+    /// Group sync: one system-wide snapshot covering everything (the
+    /// single-level store's whole-machine checkpoint).
+    pub fn sync_all(&mut self) {
+        self.machine.snapshot();
+    }
+
+    /// Drains everything written to the console device (for examples/tests).
+    pub fn console_output(&mut self) -> Vec<Vec<u8>> {
+        match self.machine.console_device() {
+            Some(dev) => self.machine.kernel_mut().device_drain_tx(dev).unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> (UnixEnv, Pid) {
+        let env = UnixEnv::boot();
+        let init = env.init_pid();
+        (env, init)
+    }
+
+    #[test]
+    fn boot_creates_init_and_root() {
+        let (env, init) = env();
+        assert_eq!(init, 1);
+        assert_eq!(env.process_count(), 1);
+        assert_eq!(env.getcwd(init).unwrap(), "/");
+    }
+
+    #[test]
+    fn file_create_read_write() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/hello.txt", b"hello world", None)
+            .unwrap();
+        assert_eq!(env.read_file_as(init, "/hello.txt").unwrap(), b"hello world");
+        let stat = env.stat(init, "/hello.txt").unwrap();
+        assert_eq!(stat.len, 11);
+        assert!(!stat.is_dir);
+        // Reading a missing file fails.
+        assert!(matches!(
+            env.read_file_as(init, "/missing"),
+            Err(UnixError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn directories_and_paths() {
+        let (mut env, init) = env();
+        env.mkdir(init, "/home", None).unwrap();
+        env.mkdir(init, "/home/bob", None).unwrap();
+        env.write_file_as(init, "/home/bob/notes.txt", b"secret", None)
+            .unwrap();
+        let entries = env.readdir(init, "/home/bob").unwrap();
+        assert!(entries.iter().any(|e| e.name == "notes.txt"));
+        // Relative paths use the cwd.
+        env.chdir(init, "/home/bob").unwrap();
+        assert_eq!(env.getcwd(init).unwrap(), "/home/bob");
+        assert_eq!(env.read_file_as(init, "notes.txt").unwrap(), b"secret");
+        assert_eq!(env.read_file_as(init, "../bob/notes.txt").unwrap(), b"secret");
+        // mkdir over an existing name fails.
+        assert!(matches!(
+            env.mkdir(init, "/home/bob", None),
+            Err(UnixError::Exists(_))
+        ));
+    }
+
+    #[test]
+    fn unlink_and_rename() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/a.txt", b"a", None).unwrap();
+        env.rename(init, "/a.txt", "/b.txt").unwrap();
+        assert!(env.stat(init, "/a.txt").is_err());
+        assert_eq!(env.read_file_as(init, "/b.txt").unwrap(), b"a");
+        env.unlink(init, "/b.txt").unwrap();
+        assert!(env.stat(init, "/b.txt").is_err());
+        assert!(matches!(
+            env.unlink(init, "/b.txt"),
+            Err(UnixError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn fds_seek_append_dup() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/f", b"0123456789", None).unwrap();
+        let fd = env
+            .open(
+                init,
+                "/f",
+                OpenFlags {
+                    read: true,
+                    write: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(env.read(init, fd, 4).unwrap(), b"0123");
+        assert_eq!(env.read(init, fd, 4).unwrap(), b"4567");
+        env.lseek(init, fd, 1).unwrap();
+        assert_eq!(env.read(init, fd, 3).unwrap(), b"123");
+        // dup shares the seek position.
+        let fd2 = env.dup(init, fd).unwrap();
+        assert_eq!(env.read(init, fd2, 2).unwrap(), b"45");
+        assert_eq!(env.read(init, fd, 2).unwrap(), b"67");
+        env.close(init, fd).unwrap();
+        assert_eq!(env.read(init, fd2, 2).unwrap(), b"89");
+        env.close(init, fd2).unwrap();
+        assert!(matches!(env.read(init, fd2, 1), Err(UnixError::BadFd(_))));
+
+        // Append mode always writes at the end.
+        let fda = env
+            .open(
+                init,
+                "/f",
+                OpenFlags {
+                    write: true,
+                    append: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        env.write(init, fda, b"ab").unwrap();
+        env.close(init, fda).unwrap();
+        assert_eq!(env.read_file_as(init, "/f").unwrap(), b"0123456789ab");
+    }
+
+    #[test]
+    fn pipes_move_data_and_signal_eof() {
+        let (mut env, init) = env();
+        let (r, w) = env.pipe(init).unwrap();
+        assert!(matches!(env.read(init, r, 8), Err(UnixError::WouldBlock)));
+        env.write(init, w, b"ping").unwrap();
+        assert_eq!(env.read(init, r, 8).unwrap(), b"ping");
+        // Large transfers wrap around the ring buffer.
+        let big = vec![7u8; 50_000];
+        let written = env.write(init, w, &big).unwrap();
+        assert_eq!(env.read(init, r, written).unwrap().len() as u64, written);
+        // Closing the write end signals end of file.
+        env.close(init, w).unwrap();
+        assert_eq!(env.read(init, r, 8).unwrap(), b"");
+        env.close(init, r).unwrap();
+    }
+
+    #[test]
+    fn spawn_exit_wait() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/bin_true", b"#!true", None).unwrap();
+        let child = env.spawn(init, "/bin_true", None).unwrap();
+        assert_eq!(env.process(child).unwrap().parent, Some(init));
+        assert!(matches!(
+            env.wait(init, child),
+            Err(UnixError::StillRunning(_))
+        ));
+        env.exit(child, ExitStatus::Exited(0)).unwrap();
+        assert_eq!(env.wait(init, child).unwrap(), ExitStatus::Exited(0));
+        // A second wait finds nothing.
+        assert!(env.wait(init, child).is_err());
+    }
+
+    #[test]
+    fn fork_copies_memory_and_shares_fds() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/data", b"shared input", None).unwrap();
+        let fd = env.open(init, "/data", OpenFlags::read_only()).unwrap();
+        assert_eq!(env.read(init, fd, 7).unwrap(), b"shared ");
+        let child = env.fork(init).unwrap();
+        // The child's descriptor continues from the shared seek position.
+        assert_eq!(env.read(child, fd, 5).unwrap(), b"input");
+        // Processes are isolated: the child's thread does not own the
+        // parent's categories.
+        let parent_proc = env.process(init).unwrap().clone();
+        let child_proc = env.process(child).unwrap().clone();
+        assert_ne!(parent_proc.read_cat, child_proc.read_cat);
+        let kernel_label = env
+            .machine()
+            .kernel()
+            .thread_label(child_proc.thread)
+            .unwrap();
+        assert!(!kernel_label.owns(parent_proc.read_cat));
+        env.exit(child, ExitStatus::Exited(3)).unwrap();
+        assert_eq!(env.wait(init, child).unwrap(), ExitStatus::Exited(3));
+    }
+
+    #[test]
+    fn exec_replaces_image() {
+        let (mut env, init) = env();
+        env.write_file_as(init, "/bin_prog", b"PROGRAM IMAGE CONTENTS", None)
+            .unwrap();
+        let child = env.spawn(init, "/bin_sh", None).unwrap();
+        let old_text = env.process(child).unwrap().text_segment;
+        env.exec(child, "/bin_prog").unwrap();
+        let p = env.process(child).unwrap().clone();
+        assert_ne!(p.text_segment, old_text);
+        assert_eq!(p.executable, "/bin_prog");
+        // The new text segment holds the executable's bytes.
+        let kernel_thread = p.thread;
+        let data = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_segment_read(
+                kernel_thread,
+                ContainerEntry::new(p.internal_container, p.text_segment),
+                0,
+                22,
+            )
+            .unwrap();
+        assert_eq!(data, b"PROGRAM IMAGE CONTENTS");
+    }
+
+    #[test]
+    fn user_private_files_are_protected_by_the_kernel() {
+        let (mut env, init) = env();
+        let bob = env.create_user("bob").unwrap();
+        env.mkdir(init, "/home", None).unwrap();
+        env.mkdir(init, "/home/bob", None).unwrap();
+        // init (owning bob's categories) writes bob's private file.
+        env.write_file_as(
+            init,
+            "/home/bob/secret",
+            b"bob's diary",
+            Some(bob.private_file_label()),
+        )
+        .unwrap();
+        // A process running *without* bob's privilege cannot read it.
+        let other = env.spawn(init, "/bin_other", None).unwrap();
+        let err = env.read_file_as(other, "/home/bob/secret").unwrap_err();
+        assert!(matches!(err, UnixError::Kernel(SyscallError::CannotObserve(_))));
+        // A process running as bob can.
+        let shell = env.spawn(init, "/bin_sh", Some("bob")).unwrap();
+        assert_eq!(
+            env.read_file_as(shell, "/home/bob/secret").unwrap(),
+            b"bob's diary"
+        );
+    }
+
+    #[test]
+    fn signals_are_delivered_through_the_signal_gate() {
+        let (mut env, init) = env();
+        let child = env.spawn(init, "/bin_sleepy", None).unwrap();
+        env.kill(init, child, 15).unwrap();
+        assert_eq!(env.take_signal(child).unwrap(), Some(15));
+        assert_eq!(env.take_signal(child).unwrap(), None);
+    }
+
+    #[test]
+    fn fsync_survives_crash() {
+        let (mut env, init) = env();
+        env.sync_all();
+        env.write_file_as(init, "/durable.txt", b"must survive", None)
+            .unwrap();
+        env.fsync_path(init, "/durable.txt").unwrap();
+        env.write_file_as(init, "/volatile.txt", b"may vanish", None)
+            .unwrap();
+        // Crash and recover the machine.
+        let mut machine = {
+            let UnixEnv { machine, .. } = env;
+            machine.crash_and_recover().unwrap()
+        };
+        // The durable file's segment exists in the recovered kernel with its
+        // contents; the volatile one is gone.
+        let recovered: Vec<Vec<u8>> = machine
+            .kernel()
+            .objects()
+            .filter_map(|(_, o)| match &o.body {
+                histar_kernel::bodies::ObjectBody::Segment(s) => Some(s.bytes.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(recovered.iter().any(|b| b.windows(12).any(|w| w == b"must survive")));
+        assert!(!recovered.iter().any(|b| b.windows(10).any(|w| w == b"may vanish")));
+        let _ = machine.kernel_mut();
+    }
+
+    #[test]
+    fn console_writes_reach_the_device() {
+        let (mut env, init) = env();
+        let fd = env
+            .install_fd(
+                init,
+                FdState {
+                    kind: FdKind::Console,
+                    target: ObjectId::from_raw(0),
+                    target_container: ObjectId::from_raw(0),
+                    position: 0,
+                    flags: 0,
+                    refs: 1,
+                },
+            )
+            .unwrap();
+        env.write(init, fd, b"hello tty").unwrap();
+        let out = env.console_output();
+        assert_eq!(out, vec![b"hello tty".to_vec()]);
+    }
+
+    #[test]
+    fn mount_table_overlays_directories() {
+        let (mut env, init) = env();
+        // Create a directory that will act as a daemon's exported container.
+        let exported = env.mkdir(init, "/exported", None).unwrap();
+        env.write_file_as(init, "/exported/status", b"ready", None)
+            .unwrap();
+        env.mount("/netd", exported);
+        assert_eq!(env.read_file_as(init, "/netd/status").unwrap(), b"ready");
+    }
+}

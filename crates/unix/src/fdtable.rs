@@ -1,0 +1,240 @@
+//! File descriptors as segments (§5.3).
+//!
+//! All of the state normally kept inside a Unix kernel for an open file —
+//! the current seek position, the open flags, the identity of the underlying
+//! object — lives in a *file descriptor segment*.  Sharing a descriptor
+//! across processes (e.g. across `fork`) just means mapping the same
+//! descriptor segment; the descriptor is deallocated when every process has
+//! closed it, because containers double-charge and hard-link it.
+
+use histar_kernel::object::ObjectId;
+use histar_store::codec::{Decoder, Encoder};
+
+/// A file descriptor number.
+pub type Fd = u32;
+
+/// What an open descriptor refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FdKind {
+    /// A regular file backed by a segment.
+    File,
+    /// The read end of a pipe.
+    PipeRead,
+    /// The write end of a pipe.
+    PipeWrite,
+    /// A console/TTY device.
+    Console,
+    /// A network socket serviced by netd through a gate.
+    Socket,
+}
+
+impl FdKind {
+    fn tag(self) -> u8 {
+        match self {
+            FdKind::File => 0,
+            FdKind::PipeRead => 1,
+            FdKind::PipeWrite => 2,
+            FdKind::Console => 3,
+            FdKind::Socket => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<FdKind> {
+        Some(match tag {
+            0 => FdKind::File,
+            1 => FdKind::PipeRead,
+            2 => FdKind::PipeWrite,
+            3 => FdKind::Console,
+            4 => FdKind::Socket,
+            _ => return None,
+        })
+    }
+}
+
+/// The contents of one file-descriptor segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FdState {
+    /// What the descriptor refers to.
+    pub kind: FdKind,
+    /// Object ID of the underlying object (file segment, pipe segment,
+    /// device, or socket state segment).
+    pub target: ObjectId,
+    /// Container in which the target is linked (so the entry can be named).
+    pub target_container: ObjectId,
+    /// Current seek position (files only).
+    pub position: u64,
+    /// Open flags (append, nonblock, ...), as a bitmask.
+    pub flags: u32,
+    /// Reference count: how many processes hold this descriptor open.
+    pub refs: u32,
+}
+
+/// Flag bit: writes always append.
+pub const FLAG_APPEND: u32 = 1 << 0;
+/// Flag bit: reads/writes never block (pipes report would-block instead).
+pub const FLAG_NONBLOCK: u32 = 1 << 1;
+/// Flag bit: descriptor was opened read-only.
+pub const FLAG_RDONLY: u32 = 1 << 2;
+/// Flag bit: descriptor was opened write-only.
+pub const FLAG_WRONLY: u32 = 1 << 3;
+
+impl FdState {
+    /// Serializes the descriptor state into the bytes stored in its segment.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u8(self.kind.tag())
+            .put_u64(self.target.raw())
+            .put_u64(self.target_container.raw())
+            .put_u64(self.position)
+            .put_u32(self.flags)
+            .put_u32(self.refs);
+        e.finish()
+    }
+
+    /// Decodes descriptor state previously produced by [`FdState::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<FdState> {
+        let mut d = Decoder::new(bytes);
+        let kind = FdKind::from_tag(d.get_u8().ok()?)?;
+        let target = ObjectId::from_raw(d.get_u64().ok()?);
+        let target_container = ObjectId::from_raw(d.get_u64().ok()?);
+        let position = d.get_u64().ok()?;
+        let flags = d.get_u32().ok()?;
+        let refs = d.get_u32().ok()?;
+        Some(FdState {
+            kind,
+            target,
+            target_container,
+            position,
+            flags,
+            refs,
+        })
+    }
+}
+
+/// The per-process descriptor table: a mapping from descriptor numbers to
+/// descriptor-segment object IDs.  In real HiStar each number corresponds to
+/// a fixed virtual address at which the segment is mapped; here we keep the
+/// table explicit but it is still *shared state in segments*, not kernel
+/// state.
+#[derive(Clone, Debug, Default)]
+pub struct FdTable {
+    entries: Vec<Option<ObjectId>>,
+}
+
+impl FdTable {
+    /// Creates an empty table.
+    pub fn new() -> FdTable {
+        FdTable::default()
+    }
+
+    /// Allocates the lowest free descriptor number for a descriptor segment.
+    pub fn allocate(&mut self, segment: ObjectId) -> Fd {
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(segment);
+                return i as Fd;
+            }
+        }
+        self.entries.push(Some(segment));
+        (self.entries.len() - 1) as Fd
+    }
+
+    /// Installs a descriptor at a specific number (for `dup2`-style use),
+    /// returning the previous occupant.
+    pub fn install(&mut self, fd: Fd, segment: ObjectId) -> Option<ObjectId> {
+        let idx = fd as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        self.entries[idx].replace(segment)
+    }
+
+    /// Looks up the descriptor segment for a number.
+    pub fn get(&self, fd: Fd) -> Option<ObjectId> {
+        self.entries.get(fd as usize).copied().flatten()
+    }
+
+    /// Removes a descriptor, returning its segment.
+    pub fn remove(&mut self, fd: Fd) -> Option<ObjectId> {
+        self.entries.get_mut(fd as usize).and_then(|slot| slot.take())
+    }
+
+    /// All open descriptor numbers with their segments.
+    pub fn iter(&self) -> impl Iterator<Item = (Fd, ObjectId)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|seg| (i as Fd, seg)))
+    }
+
+    /// Number of open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.entries.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn fd_state_round_trip() {
+        let s = FdState {
+            kind: FdKind::PipeWrite,
+            target: oid(55),
+            target_container: oid(66),
+            position: 1234,
+            flags: FLAG_APPEND | FLAG_NONBLOCK,
+            refs: 3,
+        };
+        assert_eq!(FdState::decode(&s.encode()), Some(s));
+        assert_eq!(FdState::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            FdKind::File,
+            FdKind::PipeRead,
+            FdKind::PipeWrite,
+            FdKind::Console,
+            FdKind::Socket,
+        ] {
+            let s = FdState {
+                kind,
+                target: oid(1),
+                target_container: oid(2),
+                position: 0,
+                flags: 0,
+                refs: 1,
+            };
+            assert_eq!(FdState::decode(&s.encode()).unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn table_allocates_lowest_free() {
+        let mut t = FdTable::new();
+        assert_eq!(t.allocate(oid(10)), 0);
+        assert_eq!(t.allocate(oid(11)), 1);
+        assert_eq!(t.allocate(oid(12)), 2);
+        assert_eq!(t.remove(1), Some(oid(11)));
+        assert_eq!(t.allocate(oid(13)), 1, "freed slot is reused first");
+        assert_eq!(t.get(1), Some(oid(13)));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.open_count(), 3);
+    }
+
+    #[test]
+    fn install_at_specific_number() {
+        let mut t = FdTable::new();
+        assert_eq!(t.install(5, oid(42)), None);
+        assert_eq!(t.get(5), Some(oid(42)));
+        assert_eq!(t.install(5, oid(43)), Some(oid(42)));
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(5, oid(43))]);
+    }
+}

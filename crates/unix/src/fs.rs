@@ -1,0 +1,376 @@
+//! File-system conventions (§5.1).
+//!
+//! The HiStar file system is untrusted library code: a file is a segment, a
+//! directory is a container holding a *directory segment* that maps names to
+//! object IDs, and permissions are nothing but the labels on those kernel
+//! objects, enforced by the kernel rather than by this library.  This module
+//! defines the on-segment directory format, path manipulation, open flags
+//! and the mount table; the actual operations live in
+//! [`UnixEnv`](crate::env::UnixEnv), which issues the kernel calls.
+
+use histar_kernel::object::ObjectId;
+use histar_store::codec::{Decoder, Encoder};
+
+/// Flags for [`UnixEnv::open`](crate::env::UnixEnv::open).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate the file to zero length on open.
+    pub truncate: bool,
+    /// All writes append to the end of the file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Read-only open.
+    pub fn read_only() -> OpenFlags {
+        OpenFlags {
+            read: true,
+            ..Default::default()
+        }
+    }
+
+    /// Write-only open, creating and truncating the file.
+    pub fn write_create() -> OpenFlags {
+        OpenFlags {
+            write: true,
+            create: true,
+            truncate: true,
+            ..Default::default()
+        }
+    }
+
+    /// Read-write open, creating the file if needed.
+    pub fn read_write_create() -> OpenFlags {
+        OpenFlags {
+            read: true,
+            write: true,
+            create: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// One entry in a directory segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The file or subdirectory name (no slashes).
+    pub name: String,
+    /// The object named by this entry (a segment or a container).
+    pub object: ObjectId,
+    /// True if the entry names a directory (container).
+    pub is_dir: bool,
+}
+
+/// The decoded contents of a directory segment.
+///
+/// A generation counter is incremented by every update, letting readers that
+/// cannot take the directory mutex detect concurrent modification and retry
+/// (§5.1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Directory {
+    /// Update generation counter.
+    pub generation: u64,
+    /// The directory's entries, unordered.
+    pub entries: Vec<DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory image.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Looks up an entry by name.
+    pub fn lookup(&self, name: &str) -> Option<&DirEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Inserts or replaces an entry, bumping the generation counter.
+    pub fn insert(&mut self, entry: DirEntry) {
+        self.entries.retain(|e| e.name != entry.name);
+        self.entries.push(entry);
+        self.generation += 1;
+    }
+
+    /// Removes an entry by name, bumping the generation counter; returns the
+    /// removed entry.
+    pub fn remove(&mut self, name: &str) -> Option<DirEntry> {
+        let idx = self.entries.iter().position(|e| e.name == name)?;
+        self.generation += 1;
+        Some(self.entries.remove(idx))
+    }
+
+    /// Renames an entry within this directory (the paper's atomic rename
+    /// under the directory mutex), returning false if `from` does not exist.
+    pub fn rename(&mut self, from: &str, to: &str) -> bool {
+        if self.lookup(from).is_none() {
+            return false;
+        }
+        self.entries.retain(|e| e.name != to);
+        for e in &mut self.entries {
+            if e.name == from {
+                e.name = to.to_string();
+                break;
+            }
+        }
+        self.generation += 1;
+        true
+    }
+
+    /// Serializes the directory into segment bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u64(self.generation);
+        e.put_u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            e.put_str(&entry.name);
+            e.put_u64(entry.object.raw());
+            e.put_u8(u8::from(entry.is_dir));
+        }
+        e.finish()
+    }
+
+    /// Decodes a directory segment (empty segments decode to an empty
+    /// directory, which is how freshly created directories start out).
+    pub fn decode(bytes: &[u8]) -> Option<Directory> {
+        if bytes.iter().all(|&b| b == 0) {
+            return Some(Directory::new());
+        }
+        let mut d = Decoder::new(bytes);
+        let generation = d.get_u64().ok()?;
+        let n = d.get_u64().ok()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = d.get_str().ok()?;
+            let object = ObjectId::from_raw(d.get_u64().ok()?);
+            let is_dir = d.get_u8().ok()? != 0;
+            entries.push(DirEntry {
+                name,
+                object,
+                is_dir,
+            });
+        }
+        Some(Directory {
+            generation,
+            entries,
+        })
+    }
+}
+
+/// Splits an absolute or relative path into its components, resolving `.`
+/// and `..` lexically.
+pub fn split_path(cwd: &str, path: &str) -> Vec<String> {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else if cwd.ends_with('/') {
+        format!("{cwd}{path}")
+    } else {
+        format!("{cwd}/{path}")
+    };
+    let mut out: Vec<String> = Vec::new();
+    for comp in joined.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            other => out.push(other.to_string()),
+        }
+    }
+    out
+}
+
+/// Joins components back into an absolute path.
+pub fn join_path(components: &[String]) -> String {
+    if components.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", components.join("/"))
+    }
+}
+
+/// The per-process mount table (§5.1): overlays containers onto paths, much
+/// like Plan 9.  `netd`'s process container is mounted as `/netd` by
+/// default.
+#[derive(Clone, Debug, Default)]
+pub struct MountTable {
+    mounts: Vec<(Vec<String>, ObjectId)>,
+}
+
+impl MountTable {
+    /// Creates an empty mount table.
+    pub fn new() -> MountTable {
+        MountTable::default()
+    }
+
+    /// Mounts `container` at the given absolute path.
+    pub fn mount(&mut self, path: &str, container: ObjectId) {
+        let comps = split_path("/", path);
+        self.mounts.retain(|(p, _)| *p != comps);
+        self.mounts.push((comps, container));
+    }
+
+    /// Removes a mount, returning the container that was mounted there.
+    pub fn unmount(&mut self, path: &str) -> Option<ObjectId> {
+        let comps = split_path("/", path);
+        let idx = self.mounts.iter().position(|(p, _)| *p == comps)?;
+        Some(self.mounts.remove(idx).1)
+    }
+
+    /// If `components` exactly names a mount point, returns its container.
+    pub fn resolve(&self, components: &[String]) -> Option<ObjectId> {
+        self.mounts
+            .iter()
+            .find(|(p, _)| p.as_slice() == components)
+            .map(|(_, c)| *c)
+    }
+
+    /// Number of mounts.
+    pub fn len(&self) -> usize {
+        self.mounts.len()
+    }
+
+    /// True if nothing is mounted.
+    pub fn is_empty(&self) -> bool {
+        self.mounts.is_empty()
+    }
+}
+
+/// Metadata returned by `stat`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    /// The underlying object.
+    pub object: ObjectId,
+    /// True for directories.
+    pub is_dir: bool,
+    /// File length in bytes (0 for directories).
+    pub len: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn directory_encode_decode_round_trip() {
+        let mut d = Directory::new();
+        d.insert(DirEntry {
+            name: "passwd".to_string(),
+            object: oid(5),
+            is_dir: false,
+        });
+        d.insert(DirEntry {
+            name: "home".to_string(),
+            object: oid(9),
+            is_dir: true,
+        });
+        let decoded = Directory::decode(&d.encode()).unwrap();
+        assert_eq!(decoded, d);
+        // A zeroed (fresh) segment is an empty directory.
+        assert_eq!(Directory::decode(&[0u8; 64]).unwrap(), Directory::new());
+    }
+
+    #[test]
+    fn directory_operations_bump_generation() {
+        let mut d = Directory::new();
+        assert_eq!(d.generation, 0);
+        d.insert(DirEntry {
+            name: "a".to_string(),
+            object: oid(1),
+            is_dir: false,
+        });
+        assert_eq!(d.generation, 1);
+        assert!(d.lookup("a").is_some());
+        assert!(d.rename("a", "b"));
+        assert_eq!(d.generation, 2);
+        assert!(d.lookup("a").is_none());
+        assert_eq!(d.lookup("b").unwrap().object, oid(1));
+        assert!(!d.rename("missing", "c"));
+        assert!(d.remove("b").is_some());
+        assert!(d.remove("b").is_none());
+        assert_eq!(d.generation, 3);
+    }
+
+    #[test]
+    fn insert_replaces_same_name() {
+        let mut d = Directory::new();
+        d.insert(DirEntry {
+            name: "x".to_string(),
+            object: oid(1),
+            is_dir: false,
+        });
+        d.insert(DirEntry {
+            name: "x".to_string(),
+            object: oid(2),
+            is_dir: false,
+        });
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.lookup("x").unwrap().object, oid(2));
+    }
+
+    #[test]
+    fn rename_overwrites_destination() {
+        let mut d = Directory::new();
+        d.insert(DirEntry {
+            name: "a".to_string(),
+            object: oid(1),
+            is_dir: false,
+        });
+        d.insert(DirEntry {
+            name: "b".to_string(),
+            object: oid(2),
+            is_dir: false,
+        });
+        assert!(d.rename("a", "b"));
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.lookup("b").unwrap().object, oid(1));
+    }
+
+    #[test]
+    fn path_splitting() {
+        assert_eq!(split_path("/", "/a/b/c"), vec!["a", "b", "c"]);
+        assert_eq!(split_path("/a/b", "c"), vec!["a", "b", "c"]);
+        assert_eq!(split_path("/a/b", "../c"), vec!["a", "c"]);
+        assert_eq!(split_path("/a/b", "./c/./d"), vec!["a", "b", "c", "d"]);
+        assert_eq!(split_path("/", ".."), Vec::<String>::new());
+        assert_eq!(split_path("/", "//x///y/"), vec!["x", "y"]);
+        assert_eq!(join_path(&split_path("/", "/a/b")), "/a/b");
+        assert_eq!(join_path(&[]), "/");
+    }
+
+    #[test]
+    fn open_flag_presets() {
+        assert!(OpenFlags::read_only().read);
+        assert!(!OpenFlags::read_only().write);
+        assert!(OpenFlags::write_create().truncate);
+        assert!(OpenFlags::read_write_create().create);
+    }
+
+    #[test]
+    fn mount_table_resolution() {
+        let mut m = MountTable::new();
+        assert!(m.is_empty());
+        m.mount("/netd", oid(77));
+        m.mount("/vpn/netd", oid(88));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.resolve(&split_path("/", "/netd")), Some(oid(77)));
+        assert_eq!(m.resolve(&split_path("/", "/vpn/netd")), Some(oid(88)));
+        assert_eq!(m.resolve(&split_path("/", "/other")), None);
+        // Remounting replaces.
+        m.mount("/netd", oid(99));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.resolve(&split_path("/", "/netd")), Some(oid(99)));
+        assert_eq!(m.unmount("/netd"), Some(oid(99)));
+        assert_eq!(m.unmount("/netd"), None);
+    }
+}

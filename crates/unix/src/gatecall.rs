@@ -1,0 +1,372 @@
+//! The gate-call convention (§5.5, Figure 7).
+//!
+//! Gates have no implicit return mechanism, so the Unix library implements
+//! RPC-style calls as follows: the caller allocates a *return category* `r`
+//! and creates a *return gate* (clearance `{r 0, 2}`, so only a thread
+//! owning `r` can invoke it) that restores all of the caller's privileges.
+//! It then invokes the service gate, granting `r` so the thread can come
+//! back.  To keep its arguments private from the service, the caller may
+//! additionally allocate a taint category `t` and enter the service tainted
+//! `t 3`, donating a resource container labelled `{t 3, r 0, 1}` for any
+//! allocations the tainted call needs.
+
+use crate::env::{UnixEnv, UnixError};
+use crate::process::Pid;
+use histar_kernel::kernel::GateEntryResult;
+use histar_kernel::object::{ContainerEntry, ObjectId};
+use histar_label::{Category, Label, Level};
+
+type Result<T> = core::result::Result<T, UnixError>;
+
+/// A service gate exported by a daemon process.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceGate {
+    /// Container entry through which clients name the gate.
+    pub gate: ContainerEntry,
+    /// The daemon process that owns the service.
+    pub provider: Pid,
+}
+
+/// Creates a service gate in a daemon's process container.  The gate label
+/// carries the daemon's ownership (its `pr`/`pw` and any user categories),
+/// which is what the invoking client thread temporarily gains.
+pub fn create_service_gate(
+    env: &mut UnixEnv,
+    provider: Pid,
+    entry_point: u64,
+    descrip: &str,
+) -> Result<ServiceGate> {
+    let (thread, container) = {
+        let p = env.process(provider)?;
+        (p.thread, p.process_container)
+    };
+    let kernel = env.machine_mut().kernel_mut();
+    let label = kernel.thread_label(thread)?;
+    let gate = kernel.sys_gate_create(
+        thread,
+        container,
+        label,
+        Label::default_clearance(),
+        None,
+        entry_point,
+        vec![],
+        descrip,
+    )?;
+    Ok(ServiceGate {
+        gate: ContainerEntry::new(container, gate),
+        provider,
+    })
+}
+
+/// State saved across a gate call so the caller can return to itself.
+#[derive(Debug)]
+pub struct GateSession {
+    caller: Pid,
+    caller_thread: ObjectId,
+    saved_label: Label,
+    saved_clearance: Label,
+    return_category: Category,
+    return_gate: ContainerEntry,
+    /// The taint category protecting the caller's arguments, if any.
+    pub taint: Option<Category>,
+    /// Resource container donated for tainted allocations, if any.
+    pub resource_container: Option<ContainerEntry>,
+    /// What the kernel handed back when the service gate was entered.
+    pub entry: GateEntryResult,
+}
+
+impl GateSession {
+    /// The label the calling thread is running with inside the service.
+    pub fn service_label(&self) -> &Label {
+        &self.entry.label
+    }
+}
+
+/// Invokes a service gate on behalf of `caller`, optionally tainting the
+/// call so the service cannot leak the caller's arguments.
+///
+/// Returns a [`GateSession`] which must be passed to
+/// [`return_from_service`] to restore the caller's privileges.
+pub fn enter_service(
+    env: &mut UnixEnv,
+    caller: Pid,
+    service: &ServiceGate,
+    taint_call: bool,
+) -> Result<GateSession> {
+    let (caller_thread, internal_container, caller_container) = {
+        let p = env.process(caller)?;
+        (p.thread, p.internal_container, p.process_container)
+    };
+    let kernel = env.machine_mut().kernel_mut();
+    let saved_label = kernel.thread_label(caller_thread)?;
+    let saved_clearance = kernel.thread_clearance(caller_thread)?;
+
+    // Return category, and — for a private call — the taint category,
+    // allocated up front so the return gate's clearance can admit the
+    // tainted thread on its way back.
+    let return_category = kernel.sys_create_category(caller_thread)?;
+    let taint = if taint_call {
+        Some(kernel.sys_create_category(caller_thread)?)
+    } else {
+        None
+    };
+
+    // Return gate (Figure 7): label carries everything the caller owns, and
+    // the clearance requires the return category to invoke it.
+    let label_with_r = kernel.thread_label(caller_thread)?;
+    let mut return_gate_clearance_builder = Label::builder()
+        .set(return_category, Level::L0)
+        .default_level(Level::L2);
+    if let Some(t) = taint {
+        return_gate_clearance_builder = return_gate_clearance_builder.set(t, Level::L3);
+    }
+    let return_gate = kernel.sys_gate_create(
+        caller_thread,
+        caller_container,
+        label_with_r.clone(),
+        return_gate_clearance_builder.build(),
+        None,
+        0,
+        vec![],
+        "return gate",
+    )?;
+
+    // Donated resource container for tainted allocations.
+    let resource_container = if let Some(t) = taint {
+        let rc_label = Label::builder()
+            .set(t, Level::L3)
+            .set(return_category, Level::L0)
+            .build();
+        let rc = kernel.sys_container_create(
+            caller_thread,
+            internal_container,
+            rc_label,
+            "gate call resources",
+            0,
+            1 << 20,
+        )?;
+        Some(ContainerEntry::new(internal_container, rc))
+    } else {
+        None
+    };
+
+    // Request label: keep everything we own (including r and t ownership at
+    // this point), add the gate's ownership, and drop to taint level 3 in t.
+    let gate_label = kernel.sys_obj_get_label(caller_thread, service.gate)?;
+    let gate_clearance = kernel.sys_gate_clearance(caller_thread, service.gate)?;
+    let current_label = kernel.thread_label(caller_thread)?;
+    let mut requested = current_label.ownership_union(&gate_label);
+    if let Some(t) = taint {
+        requested = requested.with(t, Level::L3);
+    }
+    let requested_clearance = kernel
+        .thread_clearance(caller_thread)?
+        .lub(&gate_clearance);
+    let entry = kernel.sys_gate_enter(
+        caller_thread,
+        service.gate,
+        requested,
+        requested_clearance,
+        saved_label.clone(),
+    )?;
+
+    Ok(GateSession {
+        caller,
+        caller_thread,
+        saved_label,
+        saved_clearance,
+        return_category,
+        return_gate: ContainerEntry::new(caller_container, return_gate),
+        taint,
+        resource_container,
+        entry,
+    })
+}
+
+/// Returns from a gate call: the thread invokes the return gate (which only
+/// holders of the return category can do), regaining the caller's original
+/// label and clearance, and the per-call objects are released.
+pub fn return_from_service(env: &mut UnixEnv, session: GateSession) -> Result<()> {
+    let GateSession {
+        caller,
+        caller_thread,
+        saved_label,
+        saved_clearance,
+        return_category,
+        return_gate,
+        resource_container,
+        ..
+    } = session;
+    let kernel = env.machine_mut().kernel_mut();
+
+    // Invoke the return gate; the floor of the entry label is the union of
+    // the current (service-side) ownership and the return gate's ownership,
+    // which includes everything the caller originally owned plus r.
+    let gate_label = kernel.sys_obj_get_label(caller_thread, return_gate)?;
+    let current = kernel.thread_label(caller_thread)?;
+    let requested = current.ownership_union(&gate_label);
+    let requested_clearance = kernel
+        .thread_clearance(caller_thread)?
+        .lub(&saved_clearance);
+    kernel.sys_gate_enter(
+        caller_thread,
+        return_gate,
+        requested,
+        requested_clearance,
+        current,
+    )?;
+
+    // Back home: drop the per-call categories and objects.  Taint acquired
+    // during the call in categories the caller does not own cannot be
+    // dropped (that would be an information leak), so the restored label is
+    // the saved label raised by any such residual taint.
+    let after_return = kernel.thread_label(caller_thread)?;
+    let mut restore_label = saved_label.clone();
+    let mut restore_clearance = saved_clearance.clone();
+    for (c, lvl) in after_return.entries() {
+        if lvl.is_star() || after_return.owns(c) {
+            continue;
+        }
+        if lvl.as_low() > saved_label.level(c).as_low() {
+            restore_label = restore_label.with(c, lvl);
+            if restore_clearance.level(c).as_low() < lvl.as_low() {
+                restore_clearance = restore_clearance.with(c, lvl);
+            }
+        }
+    }
+    if restore_clearance.level(return_category) == Level::L2 {
+        restore_clearance = restore_clearance.without(return_category);
+    }
+    kernel.sys_self_set_label(caller_thread, restore_label)?;
+    kernel.sys_self_set_clearance(caller_thread, restore_clearance)?;
+    // Cleanup is best-effort: a thread that acquired persistent taint during
+    // the call may no longer be able to modify its own (untainted) process
+    // container, in which case the per-call objects are reclaimed when the
+    // process itself is deallocated.  This is the paper's §5.8 trade-off —
+    // reclaiming tainted resources needs an explicit untainting gate.
+    let _ = kernel.sys_obj_unref(caller_thread, return_gate);
+    if let Some(rc) = resource_container {
+        let _ = kernel.sys_obj_unref(caller_thread, rc);
+    }
+    let _ = caller;
+    Ok(())
+}
+
+fn env_process_container(env: &UnixEnv, pid: Pid) -> Result<ObjectId> {
+    Ok(env.process(pid)?.process_container)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histar_kernel::syscall::SyscallError;
+
+    fn setup() -> (UnixEnv, Pid, Pid, ServiceGate) {
+        let mut env = UnixEnv::boot();
+        let init = env.init_pid();
+        let client = env.spawn(init, "/bin/client", None).unwrap();
+        let daemon = env.spawn(init, "/usr/bin/timestampd", None).unwrap();
+        let service = create_service_gate(&mut env, daemon, 0x4000, "timestamp service").unwrap();
+        (env, init, client, service)
+    }
+
+    #[test]
+    fn gate_call_grants_and_returns_privilege() {
+        let (mut env, _init, client, service) = setup();
+        let daemon_pr = env.process(service.provider).unwrap().read_cat;
+        let client_pr = env.process(client).unwrap().read_cat;
+        let client_thread = env.process(client).unwrap().thread;
+
+        let before = env
+            .machine()
+            .kernel()
+            .thread_label(client_thread)
+            .unwrap();
+        assert!(!before.owns(daemon_pr));
+
+        let session = enter_service(&mut env, client, &service, false).unwrap();
+        // Inside the service the client's thread owns the daemon's
+        // categories (it can act as the daemon) while keeping its own.
+        let during = env
+            .machine()
+            .kernel()
+            .thread_label(client_thread)
+            .unwrap();
+        assert!(during.owns(daemon_pr));
+        assert!(during.owns(client_pr));
+        assert_eq!(session.entry.entry_point, 0x4000);
+
+        return_from_service(&mut env, session).unwrap();
+        let after = env
+            .machine()
+            .kernel()
+            .thread_label(client_thread)
+            .unwrap();
+        assert_eq!(after, before, "the caller gets exactly its old label back");
+    }
+
+    #[test]
+    fn tainted_gate_call_cannot_write_daemon_state() {
+        let (mut env, _init, client, service) = setup();
+        let client_thread = env.process(client).unwrap().thread;
+        let daemon = env.process(service.provider).unwrap().clone();
+
+        let session = enter_service(&mut env, client, &service, true).unwrap();
+        let t = session.taint.unwrap();
+        let label = env
+            .machine()
+            .kernel()
+            .thread_label(client_thread)
+            .unwrap();
+        assert_eq!(label.level(t), Level::L3, "the call runs tainted in t");
+
+        // Tainted in t, the thread may read the daemon's segments but not
+        // modify them: that would leak the caller's data into daemon state.
+        let heap_entry = ContainerEntry::new(daemon.internal_container, daemon.heap_segment);
+        let kernel = env.machine_mut().kernel_mut();
+        assert!(kernel.sys_segment_read(client_thread, heap_entry, 0, 8).is_ok());
+        assert!(matches!(
+            kernel.sys_segment_write(client_thread, heap_entry, 0, b"leak"),
+            Err(SyscallError::CannotModify(_))
+        ));
+
+        // It can, however, allocate in the donated resource container.
+        let rc = session.resource_container.unwrap();
+        let scratch_label = Label::builder()
+            .set(t, Level::L3)
+            .set(session.entry.label.owned_categories().next().unwrap_or(t), Level::L3)
+            .build();
+        let _ = scratch_label;
+        let tainted_label = Label::builder().set(t, Level::L3).build();
+        assert!(kernel
+            .sys_segment_create(client_thread, rc.object, tainted_label, 128, "scratch")
+            .is_ok());
+
+        return_from_service(&mut env, session).unwrap();
+        // Back outside, the caller owns t again and is not tainted.
+        let after = env
+            .machine()
+            .kernel()
+            .thread_label(client_thread)
+            .unwrap();
+        assert_ne!(after.level(t), Level::L3);
+    }
+
+    #[test]
+    fn return_gate_requires_the_return_category() {
+        let (mut env, init, client, service) = setup();
+        let session = enter_service(&mut env, client, &service, false).unwrap();
+        let return_gate = session.return_gate;
+        // Some other process (without r) cannot invoke the return gate.
+        let outsider = env.spawn(init, "/bin/evil", None).unwrap();
+        let outsider_thread = env.process(outsider).unwrap().thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let tl = kernel.thread_label(outsider_thread).unwrap();
+        let tc = kernel.thread_clearance(outsider_thread).unwrap();
+        assert!(matches!(
+            kernel.sys_gate_enter(outsider_thread, return_gate, tl.clone(), tc, tl),
+            Err(SyscallError::GateClearance(_))
+        ));
+        return_from_service(&mut env, session).unwrap();
+    }
+}

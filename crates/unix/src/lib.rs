@@ -1,0 +1,39 @@
+//! The untrusted user-level Unix emulation library (§5).
+//!
+//! HiStar provides no Unix abstractions in the kernel.  Everything a Unix
+//! program expects — processes, a file system, file descriptors, pipes,
+//! signals, users — is built *in user space* out of the six kernel object
+//! types, running with only the privileges (category ownerships) of the
+//! calling user.  A bug here compromises only the threads that trigger it,
+//! never the kernel's information-flow guarantees.
+//!
+//! The entry point is [`UnixEnv`], which owns a simulated
+//! [`Machine`](histar_kernel::Machine) and exposes the Unix-like API:
+//!
+//! * [`process`] — processes as container pairs (Figure 6), `spawn`,
+//!   `fork`, `exec`, `wait`, `exit`.
+//! * [`fs`] — files as segments, directories as containers with a
+//!   directory segment, mount table, `fsync` via the single-level store.
+//! * [`fdtable`] — file descriptors as segments shared across processes.
+//! * [`users`] — per-user read/write categories (no superuser anywhere).
+//! * [`gatecall`] — the service-gate / return-gate convention (Figure 7),
+//!   including taint-forking for privacy-preserving services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod fdtable;
+pub mod fs;
+pub mod gatecall;
+pub mod process;
+pub mod users;
+
+pub use env::{UnixEnv, UnixError};
+pub use fdtable::{Fd, FdKind};
+pub use fs::OpenFlags;
+pub use process::{ExitStatus, Pid, Process};
+pub use users::User;
+
+/// Convenience result alias for Unix-library operations.
+pub type Result<T> = core::result::Result<T, UnixError>;

@@ -1,0 +1,11 @@
+//! Commonly used types, re-exported for examples and applications.
+
+pub use histar_kernel::{
+    machine::{Machine, MachineConfig},
+    object::{ContainerEntry, ObjectId},
+    syscall::SyscallError,
+    Kernel,
+};
+pub use histar_label::{Category, Label, Level};
+pub use histar_sim::clock::SimClock;
+pub use histar_unix::{process::Process, UnixEnv};

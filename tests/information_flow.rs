@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the end-to-end information-flow
+//! guarantees the paper's applications rely on.
+
+use histar::apps::{deploy_clamav, wrap_scan};
+use histar::auth::{AuthService, AuthSystem, LoginOutcome};
+use histar::kernel::syscall::SyscallError;
+use histar::label::{Label, Level};
+use histar::net::{Netd, VpnIsolation};
+use histar::unix::gatecall::{create_service_gate, enter_service, return_from_service};
+use histar::unix::process::ExitStatus;
+use histar::unix::{UnixEnv, UnixError};
+
+/// Figure 6: the process structure exposes only the exit segment and signal
+/// gate; internals are unreachable by other processes.
+#[test]
+fn process_structure_matches_figure6() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let a = env.spawn(init, "/bin/a", None).unwrap();
+    let b = env.spawn(init, "/bin/b", None).unwrap();
+    let a_proc = env.process(a).unwrap().clone();
+    let b_thread = env.process(b).unwrap().thread;
+
+    // b may read a's exit status segment (it is {pw 0, 1})...
+    let kernel = env.machine_mut().kernel_mut();
+    let exit_entry =
+        histar::kernel::object::ContainerEntry::new(a_proc.process_container, a_proc.exit_segment);
+    assert!(kernel.sys_segment_read(b_thread, exit_entry, 0, 8).is_ok());
+    // ...but not write it...
+    assert!(matches!(
+        kernel.sys_segment_write(b_thread, exit_entry, 0, &[1]),
+        Err(SyscallError::CannotModify(_))
+    ));
+    // ...and cannot observe a's internal container at all.
+    assert!(matches!(
+        kernel.sys_container_list(b_thread, a_proc.internal_container),
+        Err(SyscallError::CannotObserve(_))
+    ));
+}
+
+/// Figure 7: a gate call grants the daemon's privilege for the duration of
+/// the call and the return gate restores the caller exactly.
+#[test]
+fn gate_call_round_trip() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let client = env.spawn(init, "/bin/client", None).unwrap();
+    let daemon = env.spawn(init, "/usr/bin/signd", None).unwrap();
+    let service = create_service_gate(&mut env, daemon, 0x1000, "timestamp signer").unwrap();
+
+    let client_thread = env.process(client).unwrap().thread;
+    let before = env.machine().kernel().thread_label(client_thread).unwrap();
+    let session = enter_service(&mut env, client, &service, true).unwrap();
+    let daemon_pr = env.process(daemon).unwrap().read_cat;
+    let during = env.machine().kernel().thread_label(client_thread).unwrap();
+    assert!(during.owns(daemon_pr));
+    assert_eq!(during.level(session.taint.unwrap()), Level::L3);
+    return_from_service(&mut env, session).unwrap();
+    let after = env.machine().kernel().thread_label(client_thread).unwrap();
+    assert_eq!(after, before);
+}
+
+/// Figures 8–10: authentication grants exactly one user's privilege, and
+/// only on a correct password.
+#[test]
+fn authentication_flow() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let bob = env.create_user("bob").unwrap();
+    let mut auth = AuthSystem::new();
+    auth.register(AuthService::new(bob.clone(), "s3cret"));
+    let login = env.spawn(init, "/bin/login", None).unwrap();
+
+    assert_eq!(
+        auth.login(&mut env, login, "bob", "wrong").unwrap(),
+        LoginOutcome::BadPassword
+    );
+    assert_eq!(
+        auth.login(&mut env, login, "bob", "s3cret").unwrap(),
+        LoginOutcome::Granted
+    );
+    let thread = env.process(login).unwrap().thread;
+    assert!(env.machine().kernel().thread_label(thread).unwrap().owns(bob.read_cat));
+}
+
+/// Figure 11: VPN isolation keeps the two networks apart end to end.
+#[test]
+fn vpn_isolation_end_to_end() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let vpn = VpnIsolation::start(&mut env, init).unwrap();
+    vpn.internet
+        .wire_deliver(&mut env, b"from the internet".to_vec())
+        .unwrap();
+    assert!(vpn.pump_inbound(&mut env).unwrap());
+    let app = env.spawn(init, "/bin/app", None).unwrap();
+    let payload = vpn.vpn.recv(&mut env, app).unwrap().unwrap();
+    assert_eq!(payload, b"from the internet");
+    assert!(vpn.internet.send(&mut env, app, b"leak").is_err());
+}
+
+/// Figures 1/2/4: the whole ClamAV scenario, including the attacks listed in
+/// the introduction.
+#[test]
+fn clamav_end_to_end() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let netd = Netd::start(&mut env, init, "internet").unwrap();
+    let deployment = deploy_clamav(&mut env, "bob").unwrap();
+    env.mkdir(init, "/home", None).unwrap();
+    env.write_file_as(
+        init,
+        "/home/secrets.db",
+        b"ssn=123-45-6789 EICAR-STANDARD-ANTIVIRUS-TEST",
+        Some(deployment.user.private_file_label()),
+    )
+    .unwrap();
+
+    let report = wrap_scan(&mut env, &deployment, &["/home/secrets.db"]).unwrap();
+    assert_eq!(report.results[0].1, true, "the test signature is detected");
+    assert!(!report.leak_detected);
+    // Attack 1: direct TCP exfiltration.
+    assert!(netd.send(&mut env, deployment.scanner, b"ssn").is_err());
+    // Attack 4: drop the data in /tmp for the update daemon.
+    assert!(env
+        .write_file_as(deployment.scanner, "/tmp-x", b"ssn", None)
+        .is_err());
+    // The update daemon itself can never read the user data.
+    assert!(env
+        .read_file_as(deployment.update_daemon, "/home/secrets.db")
+        .is_err());
+}
+
+/// Unix semantics over the untrusted library: fork/exec/wait, pipes and the
+/// file system all work while every access stays label-checked.
+#[test]
+fn unix_environment_smoke() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.write_file_as(init, "/etc-motd", b"welcome to histar", None)
+        .unwrap();
+    // The pipe is created before forking so the child inherits both ends.
+    let (r, w) = env.pipe(init).unwrap();
+    let child = env.fork(init).unwrap();
+    assert_eq!(env.read_file_as(child, "/etc-motd").unwrap(), b"welcome to histar");
+    env.write(init, w, b"ping").unwrap();
+    assert_eq!(env.read(child, r, 4).unwrap(), b"ping");
+    env.exit(child, ExitStatus::Exited(0)).unwrap();
+    assert!(env.wait(init, child).unwrap().success());
+}
+
+/// The single-level store: a snapshot survives a crash with labels intact,
+/// and unsynced work is lost — there is no trusted boot script to rebuild
+/// anything.
+#[test]
+fn persistence_across_crash() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let secret_label = {
+        let user = env.create_user("carol").unwrap();
+        user.private_file_label()
+    };
+    env.write_file_as(init, "/persistent", b"survives", Some(secret_label.clone()))
+        .unwrap();
+    env.sync_all();
+    env.write_file_as(init, "/ephemeral", b"lost", None).unwrap();
+
+    let machine = {
+        let m = env.machine_mut();
+        std::mem::replace(m, histar::kernel::Machine::boot(Default::default()))
+    };
+    let recovered = machine.crash_and_recover().unwrap();
+    let segments: Vec<(Label, Vec<u8>)> = recovered
+        .kernel()
+        .objects()
+        .filter_map(|(_, o)| match &o.body {
+            histar::kernel::bodies::ObjectBody::Segment(s) => {
+                Some((o.header.label.clone(), s.bytes.clone()))
+            }
+            _ => None,
+        })
+        .collect();
+    let persistent = segments
+        .iter()
+        .find(|(_, bytes)| bytes.windows(8).any(|w| w == b"survives"))
+        .expect("synced file survives the crash");
+    assert_eq!(persistent.0, secret_label, "labels persist with the data");
+    assert!(!segments.iter().any(|(_, b)| b.windows(4).any(|w| w == b"lost")));
+}
+
+/// Labels can express Unix permission bits, but also policies Unix cannot:
+/// a single thread holding two users' privilege at once.
+#[test]
+fn multi_user_privilege() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let alice = env.create_user("alice").unwrap();
+    let bob = env.create_user("bob").unwrap();
+    env.write_file_as(init, "/af", b"a", Some(alice.private_file_label()))
+        .unwrap();
+    env.write_file_as(init, "/bf", b"b", Some(bob.private_file_label()))
+        .unwrap();
+    // init owns both users' categories (it created the accounts), so it can
+    // read both files; a process with only bob's privilege cannot read
+    // alice's.
+    assert!(env.read_file_as(init, "/af").is_ok());
+    assert!(env.read_file_as(init, "/bf").is_ok());
+    let bob_shell = env.spawn(init, "/bin/sh", Some("bob")).unwrap();
+    assert!(env.read_file_as(bob_shell, "/bf").is_ok());
+    assert!(matches!(
+        env.read_file_as(bob_shell, "/af"),
+        Err(UnixError::Kernel(SyscallError::CannotObserve(_)))
+    ));
+}
