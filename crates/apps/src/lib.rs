@@ -118,11 +118,17 @@ pub fn deploy_clamav(env: &mut UnixEnv, username: &str) -> Result<ClamAvDeployme
             .sys_create_category(init_thread)?
     };
     let db_label = Label::builder().set(updater_cat, Level::L0).build();
-    env.write_file_as(init, "/clamav.cvd", &VirusDb::builtin().encode(), Some(db_label))?;
+    env.write_file_as(
+        init,
+        "/clamav.cvd",
+        &VirusDb::builtin().encode(),
+        Some(db_label),
+    )?;
 
     // The update daemon owns the database write category and talks to the
     // network; it must never gain the user's read category.
-    let update_daemon = env.spawn_with_label(init, "/usr/sbin/freshclam", vec![updater_cat], vec![])?;
+    let update_daemon =
+        env.spawn_with_label(init, "/usr/sbin/freshclam", vec![updater_cat], vec![])?;
 
     // wrap runs with the user's privilege (ownership of ur/uw) and allocates
     // the isolation category v.
@@ -132,7 +138,9 @@ pub fn deploy_clamav(env: &mut UnixEnv, username: &str) -> Result<ClamAvDeployme
         .machine_mut()
         .kernel_mut()
         .sys_create_category(wrap_thread)?;
-    env.process_record_mut(wrap)?.extra_ownership.push(isolation);
+    env.process_record_mut(wrap)?
+        .extra_ownership
+        .push(isolation);
 
     // Private /tmp for the scanner, writable at taint level 3 in v.
     let tmp_label = Label::builder()
@@ -214,7 +222,11 @@ pub fn wrap_scan(
 /// returning the simulated time taken.  `isolated` selects whether the scan
 /// runs under `wrap` (it makes no measurable difference — that is the row's
 /// point).
-pub fn scan_benchmark(env: &mut UnixEnv, size: usize, isolated: bool) -> Result<histar_sim::SimDuration> {
+pub fn scan_benchmark(
+    env: &mut UnixEnv,
+    size: usize,
+    isolated: bool,
+) -> Result<histar_sim::SimDuration> {
     let init = env.init_pid();
     let deployment = deploy_clamav(env, "scanuser")?;
     // Build the 100 MB (or scaled) randomized input as the user's file.
@@ -228,7 +240,8 @@ pub fn scan_benchmark(env: &mut UnixEnv, size: usize, isolated: bool) -> Result<
     let file = env.read_file_as(pid, "/sample.bin")?;
     // Signature matching is byte-proportional CPU work; charge it to the
     // simulated clock like the cost model does for application compute.
-    let cost = histar_sim::CostModel::for_flavor(histar_sim::OsFlavor::HiStar).compute(file.len() as u64);
+    let cost =
+        histar_sim::CostModel::for_flavor(histar_sim::OsFlavor::HiStar).compute(file.len() as u64);
     env.machine().clock().advance(cost);
     let db = VirusDb::decode(&env.read_file_as(pid, "/clamav.cvd")?);
     let _ = db.scan(&file[..file.len().min(1 << 16)]);
@@ -238,13 +251,22 @@ pub fn scan_benchmark(env: &mut UnixEnv, size: usize, isolated: bool) -> Result<
 /// The Figure 13 "build the HiStar kernel" workload: a make-like driver that
 /// spawns one compile process per source file, each of which reads its
 /// source, burns CPU proportional to its size, and writes an object file.
-pub fn build_benchmark(env: &mut UnixEnv, files: usize, file_size: usize) -> Result<histar_sim::SimDuration> {
+pub fn build_benchmark(
+    env: &mut UnixEnv,
+    files: usize,
+    file_size: usize,
+) -> Result<histar_sim::SimDuration> {
     let init = env.init_pid();
     env.mkdir(init, "/src", None).ok();
     env.mkdir(init, "/obj", None).ok();
     let mut rng = histar_sim::SimRng::new(7);
     for i in 0..files {
-        env.write_file_as(init, &format!("/src/file{i}.c"), &rng.bytes(file_size), None)?;
+        env.write_file_as(
+            init,
+            &format!("/src/file{i}.c"),
+            &rng.bytes(file_size),
+            None,
+        )?;
     }
     let cost = histar_sim::CostModel::for_flavor(histar_sim::OsFlavor::HiStar);
     let start = env.machine().clock().now();
@@ -252,8 +274,15 @@ pub fn build_benchmark(env: &mut UnixEnv, files: usize, file_size: usize) -> Res
         let cc = env.spawn(init, "/usr/bin/gcc", None)?;
         let source = env.read_file_as(cc, &format!("/src/file{i}.c"))?;
         // "Compilation" costs ~20x the scanner's per-byte work.
-        env.machine().clock().advance(cost.compute(source.len() as u64 * 20));
-        env.write_file_as(cc, &format!("/obj/file{i}.o"), &source[..source.len() / 2], None)?;
+        env.machine()
+            .clock()
+            .advance(cost.compute(source.len() as u64 * 20));
+        env.write_file_as(
+            cc,
+            &format!("/obj/file{i}.o"),
+            &source[..source.len() / 2],
+            None,
+        )?;
         env.exit(cc, ExitStatus::Exited(0))?;
         env.wait(init, cc)?;
     }
@@ -270,12 +299,8 @@ pub fn wget_benchmark(
     let init = env.init_pid();
     // wget is born network-tainted (`{i 2, 1}` like the paper's browser), so
     // its whole process environment can hold network-derived data.
-    let client = env.spawn_with_label(
-        init,
-        "/usr/bin/wget",
-        vec![],
-        vec![(netd.taint, Level::L2)],
-    )?;
+    let client =
+        env.spawn_with_label(init, "/usr/bin/wget", vec![], vec![(netd.taint, Level::L2)])?;
     let net_model = histar_sim::NetConfig::default();
     let mut sim_net = histar_sim::SimNetwork::new(net_model, env.machine().clock().clone());
     let start = env.machine().clock().now();
@@ -356,7 +381,10 @@ mod tests {
         .unwrap();
         assert_eq!(report.results[0], ("/home/taxes.txt".to_string(), true));
         assert_eq!(report.results[1], ("/home/notes.txt".to_string(), false));
-        assert!(!report.leak_detected, "the scanner must not write untainted files");
+        assert!(
+            !report.leak_detected,
+            "the scanner must not write untainted files"
+        );
     }
 
     #[test]
@@ -375,11 +403,21 @@ mod tests {
         let new_db = VirusDb {
             signatures: vec![b"NEWSIG".to_vec()],
         };
-        env.write_file_as(deployment.update_daemon, "/clamav.cvd", &new_db.encode(), None)
-            .unwrap();
+        env.write_file_as(
+            deployment.update_daemon,
+            "/clamav.cvd",
+            &new_db.encode(),
+            None,
+        )
+        .unwrap();
         // ...but cannot read the user's private data.
-        let err = env.read_file_as(deployment.update_daemon, "/private.doc").unwrap_err();
-        assert!(matches!(err, UnixError::Kernel(SyscallError::CannotObserve(_))));
+        let err = env
+            .read_file_as(deployment.update_daemon, "/private.doc")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            UnixError::Kernel(SyscallError::CannotObserve(_))
+        ));
     }
 
     #[test]

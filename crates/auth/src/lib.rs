@@ -266,7 +266,13 @@ fn grant_via_owner(
     )?;
     let entry = histar_kernel::object::ContainerEntry::new(init_container, gate);
     let verify = kernel.thread_label(login_thread)?;
-    kernel.sys_gate_enter(login_thread, entry, granted_label, granted_clearance, verify)?;
+    kernel.sys_gate_enter(
+        login_thread,
+        entry,
+        granted_label,
+        granted_clearance,
+        verify,
+    )?;
     // The per-login grant gate is single-use.
     let _ = kernel.sys_obj_unref(init_thread, entry);
     Ok(())
@@ -387,8 +393,13 @@ mod tests {
         );
         // sshd (bob) cannot read alice's private files.
         env.mkdir(other, "/alice", None).unwrap();
-        env.write_file_as(other, "/alice/diary", b"dear diary", Some(alice.private_file_label()))
-            .unwrap();
+        env.write_file_as(
+            other,
+            "/alice/diary",
+            b"dear diary",
+            Some(alice.private_file_label()),
+        )
+        .unwrap();
         assert!(env.read_file_as(sshd, "/alice/diary").is_err());
     }
 }

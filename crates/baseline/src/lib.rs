@@ -145,7 +145,8 @@ impl BaselineOs {
             self.alloc_cursor += size.max(BLOCK_SIZE);
             off
         });
-        self.disk.write(data_off, &vec![0u8; size.max(512) as usize]);
+        self.disk
+            .write(data_off, &vec![0u8; size.max(512) as usize]);
         self.disk.flush();
     }
 
@@ -204,12 +205,12 @@ impl BaselineOs {
         while written < total {
             let extent = (4 * 1024 * 1024).min(total - written);
             self.disk.write(base + written, &buf[..1]);
-            self.disk
-                .write(base + written, &vec![0u8; extent as usize]);
+            self.disk.write(base + written, &vec![0u8; extent as usize]);
             written += extent;
             if self.flavor == OsFlavor::LinuxLike {
                 // Indirect-block update: a short seek away.
-                self.disk.write(base + written + 8 * 1024 * 1024, &[0u8; 512]);
+                self.disk
+                    .write(base + written + 8 * 1024 * 1024, &[0u8; 512]);
             }
         }
         self.disk.flush();
@@ -219,7 +220,12 @@ impl BaselineOs {
 
     /// Random synchronous writes of `chunk` bytes each into an existing
     /// large file: each write flushes two pages in place.
-    pub fn write_large_random_sync(&mut self, total: u64, chunk: u64, file_size: u64) -> SimDuration {
+    pub fn write_large_random_sync(
+        &mut self,
+        total: u64,
+        chunk: u64,
+        file_size: u64,
+    ) -> SimDuration {
         let start = self.clock.now();
         let base = self.alloc_cursor;
         let mut rng = histar_sim::SimRng::new(42);
@@ -266,7 +272,8 @@ impl BaselineOs {
     /// Downloading `size` bytes over a 100 Mbps link with wget.
     pub fn wget(&mut self, size: u64) -> SimDuration {
         let start = self.clock.now();
-        let mut net = histar_sim::SimNetwork::new(histar_sim::NetConfig::default(), self.clock.clone());
+        let mut net =
+            histar_sim::SimNetwork::new(histar_sim::NetConfig::default(), self.clock.clone());
         let mut received = 0;
         while received < size {
             let chunk = (32 * 1024).min(size - received);
@@ -306,7 +313,10 @@ mod tests {
     fn fork_exec_is_fraction_of_a_millisecond() {
         let linux = BaselineOs::linux();
         let t = linux.fork_exec_true();
-        assert!(t.as_micros_f64() > 50.0 && t.as_micros_f64() < 1000.0, "{t}");
+        assert!(
+            t.as_micros_f64() > 50.0 && t.as_micros_f64() < 1000.0,
+            "{t}"
+        );
         let td = linux.fork_exec_true_dynamic();
         assert!(td > t, "dynamic linking costs more");
     }

@@ -1,0 +1,13 @@
+//! Prints the cross-node RPC microbenchmark: per-call latency and total
+//! simulated time for exporter-tunneled gate calls at several batch sizes.
+
+use histar_bench::rpc::{run, RpcParams};
+
+fn main() {
+    let table = run(RpcParams::full());
+    println!("{}", table.render());
+    println!("Latency is simulated time on the calling node; each call is a");
+    println!("label-translated, certificate-checked gate invocation behind netd.");
+    println!("Batching packs several RPC messages into one wire frame, paying");
+    println!("propagation latency and per-frame device costs once per batch.");
+}

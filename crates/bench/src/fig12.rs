@@ -105,7 +105,8 @@ pub fn histar_lfs_small(files: usize, size: usize, mode: SyncMode) -> LfsSmallRe
     let start = env.machine().clock().now();
     for i in 0..files {
         let path = format!("/lfs/f{i}");
-        env.write_file_as(init, &path, &payload, None).expect("create");
+        env.write_file_as(init, &path, &payload, None)
+            .expect("create");
         if mode == SyncMode::PerFile {
             env.fsync_path(init, &path).expect("fsync");
         }
@@ -335,12 +336,15 @@ pub fn run(params: Fig12Params) -> Table {
     let (bsd_async, _) = baseline_lfs_small(OsFlavor::OpenBsdLike, params);
 
     table.push(
-        Row::new(&format!("LFS small ({} files), create, async", params.small_files))
-            .measure("HiStar", histar_async.create)
-            .measure("Linux", linux_async.create)
-            .measure("OpenBSD", bsd_async.create)
-            .paper_value("HiStar", "0.31s/10k")
-            .paper_value("Linux", "0.316s/10k"),
+        Row::new(&format!(
+            "LFS small ({} files), create, async",
+            params.small_files
+        ))
+        .measure("HiStar", histar_async.create)
+        .measure("Linux", linux_async.create)
+        .measure("OpenBSD", bsd_async.create)
+        .paper_value("HiStar", "0.31s/10k")
+        .paper_value("Linux", "0.316s/10k"),
     );
     table.push(
         Row::new("LFS small, create, per-file sync")
@@ -413,11 +417,8 @@ pub fn run(params: Fig12Params) -> Table {
     let histar_large = histar_lfs_large(params.large_size, params.large_chunk);
     let mut linux = BaselineOs::linux();
     let linux_seq = linux.write_large_sequential(params.large_size, params.large_chunk);
-    let linux_rand = linux.write_large_random_sync(
-        params.large_size / 8,
-        params.large_chunk,
-        params.large_size,
-    );
+    let linux_rand =
+        linux.write_large_random_sync(params.large_size / 8, params.large_chunk, params.large_size);
     let linux_read = linux.read_large_sequential(params.large_size, params.large_chunk);
     table.push(
         Row::new("LFS large, sequential write")

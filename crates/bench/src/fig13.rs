@@ -78,8 +78,14 @@ pub fn run(params: Fig13Params) -> Table {
             params.build_files
         ))
         .measure("HiStar", histar_build(params))
-        .measure("Linux", linux.build_kernel(params.build_files, params.build_file_size))
-        .measure("OpenBSD", bsd.build_kernel(params.build_files, params.build_file_size))
+        .measure(
+            "Linux",
+            linux.build_kernel(params.build_files, params.build_file_size),
+        )
+        .measure(
+            "OpenBSD",
+            bsd.build_kernel(params.build_files, params.build_file_size),
+        )
         .paper_value("HiStar", "6.2s")
         .paper_value("Linux", "4.7s")
         .paper_value("OpenBSD", "6.0s"),

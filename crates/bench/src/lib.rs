@@ -6,6 +6,8 @@
 //!   models.
 //! * [`fig13`] — the application benchmarks of Figure 13 (kernel build,
 //!   wget, virus scan with and without the isolation wrapper).
+//! * [`rpc`] — cross-node RPC over the exporter subsystem: latency and
+//!   throughput of label-checked calls, with and without message batching.
 //! * [`report`] — small helpers for printing paper-style tables and
 //!   recording paper-vs-measured comparisons.
 //!
@@ -18,5 +20,6 @@
 pub mod fig12;
 pub mod fig13;
 pub mod report;
+pub mod rpc;
 
 pub use report::{Row, Table};

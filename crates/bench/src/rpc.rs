@@ -1,0 +1,166 @@
+//! Cross-node RPC microbenchmark: throughput and latency of exporter-tunneled
+//! gate calls over the simulated network, with and without message batching.
+//!
+//! This extends the paper's evaluation (§7) to the federation layer: where
+//! Figure 12 measures the cost of a local IPC round trip, this measures the
+//! cost of the same logical call when it crosses a machine boundary — label
+//! translation, certificate handling, netd, and the wire — and how much of
+//! the per-message cost batching amortizes.
+
+use crate::report::{Row, Table};
+use histar_exporter::Fabric;
+use histar_sim::{LinkConfig, NetConfig, SimDuration, Topology};
+
+/// Parameters for the cross-node RPC benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcParams {
+    /// Number of RPC messages per measured run.
+    pub messages: usize,
+    /// Payload size per message, in bytes.
+    pub payload: usize,
+    /// Batch sizes to compare (1 = one frame per message).
+    pub batch_sizes: [usize; 3],
+}
+
+impl RpcParams {
+    /// A quick configuration for tests.
+    pub fn smoke() -> RpcParams {
+        RpcParams {
+            messages: 16,
+            payload: 64,
+            batch_sizes: [1, 4, 16],
+        }
+    }
+
+    /// The configuration the `exporter_rpc` binary reports.
+    pub fn full() -> RpcParams {
+        RpcParams {
+            messages: 128,
+            payload: 256,
+            batch_sizes: [1, 8, 32],
+        }
+    }
+}
+
+/// One measured cell: total simulated time and derived per-message latency.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcMeasurement {
+    /// Messages exchanged (calls; each also produced a reply).
+    pub messages: usize,
+    /// Messages per wire frame.
+    pub batch: usize,
+    /// Total simulated time on the calling node.
+    pub elapsed: SimDuration,
+}
+
+impl RpcMeasurement {
+    /// Mean simulated time per call (round trip).
+    pub fn per_message(&self) -> SimDuration {
+        SimDuration::from_nanos(self.elapsed.as_nanos() / self.messages.max(1) as u64)
+    }
+
+    /// Calls per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.messages as f64 / secs
+        }
+    }
+}
+
+fn echo_fabric() -> (Fabric, u64, u64) {
+    let mut topology = Topology::fully_connected(2);
+    topology.set_default_link(LinkConfig {
+        net: NetConfig::default(),
+        per_message_cpu: SimDuration::from_micros(10),
+    });
+    let mut fabric = Fabric::with_topology(topology);
+    let provider = {
+        let n = &mut fabric.nodes[1];
+        let init = n.init();
+        n.env.spawn(init, "/usr/bin/echod", None).unwrap()
+    };
+    fabric
+        .register_service(1, "echo", provider, Box::new(|_e, _w, req| req.to_vec()))
+        .unwrap();
+    let client = {
+        let n = &mut fabric.nodes[0];
+        let init = n.init();
+        n.env.spawn(init, "/bin/client", None).unwrap()
+    };
+    (fabric, client, provider)
+}
+
+/// Runs `messages` echo calls with the given batch size and returns the
+/// calling node's simulated time.
+pub fn measure_rpc(params: RpcParams, batch: usize) -> RpcMeasurement {
+    let (mut fabric, client, _provider) = echo_fabric();
+    let payload = vec![0xa5u8; params.payload];
+    let before = fabric.nodes[0].env.machine().uptime();
+    let mut sent = 0;
+    while sent < params.messages {
+        let n = (params.messages - sent).min(batch);
+        let requests: Vec<Vec<u8>> = (0..n).map(|_| payload.clone()).collect();
+        let replies = fabric
+            .remote_call_batch(0, client, 1, "echo", &requests, None, &[])
+            .expect("batch call");
+        for r in replies {
+            let reply = r.expect("echo reply");
+            let bytes = fabric.read_reply(0, client, &reply).expect("read reply");
+            assert_eq!(bytes.len(), params.payload);
+        }
+        sent += n;
+    }
+    RpcMeasurement {
+        messages: params.messages,
+        batch,
+        elapsed: fabric.nodes[0].env.machine().uptime() - before,
+    }
+}
+
+/// Runs the full comparison and renders the table.
+pub fn run(params: RpcParams) -> Table {
+    let mut table = Table::new("Cross-node RPC: exporter-tunneled gate calls");
+    for &batch in &params.batch_sizes {
+        let m = measure_rpc(params, batch);
+        table.push(
+            Row::new(&format!(
+                "echo x{}, {} B payload, batch={batch}",
+                m.messages, params.payload
+            ))
+            .measure("per-call", m.per_message())
+            .measure("total", m.elapsed),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_reduces_per_message_cost() {
+        let params = RpcParams::smoke();
+        let single = measure_rpc(params, 1);
+        let batched = measure_rpc(params, *params.batch_sizes.last().unwrap());
+        assert!(
+            batched.per_message() < single.per_message(),
+            "batch={} per-msg {:?} must beat batch=1 per-msg {:?}",
+            batched.batch,
+            batched.per_message(),
+            single.per_message(),
+        );
+        assert!(batched.throughput() > single.throughput());
+    }
+
+    #[test]
+    fn report_renders() {
+        let table = run(RpcParams::smoke());
+        let text = table.render();
+        assert!(text.contains("Cross-node RPC"));
+        assert!(text.contains("batch=1"));
+    }
+}

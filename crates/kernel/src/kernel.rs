@@ -7,8 +7,8 @@
 //! CPU cost to the machine clock (when one is attached).
 
 use crate::bodies::{
-    AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody,
-    SegmentBody, ThreadBody, ThreadState,
+    AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody, SegmentBody,
+    ThreadBody, ThreadState,
 };
 use crate::object::{
     truncate_descrip, ContainerEntry, ObjectHeader, ObjectId, ObjectType, METADATA_LEN,
@@ -60,6 +60,13 @@ pub struct PageFaultResolution {
     pub writable: bool,
 }
 
+/// The globally meaningful name of a category as exported off-machine: the
+/// hash of the owning exporter's public key plus a per-exporter identifier.
+/// The pair is self-certifying — it names both the category and the only
+/// exporter entitled to speak for it — so label checks survive the network
+/// hop without a trusted naming authority.
+pub type RemoteCategoryName = (u64, u64);
+
 /// The HiStar kernel.
 #[derive(Debug)]
 pub struct Kernel {
@@ -75,6 +82,12 @@ pub struct Kernel {
     /// The address space of the most recently active thread, used to decide
     /// whether a switch can use the cheap `invlpg` path.
     last_address_space: Option<ContainerEntry>,
+    /// Category-translation table maintained for exporters: local category →
+    /// self-certifying global name.  Bindings are immutable once set, so a
+    /// label translated out and back can never silently change category.
+    remote_bindings: HashMap<Category, RemoteCategoryName>,
+    /// Reverse index of `remote_bindings` (global name → local category).
+    remote_index: HashMap<RemoteCategoryName, Category>,
 }
 
 impl Kernel {
@@ -95,6 +108,8 @@ impl Kernel {
             cost: CostModel::for_flavor(OsFlavor::HiStar),
             stats: SyscallStats::default(),
             last_address_space: None,
+            remote_bindings: HashMap::new(),
+            remote_index: HashMap::new(),
         };
         let root_id = kernel.fresh_id();
         let mut header = ObjectHeader::new(
@@ -264,7 +279,10 @@ impl Kernel {
     fn check_observe(&mut self, tl: &Label, oid: ObjectId) -> Result<(), SyscallError> {
         let (olabel, immutable) = {
             let o = self.obj(oid)?;
-            (o.header.label.clone(), o.header.object_type != ObjectType::Thread)
+            (
+                o.header.label.clone(),
+                o.header.object_type != ObjectType::Thread,
+            )
         };
         self.count_label_check(&olabel, tl, immutable);
         if olabel.leq_high_rhs(tl) {
@@ -740,7 +758,11 @@ impl Kernel {
         let result = (|| -> Result<(ObjectType, String, u64), SyscallError> {
             self.check_entry(&tl, entry)?;
             let o = self.obj(entry.object)?;
-            Ok((o.header.object_type, o.header.descrip.clone(), o.header.quota))
+            Ok((
+                o.header.object_type,
+                o.header.descrip.clone(),
+                o.header.quota,
+            ))
         })();
         result.inspect_err(|_| self.stats.errors += 1)
     }
@@ -1083,7 +1105,7 @@ impl Kernel {
         let result = (|| -> Result<(), SyscallError> {
             self.check_entry(&tl, aspace)?;
             self.check_modify(&tl, aspace.object)?;
-            if mapping.va % PAGE_SIZE != 0 {
+            if !mapping.va.is_multiple_of(PAGE_SIZE) {
                 return Err(SyscallError::InvalidArgument("va must be page-aligned"));
             }
             let o = self.obj_mut(aspace.object)?;
@@ -1275,7 +1297,8 @@ impl Kernel {
         descrip: &str,
     ) -> Result<ObjectId, SyscallError> {
         let id = self.fresh_id();
-        let mut header = ObjectHeader::new(id, ObjectType::Thread, label.clone(), PAGE_SIZE, descrip);
+        let mut header =
+            ObjectHeader::new(id, ObjectType::Thread, label.clone(), PAGE_SIZE, descrip);
         header.links = 1;
         let mut body = ThreadBody::new(clearance);
         // Thread-local segment for the bootstrap thread.
@@ -1351,10 +1374,7 @@ impl Kernel {
         let result = (|| -> Result<(), SyscallError> {
             self.check_entry(&tl, target)?;
             let target_as = {
-                let (_, tbody) = match self.thread(target.object) {
-                    Ok(x) => x,
-                    Err(e) => return Err(e),
-                };
+                let (_, tbody) = self.thread(target.object)?;
                 tbody.address_space
             };
             if let Some(aspace) = target_as {
@@ -1469,9 +1489,7 @@ impl Kernel {
             let (glabel, gclearance, gbody) = {
                 let o = self.typed(gate.object, ObjectType::Gate)?;
                 match &o.body {
-                    ObjectBody::Gate(g) => {
-                        (o.header.label.clone(), g.clearance.clone(), g.clone())
-                    }
+                    ObjectBody::Gate(g) => (o.header.label.clone(), g.clearance.clone(), g.clone()),
                     _ => unreachable!("typed() checked the object type"),
                 }
             };
@@ -1544,6 +1562,93 @@ impl Kernel {
             }
         })();
         result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    // ----- category translation (exporter support) ---------------------------
+
+    /// Binds a local category to its self-certifying global name, so that
+    /// label checks survive the network hop between machines.
+    ///
+    /// Only a thread *owning* the category may assert its global identity —
+    /// this is what keeps the translation table trustworthy: an exporter can
+    /// only export categories whose owners granted it `⋆`, and a malicious
+    /// process cannot re-point someone else's category at a name it controls.
+    /// Bindings are write-once; rebinding to a different name (or binding a
+    /// second local category to an already-claimed name) is refused, which
+    /// guarantees that translation is a partial bijection.
+    pub fn sys_category_bind_remote(
+        &mut self,
+        tid: ObjectId,
+        category: Category,
+        name: RemoteCategoryName,
+    ) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            if !tl.owns(category) {
+                return Err(SyscallError::NotCategoryOwner(category));
+            }
+            match self.remote_bindings.get(&category) {
+                Some(existing) if *existing == name => return Ok(()), // idempotent
+                Some(_) => {
+                    return Err(SyscallError::InvalidArgument(
+                        "category is already bound to a different global name",
+                    ))
+                }
+                None => {}
+            }
+            if let Some(other) = self.remote_index.get(&name) {
+                if *other != category {
+                    return Err(SyscallError::InvalidArgument(
+                        "global name is already bound to a different category",
+                    ));
+                }
+            }
+            self.remote_bindings.insert(category, name);
+            self.remote_index.insert(name, category);
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Looks up a category's global name.  Global names are self-certifying
+    /// and deliberately public (they are what appears on the wire), so no
+    /// label check is needed beyond the calling thread being runnable.
+    pub fn sys_category_get_remote(
+        &mut self,
+        tid: ObjectId,
+        category: Category,
+    ) -> Result<Option<RemoteCategoryName>, SyscallError> {
+        self.calling_thread(tid)?;
+        Ok(self.remote_bindings.get(&category).copied())
+    }
+
+    /// Resolves a global name back to the local category bound to it.
+    pub fn sys_category_resolve_remote(
+        &mut self,
+        tid: ObjectId,
+        name: RemoteCategoryName,
+    ) -> Result<Option<Category>, SyscallError> {
+        self.calling_thread(tid)?;
+        Ok(self.remote_index.get(&name).copied())
+    }
+
+    /// All category ↔ global-name bindings (persistence, diagnostics).
+    pub fn remote_bindings(&self) -> impl Iterator<Item = (Category, RemoteCategoryName)> + '_ {
+        self.remote_bindings.iter().map(|(c, n)| (*c, *n))
+    }
+
+    /// Restores the translation table after recovery.  Crate-internal: it
+    /// bypasses the ownership check and the write-once rule, which is only
+    /// sound when replaying bindings that were validated when first created
+    /// into a freshly recovered kernel — exactly what machine recovery does.
+    pub(crate) fn restore_remote_bindings(
+        &mut self,
+        bindings: impl IntoIterator<Item = (Category, RemoteCategoryName)>,
+    ) {
+        for (c, n) in bindings {
+            self.remote_bindings.insert(c, n);
+            self.remote_index.insert(n, c);
+        }
     }
 
     // ----- devices (§4, §5.7) ------------------------------------------------
@@ -1659,7 +1764,11 @@ impl Kernel {
 
     /// Simulation hook (not a system call): delivers a frame "from the
     /// wire" into a device's receive queue.
-    pub fn device_inject_rx(&mut self, device: ObjectId, frame: Vec<u8>) -> Result<(), SyscallError> {
+    pub fn device_inject_rx(
+        &mut self,
+        device: ObjectId,
+        frame: Vec<u8>,
+    ) -> Result<(), SyscallError> {
         let o = self.obj_mut(device)?;
         match &mut o.body {
             ObjectBody::Device(d) => {
@@ -1735,7 +1844,12 @@ mod tests {
         let mut k = Kernel::new(42, None);
         let root = k.root_container();
         let tid = k
-            .bootstrap_thread(root, Label::unrestricted(), Label::default_clearance(), "init")
+            .bootstrap_thread(
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                "init",
+            )
             .unwrap();
         (k, tid)
     }
@@ -1877,10 +1991,7 @@ mod tests {
             .sys_segment_create(tid, dir, Label::unrestricted(), 4096, "file")
             .unwrap();
         assert_eq!(k.sys_container_get_parent(tid, dir).unwrap(), root);
-        assert!(k
-            .sys_container_list(tid, dir)
-            .unwrap()
-            .contains(&seg));
+        assert!(k.sys_container_list(tid, dir).unwrap().contains(&seg));
         // Unreferencing the directory drops the whole subtree.
         let count_before = k.object_count();
         k.sys_obj_unref(tid, entry(&k, dir)).unwrap();
@@ -2111,7 +2222,10 @@ mod tests {
         let root = k.root_container();
         let d = k.sys_create_category(tid).unwrap();
         // The gate requires ownership of d to invoke: clearance {d0, 2}.
-        let gate_clearance = Label::builder().set(d, Level::L0).default_level(Level::L2).build();
+        let gate_clearance = Label::builder()
+            .set(d, Level::L0)
+            .default_level(Level::L2)
+            .build();
         let gate = k
             .sys_gate_create(
                 tid,
@@ -2240,7 +2354,12 @@ mod tests {
             .set(i, Level::L2)
             .build();
         let dev = k
-            .boot_create_device(root, dev_label, DeviceBody::network([1, 2, 3, 4, 5, 6]), "eth0")
+            .boot_create_device(
+                root,
+                dev_label,
+                DeviceBody::network([1, 2, 3, 4, 5, 6]),
+                "eth0",
+            )
             .unwrap();
         let de = entry(&k, dev);
         // The owner of nr/nw (which also owns i here) can use the device.
@@ -2299,6 +2418,45 @@ mod tests {
         let e = ContainerEntry::new(k.root_container(), local);
         k.sys_segment_write(tid, e, 0, b"scratch").unwrap();
         assert_eq!(k.sys_segment_read(tid, e, 0, 7).unwrap(), b"scratch");
+    }
+
+    #[test]
+    fn category_binding_requires_ownership() {
+        let (mut k, tid) = boot();
+        let c = k.sys_create_category(tid).unwrap();
+        let name = (0xabcd, 7);
+        // A thread that does not own the category cannot bind it.
+        let root = k.root_container();
+        let other = k
+            .sys_thread_create(
+                tid,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                "other",
+            )
+            .unwrap();
+        assert_eq!(
+            k.sys_category_bind_remote(other, c, name),
+            Err(SyscallError::NotCategoryOwner(c))
+        );
+        // The owner can, and the binding resolves both ways.
+        k.sys_category_bind_remote(tid, c, name).unwrap();
+        assert_eq!(k.sys_category_get_remote(tid, c).unwrap(), Some(name));
+        assert_eq!(k.sys_category_resolve_remote(tid, name).unwrap(), Some(c));
+        // Idempotent rebinding is fine; changing the name is not.
+        k.sys_category_bind_remote(tid, c, name).unwrap();
+        assert!(matches!(
+            k.sys_category_bind_remote(tid, c, (0xabcd, 8)),
+            Err(SyscallError::InvalidArgument(_))
+        ));
+        // A second category cannot claim an already-bound name.
+        let c2 = k.sys_create_category(tid).unwrap();
+        assert!(matches!(
+            k.sys_category_bind_remote(tid, c2, name),
+            Err(SyscallError::InvalidArgument(_))
+        ));
     }
 
     #[test]

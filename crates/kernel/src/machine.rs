@@ -125,7 +125,12 @@ impl Machine {
         let console_device = if config.console_device {
             Some(
                 kernel
-                    .boot_create_device(root, Label::unrestricted(), DeviceBody::console(), "console")
+                    .boot_create_device(
+                        root,
+                        Label::unrestricted(),
+                        DeviceBody::console(),
+                        "console",
+                    )
                     .expect("boot device creation cannot fail on a fresh kernel"),
             )
         } else {
@@ -227,6 +232,14 @@ impl Machine {
             .put_u64(self.net_device.map_or(u64::MAX, ObjectId::raw))
             .put_u64(self.console_device.map_or(u64::MAX, ObjectId::raw))
             .put_u64(self.config.seed);
+        // The category-translation table: a category's global name must
+        // survive a crash, or a recovered node would re-export its
+        // categories under fresh names and strand every remote reference.
+        let bindings: Vec<_> = self.kernel.remote_bindings().collect();
+        e.put_u64(bindings.len() as u64);
+        for (cat, (exporter, id)) in bindings {
+            e.put_u64(cat.raw()).put_u64(exporter).put_u64(id);
+        }
         self.store.put(MACHINE_META_KEY, e.finish());
         self.store.checkpoint();
     }
@@ -261,6 +274,17 @@ impl Machine {
         let net_raw = read(&mut d)?;
         let console_raw = read(&mut d)?;
         let seed = read(&mut d)?;
+        // Category-translation bindings (absent in pre-exporter snapshots).
+        let mut bindings = Vec::new();
+        if d.remaining() > 0 {
+            let n = read(&mut d)?;
+            for _ in 0..n {
+                let cat = histar_label::Category::from_raw(read(&mut d)?);
+                let exporter = read(&mut d)?;
+                let id = read(&mut d)?;
+                bindings.push((cat, (exporter, id)));
+            }
+        }
 
         let mut objects: HashMap<ObjectId, KObject> = HashMap::new();
         for id in store.object_ids() {
@@ -275,6 +299,7 @@ impl Machine {
 
         let mut kernel = Kernel::new(seed, Some(clock.clone()));
         kernel.restore_objects(root, objects, id_counter, cat_counter, seed);
+        kernel.restore_remote_bindings(bindings);
 
         Ok(Machine {
             kernel,
@@ -330,10 +355,7 @@ mod tests {
         // The thread still owns the category and the segment still exists
         // with its label and contents.
         assert!(m2.kernel().thread_label(tid).unwrap().owns(cat));
-        let data = m2
-            .kernel_mut()
-            .sys_segment_read(tid, entry, 0, 10)
-            .unwrap();
+        let data = m2.kernel_mut().sys_segment_read(tid, entry, 0, 10).unwrap();
         assert_eq!(data, b"top secret");
         assert_eq!(
             m2.kernel_mut().sys_obj_get_label(tid, entry).unwrap(),
@@ -390,6 +412,29 @@ mod tests {
             .kernel_mut()
             .sys_segment_read(tid, ContainerEntry::new(root, seg), 0, 1)
             .is_err());
+    }
+
+    #[test]
+    fn remote_category_bindings_survive_recovery() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let tid = m.kernel_thread();
+        let cat = m.kernel_mut().sys_create_category(tid).unwrap();
+        let name = (0x1234_5678, 42);
+        m.kernel_mut()
+            .sys_category_bind_remote(tid, cat, name)
+            .unwrap();
+        m.snapshot();
+        let mut m2 = m.crash_and_recover().unwrap();
+        assert_eq!(
+            m2.kernel_mut().sys_category_get_remote(tid, cat).unwrap(),
+            Some(name)
+        );
+        assert_eq!(
+            m2.kernel_mut()
+                .sys_category_resolve_remote(tid, name)
+                .unwrap(),
+            Some(cat)
+        );
     }
 
     #[test]

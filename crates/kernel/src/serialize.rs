@@ -13,7 +13,9 @@ use crate::bodies::{
     MappingFlags, ObjectBody, SegmentBody, ThreadBody, ThreadState,
 };
 use crate::kernel::KObject;
-use crate::object::{ContainerEntry, ObjectFlags, ObjectHeader, ObjectId, ObjectType, METADATA_LEN};
+use crate::object::{
+    ContainerEntry, ObjectFlags, ObjectHeader, ObjectId, ObjectType, METADATA_LEN,
+};
 use histar_label::{Category, Label, Level};
 use histar_store::codec::{DecodeError, Decoder, Encoder};
 
@@ -79,15 +81,14 @@ pub fn encode_label(e: &mut Encoder, label: &Label) {
 
 /// Decodes a label written by [`encode_label`].
 pub fn decode_label(d: &mut Decoder<'_>) -> Result<Label, SerializeError> {
-    let default = Level::decode(d.get_u8()?)
-        .ok_or(SerializeError::BadTag("default level", 0xff))?;
+    let default =
+        Level::decode(d.get_u8()?).ok_or(SerializeError::BadTag("default level", 0xff))?;
     let n = d.get_u64()? as usize;
     let mut builder = Label::builder().default_level(default);
     for _ in 0..n {
         let word = d.get_u64()?;
         let (c, bits) = Category::unpack_with_level(word);
-        let level =
-            Level::decode(bits).ok_or(SerializeError::BadTag("entry level", bits))?;
+        let level = Level::decode(bits).ok_or(SerializeError::BadTag("entry level", bits))?;
         builder = builder.set(c, level);
     }
     Ok(builder.build())
@@ -99,7 +100,9 @@ fn encode_opt_entry(e: &mut Encoder, entry: Option<ContainerEntry>) {
             e.put_u8(0);
         }
         Some(ce) => {
-            e.put_u8(1).put_u64(ce.container.raw()).put_u64(ce.object.raw());
+            e.put_u8(1)
+                .put_u64(ce.container.raw())
+                .put_u64(ce.object.raw());
         }
     }
 }
@@ -228,6 +231,7 @@ fn encode_body(e: &mut Encoder, body: &ObjectBody) {
             e.put_u8(match dev.kind {
                 DeviceKind::Network => 0,
                 DeviceKind::Console => 1,
+                DeviceKind::Exporter => 2,
             });
             e.put_bytes(&dev.mac);
             e.put_u64(dev.rx_queue.len() as u64);
@@ -342,6 +346,7 @@ fn decode_body(d: &mut Decoder<'_>, ty: ObjectType) -> Result<ObjectBody, Serial
             let kind = match d.get_u8()? {
                 0 => DeviceKind::Network,
                 1 => DeviceKind::Console,
+                2 => DeviceKind::Exporter,
                 other => return Err(SerializeError::BadTag("device kind", other)),
             };
             let mac_vec = d.get_bytes()?;

@@ -71,6 +71,9 @@ pub enum SyscallError {
     },
     /// The thread is halted and cannot perform system calls.
     ThreadHalted(ObjectId),
+    /// The calling thread does not own (`⋆`) the category the call needs
+    /// ownership of (e.g. binding a category to its global exporter name).
+    NotCategoryOwner(histar_label::Category),
     /// The root container cannot be unreferenced or given a finite quota.
     RootContainer,
     /// The call is malformed (bad argument, out-of-range offset, ...).
@@ -88,7 +91,12 @@ impl core::fmt::Display for SyscallError {
         match self {
             SyscallError::NoSuchObject(id) => write!(f, "no such object: {id}"),
             SyscallError::WrongType { found, expected } => {
-                write!(f, "wrong object type: found {}, expected {}", found.name(), expected.name())
+                write!(
+                    f,
+                    "wrong object type: found {}, expected {}",
+                    found.name(),
+                    expected.name()
+                )
             }
             SyscallError::NotInContainer { container, object } => {
                 write!(f, "container {container} has no link to {object}")
@@ -121,10 +129,19 @@ impl core::fmt::Display for SyscallError {
             }
             SyscallError::VerifyLabel => write!(f, "verify label exceeds the thread label"),
             SyscallError::PageFault { va, write } => {
-                write!(f, "page fault at {va:#x} ({})", if *write { "write" } else { "read" })
+                write!(
+                    f,
+                    "page fault at {va:#x} ({})",
+                    if *write { "write" } else { "read" }
+                )
             }
             SyscallError::ThreadHalted(id) => write!(f, "thread {id} is halted"),
-            SyscallError::RootContainer => write!(f, "operation not permitted on the root container"),
+            SyscallError::NotCategoryOwner(c) => {
+                write!(f, "calling thread does not own category {c}")
+            }
+            SyscallError::RootContainer => {
+                write!(f, "operation not permitted on the root container")
+            }
             SyscallError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
         }
     }
@@ -191,9 +208,12 @@ mod tests {
         assert!(msg.contains("quota"));
         assert!(msg.contains("100"));
         assert!(SyscallError::RootContainer.to_string().contains("root"));
-        assert!(SyscallError::PageFault { va: 0x1000, write: true }
-            .to_string()
-            .contains("write"));
+        assert!(SyscallError::PageFault {
+            va: 0x1000,
+            write: true
+        }
+        .to_string()
+        .contains("write"));
     }
 
     #[test]

@@ -272,7 +272,11 @@ mod tests {
         let b = FeistelCipher::new(7);
         let c = FeistelCipher::new(8);
         assert_eq!(a.encrypt(1234), b.encrypt(1234));
-        assert_ne!(a.encrypt(1234), c.encrypt(1234), "different seeds should (overwhelmingly) differ");
+        assert_ne!(
+            a.encrypt(1234),
+            c.encrypt(1234),
+            "different seeds should (overwhelmingly) differ"
+        );
     }
 
     #[test]
@@ -285,7 +289,10 @@ mod tests {
                 consecutive += 1;
             }
         }
-        assert!(consecutive < 5, "identifiers look sequential: {consecutive}");
+        assert!(
+            consecutive < 5,
+            "identifiers look sequential: {consecutive}"
+        );
     }
 
     #[test]

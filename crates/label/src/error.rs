@@ -28,7 +28,10 @@ impl fmt::Display for LabelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LabelError::AllocationBelowLabel => {
-                write!(f, "object label is below the thread label in an unowned category")
+                write!(
+                    f,
+                    "object label is below the thread label in an unowned category"
+                )
             }
             LabelError::AllocationAboveClearance => {
                 write!(f, "object label exceeds the thread clearance")

@@ -426,9 +426,8 @@ impl Label {
                 .ok_or_else(|| LabelError::Parse(format!("unknown category name: {name:?}")))?;
             builder = builder.set(cat, level);
         }
-        let default = default.ok_or_else(|| {
-            LabelError::Parse(format!("label {text:?} has no default level"))
-        })?;
+        let default = default
+            .ok_or_else(|| LabelError::Parse(format!("label {text:?} has no default level")))?;
         Ok(builder.default_level(default).build())
     }
 
@@ -756,9 +755,7 @@ mod tests {
         // Can lower clearance to {1} (not below label).
         assert!(t.check_set_clearance(&cl, &Label::unrestricted()).is_ok());
         // Cannot lower below label.
-        assert!(t
-            .check_set_clearance(&cl, &Label::new(Level::L0))
-            .is_err());
+        assert!(t.check_set_clearance(&cl, &Label::new(Level::L0)).is_err());
         // Cannot raise clearance in a category it does not own.
         assert!(t
             .check_set_clearance(&cl, &lbl(&[(1, Level::L3)], Level::L2))
@@ -807,7 +804,11 @@ mod tests {
         // Child label below parent label is rejected.
         let below = lbl(&[(2, Level::L0)], Level::L1);
         assert!(Label::unrestricted()
-            .check_spawn(&Label::default_clearance(), &below, &Label::default_clearance())
+            .check_spawn(
+                &Label::default_clearance(),
+                &below,
+                &Label::default_clearance()
+            )
             .is_err());
     }
 
@@ -876,7 +877,10 @@ mod tests {
 
     #[test]
     fn owned_categories_iterator() {
-        let l = lbl(&[(1, Level::Star), (2, Level::L3), (3, Level::Star)], Level::L1);
+        let l = lbl(
+            &[(1, Level::Star), (2, Level::L3), (3, Level::Star)],
+            Level::L1,
+        );
         let owned: Vec<u64> = l.owned_categories().map(|c| c.raw()).collect();
         assert_eq!(owned, vec![1, 3]);
     }

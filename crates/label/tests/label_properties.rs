@@ -4,199 +4,290 @@
 //! `⊑` is a partial order, `⊔` is the least upper bound, the observation /
 //! modification checks are monotone, and `raise_for_observe` returns the
 //! least label that permits observation.
+//!
+//! The generator is a tiny self-contained xorshift64* harness rather than an
+//! external property-testing crate, so the suite runs in an offline build.
+//! Each property is exercised on a few thousand pseudo-random labels drawn
+//! from a small category universe (collisions are likely, which is where the
+//! interesting lattice behaviour lives).
 
 use histar_label::{Category, Label, Level};
-use proptest::prelude::*;
 
-/// A small universe of categories keeps collisions (shared categories)
-/// likely, which is where the interesting lattice behaviour lives.
-fn arb_category() -> impl Strategy<Value = Category> {
-    (0u64..8).prop_map(Category::from_raw)
-}
+const CASES: usize = 2000;
 
-fn arb_level() -> impl Strategy<Value = Level> {
-    prop_oneof![
-        Just(Level::Star),
-        Just(Level::L0),
-        Just(Level::L1),
-        Just(Level::L2),
-        Just(Level::L3),
-    ]
-}
+struct Rng(u64);
 
-fn arb_numeric_level() -> impl Strategy<Value = Level> {
-    prop_oneof![
-        Just(Level::L0),
-        Just(Level::L1),
-        Just(Level::L2),
-        Just(Level::L3),
-    ]
-}
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
 
-prop_compose! {
-    fn arb_label()(default in arb_numeric_level(),
-                   entries in prop::collection::vec((arb_category(), arb_level()), 0..6))
-                   -> Label {
-        let mut b = Label::builder().default_level(default);
-        for (c, l) in entries {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn category(&mut self) -> Category {
+        // A small universe of categories keeps shared categories likely.
+        Category::from_raw(self.below(8))
+    }
+
+    fn level(&mut self) -> Level {
+        match self.below(5) {
+            0 => Level::Star,
+            1 => Level::L0,
+            2 => Level::L1,
+            3 => Level::L2,
+            _ => Level::L3,
+        }
+    }
+
+    fn numeric_level(&mut self) -> Level {
+        match self.below(4) {
+            0 => Level::L0,
+            1 => Level::L1,
+            2 => Level::L2,
+            _ => Level::L3,
+        }
+    }
+
+    fn label(&mut self) -> Label {
+        let mut b = Label::builder().default_level(self.numeric_level());
+        for _ in 0..self.below(6) {
+            let c = self.category();
+            let l = self.level();
+            b = b.set(c, l);
+        }
+        b.build()
+    }
+
+    /// Labels without ownership, where `⊑` restricted to them is a lattice.
+    fn taint_label(&mut self) -> Label {
+        let mut b = Label::builder().default_level(self.numeric_level());
+        for _ in 0..self.below(6) {
+            let c = self.category();
+            let l = self.numeric_level();
             b = b.set(c, l);
         }
         b.build()
     }
 }
 
-prop_compose! {
-    /// Labels without ownership, where ⊑ restricted to them forms a lattice.
-    fn arb_taint_label()(default in arb_numeric_level(),
-                         entries in prop::collection::vec((arb_category(), arb_numeric_level()), 0..6))
-                         -> Label {
-        let mut b = Label::builder().default_level(default);
-        for (c, l) in entries {
-            b = b.set(c, l);
-        }
-        b.build()
+#[test]
+fn leq_is_reflexive() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let l = rng.label();
+        assert!(l.leq(&l), "{l} ⋢ itself");
     }
 }
 
-proptest! {
-    #[test]
-    fn leq_is_reflexive(l in arb_label()) {
-        prop_assert!(l.leq(&l));
-    }
-
-    #[test]
-    fn leq_is_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+#[test]
+fn leq_is_transitive() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.label(), rng.label(), rng.label());
         if a.leq(&b) && b.leq(&c) {
-            prop_assert!(a.leq(&c));
+            assert!(a.leq(&c), "{a} ⊑ {b} ⊑ {c} but {a} ⋢ {c}");
         }
     }
+}
 
-    #[test]
-    fn leq_is_antisymmetric(a in arb_label(), b in arb_label()) {
+#[test]
+fn leq_is_antisymmetric() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let (a, b) = (rng.label(), rng.label());
         if a.leq(&b) && b.leq(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn lub_is_an_upper_bound(a in arb_taint_label(), b in arb_taint_label()) {
+#[test]
+fn lub_is_an_upper_bound() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let (a, b) = (rng.taint_label(), rng.taint_label());
         let j = a.lub(&b);
-        prop_assert!(a.leq(&j));
-        prop_assert!(b.leq(&j));
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
     }
+}
 
-    #[test]
-    fn lub_is_least(a in arb_taint_label(), b in arb_taint_label(), c in arb_taint_label()) {
+#[test]
+fn lub_is_least() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.taint_label(), rng.taint_label(), rng.taint_label());
         // Any common upper bound is above the lub.
         if a.leq(&c) && b.leq(&c) {
-            prop_assert!(a.lub(&b).leq(&c));
+            assert!(a.lub(&b).leq(&c));
         }
     }
+}
 
-    #[test]
-    fn glb_is_a_lower_bound(a in arb_taint_label(), b in arb_taint_label()) {
+#[test]
+fn glb_is_a_lower_bound() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let (a, b) = (rng.taint_label(), rng.taint_label());
         let m = a.glb(&b);
-        prop_assert!(m.leq(&a));
-        prop_assert!(m.leq(&b));
+        assert!(m.leq(&a));
+        assert!(m.leq(&b));
     }
+}
 
-    #[test]
-    fn glb_is_greatest(a in arb_taint_label(), b in arb_taint_label(), c in arb_taint_label()) {
+#[test]
+fn glb_is_greatest() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.taint_label(), rng.taint_label(), rng.taint_label());
         if c.leq(&a) && c.leq(&b) {
-            prop_assert!(c.leq(&a.glb(&b)));
+            assert!(c.leq(&a.glb(&b)));
         }
     }
+}
 
-    #[test]
-    fn lub_commutative_and_idempotent(a in arb_taint_label(), b in arb_taint_label()) {
-        prop_assert_eq!(a.lub(&b), b.lub(&a));
-        prop_assert_eq!(a.lub(&a), a.clone());
+#[test]
+fn lub_commutative_and_idempotent() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let (a, b) = (rng.taint_label(), rng.taint_label());
+        assert_eq!(a.lub(&b), b.lub(&a));
+        assert_eq!(a.lub(&a), a);
     }
+}
 
-    #[test]
-    fn ownership_always_permits_observation(obj in arb_taint_label()) {
+#[test]
+fn ownership_always_permits_observation() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
         // A thread owning every category mentioned by the object (and whose
         // default matches) can always observe it.
+        let obj = rng.taint_label();
         let mut b = Label::builder().default_level(Level::L3);
         for (c, _) in obj.entries() {
             b = b.set(c, Level::Star);
         }
         let owner = b.build();
-        prop_assert!(owner.can_observe(&obj));
+        assert!(owner.can_observe(&obj));
     }
+}
 
-    #[test]
-    fn modification_implies_observation(thread in arb_label(), obj in arb_taint_label()) {
+#[test]
+fn modification_implies_observation() {
+    let mut rng = Rng::new(10);
+    for _ in 0..CASES {
+        let (thread, obj) = (rng.label(), rng.taint_label());
         if thread.can_modify(&obj) {
-            prop_assert!(thread.can_observe(&obj));
+            assert!(thread.can_observe(&obj));
         }
     }
+}
 
-    #[test]
-    fn raise_for_observe_is_sound(thread in arb_label(), obj in arb_taint_label()) {
+#[test]
+fn raise_for_observe_is_sound() {
+    let mut rng = Rng::new(11);
+    for _ in 0..CASES {
+        let (thread, obj) = (rng.label(), rng.taint_label());
         let raised = thread.raise_for_observe(&obj);
         // The raised label permits the observation...
-        prop_assert!(raised.can_observe(&obj));
+        assert!(raised.can_observe(&obj));
         // ...and is a label the thread could legally move to if its
         // clearance allowed it (monotonic in unowned categories).
-        prop_assert!(thread.leq(&raised));
+        assert!(thread.leq(&raised));
     }
+}
 
-    #[test]
-    fn raise_for_observe_is_least(thread in arb_label(), obj in arb_taint_label(),
-                                  other in arb_label()) {
+#[test]
+fn raise_for_observe_is_least() {
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let (thread, obj, other) = (rng.label(), rng.taint_label(), rng.label());
         // Any label above the thread that can observe the object is above
         // the computed raise target.
         if thread.leq(&other) && other.can_observe(&obj) {
-            prop_assert!(thread.raise_for_observe(&obj).leq(&other));
+            assert!(thread.raise_for_observe(&obj).leq(&other));
         }
     }
+}
 
-    #[test]
-    fn observation_is_monotone_in_thread_label(a in arb_taint_label(),
-                                               b in arb_taint_label(),
-                                               obj in arb_taint_label()) {
+#[test]
+fn observation_is_monotone_in_thread_label() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let (a, b, obj) = (rng.taint_label(), rng.taint_label(), rng.taint_label());
         // If a ⊑ b then anything a can observe, b can observe.
         if a.leq(&b) && a.can_observe(&obj) {
-            prop_assert!(b.can_observe(&obj));
+            assert!(b.can_observe(&obj));
         }
     }
+}
 
-    #[test]
-    fn flow_composition_is_safe(a in arb_taint_label(), b in arb_taint_label(),
-                                c in arb_taint_label()) {
+#[test]
+fn flow_composition_is_safe() {
+    let mut rng = Rng::new(14);
+    for _ in 0..CASES {
+        let (a, b, c) = (rng.taint_label(), rng.taint_label(), rng.taint_label());
         // If information can flow a -> b and b -> c (pure taint labels,
         // no ownership anywhere), then it can flow a -> c.  This is the
         // end-to-end guarantee of §3.
         if a.leq(&b) && b.leq(&c) {
-            prop_assert!(a.leq(&c));
+            assert!(a.leq(&c));
         }
     }
+}
 
-    #[test]
-    fn drop_ownership_removes_all_stars(l in arb_label()) {
-        prop_assert!(!l.drop_ownership(Level::L1).contains_star());
+#[test]
+fn drop_ownership_removes_all_stars() {
+    let mut rng = Rng::new(15);
+    for _ in 0..CASES {
+        let l = rng.label();
+        assert!(!l.drop_ownership(Level::L1).contains_star());
     }
+}
 
-    #[test]
-    fn display_parse_round_trip(l in arb_taint_label()) {
+#[test]
+fn display_parse_round_trip() {
+    let mut rng = Rng::new(16);
+    for _ in 0..CASES {
         // Numeric-only labels round-trip through the text notation when the
         // resolver maps the printed names back to categories.
+        let l = rng.taint_label();
         let text = l.to_string();
         let parsed = Label::parse(&text, |name| {
             name.strip_prefix('c')
                 .and_then(|hex| u64::from_str_radix(hex, 16).ok())
                 .map(Category::from_raw)
-        }).unwrap();
-        prop_assert_eq!(parsed, l);
+        })
+        .unwrap();
+        assert_eq!(parsed, l);
     }
+}
 
-    #[test]
-    fn pack_unpack_round_trip(raw in 0u64..(1 << 61), lvl in arb_level()) {
+#[test]
+fn pack_unpack_round_trip() {
+    let mut rng = Rng::new(17);
+    for _ in 0..CASES {
+        let raw = rng.below(1 << 61);
+        let lvl = rng.level();
         let c = Category::from_raw(raw);
         let word = c.pack_with_level(lvl.encode());
         let (c2, bits) = Category::unpack_with_level(word);
-        prop_assert_eq!(c2, c);
-        prop_assert_eq!(Level::decode(bits), Some(lvl));
+        assert_eq!(c2, c);
+        assert_eq!(Level::decode(bits), Some(lvl));
     }
 }

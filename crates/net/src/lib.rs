@@ -188,6 +188,71 @@ impl Netd {
         Ok(Some(data))
     }
 
+    /// Encodes several messages into one wire frame (`count` then
+    /// length-prefixed messages).  Exporters batch RPC messages this way so
+    /// the per-frame costs of the device and the wire are paid once per
+    /// batch instead of once per message.
+    pub fn encode_batch(payloads: &[Vec<u8>]) -> Vec<u8> {
+        let mut frame = (payloads.len() as u32).to_le_bytes().to_vec();
+        for p in payloads {
+            frame.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            frame.extend_from_slice(p);
+        }
+        frame
+    }
+
+    /// Decodes a frame written by [`Netd::encode_batch`].  Returns `None`
+    /// for malformed frames (a truncated or non-batch frame).  Frames come
+    /// off the wire, so every length is validated before it drives an
+    /// allocation or an index.
+    pub fn decode_batch(frame: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let count = u32::from_le_bytes(frame.get(..4)?.try_into().ok()?) as usize;
+        // Each message needs at least its 8-byte length prefix; a count the
+        // frame cannot possibly hold is rejected before any allocation.
+        if count > frame.len().saturating_sub(4) / 8 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 4usize;
+        for _ in 0..count {
+            let len_bytes = frame.get(pos..pos.checked_add(8)?)?;
+            let len = u64::from_le_bytes(len_bytes.try_into().ok()?);
+            pos = pos.checked_add(8)?;
+            let len = usize::try_from(len).ok()?;
+            let end = pos.checked_add(len)?;
+            out.push(frame.get(pos..end)?.to_vec());
+            pos = end;
+        }
+        (pos == frame.len()).then_some(out)
+    }
+
+    /// Transmits several messages as a single wire frame on behalf of a
+    /// client, with exactly the same label discipline as [`Netd::send`]: the
+    /// client's thread writes the batch into the shared transmit buffer (so
+    /// the kernel refuses tainted senders), and netd moves it to the device.
+    pub fn send_batch(&self, env: &mut UnixEnv, client: Pid, payloads: &[Vec<u8>]) -> Result<()> {
+        self.send(env, client, &Netd::encode_batch(payloads))
+    }
+
+    /// Receives the next pending frame for a client and splits it into the
+    /// batched messages.  The client picks up the network taint exactly as
+    /// with [`Netd::recv`].
+    ///
+    /// A malformed frame is an error, distinct from `Ok(None)` ("nothing
+    /// pending") — otherwise one garbage frame would silently end a drain
+    /// loop with legitimate traffic still queued behind it.
+    pub fn recv_batch(&self, env: &mut UnixEnv, client: Pid) -> Result<Option<Vec<Vec<u8>>>> {
+        let Some(frame) = self.recv(env, client)? else {
+            return Ok(None);
+        };
+        match Netd::decode_batch(&frame) {
+            Some(batch) => Ok(Some(batch)),
+            None => Err(UnixError::Kernel(
+                histar_kernel::syscall::SyscallError::InvalidArgument("malformed batch frame"),
+            )),
+        }
+    }
+
     /// Simulation hook: a frame arrives from the physical wire.
     pub fn wire_deliver(&self, env: &mut UnixEnv, frame: Vec<u8>) -> Result<()> {
         env.machine_mut()
@@ -298,11 +363,35 @@ mod tests {
             vec![b"GET / HTTP/1.0".to_vec()]
         );
         netd.wire_deliver(&mut env, b"200 OK".to_vec()).unwrap();
-        assert_eq!(netd.recv(&mut env, client).unwrap(), Some(b"200 OK".to_vec()));
+        assert_eq!(
+            netd.recv(&mut env, client).unwrap(),
+            Some(b"200 OK".to_vec())
+        );
         // After receiving, the client is tainted in i.
         let thread = env.process(client).unwrap().thread;
         let label = env.machine().kernel().thread_label(thread).unwrap();
         assert_eq!(label.level(netd.taint), Level::L2);
+    }
+
+    #[test]
+    fn batched_frames_round_trip_with_labels_intact() {
+        let (mut env, init, netd) = setup();
+        let client = env.spawn(init, "/usr/bin/dstar", None).unwrap();
+        let msgs = vec![b"call 1".to_vec(), b"call 2".to_vec(), b"call 3".to_vec()];
+        netd.send_batch(&mut env, client, &msgs).unwrap();
+        let frames = netd.wire_collect(&mut env).unwrap();
+        assert_eq!(frames.len(), 1, "a batch is one wire frame");
+        netd.wire_deliver(&mut env, frames[0].clone()).unwrap();
+        let got = netd.recv_batch(&mut env, client).unwrap().unwrap();
+        assert_eq!(got, msgs);
+        // The batch path taints the receiving client like any other read
+        // from the network.
+        let thread = env.process(client).unwrap().thread;
+        let label = env.machine().kernel().thread_label(thread).unwrap();
+        assert_eq!(label.level(netd.taint), Level::L2);
+        // A malformed frame decodes to None rather than garbage.
+        assert_eq!(Netd::decode_batch(b"xx"), None);
+        assert_eq!(Netd::decode_batch(&[1, 0, 0, 0]), None);
     }
 
     #[test]
@@ -341,8 +430,11 @@ mod tests {
             .unwrap();
 
         // A downloader owning s reads the network, picking up taint i...
-        let downloader = env.spawn_with_label(init, "/bin/dl", vec![s], vec![]).unwrap();
-        netd.wire_deliver(&mut env, b"malicious payload".to_vec()).unwrap();
+        let downloader = env
+            .spawn_with_label(init, "/bin/dl", vec![s], vec![])
+            .unwrap();
+        netd.wire_deliver(&mut env, b"malicious payload".to_vec())
+            .unwrap();
         let body = netd.recv(&mut env, downloader).unwrap().unwrap();
         assert_eq!(body, b"malicious payload");
         // ...and can now no longer modify the protected file, even though it
@@ -381,7 +473,9 @@ mod tests {
         assert!(err.is_err(), "v-tainted data must not reach the Internet");
 
         // Outbound pumping works for the client itself.
-        vpn.vpn.wire_deliver(&mut env, b"corp reply".to_vec()).unwrap();
+        vpn.vpn
+            .wire_deliver(&mut env, b"corp reply".to_vec())
+            .unwrap();
         assert!(vpn.pump_outbound(&mut env).unwrap());
         assert_eq!(
             vpn.internet.wire_collect(&mut env).unwrap(),

@@ -185,7 +185,10 @@ mod tests {
         let l = CostModel::for_flavor(OsFlavor::LinuxLike);
         assert!(h.label_check(4, false) > SimDuration::ZERO);
         assert_eq!(l.label_check(4, false), SimDuration::ZERO);
-        assert!(h.page_zero > l.page_zero, "no pre-zeroed page pool on HiStar");
+        assert!(
+            h.page_zero > l.page_zero,
+            "no pre-zeroed page pool on HiStar"
+        );
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod rng;
 pub use clock::{SimClock, SimDuration};
 pub use cost::{CostModel, OsFlavor};
 pub use disk::{DiskConfig, DiskStats, SimDisk};
-pub use net::{NetConfig, SimNetwork};
+pub use net::{LinkConfig, NetConfig, SimNetwork, Topology};
 pub use rng::SimRng;

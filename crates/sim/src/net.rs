@@ -102,6 +102,102 @@ impl SimNetwork {
     }
 }
 
+/// A multi-node network topology with per-link bandwidth, latency and
+/// per-message CPU cost.
+///
+/// The exporter subsystem connects several simulated machines; each pair of
+/// nodes may have its own link characteristics (a LAN link between two racks,
+/// a WAN link between sites).  Links are symmetric and addressed by an
+/// unordered node pair; pairs without an explicit entry fall back to the
+/// default link.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: usize,
+    default_link: LinkConfig,
+    links: Vec<((usize, usize), LinkConfig)>,
+}
+
+/// Characteristics of one inter-node link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Bandwidth/latency/MTU of the wire itself.
+    pub net: NetConfig,
+    /// CPU time each endpoint spends per message (marshalling, interrupt
+    /// handling); charged once per message on each side, which is what makes
+    /// message batching profitable.
+    pub per_message_cpu: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            net: NetConfig::default(),
+            per_message_cpu: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl Topology {
+    /// A fully connected topology of `nodes` nodes using the default link
+    /// everywhere.
+    pub fn fully_connected(nodes: usize) -> Topology {
+        Topology {
+            nodes,
+            default_link: LinkConfig::default(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Overrides the default link used by pairs without an explicit entry.
+    pub fn set_default_link(&mut self, link: LinkConfig) {
+        self.default_link = link;
+    }
+
+    /// Sets the link between `a` and `b` (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node index is out of range or `a == b`.
+    pub fn set_link(&mut self, a: usize, b: usize, link: LinkConfig) {
+        assert!(a < self.nodes && b < self.nodes, "node index out of range");
+        assert_ne!(a, b, "a node has no link to itself");
+        let key = (a.min(b), a.max(b));
+        if let Some(entry) = self.links.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = link;
+        } else {
+            self.links.push((key, link));
+        }
+    }
+
+    /// The link between `a` and `b`.
+    pub fn link(&self, a: usize, b: usize) -> LinkConfig {
+        let key = (a.min(b), a.max(b));
+        self.links
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default_link)
+    }
+
+    /// One-way transfer time for a message of `bytes` bytes from `a` to `b`:
+    /// wire time plus propagation latency (CPU cost is charged separately by
+    /// the endpoints via [`LinkConfig::per_message_cpu`]).
+    pub fn transfer_time(&self, a: usize, b: usize, bytes: u64) -> SimDuration {
+        let link = self.link(a, b);
+        let wire = if link.net.bandwidth_bps == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 * 8.0 / link.net.bandwidth_bps as f64)
+        };
+        wire + link.net.latency
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +239,43 @@ mod tests {
         assert_eq!(s.bytes_rx, 1000);
         assert_eq!(s.packets_tx, 2);
         assert_eq!(s.packets_rx, 1);
+    }
+
+    #[test]
+    fn topology_links_are_symmetric_and_default() {
+        let mut t = Topology::fully_connected(3);
+        assert_eq!(t.nodes(), 3);
+        let slow = LinkConfig {
+            net: NetConfig {
+                bandwidth_bps: 1_000_000,
+                latency: SimDuration::from_millis(20),
+                mtu: 1500,
+            },
+            per_message_cpu: SimDuration::from_micros(50),
+        };
+        t.set_link(2, 0, slow);
+        // The link is the same in both directions.
+        assert_eq!(t.link(0, 2).net.bandwidth_bps, 1_000_000);
+        assert_eq!(t.link(2, 0).net.latency, SimDuration::from_millis(20));
+        // Unconfigured pairs use the default link.
+        assert_eq!(
+            t.link(0, 1).net.bandwidth_bps,
+            NetConfig::default().bandwidth_bps
+        );
+        // Transfer across the slow WAN link dominates the LAN link.
+        assert!(t.transfer_time(0, 2, 10_000) > t.transfer_time(0, 1, 10_000));
+        // Replacing a link overwrites rather than accumulating entries.
+        t.set_link(0, 2, LinkConfig::default());
+        assert_eq!(
+            t.link(0, 2).net.bandwidth_bps,
+            NetConfig::default().bandwidth_bps
+        );
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let t = Topology::fully_connected(2);
+        assert!(t.transfer_time(0, 1, 0) >= NetConfig::default().latency);
     }
 
     #[test]

@@ -371,7 +371,10 @@ mod tests {
         for i in (0..100u64).map(|i| i * 10) {
             t.insert(i, i);
         }
-        assert_eq!(t.range(95, 135), vec![(100, 100), (110, 110), (120, 120), (130, 130)]);
+        assert_eq!(
+            t.range(95, 135),
+            vec![(100, 100), (110, 110), (120, 120), (130, 130)]
+        );
         assert_eq!(t.lower_bound(95), Some((100, 100)));
         assert_eq!(t.lower_bound(100), Some((100, 100)));
         assert_eq!(t.lower_bound(991), None);
@@ -398,7 +401,9 @@ mod tests {
         let mut x: u64 = 12345;
         for step in 0..50_000u64 {
             // Cheap LCG for a deterministic mixed workload.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = x % 3000;
             match step % 3 {
                 0 | 1 => {

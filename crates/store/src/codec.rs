@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn primitive_round_trip() {
         let mut e = Encoder::new();
-        e.put_u8(7).put_u32(0xdead_beef).put_u64(u64::MAX).put_str("hello");
+        e.put_u8(7)
+            .put_u32(0xdead_beef)
+            .put_u64(u64::MAX)
+            .put_str("hello");
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
         assert_eq!(d.get_u8().unwrap(), 7);
@@ -220,7 +223,9 @@ mod tests {
         corrupted[idx] ^= 0xff;
         assert!(matches!(
             unframe(&corrupted),
-            Err(DecodeError::BadChecksum) | Err(DecodeError::BadLength) | Err(DecodeError::UnexpectedEnd)
+            Err(DecodeError::BadChecksum)
+                | Err(DecodeError::BadLength)
+                | Err(DecodeError::UnexpectedEnd)
         ));
     }
 

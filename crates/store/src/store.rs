@@ -492,14 +492,18 @@ impl SingleLevelStore {
         let (meta_payload, _) =
             unframe(&raw_meta).map_err(|_| StoreError::Corrupt("checkpoint metadata"))?;
         let mut d = Decoder::new(&meta_payload);
-        let loc_bytes = d.get_bytes().map_err(|_| StoreError::Corrupt("object map"))?;
+        let loc_bytes = d
+            .get_bytes()
+            .map_err(|_| StoreError::Corrupt("object map"))?;
         let extent_len_bytes = d
             .get_bytes()
             .map_err(|_| StoreError::Corrupt("object extent lengths"))?;
         let body_len_bytes = d
             .get_bytes()
             .map_err(|_| StoreError::Corrupt("object body lengths"))?;
-        let free_bytes = d.get_bytes().map_err(|_| StoreError::Corrupt("free list"))?;
+        let free_bytes = d
+            .get_bytes()
+            .map_err(|_| StoreError::Corrupt("free list"))?;
 
         let object_loc = BPlusTree::deserialize(&loc_bytes);
         let object_extent_len = BPlusTree::deserialize(&extent_len_bytes);

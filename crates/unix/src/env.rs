@@ -171,7 +171,9 @@ impl UnixEnv {
 
     /// A process's bookkeeping record.
     pub fn process(&self, pid: Pid) -> Result<&Process> {
-        self.processes.get(&pid).ok_or(UnixError::NoSuchProcess(pid))
+        self.processes
+            .get(&pid)
+            .ok_or(UnixError::NoSuchProcess(pid))
     }
 
     fn process_mut(&mut self, pid: Pid) -> Result<&mut Process> {
@@ -284,6 +286,7 @@ impl UnixEnv {
     /// Forks a process: the child gets copies of the parent's text, heap and
     /// stack segments and shares its open file descriptors.
     pub fn fork(&mut self, parent: Pid) -> Result<Pid> {
+        #[allow(clippy::type_complexity)]
         let (creator, user, executable, cwd, extra, fds): (
             ObjectId,
             Option<String>,
@@ -406,7 +409,12 @@ impl UnixEnv {
     /// written to the (externally readable) exit segment and the thread is
     /// halted.  Resources are reclaimed when the parent waits.
     pub fn exit(&mut self, pid: Pid, status: ExitStatus) -> Result<()> {
-        let (thread, process_container, exit_segment, fds): (ObjectId, ObjectId, ObjectId, Vec<(Fd, ObjectId)>) = {
+        let (thread, process_container, exit_segment, fds): (
+            ObjectId,
+            ObjectId,
+            ObjectId,
+            Vec<(Fd, ObjectId)>,
+        ) = {
             let p = self.process(pid)?;
             (
                 p.thread,
@@ -583,14 +591,14 @@ impl UnixEnv {
         // Signal gate, invocable by holders of the user's write category (or
         // anyone, for user-less system processes).  A pre-tainted process's
         // gate carries the taint, so its clearance must admit it.
-        let mut signal_gate_clearance = match (&user, self.users.lookup(user.as_deref().unwrap_or("")))
-        {
-            (Some(_), Some(u)) => Label::builder()
-                .set(u.write_cat, Level::L0)
-                .default_level(Level::L2)
-                .build(),
-            _ => Label::default_clearance(),
-        };
+        let mut signal_gate_clearance =
+            match (&user, self.users.lookup(user.as_deref().unwrap_or(""))) {
+                (Some(_), Some(u)) => Label::builder()
+                    .set(u.write_cat, Level::L0)
+                    .default_level(Level::L2)
+                    .build(),
+                _ => Label::default_clearance(),
+            };
         for &(c, lvl) in extra_taint {
             signal_gate_clearance = signal_gate_clearance.with(c, lvl);
         }
@@ -726,7 +734,12 @@ impl UnixEnv {
         }
         let data =
             kernel.sys_segment_read(src_thread, ContainerEntry::new(src_container, src), 0, len)?;
-        kernel.sys_segment_write(dst_thread, ContainerEntry::new(dst_container, dst), 0, &data)?;
+        kernel.sys_segment_write(
+            dst_thread,
+            ContainerEntry::new(dst_container, dst),
+            0,
+            &data,
+        )?;
         Ok(())
     }
 
@@ -829,11 +842,7 @@ impl UnixEnv {
 
     /// Resolves a path to its parent directory container and final
     /// component name.
-    fn resolve_parent(
-        &mut self,
-        pid: Pid,
-        path: &str,
-    ) -> Result<(ObjectId, String, Vec<String>)> {
+    fn resolve_parent(&mut self, pid: Pid, path: &str) -> Result<(ObjectId, String, Vec<String>)> {
         let (thread, cwd) = {
             let p = self.process(pid)?;
             (p.thread, p.cwd.clone())
@@ -858,7 +867,7 @@ impl UnixEnv {
             let dir = self.read_directory(thread, current)?;
             let entry = dir
                 .lookup(comp)
-                .ok_or_else(|| UnixError::NotFound(join_path(&comps[..=i].to_vec())))?;
+                .ok_or_else(|| UnixError::NotFound(join_path(&comps[..=i])))?;
             if !entry.is_dir {
                 return Err(UnixError::NotADirectory(comp.clone()));
             }
@@ -982,7 +991,8 @@ impl UnixEnv {
         // its ownership) so that tainted processes can still maintain their
         // own descriptor state.
         let fd_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
-        let fd_seg = kernel.sys_segment_create(thread, container, fd_label, 0, "file descriptor")?;
+        let fd_seg =
+            kernel.sys_segment_create(thread, container, fd_label, 0, "file descriptor")?;
         kernel.sys_segment_write(
             thread,
             ContainerEntry::new(container, fd_seg),
@@ -1277,7 +1287,12 @@ impl UnixEnv {
         let first = n.min(PIPE_CAPACITY - start);
         kernel.sys_segment_write(thread, entry, PIPE_HEADER + start, &data[..first as usize])?;
         if first < n {
-            kernel.sys_segment_write(thread, entry, PIPE_HEADER, &data[first as usize..n as usize])?;
+            kernel.sys_segment_write(
+                thread,
+                entry,
+                PIPE_HEADER,
+                &data[first as usize..n as usize],
+            )?;
         }
         let mut new_header = header.clone();
         new_header[8..16].copy_from_slice(&(wpos + n).to_le_bytes());
@@ -1467,7 +1482,11 @@ impl UnixEnv {
     /// Drains everything written to the console device (for examples/tests).
     pub fn console_output(&mut self) -> Vec<Vec<u8>> {
         match self.machine.console_device() {
-            Some(dev) => self.machine.kernel_mut().device_drain_tx(dev).unwrap_or_default(),
+            Some(dev) => self
+                .machine
+                .kernel_mut()
+                .device_drain_tx(dev)
+                .unwrap_or_default(),
             None => Vec::new(),
         }
     }
@@ -1496,7 +1515,10 @@ mod tests {
         let (mut env, init) = env();
         env.write_file_as(init, "/hello.txt", b"hello world", None)
             .unwrap();
-        assert_eq!(env.read_file_as(init, "/hello.txt").unwrap(), b"hello world");
+        assert_eq!(
+            env.read_file_as(init, "/hello.txt").unwrap(),
+            b"hello world"
+        );
         let stat = env.stat(init, "/hello.txt").unwrap();
         assert_eq!(stat.len, 11);
         assert!(!stat.is_dir);
@@ -1520,7 +1542,10 @@ mod tests {
         env.chdir(init, "/home/bob").unwrap();
         assert_eq!(env.getcwd(init).unwrap(), "/home/bob");
         assert_eq!(env.read_file_as(init, "notes.txt").unwrap(), b"secret");
-        assert_eq!(env.read_file_as(init, "../bob/notes.txt").unwrap(), b"secret");
+        assert_eq!(
+            env.read_file_as(init, "../bob/notes.txt").unwrap(),
+            b"secret"
+        );
         // mkdir over an existing name fails.
         assert!(matches!(
             env.mkdir(init, "/home/bob", None),
@@ -1608,7 +1633,8 @@ mod tests {
     #[test]
     fn spawn_exit_wait() {
         let (mut env, init) = env();
-        env.write_file_as(init, "/bin_true", b"#!true", None).unwrap();
+        env.write_file_as(init, "/bin_true", b"#!true", None)
+            .unwrap();
         let child = env.spawn(init, "/bin_true", None).unwrap();
         assert_eq!(env.process(child).unwrap().parent, Some(init));
         assert!(matches!(
@@ -1624,7 +1650,8 @@ mod tests {
     #[test]
     fn fork_copies_memory_and_shares_fds() {
         let (mut env, init) = env();
-        env.write_file_as(init, "/data", b"shared input", None).unwrap();
+        env.write_file_as(init, "/data", b"shared input", None)
+            .unwrap();
         let fd = env.open(init, "/data", OpenFlags::read_only()).unwrap();
         assert_eq!(env.read(init, fd, 7).unwrap(), b"shared ");
         let child = env.fork(init).unwrap();
@@ -1688,7 +1715,10 @@ mod tests {
         // A process running *without* bob's privilege cannot read it.
         let other = env.spawn(init, "/bin_other", None).unwrap();
         let err = env.read_file_as(other, "/home/bob/secret").unwrap_err();
-        assert!(matches!(err, UnixError::Kernel(SyscallError::CannotObserve(_))));
+        assert!(matches!(
+            err,
+            UnixError::Kernel(SyscallError::CannotObserve(_))
+        ));
         // A process running as bob can.
         let shell = env.spawn(init, "/bin_sh", Some("bob")).unwrap();
         assert_eq!(
@@ -1730,8 +1760,12 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(recovered.iter().any(|b| b.windows(12).any(|w| w == b"must survive")));
-        assert!(!recovered.iter().any(|b| b.windows(10).any(|w| w == b"may vanish")));
+        assert!(recovered
+            .iter()
+            .any(|b| b.windows(12).any(|w| w == b"must survive")));
+        assert!(!recovered
+            .iter()
+            .any(|b| b.windows(10).any(|w| w == b"may vanish")));
         let _ = machine.kernel_mut();
     }
 

@@ -156,7 +156,9 @@ impl FdTable {
 
     /// Removes a descriptor, returning its segment.
     pub fn remove(&mut self, fd: Fd) -> Option<ObjectId> {
-        self.entries.get_mut(fd as usize).and_then(|slot| slot.take())
+        self.entries
+            .get_mut(fd as usize)
+            .and_then(|slot| slot.take())
     }
 
     /// All open descriptor numbers with their segments.

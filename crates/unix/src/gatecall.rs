@@ -93,6 +93,35 @@ pub fn enter_service(
     service: &ServiceGate,
     taint_call: bool,
 ) -> Result<GateSession> {
+    enter_service_inner(env, caller, service, taint_call, &[])
+}
+
+/// Invokes a service gate entering *tainted* in pre-existing categories the
+/// caller currently owns: the caller's label keeps ownership until the gate
+/// entry, at which point the requested label drops each listed category to
+/// the given numeric level — the same move a Figure 7 caller makes with its
+/// own fresh taint category, generalized to categories allocated elsewhere.
+///
+/// This is the cross-node plumbing: an exporter worker owns the local
+/// shadows of a remote request's taint categories (so the gate's clearance
+/// check sees `⋆`, treated low, exactly as for a local caller) and runs the
+/// service tainted in them, unable to untaint until the call returns.
+pub fn enter_service_tainted(
+    env: &mut UnixEnv,
+    caller: Pid,
+    service: &ServiceGate,
+    taint_entries: &[(Category, Level)],
+) -> Result<GateSession> {
+    enter_service_inner(env, caller, service, false, taint_entries)
+}
+
+fn enter_service_inner(
+    env: &mut UnixEnv,
+    caller: Pid,
+    service: &ServiceGate,
+    taint_call: bool,
+    taint_entries: &[(Category, Level)],
+) -> Result<GateSession> {
     let (caller_thread, internal_container, caller_container) = {
         let p = env.process(caller)?;
         (p.thread, p.internal_container, p.process_container)
@@ -119,6 +148,16 @@ pub fn enter_service(
         .default_level(Level::L2);
     if let Some(t) = taint {
         return_gate_clearance_builder = return_gate_clearance_builder.set(t, Level::L3);
+    }
+    for &(c, lvl) in taint_entries {
+        return_gate_clearance_builder = return_gate_clearance_builder.set(c, lvl);
+    }
+    // A caller that is already tainted needs that taint admitted by the
+    // return gate too, or the gate cannot even be created (`L_G ⊑ C_G`).
+    for (c, lvl) in label_with_r.entries() {
+        if !lvl.is_star() && c != return_category {
+            return_gate_clearance_builder = return_gate_clearance_builder.set(c, lvl);
+        }
     }
     let return_gate = kernel.sys_gate_create(
         caller_thread,
@@ -159,9 +198,10 @@ pub fn enter_service(
     if let Some(t) = taint {
         requested = requested.with(t, Level::L3);
     }
-    let requested_clearance = kernel
-        .thread_clearance(caller_thread)?
-        .lub(&gate_clearance);
+    for &(c, lvl) in taint_entries {
+        requested = requested.with(c, lvl);
+    }
+    let requested_clearance = kernel.thread_clearance(caller_thread)?.lub(&gate_clearance);
     let entry = kernel.sys_gate_enter(
         caller_thread,
         service.gate,
@@ -252,8 +292,84 @@ pub fn return_from_service(env: &mut UnixEnv, session: GateSession) -> Result<()
     Ok(())
 }
 
-fn env_process_container(env: &UnixEnv, pid: Pid) -> Result<ObjectId> {
-    Ok(env.process(pid)?.process_container)
+/// Transfers ownership of `categories` from `from`'s thread to `to`'s thread
+/// through a single-use grant gate — the same mechanism the authentication
+/// service's grant gate uses (Figure 9), packaged for reuse.
+///
+/// The kernel checks everything: `from` must actually own the categories
+/// (gate creation fails otherwise, since the gate label must satisfy
+/// `L_T ⊑ L_G`), and `to` gains exactly the requested `⋆` entries because the
+/// gate-entry floor `(L_T^J ⊔ L_G^J)^⋆` admits them.  Exporters use this on
+/// both sides of a cross-node RPC: a client grants its exporter the
+/// categories it exports, and the receiving exporter grants a worker the
+/// delegated privileges a remote caller proved it holds.
+pub fn grant_categories(
+    env: &mut UnixEnv,
+    from: Pid,
+    to: Pid,
+    categories: &[Category],
+) -> Result<()> {
+    if categories.is_empty() {
+        return Ok(());
+    }
+    let (from_thread, from_container) = {
+        let p = env.process(from)?;
+        (p.thread, p.process_container)
+    };
+    let to_thread = env.process(to)?.thread;
+    let kernel = env.machine_mut().kernel_mut();
+
+    let mut gate_label = kernel.thread_label(from_thread)?;
+    let mut gate_clearance = Label::default_clearance();
+    for &c in categories {
+        gate_label = gate_label.with(c, Level::Star);
+        gate_clearance = gate_clearance.with(c, Level::L3);
+    }
+    let gate = kernel.sys_gate_create(
+        from_thread,
+        from_container,
+        gate_label,
+        gate_clearance,
+        None,
+        0,
+        vec![],
+        "category grant gate",
+    )?;
+    let entry = ContainerEntry::new(from_container, gate);
+
+    let mut requested = kernel.thread_label(to_thread)?;
+    let mut requested_clearance = kernel.thread_clearance(to_thread)?;
+    for &c in categories {
+        requested = requested.with(c, Level::Star);
+        requested_clearance = requested_clearance.with(c, Level::L3);
+    }
+    let verify = kernel.thread_label(to_thread)?;
+    kernel.sys_gate_enter(to_thread, entry, requested, requested_clearance, verify)?;
+    // The grant gate is single-use.
+    let _ = kernel.sys_obj_unref(from_thread, entry);
+
+    let proc = env.process_record_mut(to)?;
+    for &c in categories {
+        if !proc.extra_ownership.contains(&c) {
+            proc.extra_ownership.push(c);
+        }
+    }
+    Ok(())
+}
+
+/// Raises a process's taint so it can observe data labelled `target` —
+/// `self_set_label(raise_for_observe)`, bounded by the thread's clearance
+/// exactly as the kernel demands.  Cross-node replies arrive in segments
+/// carrying translated taint; this is how a client accepts that taint.
+pub fn raise_taint_for(env: &mut UnixEnv, pid: Pid, target: &Label) -> Result<()> {
+    let thread = env.process(pid)?.thread;
+    let kernel = env.machine_mut().kernel_mut();
+    let current = kernel.thread_label(thread)?;
+    let raised = current.raise_for_observe(target);
+    if raised != current {
+        kernel.sys_self_set_label(thread, raised)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -277,31 +393,19 @@ mod tests {
         let client_pr = env.process(client).unwrap().read_cat;
         let client_thread = env.process(client).unwrap().thread;
 
-        let before = env
-            .machine()
-            .kernel()
-            .thread_label(client_thread)
-            .unwrap();
+        let before = env.machine().kernel().thread_label(client_thread).unwrap();
         assert!(!before.owns(daemon_pr));
 
         let session = enter_service(&mut env, client, &service, false).unwrap();
         // Inside the service the client's thread owns the daemon's
         // categories (it can act as the daemon) while keeping its own.
-        let during = env
-            .machine()
-            .kernel()
-            .thread_label(client_thread)
-            .unwrap();
+        let during = env.machine().kernel().thread_label(client_thread).unwrap();
         assert!(during.owns(daemon_pr));
         assert!(during.owns(client_pr));
         assert_eq!(session.entry.entry_point, 0x4000);
 
         return_from_service(&mut env, session).unwrap();
-        let after = env
-            .machine()
-            .kernel()
-            .thread_label(client_thread)
-            .unwrap();
+        let after = env.machine().kernel().thread_label(client_thread).unwrap();
         assert_eq!(after, before, "the caller gets exactly its old label back");
     }
 
@@ -313,18 +417,16 @@ mod tests {
 
         let session = enter_service(&mut env, client, &service, true).unwrap();
         let t = session.taint.unwrap();
-        let label = env
-            .machine()
-            .kernel()
-            .thread_label(client_thread)
-            .unwrap();
+        let label = env.machine().kernel().thread_label(client_thread).unwrap();
         assert_eq!(label.level(t), Level::L3, "the call runs tainted in t");
 
         // Tainted in t, the thread may read the daemon's segments but not
         // modify them: that would leak the caller's data into daemon state.
         let heap_entry = ContainerEntry::new(daemon.internal_container, daemon.heap_segment);
         let kernel = env.machine_mut().kernel_mut();
-        assert!(kernel.sys_segment_read(client_thread, heap_entry, 0, 8).is_ok());
+        assert!(kernel
+            .sys_segment_read(client_thread, heap_entry, 0, 8)
+            .is_ok());
         assert!(matches!(
             kernel.sys_segment_write(client_thread, heap_entry, 0, b"leak"),
             Err(SyscallError::CannotModify(_))
@@ -334,7 +436,10 @@ mod tests {
         let rc = session.resource_container.unwrap();
         let scratch_label = Label::builder()
             .set(t, Level::L3)
-            .set(session.entry.label.owned_categories().next().unwrap_or(t), Level::L3)
+            .set(
+                session.entry.label.owned_categories().next().unwrap_or(t),
+                Level::L3,
+            )
             .build();
         let _ = scratch_label;
         let tainted_label = Label::builder().set(t, Level::L3).build();
@@ -344,12 +449,83 @@ mod tests {
 
         return_from_service(&mut env, session).unwrap();
         // Back outside, the caller owns t again and is not tainted.
-        let after = env
+        let after = env.machine().kernel().thread_label(client_thread).unwrap();
+        assert_ne!(after.level(t), Level::L3);
+    }
+
+    #[test]
+    fn grant_categories_transfers_ownership_via_gate() {
+        let mut env = UnixEnv::boot();
+        let init = env.init_pid();
+        let alice = env.spawn(init, "/bin/alice", None).unwrap();
+        let bob = env.spawn(init, "/bin/bob", None).unwrap();
+        let alice_thread = env.process(alice).unwrap().thread;
+        let bob_thread = env.process(bob).unwrap().thread;
+        let c = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(alice_thread)
+            .unwrap();
+
+        assert!(!env
             .machine()
             .kernel()
-            .thread_label(client_thread)
+            .thread_label(bob_thread)
+            .unwrap()
+            .owns(c));
+        grant_categories(&mut env, alice, bob, &[c]).unwrap();
+        let label = env.machine().kernel().thread_label(bob_thread).unwrap();
+        assert!(label.owns(c));
+        assert!(env.process(bob).unwrap().extra_ownership.contains(&c));
+
+        // A process that does not own the category cannot grant it: the
+        // kernel refuses to create the gate.
+        let mallory = env.spawn(init, "/bin/mallory", None).unwrap();
+        let victim = env.spawn(init, "/bin/victim", None).unwrap();
+        let other_thread = env.process(init).unwrap().thread;
+        let d = env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(other_thread)
             .unwrap();
-        assert_ne!(after.level(t), Level::L3);
+        assert!(grant_categories(&mut env, mallory, victim, &[d]).is_err());
+    }
+
+    #[test]
+    fn raise_taint_for_permits_reading_tainted_segments() {
+        let mut env = UnixEnv::boot();
+        let init = env.init_pid();
+        let reader = env.spawn(init, "/bin/reader", None).unwrap();
+        let init_thread = env.process(init).unwrap().thread;
+        let kroot = env.machine().kernel().root_container();
+        let kernel = env.machine_mut().kernel_mut();
+        let c = kernel.sys_create_category(init_thread).unwrap();
+        let secret = Label::builder().set(c, Level::L2).build();
+        let seg = kernel
+            .sys_segment_create(init_thread, kroot, secret.clone(), 16, "tainted reply")
+            .unwrap();
+        kernel
+            .sys_segment_write(init_thread, ContainerEntry::new(kroot, seg), 0, b"reply")
+            .unwrap();
+
+        let reader_thread = env.process(reader).unwrap().thread;
+        let entry = ContainerEntry::new(kroot, seg);
+        assert!(env
+            .machine_mut()
+            .kernel_mut()
+            .sys_segment_read(reader_thread, entry, 0, 5)
+            .is_err());
+        raise_taint_for(&mut env, reader, &secret).unwrap();
+        assert_eq!(
+            env.machine_mut()
+                .kernel_mut()
+                .sys_segment_read(reader_thread, entry, 0, 5)
+                .unwrap(),
+            b"reply"
+        );
+        // The taint sticks: the reader is now tainted in c.
+        let label = env.machine().kernel().thread_label(reader_thread).unwrap();
+        assert_eq!(label.level(c), Level::L2);
     }
 
     #[test]

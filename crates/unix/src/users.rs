@@ -156,11 +156,17 @@ mod tests {
     fn multiple_users_cannot_read_each_other() {
         let alice = user("alice", 1, 2);
         let bob = user("bob", 3, 4);
-        assert!(!bob.privilege_label().can_observe(&alice.private_file_label()));
-        assert!(!alice.privilege_label().can_observe(&bob.private_file_label()));
+        assert!(!bob
+            .privilege_label()
+            .can_observe(&alice.private_file_label()));
+        assert!(!alice
+            .privilege_label()
+            .can_observe(&bob.private_file_label()));
         // A single thread can hold both users' privilege at once — something
         // hard to express in Unix (§5.4).
-        let both = alice.privilege_label().ownership_union(&bob.privilege_label());
+        let both = alice
+            .privilege_label()
+            .ownership_union(&bob.privilege_label());
         assert!(both.can_observe(&alice.private_file_label()));
         assert!(both.can_observe(&bob.private_file_label()));
     }

@@ -23,8 +23,13 @@ fn main() {
     // Bob's files, one of them "infected".
     env.mkdir(init, "/home", None).unwrap();
     let label = deployment.user.private_file_label();
-    env.write_file_as(init, "/home/letter.txt", b"dear alice, ...", Some(label.clone()))
-        .unwrap();
+    env.write_file_as(
+        init,
+        "/home/letter.txt",
+        b"dear alice, ...",
+        Some(label.clone()),
+    )
+    .unwrap();
     env.write_file_as(
         init,
         "/home/download.exe",
@@ -50,10 +55,16 @@ fn main() {
     println!("scanner -> network:            {exfil:?}");
     assert!(exfil.is_err());
     let tmp_drop = env.write_file_as(deployment.scanner, "/tmp-drop", b"secrets", None);
-    println!("scanner -> /tmp for updater:   {:?}", tmp_drop.as_ref().err());
+    println!(
+        "scanner -> /tmp for updater:   {:?}",
+        tmp_drop.as_ref().err()
+    );
     assert!(tmp_drop.is_err());
     let daemon_read = env.read_file_as(deployment.update_daemon, "/home/letter.txt");
-    println!("update daemon -> user files:   {:?}", daemon_read.as_ref().err());
+    println!(
+        "update daemon -> user files:   {:?}",
+        daemon_read.as_ref().err()
+    );
     assert!(daemon_read.is_err());
 
     println!("\nClamAV is isolated: only wrap's 110 lines are trusted with bob's data.");

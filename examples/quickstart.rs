@@ -18,8 +18,10 @@ fn main() {
         .kernel_mut()
         .sys_create_category(thread)
         .expect("category allocation");
-    println!("allocated category {secret}; thread label is now {}",
-        machine.kernel().thread_label(thread).unwrap());
+    println!(
+        "allocated category {secret}; thread label is now {}",
+        machine.kernel().thread_label(thread).unwrap()
+    );
 
     // Create a segment tainted in that category: only owners (or threads
     // tainted up to level 3) may observe it.

@@ -1,0 +1,165 @@
+//! Two-node untrusted login: the authentication gate lives on a remote
+//! machine, and every hop of the call is label-checked by a kernel.
+//!
+//! Node 1 hosts bob's account and an auth service behind a gate whose
+//! clearance `{login 0, 2}` admits only threads owning the `login`
+//! category.  Node 0 runs sshd.  Without a delegation certificate for
+//! `login`, node 1's *kernel* refuses the tunneled gate call; with one, the
+//! call succeeds and bob's profile comes back still tainted in (the node-0
+//! shadow of) his read category — the label crossed the wire with the data.
+//!
+//! Run with `cargo run --example remote_login`.
+
+use histar::exporter::Fabric;
+use histar::label::{Label, Level};
+use histar::unix::gatecall::raise_taint_for;
+
+const PASSWORD: &str = "correct horse battery";
+
+fn main() {
+    let mut fabric = Fabric::new(2);
+
+    // ----- node 1: bob's machine ---------------------------------------
+    let init1 = fabric.nodes[1].init();
+    let (provider, login_cat, profile_label) = {
+        let n = &mut fabric.nodes[1];
+        let bob = n.env.create_user("bob").expect("create bob");
+        let profile_label = Label::builder()
+            .set(bob.read_cat, Level::L2)
+            .set(bob.write_cat, Level::L0)
+            .build();
+        n.env
+            .write_file_as(
+                init1,
+                "/bob-profile",
+                b"bob: flags=admin",
+                Some(profile_label.clone()),
+            )
+            .expect("write profile");
+        let provider = n
+            .env
+            .spawn(init1, "/usr/sbin/authd", None)
+            .expect("spawn authd");
+        let thread = n.env.process(provider).expect("authd").thread;
+        let login_cat = n
+            .env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(thread)
+            .expect("login category");
+        (provider, login_cat, profile_label)
+    };
+    let clearance = Label::builder()
+        .set(login_cat, Level::L0)
+        .default_level(Level::L2)
+        .build();
+    fabric
+        .register_gated_service(
+            1,
+            "auth.login",
+            provider,
+            clearance,
+            Box::new(move |env, worker, req| {
+                let text = String::from_utf8_lossy(req);
+                let Some((user, pass)) = text.split_once('\0') else {
+                    return b"ERR malformed".to_vec();
+                };
+                if user != "bob" || pass != PASSWORD {
+                    return b"DENIED".to_vec();
+                }
+                // Read the profile *tainted*: the worker does not own ur,
+                // so the taint sticks and rides back with the reply.
+                if raise_taint_for(env, worker, &profile_label).is_err() {
+                    return b"ERR cannot taint".to_vec();
+                }
+                let st = match env.stat(worker, "/bob-profile") {
+                    Ok(st) => st,
+                    Err(e) => return format!("ERR {e}").into_bytes(),
+                };
+                let entry = histar::kernel::object::ContainerEntry::new(env.fs_root(), st.object);
+                let thread = env.process(worker).expect("worker").thread;
+                env.machine_mut()
+                    .kernel_mut()
+                    .sys_segment_read(thread, entry, 0, st.len)
+                    .unwrap_or_else(|e| format!("ERR {e}").into_bytes())
+            }),
+        )
+        .expect("register auth.login");
+    // bob entrusts his categories to his node's exporter, or tainted
+    // replies could never leave the machine.
+    let bob = fabric.nodes[1].env.user("bob").expect("bob");
+    fabric
+        .export_category(1, init1, bob.read_cat)
+        .expect("export ur");
+    fabric
+        .export_category(1, init1, bob.write_cat)
+        .expect("export uw");
+
+    // ----- node 0: the sshd frontend ------------------------------------
+    let sshd = {
+        let n = &mut fabric.nodes[0];
+        let init = n.init();
+        n.env
+            .spawn(init, "/usr/sbin/sshd", None)
+            .expect("spawn sshd")
+    };
+    let request = format!("bob\0{PASSWORD}").into_bytes();
+
+    // Without delegation, node 1's kernel refuses the tunneled gate call.
+    let err = fabric
+        .remote_call(0, sshd, 1, "auth.login", &request, None, &[])
+        .expect_err("must be refused");
+    println!("without delegation -> {err}");
+
+    // Delegate `login` to node 0's exporter and grant sshd the shadow.
+    let shadow_login = fabric
+        .delegate(1, provider, login_cat, 0)
+        .expect("delegate");
+    fabric
+        .grant_shadow(0, sshd, shadow_login)
+        .expect("grant shadow");
+
+    let bad = fabric
+        .remote_call(
+            0,
+            sshd,
+            1,
+            "auth.login",
+            b"bob\0hunter2",
+            None,
+            &[shadow_login],
+        )
+        .expect("call goes through");
+    println!(
+        "wrong password   -> {:?}",
+        String::from_utf8_lossy(&fabric.read_reply(0, sshd, &bad).expect("read"))
+    );
+
+    let reply = fabric
+        .remote_call(0, sshd, 1, "auth.login", &request, None, &[shadow_login])
+        .expect("call goes through");
+    let label = fabric.reply_label(0, &reply).expect("label");
+    let bytes = fabric.read_reply(0, sshd, &reply).expect("read");
+    println!(
+        "right password   -> {:?}  (reply label on node 0: {label})",
+        String::from_utf8_lossy(&bytes)
+    );
+
+    // The taint sticks: sshd cannot exfiltrate the profile untainted.
+    let leak = fabric.nodes[0]
+        .env
+        .write_file_as(sshd, "/leak", &bytes, None);
+    println!(
+        "exfiltration     -> {}",
+        match leak {
+            Ok(_) => "ALLOWED (bug!)".to_string(),
+            Err(e) => format!("refused: {e}"),
+        }
+    );
+
+    println!(
+        "\nsimulated time: node0 {:?}, node1 {:?}",
+        fabric.nodes[0].env.machine().uptime(),
+        fabric.nodes[1].env.machine().uptime()
+    );
+}

@@ -17,22 +17,31 @@ fn main() {
 
     // bob keeps a private file only his categories can open.
     env.mkdir(init, "/home", None).unwrap();
-    env.write_file_as(init, "/home/bob-diary", b"...", Some(bob.private_file_label()))
-        .unwrap();
+    env.write_file_as(
+        init,
+        "/home/bob-diary",
+        b"...",
+        Some(bob.private_file_label()),
+    )
+    .unwrap();
 
     // An sshd instance tries to log in with the wrong password first.
     let sshd = env.spawn(init, "/usr/sbin/sshd", None).unwrap();
     let bad = auth.login(&mut env, sshd, "bob", "hunter2").unwrap();
-    println!("wrong password  -> {bad:?}; can read diary? {}",
-        env.read_file_as(sshd, "/home/bob-diary").is_ok());
+    println!(
+        "wrong password  -> {bad:?}; can read diary? {}",
+        env.read_file_as(sshd, "/home/bob-diary").is_ok()
+    );
     assert_eq!(bad, LoginOutcome::BadPassword);
 
     // With the right password the grant gate hands over ur/uw ownership.
     let good = auth
         .login(&mut env, sshd, "bob", "correct horse battery")
         .unwrap();
-    println!("right password  -> {good:?}; can read diary? {}",
-        env.read_file_as(sshd, "/home/bob-diary").is_ok());
+    println!(
+        "right password  -> {good:?}; can read diary? {}",
+        env.read_file_as(sshd, "/home/bob-diary").is_ok()
+    );
     assert_eq!(good, LoginOutcome::Granted);
 
     println!("\nauthentication log:");

@@ -30,12 +30,16 @@ fn main() {
 
     // ...so the kernel will not let it send anything to the open Internet,
     // even though nothing about corp-app itself is "configured" as secret.
-    let leak = vpn.internet.send(&mut env, corp_app, b"sensitive documents");
+    let leak = vpn
+        .internet
+        .send(&mut env, corp_app, b"sensitive documents");
     println!("corp-app -> Internet: {leak:?}");
     assert!(leak.is_err());
 
     // The VPN client itself can still move replies outward.
-    vpn.vpn.wire_deliver(&mut env, b"reply for hq".to_vec()).unwrap();
+    vpn.vpn
+        .wire_deliver(&mut env, b"reply for hq".to_vec())
+        .unwrap();
     assert!(vpn.pump_outbound(&mut env).unwrap());
     println!(
         "outbound frames on the Internet wire: {:?}",

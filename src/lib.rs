@@ -11,6 +11,7 @@
 //! * [`kernel`] — the six kernel object types and the system-call surface.
 //! * [`unix`] — the untrusted user-level Unix emulation library.
 //! * [`net`] — netd, the simulated network device, and VPN isolation.
+//! * [`exporter`] — DStar-style exporters: label-checked RPC across nodes.
 //! * [`auth`] — the decentralized user-authentication service.
 //! * [`apps`] — wrap/ClamAV-style scanner isolation and workloads.
 //! * [`baseline`] — monolithic Unix-model comparators used by benchmarks.
@@ -32,6 +33,7 @@
 pub use histar_apps as apps;
 pub use histar_auth as auth;
 pub use histar_baseline as baseline;
+pub use histar_exporter as exporter;
 pub use histar_kernel as kernel;
 pub use histar_label as label;
 pub use histar_net as net;

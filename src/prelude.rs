@@ -1,5 +1,6 @@
 //! Commonly used types, re-exported for examples and applications.
 
+pub use histar_exporter::{Fabric, GlobalCategory};
 pub use histar_kernel::{
     machine::{Machine, MachineConfig},
     object::{ContainerEntry, ObjectId},

@@ -1,0 +1,272 @@
+//! Two-node integration test: the untrusted-login scenario with the
+//! authentication gate on a remote node (the ISSUE's acceptance scenario).
+//!
+//! Node 1 hosts bob's account: his semi-private profile (label
+//! `{ur 2, uw 0, 1}`) and a login service behind a gate whose clearance
+//! `{login 0, 2}` admits only threads owning the `login` category.  Node 0
+//! runs sshd.  The same remote gate call is asserted both ways:
+//!
+//! * with a proper delegation of `login` to node 0, the call passes the
+//!   remote kernel's clearance check and the profile comes back — tainted,
+//!   across the wire, in (the node-0 shadow of) `ur`;
+//! * without the delegation certificate, the receiving kernel refuses the
+//!   gate entry: the error is the kernel's label check, not a policy bolted
+//!   on top.
+
+use histar::exporter::Fabric;
+use histar::label::{Label, Level};
+use histar::unix::gatecall::raise_taint_for;
+use histar::unix::process::Pid;
+
+const PASSWORD: &str = "correct horse battery";
+
+/// Builds node 1's side: bob's account, his profile file, the `login`
+/// category and the gated auth service.  Returns (provider pid, login cat).
+fn setup_auth_node(fabric: &mut Fabric) -> (Pid, histar::label::Category) {
+    let init = fabric.nodes[1].init();
+
+    // bob's account and profile on the auth node.
+    let (provider, login_cat, profile_label) = {
+        let n = &mut fabric.nodes[1];
+        let bob = n.env.create_user("bob").unwrap();
+        // `{ur 2, uw 0, 1}`: readable only under bob's read taint, writable
+        // only with his write privilege.
+        let profile_label = Label::builder()
+            .set(bob.read_cat, Level::L2)
+            .set(bob.write_cat, Level::L0)
+            .build();
+        n.env
+            .write_file_as(
+                init,
+                "/bob-profile",
+                b"bob: flags=admin",
+                Some(profile_label.clone()),
+            )
+            .unwrap();
+
+        // The login frontend category: only delegated frontends may even
+        // invoke the auth gate.
+        let provider = n.env.spawn(init, "/usr/sbin/authd", None).unwrap();
+        let thread = n.env.process(provider).unwrap().thread;
+        let login_cat = n
+            .env
+            .machine_mut()
+            .kernel_mut()
+            .sys_create_category(thread)
+            .unwrap();
+        (provider, login_cat, profile_label)
+    };
+
+    let clearance = Label::builder()
+        .set(login_cat, Level::L0)
+        .default_level(Level::L2)
+        .build();
+    fabric
+        .register_gated_service(
+            1,
+            "auth.login",
+            provider,
+            clearance,
+            Box::new(move |env, worker, req| {
+                let text = String::from_utf8_lossy(req);
+                let Some((user, pass)) = text.split_once('\0') else {
+                    return b"ERR malformed".to_vec();
+                };
+                if user != "bob" || pass != PASSWORD {
+                    return b"DENIED".to_vec();
+                }
+                // The worker reads bob's profile by *tainting itself* — it
+                // does not own ur, so the taint sticks and travels back with
+                // the reply.  It reads through the file's segment directly
+                // (as a mapped read would); the fd-table path would need a
+                // writable descriptor segment, which a tainted thread
+                // rightly cannot touch.
+                if raise_taint_for(env, worker, &profile_label).is_err() {
+                    return b"ERR cannot taint".to_vec();
+                }
+                let st = match env.stat(worker, "/bob-profile") {
+                    Ok(st) => st,
+                    Err(e) => return format!("ERR {e}").into_bytes(),
+                };
+                let entry = histar::kernel::object::ContainerEntry::new(env.fs_root(), st.object);
+                let thread = env.process(worker).unwrap().thread;
+                match env
+                    .machine_mut()
+                    .kernel_mut()
+                    .sys_segment_read(thread, entry, 0, st.len)
+                {
+                    Ok(bytes) => bytes,
+                    Err(e) => format!("ERR {e}").into_bytes(),
+                }
+            }),
+        )
+        .unwrap();
+
+    // bob's categories must be entrusted to the auth node's exporter, or
+    // the tainted reply could never leave the machine.
+    let bob = fabric.nodes[1].env.user("bob").unwrap();
+    fabric.export_category(1, init, bob.read_cat).unwrap();
+    fabric.export_category(1, init, bob.write_cat).unwrap();
+
+    (provider, login_cat)
+}
+
+#[test]
+fn remote_login_succeeds_with_delegation_and_fails_without() {
+    let mut fabric = Fabric::new(2);
+    let (provider, login_cat) = setup_auth_node(&mut fabric);
+
+    let sshd = {
+        let n = &mut fabric.nodes[0];
+        let init = n.init();
+        n.env.spawn(init, "/usr/sbin/sshd", None).unwrap()
+    };
+
+    // --- Outcome 1: WITHOUT a delegation certificate, the remote KERNEL's
+    // label check refuses the call (the worker cannot pass the auth gate's
+    // clearance).
+    let request = format!("bob\0{PASSWORD}").into_bytes();
+    let err = fabric
+        .remote_call(0, sshd, 1, "auth.login", &request, None, &[])
+        .unwrap_err();
+    assert!(
+        err.is_label_check(),
+        "without delegation the kernel must refuse, got: {err}"
+    );
+    assert!(
+        err.to_string().contains("clearance"),
+        "the refusal is the gate clearance check: {err}"
+    );
+
+    // --- Outcome 2: WITH a proper delegation the same call succeeds.
+    let shadow_login = fabric.delegate(1, provider, login_cat, 0).unwrap();
+    fabric.grant_shadow(0, sshd, shadow_login).unwrap();
+
+    // A wrong password is refused by the service itself (one bit leaks, as
+    // in §6.2 — nothing else).
+    let bad = fabric
+        .remote_call(
+            0,
+            sshd,
+            1,
+            "auth.login",
+            b"bob\0hunter2",
+            None,
+            &[shadow_login],
+        )
+        .unwrap();
+    assert_eq!(fabric.read_reply(0, sshd, &bad).unwrap(), b"DENIED");
+
+    // The right password returns bob's profile...
+    let reply = fabric
+        .remote_call(0, sshd, 1, "auth.login", &request, None, &[shadow_login])
+        .unwrap();
+    // ...whose label crossed the wire: the reply segment on node 0 is
+    // tainted at level 2 in the node-0 shadow of bob's read category.
+    let reply_label = fabric.reply_label(0, &reply).unwrap();
+    let tainted_entries: Vec<Level> = reply_label.entries().map(|(_, l)| l).collect();
+    assert!(
+        tainted_entries.contains(&Level::L2),
+        "the profile's ur taint must survive the network hop: {reply_label}"
+    );
+
+    // sshd accepts the taint and reads the profile.
+    let bytes = fabric.read_reply(0, sshd, &reply).unwrap();
+    assert_eq!(bytes, b"bob: flags=admin");
+
+    // The taint sticks on node 0 exactly as it would on node 1: the
+    // now-tainted sshd can no longer write untainted files.
+    let n = &mut fabric.nodes[0];
+    let err = n
+        .env
+        .write_file_as(sshd, "/leak", b"bob: flags=admin", None)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            histar::unix::UnixError::Kernel(histar::kernel::syscall::SyscallError::CannotModify(_))
+                | histar::unix::UnixError::Kernel(histar::kernel::syscall::SyscallError::Label(_))
+        ),
+        "remote taint must block local exfiltration, got {err:?}"
+    );
+}
+
+#[test]
+fn delegation_is_scoped_to_the_delegated_node() {
+    // A third node that was never delegated the login category hits the
+    // same kernel refusal — delegation to node 0 says nothing about node 2.
+    let mut fabric = Fabric::new(3);
+    let (provider, login_cat) = setup_auth_node(&mut fabric);
+    let shadow0 = fabric.delegate(1, provider, login_cat, 0).unwrap();
+
+    let sshd0 = {
+        let n = &mut fabric.nodes[0];
+        let init = n.init();
+        n.env.spawn(init, "/usr/sbin/sshd", None).unwrap()
+    };
+    fabric.grant_shadow(0, sshd0, shadow0).unwrap();
+    let request = format!("bob\0{PASSWORD}").into_bytes();
+    assert!(fabric
+        .remote_call(0, sshd0, 1, "auth.login", &request, None, &[shadow0])
+        .is_ok());
+
+    let sshd2 = {
+        let n = &mut fabric.nodes[2];
+        let init = n.init();
+        n.env.spawn(init, "/usr/sbin/sshd", None).unwrap()
+    };
+    let err = fabric
+        .remote_call(2, sshd2, 1, "auth.login", &request, None, &[])
+        .unwrap_err();
+    assert!(err.is_label_check(), "{err}");
+}
+
+#[test]
+fn remote_taint_survives_a_second_hop() {
+    // Taint picked up on node 1 rides a reply to node 0 and then a further
+    // request to node 2, arriving as a shadow-of-a-shadow that still maps
+    // back to bob's original category.
+    let mut fabric = Fabric::new(3);
+    let (provider, login_cat) = setup_auth_node(&mut fabric);
+    let shadow_login = fabric.delegate(1, provider, login_cat, 0).unwrap();
+
+    let sshd = {
+        let n = &mut fabric.nodes[0];
+        let init = n.init();
+        n.env.spawn(init, "/usr/sbin/sshd", None).unwrap()
+    };
+    fabric.grant_shadow(0, sshd, shadow_login).unwrap();
+    let request = format!("bob\0{PASSWORD}").into_bytes();
+    let reply = fabric
+        .remote_call(0, sshd, 1, "auth.login", &request, None, &[shadow_login])
+        .unwrap();
+    let reply_label = fabric.reply_label(0, &reply).unwrap();
+    let profile = fabric.read_reply(0, sshd, &reply).unwrap();
+
+    // An archive service on node 2 that just stores what it is sent.
+    let archivist = {
+        let n = &mut fabric.nodes[2];
+        let init = n.init();
+        n.env.spawn(init, "/usr/bin/archived", None).unwrap()
+    };
+    fabric
+        .register_service(
+            2,
+            "archive",
+            archivist,
+            Box::new(|_e, _w, req| req.to_vec()),
+        )
+        .unwrap();
+
+    // sshd forwards the profile, declaring its (tainted) label; node 0's
+    // exporter owns the shadow category (it created it), so the taint is
+    // exportable and arrives on node 2 still at level 2.
+    let fwd = fabric
+        .remote_call(0, sshd, 2, "archive", &profile, Some(reply_label), &[])
+        .unwrap();
+    let fwd_label = fabric.reply_label(0, &fwd).unwrap();
+    assert!(
+        fwd_label.entries().any(|(_, l)| l == Level::L2),
+        "taint must survive the second hop: {fwd_label}"
+    );
+}

@@ -80,7 +80,12 @@ fn authentication_flow() {
         LoginOutcome::Granted
     );
     let thread = env.process(login).unwrap().thread;
-    assert!(env.machine().kernel().thread_label(thread).unwrap().owns(bob.read_cat));
+    assert!(env
+        .machine()
+        .kernel()
+        .thread_label(thread)
+        .unwrap()
+        .owns(bob.read_cat));
 }
 
 /// Figure 11: VPN isolation keeps the two networks apart end to end.
@@ -117,7 +122,7 @@ fn clamav_end_to_end() {
     .unwrap();
 
     let report = wrap_scan(&mut env, &deployment, &["/home/secrets.db"]).unwrap();
-    assert_eq!(report.results[0].1, true, "the test signature is detected");
+    assert!(report.results[0].1, "the test signature is detected");
     assert!(!report.leak_detected);
     // Attack 1: direct TCP exfiltration.
     assert!(netd.send(&mut env, deployment.scanner, b"ssn").is_err());
@@ -142,7 +147,10 @@ fn unix_environment_smoke() {
     // The pipe is created before forking so the child inherits both ends.
     let (r, w) = env.pipe(init).unwrap();
     let child = env.fork(init).unwrap();
-    assert_eq!(env.read_file_as(child, "/etc-motd").unwrap(), b"welcome to histar");
+    assert_eq!(
+        env.read_file_as(child, "/etc-motd").unwrap(),
+        b"welcome to histar"
+    );
     env.write(init, w, b"ping").unwrap();
     assert_eq!(env.read(child, r, 4).unwrap(), b"ping");
     env.exit(child, ExitStatus::Exited(0)).unwrap();
@@ -163,7 +171,8 @@ fn persistence_across_crash() {
     env.write_file_as(init, "/persistent", b"survives", Some(secret_label.clone()))
         .unwrap();
     env.sync_all();
-    env.write_file_as(init, "/ephemeral", b"lost", None).unwrap();
+    env.write_file_as(init, "/ephemeral", b"lost", None)
+        .unwrap();
 
     let machine = {
         let m = env.machine_mut();
@@ -185,7 +194,9 @@ fn persistence_across_crash() {
         .find(|(_, bytes)| bytes.windows(8).any(|w| w == b"survives"))
         .expect("synced file survives the crash");
     assert_eq!(persistent.0, secret_label, "labels persist with the data");
-    assert!(!segments.iter().any(|(_, b)| b.windows(4).any(|w| w == b"lost")));
+    assert!(!segments
+        .iter()
+        .any(|(_, b)| b.windows(4).any(|w| w == b"lost")));
 }
 
 /// Labels can express Unix permission bits, but also policies Unix cannot:
