@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod multilogin;
+
 use histar_label::{Label, Level};
 use histar_unix::fs::OpenFlags;
 use histar_unix::process::{ExitStatus, Pid};
@@ -115,7 +117,7 @@ pub fn deploy_clamav(env: &mut UnixEnv, username: &str) -> Result<ClamAvDeployme
         let init_thread = env.process(init)?.thread;
         env.machine_mut()
             .kernel_mut()
-            .sys_create_category(init_thread)?
+            .trap_create_category(init_thread)?
     };
     let db_label = Label::builder().set(updater_cat, Level::L0).build();
     env.write_file_as(
@@ -137,7 +139,7 @@ pub fn deploy_clamav(env: &mut UnixEnv, username: &str) -> Result<ClamAvDeployme
     let isolation = env
         .machine_mut()
         .kernel_mut()
-        .sys_create_category(wrap_thread)?;
+        .trap_create_category(wrap_thread)?;
     env.process_record_mut(wrap)?
         .extra_ownership
         .push(isolation);

@@ -161,8 +161,8 @@ impl AuthSystem {
         let kernel = env.machine_mut().kernel_mut();
         let saved_label = kernel.thread_label(login_thread)?;
         let saved_clearance = kernel.thread_clearance(login_thread)?;
-        let pi_r = kernel.sys_create_category(login_thread)?;
-        let _session_w = kernel.sys_create_category(login_thread)?;
+        let pi_r = kernel.trap_create_category(login_thread)?;
+        let _session_w = kernel.trap_create_category(login_thread)?;
 
         // Step 3: the check runs tainted pi_r 3.  Login itself *owns* pi_r
         // (it allocated the category), so the taint restricts the user's
@@ -196,8 +196,8 @@ impl AuthSystem {
         // renounced) and, on success, gain the user's categories through
         // the grant gate.
         let kernel = env.machine_mut().kernel_mut();
-        kernel.sys_self_set_label(login_thread, saved_label.clone())?;
-        kernel.sys_self_set_clearance(login_thread, saved_clearance.clone())?;
+        kernel.trap_self_set_label(login_thread, saved_label.clone())?;
+        kernel.trap_self_set_clearance(login_thread, saved_clearance.clone())?;
         match grant {
             Some(user) => {
                 let granted_label = saved_label
@@ -254,7 +254,7 @@ fn grant_via_owner(
     let gate_clearance = Label::default_clearance()
         .with(user.read_cat, Level::L3)
         .with(user.write_cat, Level::L3);
-    let gate = kernel.sys_gate_create(
+    let gate = kernel.trap_gate_create(
         init_thread,
         init_container,
         gate_label,
@@ -266,7 +266,7 @@ fn grant_via_owner(
     )?;
     let entry = histar_kernel::object::ContainerEntry::new(init_container, gate);
     let verify = kernel.thread_label(login_thread)?;
-    kernel.sys_gate_enter(
+    kernel.trap_gate_enter(
         login_thread,
         entry,
         granted_label,
@@ -274,7 +274,7 @@ fn grant_via_owner(
         verify,
     )?;
     // The per-login grant gate is single-use.
-    let _ = kernel.sys_obj_unref(init_thread, entry);
+    let _ = kernel.trap_obj_unref(init_thread, entry);
     Ok(())
 }
 

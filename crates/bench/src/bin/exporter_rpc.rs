@@ -2,10 +2,15 @@
 //! simulated time for exporter-tunneled gate calls at several batch sizes.
 
 use histar_bench::rpc::{run, RpcParams};
+use histar_bench::BenchJson;
 
 fn main() {
     let table = run(RpcParams::full());
     println!("{}", table.render());
+    match BenchJson::from_table("exporter_rpc", &table).write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write JSON report: {e}"),
+    }
     println!("Latency is simulated time on the calling node; each call is a");
     println!("label-translated, certificate-checked gate invocation behind netd.");
     println!("Batching packs several RPC messages into one wire frame, paying");

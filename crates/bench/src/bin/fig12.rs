@@ -3,6 +3,7 @@
 //! run recorded in EXPERIMENTS.md.
 
 use histar_bench::fig12::{run, Fig12Params};
+use histar_bench::BenchJson;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -19,5 +20,10 @@ fn main() {
         Fig12Params::default()
     };
     println!("parameters: {params:?}\n");
-    print!("{}", run(params).render());
+    let table = run(params);
+    print!("{}", table.render());
+    match BenchJson::from_table("fig12", &table).write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
 }

@@ -1,6 +1,7 @@
 //! Regenerates Figure 13 (application-level benchmarks).
 
 use histar_bench::fig13::{run, Fig13Params};
+use histar_bench::BenchJson;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -15,5 +16,10 @@ fn main() {
         Fig13Params::default()
     };
     println!("parameters: {params:?}\n");
-    print!("{}", run(params).render());
+    let table = run(params);
+    print!("{}", table.render());
+    match BenchJson::from_table("fig13", &table).write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
 }

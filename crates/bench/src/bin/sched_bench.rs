@@ -1,0 +1,23 @@
+//! The multiprogramming benchmark: interleaved untrusted logins under the
+//! deterministic scheduler, single-node and across the two-node fabric.
+//! Run with `--smoke` for the quick CI configuration.
+
+use histar_bench::sched::{run, SchedBenchParams};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        SchedBenchParams::smoke()
+    } else {
+        SchedBenchParams::full()
+    };
+    println!("parameters: {params:?}\n");
+    let (table, json) = run(params);
+    print!("{}", table.render());
+    match json.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
+    println!("Times are simulated; syscalls/sec and context-switch cost are");
+    println!("also emitted as machine-readable JSON for the CI trajectory.");
+}

@@ -8,8 +8,12 @@
 //!   wget, virus scan with and without the isolation wrapper).
 //! * [`rpc`] — cross-node RPC over the exporter subsystem: latency and
 //!   throughput of label-checked calls, with and without message batching.
-//! * [`report`] — small helpers for printing paper-style tables and
-//!   recording paper-vs-measured comparisons.
+//! * [`sched`] — the multiprogramming benchmark: N concurrent untrusted
+//!   logins interleaved by the deterministic scheduler, on one node and
+//!   across the two-node fabric (syscalls/sec, context-switch cost).
+//! * [`report`] — small helpers for printing paper-style tables, recording
+//!   paper-vs-measured comparisons, and emitting machine-readable
+//!   `BENCH_<name>.json` files for CI.
 //!
 //! Absolute numbers are *simulated* time; EXPERIMENTS.md discusses how the
 //! shapes compare against the paper's measurements on real hardware.
@@ -21,5 +25,6 @@ pub mod fig12;
 pub mod fig13;
 pub mod report;
 pub mod rpc;
+pub mod sched;
 
-pub use report::{Row, Table};
+pub use report::{BenchJson, Row, Table};

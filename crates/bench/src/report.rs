@@ -82,6 +82,129 @@ impl Table {
     }
 }
 
+/// Machine-readable benchmark output: one `BENCH_<name>.json` file per
+/// harness run, so CI can track the perf trajectory without parsing the
+/// human tables.
+///
+/// Schema: `{"name": ..., "ticks": <total simulated ns>, "metrics":
+/// [{"metric": ..., "value": ..., "ticks": ...}, ...]}`.  `value` carries
+/// the metric in its natural unit (ns for durations, plain numbers for
+/// rates and counts); `ticks` is the simulated-time footprint backing the
+/// metric, in nanoseconds.
+#[derive(Clone, Debug, Default)]
+pub struct BenchJson {
+    /// The benchmark's name (`BENCH_<name>.json`).
+    pub name: String,
+    metrics: Vec<(String, f64, u64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.3}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+impl BenchJson {
+    /// Creates an empty report for benchmark `name`.
+    pub fn new(name: &str) -> BenchJson {
+        BenchJson {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric: its value (natural unit) and the simulated-time
+    /// footprint in nanoseconds.
+    pub fn metric(&mut self, metric: &str, value: f64, ticks: u64) -> &mut BenchJson {
+        self.metrics.push((metric.to_string(), value, ticks));
+        self
+    }
+
+    /// Builds a report from a rendered [`Table`]: every `(row, system)`
+    /// measurement becomes one metric, valued in nanoseconds.
+    pub fn from_table(name: &str, table: &Table) -> BenchJson {
+        let mut out = BenchJson::new(name);
+        for row in &table.rows {
+            for (system, v) in &row.measured {
+                let ns = v.as_nanos();
+                out.metric(&format!("{} [{system}]", row.name), ns as f64, ns);
+            }
+        }
+        out
+    }
+
+    /// Total simulated nanoseconds across all metrics.
+    pub fn total_ticks(&self) -> u64 {
+        self.metrics.iter().map(|(_, _, t)| *t).sum()
+    }
+
+    /// Renders the JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"name\": \"{}\",\n  \"ticks\": {},\n  \"metrics\": [\n",
+            json_escape(&self.name),
+            self.total_ticks()
+        ));
+        for (i, (metric, value, ticks)) in self.metrics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"metric\": \"{}\", \"value\": {}, \"ticks\": {}}}{}\n",
+                json_escape(metric),
+                json_number(*value),
+                ticks,
+                if i + 1 == self.metrics.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory (or
+    /// `$BENCH_OUT_DIR` when set) and returns its path.  The name is
+    /// sanitized for the filesystem (anything outside `[A-Za-z0-9._-]`
+    /// becomes `_`), so a name that needs JSON escaping cannot escape the
+    /// output directory.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let safe: String = self
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("BENCH_{safe}.json"));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +223,33 @@ mod tests {
         assert!(s.contains("IPC benchmark"));
         assert!(s.contains("HiStar"));
         assert!(s.contains("paper"));
+    }
+
+    #[test]
+    fn bench_json_from_table_and_render() {
+        let mut t = Table::new("Figure 12");
+        t.push(
+            Row::new("IPC benchmark, per RTT")
+                .measure("HiStar", SimDuration::from_nanos(3110))
+                .measure("Linux", SimDuration::from_nanos(4320)),
+        );
+        let j = BenchJson::from_table("fig12", &t);
+        let s = j.render();
+        assert!(s.contains("\"name\": \"fig12\""));
+        assert!(s.contains("\"ticks\": 7430"));
+        assert!(s.contains("IPC benchmark, per RTT [HiStar]"));
+        assert!(s.contains("\"value\": 3110, \"ticks\": 3110"));
+        // Valid-ish JSON: balanced braces, no trailing comma.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(!s.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn bench_json_escapes_and_formats() {
+        let mut j = BenchJson::new("weird\"name");
+        j.metric("rate", 1234.5678, 99);
+        let s = j.render();
+        assert!(s.contains("weird\\\"name"));
+        assert!(s.contains("\"value\": 1234.568"));
     }
 }

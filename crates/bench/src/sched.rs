@@ -1,0 +1,406 @@
+//! The multiprogramming benchmark: N concurrent untrusted logins
+//! interleaved by the deterministic scheduler, on one node and across the
+//! two-node exporter fabric.
+//!
+//! Reported numbers are *simulated* time, like every other harness in this
+//! crate: syscalls per simulated second through the dispatch boundary, and
+//! the mean context-switch cost actually charged (a mix of full TLB
+//! flushes and HiStar's cheap `invlpg` switches, depending on how often
+//! adjacent quanta share an address space).
+
+use crate::report::{BenchJson, Row, Table};
+use histar_apps::multilogin::{run_multilogin, MultiLoginParams};
+use histar_auth::{AuthService, AuthSystem, LoginOutcome};
+use histar_exporter::Fabric;
+use histar_kernel::sched::{Program, RunLimit, SchedContext, Scheduler, Step};
+use histar_kernel::{Kernel, SyscallStats};
+use histar_sim::{CostModel, OsFlavor, SimDuration};
+use histar_unix::process::Pid;
+
+/// Parameters of the scheduler benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedBenchParams {
+    /// Concurrent login processes on the single node.
+    pub processes: usize,
+    /// Distinct user accounts.
+    pub users: usize,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Login processes per node in the fabric variant.
+    pub fabric_processes: usize,
+}
+
+impl SchedBenchParams {
+    /// Quick parameters for tests and CI smoke runs.
+    pub fn smoke() -> SchedBenchParams {
+        SchedBenchParams {
+            processes: 24,
+            users: 4,
+            seed: 0xded,
+            fabric_processes: 6,
+        }
+    }
+
+    /// The parameters the `sched_bench` binary reports.
+    pub fn full() -> SchedBenchParams {
+        SchedBenchParams {
+            processes: 200,
+            users: 16,
+            seed: 0xded,
+            fabric_processes: 24,
+        }
+    }
+}
+
+/// Mean context-switch cost implied by the kernel's switch counters: the
+/// blend of full-flush and `invlpg` switches the run actually performed.
+fn mean_switch_cost(stats: &SyscallStats) -> SimDuration {
+    let cost = CostModel::for_flavor(OsFlavor::HiStar);
+    if stats.context_switches == 0 {
+        return SimDuration::ZERO;
+    }
+    let full = stats.context_switches - stats.invlpg_switches;
+    let total_ns = full * cost.context_switch_full.as_nanos()
+        + stats.invlpg_switches * cost.context_switch_invlpg.as_nanos();
+    SimDuration::from_nanos(total_ns / stats.context_switches)
+}
+
+/// One measured variant.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedMeasurement {
+    /// Processes that ran to completion.
+    pub completed: u64,
+    /// Syscalls through the dispatch boundary.
+    pub syscalls: u64,
+    /// Scheduler quanta executed.
+    pub quanta: u64,
+    /// Context switches charged.
+    pub context_switches: u64,
+    /// Simulated time consumed.
+    pub elapsed: SimDuration,
+    /// Mean charged context-switch cost.
+    pub switch_cost: SimDuration,
+}
+
+impl SchedMeasurement {
+    /// Dispatched syscalls per simulated second.
+    pub fn syscalls_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.syscalls as f64 / secs
+        }
+    }
+}
+
+/// Runs the single-node multiprogrammed-login scenario.
+pub fn measure_single_node(params: SchedBenchParams) -> SchedMeasurement {
+    let (_world, report) = run_multilogin(MultiLoginParams {
+        processes: params.processes,
+        users: params.users,
+        seed: params.seed,
+        wrong_every: 7,
+        trace_capacity: 0,
+    })
+    .expect("multilogin scenario");
+    SchedMeasurement {
+        completed: report.schedule.completed,
+        syscalls: report.syscalls,
+        quanta: report.schedule.quanta,
+        context_switches: report.schedule.context_switches,
+        elapsed: report.elapsed,
+        switch_cost: mean_switch_cost(&report.kernel),
+    }
+}
+
+// ----- the two-node fabric variant ---------------------------------------
+
+/// The shared world of the fabric variant: two nodes, each with its own
+/// auth system and its own scheduler; `active` names the node whose CPU is
+/// currently running (the driver alternates them like two machines).
+struct FabricWorld {
+    fabric: Fabric,
+    auths: Vec<AuthSystem>,
+    active: usize,
+    outcomes: Vec<(usize, Pid, LoginOutcome)>,
+    failures: Vec<String>,
+}
+
+impl SchedContext for FabricWorld {
+    fn sched_kernel(&mut self) -> &mut Kernel {
+        self.fabric.nodes[self.active]
+            .env
+            .machine_mut()
+            .kernel_mut()
+    }
+}
+
+enum FabricPhase {
+    Login,
+    RemoteEcho,
+}
+
+fn fabric_login_program(node: usize, pid: Pid, username: String) -> Program<FabricWorld> {
+    let mut phase = FabricPhase::Login;
+    Box::new(move |world: &mut FabricWorld, _tid| match phase {
+        FabricPhase::Login => {
+            let env = &mut world.fabric.nodes[node].env;
+            match world.auths[node].login(env, pid, &username, &format!("pw-{username}")) {
+                Ok(outcome) => {
+                    let granted = outcome == LoginOutcome::Granted;
+                    world.outcomes.push((node, pid, outcome));
+                    if granted {
+                        phase = FabricPhase::RemoteEcho;
+                        Step::Yield
+                    } else {
+                        Step::Done
+                    }
+                }
+                Err(e) => {
+                    world.failures.push(format!("node{node} pid{pid}: {e}"));
+                    Step::Done
+                }
+            }
+        }
+        FabricPhase::RemoteEcho => {
+            // One label-checked RPC to the peer node's echo service: the
+            // cross-node leg of the scenario.
+            let peer = 1 - node;
+            let payload = format!("hello from node{node} pid{pid}");
+            let result = world
+                .fabric
+                .remote_call(node, pid, peer, "echo", payload.as_bytes(), None, &[])
+                .and_then(|reply| world.fabric.read_reply(node, pid, &reply));
+            match result {
+                Ok(bytes) if bytes == payload.as_bytes() => Step::Done,
+                Ok(_) => {
+                    world
+                        .failures
+                        .push(format!("node{node} pid{pid}: bad echo"));
+                    Step::Done
+                }
+                Err(e) => {
+                    world.failures.push(format!("node{node} pid{pid}: {e}"));
+                    Step::Done
+                }
+            }
+        }
+    })
+}
+
+/// Runs logins + cross-node echo RPCs on both nodes of a two-node fabric,
+/// alternating the nodes' schedulers like two CPUs.  Returns the
+/// measurement over node 0's clock plus the total completions across both
+/// nodes.
+pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
+    let mut fabric = Fabric::new(2);
+    let mut auths = Vec::new();
+    let mut scheds: Vec<Scheduler<FabricWorld>> = Vec::new();
+    let mut spawned: Vec<Vec<(usize, Pid, histar_kernel::ObjectId, String)>> = Vec::new();
+    for node in 0..2 {
+        let mut auth = AuthSystem::new();
+        let env = &mut fabric.nodes[node].env;
+        let init = env.init_pid();
+        env.mkdir(init, "/home", None).expect("mkdir /home");
+        let mut jobs = Vec::new();
+        for u in 0..params.users.max(1) {
+            let name = format!("n{node}user{u}");
+            let user = env.create_user(&name).expect("create user");
+            auth.register(AuthService::new(user, &format!("pw-{name}")));
+        }
+        for i in 0..params.fabric_processes {
+            let name = format!("n{node}user{}", i % params.users.max(1));
+            let pid = env
+                .spawn(init, &format!("/bin/login-{i}"), None)
+                .expect("spawn login process");
+            let thread = env.process(pid).expect("process").thread;
+            jobs.push((node, pid, thread, name));
+        }
+        auths.push(auth);
+        spawned.push(jobs);
+        scheds.push(Scheduler::new(
+            params.seed + node as u64,
+            SimDuration::from_micros(50),
+        ));
+    }
+    // Each node provides an echo service the other node's logins call.
+    for node in 0..2 {
+        let provider = {
+            let env = &mut fabric.nodes[node].env;
+            let init = env.init_pid();
+            env.spawn(init, "/usr/bin/echod", None)
+                .expect("spawn echod")
+        };
+        fabric
+            .register_service(node, "echo", provider, Box::new(|_e, _w, req| req.to_vec()))
+            .expect("register echo service");
+    }
+    for (sched, jobs) in scheds.iter_mut().zip(spawned) {
+        for (node, pid, thread, username) in jobs {
+            sched.spawn(thread, fabric_login_program(node, pid, username));
+        }
+    }
+
+    let mut world = FabricWorld {
+        fabric,
+        auths,
+        active: 0,
+        outcomes: Vec::new(),
+        failures: Vec::new(),
+    };
+    let before_clock = world.fabric.nodes[0].env.machine().uptime();
+    let dispatch_before: u64 = (0..2)
+        .map(|n| {
+            world.fabric.nodes[n]
+                .env
+                .machine()
+                .kernel()
+                .dispatch_stats()
+                .total()
+        })
+        .sum();
+    let stats_before: Vec<SyscallStats> = (0..2)
+        .map(|n| world.fabric.nodes[n].env.machine().kernel().stats())
+        .collect();
+
+    // Alternate the two nodes' CPUs until both run dry.
+    let mut rounds = 0;
+    loop {
+        let mut remaining = 0;
+        for (node, sched) in scheds.iter_mut().enumerate() {
+            world.active = node;
+            let r = sched.run(&mut world, RunLimit::quanta(8));
+            remaining += r.remaining;
+        }
+        rounds += 1;
+        if remaining == 0 || rounds > 100_000 {
+            break;
+        }
+    }
+    assert!(
+        world.failures.is_empty(),
+        "fabric failures: {:?}",
+        world.failures
+    );
+
+    let elapsed = world.fabric.nodes[0].env.machine().uptime() - before_clock;
+    let dispatch_after: u64 = (0..2)
+        .map(|n| {
+            world.fabric.nodes[n]
+                .env
+                .machine()
+                .kernel()
+                .dispatch_stats()
+                .total()
+        })
+        .sum();
+    let mut switch_stats = SyscallStats::default();
+    for (n, before) in stats_before.iter().enumerate() {
+        let s = world.fabric.nodes[n].env.machine().kernel().stats();
+        let d = s.since(before);
+        switch_stats.context_switches += d.context_switches;
+        switch_stats.invlpg_switches += d.invlpg_switches;
+    }
+    SchedMeasurement {
+        completed: (scheds[0].stats().completed + scheds[1].stats().completed),
+        syscalls: dispatch_after - dispatch_before,
+        quanta: scheds[0].stats().quanta + scheds[1].stats().quanta,
+        context_switches: switch_stats.context_switches,
+        elapsed,
+        switch_cost: mean_switch_cost(&switch_stats),
+    }
+}
+
+/// Runs both variants and renders the table plus the machine-readable
+/// report.
+pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
+    let single = measure_single_node(params);
+    let fabric = measure_fabric(params);
+
+    let mut table = Table::new(&format!(
+        "Scheduler: {} multiprogrammed untrusted logins (quantum 50us)",
+        params.processes
+    ));
+    table.push(Row::new("single node: total simulated time").measure("HiStar", single.elapsed));
+    table.push(
+        Row::new("single node: mean context-switch cost").measure("HiStar", single.switch_cost),
+    );
+    table.push(Row::new("two-node fabric: total simulated time").measure("HiStar", fabric.elapsed));
+    table.push(
+        Row::new("two-node fabric: mean context-switch cost").measure("HiStar", fabric.switch_cost),
+    );
+
+    let mut json = BenchJson::new("sched");
+    json.metric(
+        "single_node.syscalls_per_sec",
+        single.syscalls_per_sec(),
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "single_node.context_switch_cost_ns",
+        single.switch_cost.as_nanos() as f64,
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "single_node.syscalls",
+        single.syscalls as f64,
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "single_node.completed",
+        single.completed as f64,
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "fabric.syscalls_per_sec",
+        fabric.syscalls_per_sec(),
+        fabric.elapsed.as_nanos(),
+    );
+    json.metric(
+        "fabric.context_switch_cost_ns",
+        fabric.switch_cost.as_nanos() as f64,
+        fabric.elapsed.as_nanos(),
+    );
+    json.metric(
+        "fabric.completed",
+        fabric.completed as f64,
+        fabric.elapsed.as_nanos(),
+    );
+    (table, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_smoke_measures_throughput() {
+        let m = measure_single_node(SchedBenchParams::smoke());
+        assert_eq!(m.completed, 24);
+        assert!(m.syscalls > 500);
+        assert!(m.syscalls_per_sec() > 0.0);
+        assert!(m.switch_cost > SimDuration::ZERO);
+        assert!(m.context_switches >= 24);
+    }
+
+    #[test]
+    fn fabric_smoke_completes_all_logins_and_echoes() {
+        let m = measure_fabric(SchedBenchParams::smoke());
+        assert_eq!(m.completed, 12, "6 logins per node across 2 nodes");
+        assert!(m.syscalls > 0);
+        assert!(m.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn run_emits_table_and_json() {
+        let (table, json) = run(SchedBenchParams::smoke());
+        let rendered = table.render();
+        assert!(rendered.contains("single node"));
+        assert!(rendered.contains("two-node fabric"));
+        let j = json.render();
+        assert!(j.contains("\"name\": \"sched\""));
+        assert!(j.contains("single_node.syscalls_per_sec"));
+        assert!(j.contains("fabric.completed"));
+    }
+}

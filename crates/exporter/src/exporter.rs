@@ -101,8 +101,8 @@ impl Exporter {
         let kroot = env.machine().kernel().root_container();
         let kernel = env.machine_mut().kernel_mut();
         // The endpoint device: labelled so only the exporter drives it.
-        let er = kernel.sys_create_category(thread)?;
-        let ew = kernel.sys_create_category(thread)?;
+        let er = kernel.trap_create_category(thread)?;
+        let ew = kernel.trap_create_category(thread)?;
         let label = Label::builder()
             .set(er, Level::L3)
             .set(ew, Level::L0)
@@ -229,7 +229,7 @@ impl Exporter {
         if let Some(name) = env
             .machine_mut()
             .kernel_mut()
-            .sys_category_get_remote(thread, category)
+            .trap_category_get_remote(thread, category)
             .map_err(UnixError::from)?
         {
             return Ok(GlobalCategory::from_kernel_name(name));
@@ -250,7 +250,7 @@ impl Exporter {
         self.next_export_id += 1;
         env.machine_mut()
             .kernel_mut()
-            .sys_category_bind_remote(thread, category, global.as_kernel_name())
+            .trap_category_bind_remote(thread, category, global.as_kernel_name())
             .map_err(UnixError::from)?;
         Ok(global)
     }
@@ -267,7 +267,7 @@ impl Exporter {
         let thread = env.process(self.pid)?.thread;
         let kernel = env.machine_mut().kernel_mut();
         if let Some(local) = kernel
-            .sys_category_resolve_remote(thread, global.as_kernel_name())
+            .trap_category_resolve_remote(thread, global.as_kernel_name())
             .map_err(UnixError::from)?
         {
             return Ok(local);
@@ -278,10 +278,10 @@ impl Exporter {
             )));
         }
         let shadow = kernel
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .map_err(UnixError::from)?;
         kernel
-            .sys_category_bind_remote(thread, shadow, global.as_kernel_name())
+            .trap_category_bind_remote(thread, shadow, global.as_kernel_name())
             .map_err(UnixError::from)?;
         Ok(shadow)
     }
@@ -306,7 +306,7 @@ impl Exporter {
             let bound = env
                 .machine_mut()
                 .kernel_mut()
-                .sys_category_get_remote(thread, c)
+                .trap_category_get_remote(thread, c)
                 .map_err(UnixError::from)?;
             if bound.is_some() {
                 continue;
@@ -343,7 +343,7 @@ impl Exporter {
             let name = env
                 .machine_mut()
                 .kernel_mut()
-                .sys_category_get_remote(thread, c)
+                .trap_category_get_remote(thread, c)
                 .map_err(UnixError::from)?
                 .expect("bound above");
             resolved.push((c, GlobalCategory::from_kernel_name(name)));
@@ -419,7 +419,7 @@ impl Exporter {
             let name = env
                 .machine_mut()
                 .kernel_mut()
-                .sys_category_get_remote(exporter_thread, c)
+                .trap_category_get_remote(exporter_thread, c)
                 .map_err(UnixError::from)?;
             let global = match name {
                 Some(n) => GlobalCategory::from_kernel_name(n),
@@ -450,7 +450,7 @@ impl Exporter {
         let seg = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_create(
+            .trap_segment_create(
                 exporter_thread,
                 exporter_container,
                 label.clone(),
@@ -461,17 +461,17 @@ impl Exporter {
         let entry = ContainerEntry::new(exporter_container, seg);
         env.machine_mut()
             .kernel_mut()
-            .sys_segment_write(caller_thread, entry, 0, request)
+            .trap_segment_write(caller_thread, entry, 0, request)
             .map_err(UnixError::from)?;
         let payload = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_read(exporter_thread, entry, 0, request.len() as u64)
+            .trap_segment_read(exporter_thread, entry, 0, request.len() as u64)
             .map_err(UnixError::from)?;
         let _ = env
             .machine_mut()
             .kernel_mut()
-            .sys_obj_unref(exporter_thread, entry);
+            .trap_obj_unref(exporter_thread, entry);
 
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -501,7 +501,7 @@ impl Exporter {
         let container = env.process(self.pid)?.process_container;
         let kernel = env.machine_mut().kernel_mut();
         let seg = kernel
-            .sys_segment_create(
+            .trap_segment_create(
                 thread,
                 container,
                 local_label,
@@ -511,7 +511,7 @@ impl Exporter {
             .map_err(UnixError::from)?;
         let entry = ContainerEntry::new(container, seg);
         kernel
-            .sys_segment_write(thread, entry, 0, payload)
+            .trap_segment_write(thread, entry, 0, payload)
             .map_err(UnixError::from)?;
         Ok(RemoteReply {
             entry,
@@ -680,7 +680,7 @@ impl Exporter {
         let seg = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_create(
+            .trap_segment_create(
                 exporter_thread,
                 exporter_container,
                 request_label.clone(),
@@ -703,9 +703,9 @@ impl Exporter {
             &mut reply_entry,
         );
         let kernel = env.machine_mut().kernel_mut();
-        let _ = kernel.sys_obj_unref(exporter_thread, entry);
+        let _ = kernel.trap_obj_unref(exporter_thread, entry);
         if let Some(re) = reply_entry {
-            let _ = kernel.sys_obj_unref(exporter_thread, re);
+            let _ = kernel.trap_obj_unref(exporter_thread, re);
         }
         result
     }
@@ -727,7 +727,7 @@ impl Exporter {
 
         env.machine_mut()
             .kernel_mut()
-            .sys_segment_write(exporter_thread, entry, 0, payload)
+            .trap_segment_write(exporter_thread, entry, 0, payload)
             .map_err(UnixError::from)?;
 
         // The tunneled gate call.  This is where the receiving kernel
@@ -741,7 +741,7 @@ impl Exporter {
             enter_service_tainted(env, worker, &gate, &taint_entries).map_err(label_refusal)?;
 
         // The worker reads the request — a label-checked observation.
-        let request = match env.machine_mut().kernel_mut().sys_segment_read(
+        let request = match env.machine_mut().kernel_mut().trap_segment_read(
             worker_thread,
             entry,
             0,
@@ -773,7 +773,7 @@ impl Exporter {
         let reply_seg = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_create(
+            .trap_segment_create(
                 exporter_thread,
                 exporter_container,
                 reply_label.clone(),
@@ -785,14 +785,14 @@ impl Exporter {
         *reply_entry_out = Some(reply_entry);
         env.machine_mut()
             .kernel_mut()
-            .sys_segment_write(worker_thread, reply_entry, 0, &reply)
+            .trap_segment_write(worker_thread, reply_entry, 0, &reply)
             .map_err(|e| label_refusal(UnixError::Kernel(e)))?;
         // The exporter may read the reply only if every taint category on it
         // was entrusted to it — otherwise the data stays on this machine.
         let reply_bytes = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_read(exporter_thread, reply_entry, 0, reply.len() as u64)
+            .trap_segment_read(exporter_thread, reply_entry, 0, reply.len() as u64)
             .map_err(|e| ExporterError::NotExportable(format!("reply not exportable: {e}")))?;
         let global_reply_label = self.outbound_label(env, &reply_label, None).map_err(|e| {
             ExporterError::NotExportable(format!("reply label not exportable: {e}"))

@@ -234,7 +234,7 @@ impl Fabric {
             .thread_label(thread)
             .map_err(histar_unix::UnixError::from)?;
         let gate = kernel
-            .sys_gate_create(
+            .trap_gate_create(
                 thread,
                 container,
                 label,
@@ -392,7 +392,7 @@ impl Fabric {
             n.env
                 .machine_mut()
                 .kernel_mut()
-                .sys_obj_get_label(thread, reply.entry)
+                .trap_obj_get_label(thread, reply.entry)
                 .map_err(histar_unix::UnixError::from)?
         };
         raise_taint_for(&mut n.env, pid, &seg_label)?;
@@ -401,7 +401,7 @@ impl Fabric {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_read(thread, reply.entry, 0, reply.len)
+            .trap_segment_read(thread, reply.entry, 0, reply.len)
             .map_err(histar_unix::UnixError::from)?;
         Ok(bytes)
     }
@@ -413,7 +413,7 @@ impl Fabric {
         Ok(n.env
             .machine_mut()
             .kernel_mut()
-            .sys_obj_get_label(thread, reply.entry)
+            .trap_obj_get_label(thread, reply.entry)
             .map_err(histar_unix::UnixError::from)?)
     }
 

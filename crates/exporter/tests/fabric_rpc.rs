@@ -70,7 +70,7 @@ fn tainted_request_label_crosses_the_wire_and_comes_back() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .unwrap();
         (client, c)
     };
@@ -138,7 +138,7 @@ fn caller_cannot_understate_its_taint() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(init_thread)
+            .trap_create_category(init_thread)
             .unwrap();
         n.env
             .spawn_with_label(init, "/bin/tainted", vec![], vec![(c, Level::L3)])
@@ -179,7 +179,7 @@ fn delegated_privilege_passes_the_gate_and_forged_certs_do_not() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .unwrap();
         (provider, s)
     };
@@ -240,7 +240,7 @@ fn spoofed_sender_cannot_exercise_peer_privileges() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(t)
+            .trap_create_category(t)
             .unwrap();
         (p, s)
     };
@@ -367,7 +367,7 @@ fn denied_calls_do_not_accumulate_kernel_objects() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(t)
+            .trap_create_category(t)
             .unwrap();
         (p, s)
     };
@@ -418,7 +418,7 @@ fn forged_delegation_certificate_is_rejected() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(t)
+            .trap_create_category(t)
             .unwrap();
         (p, s)
     };

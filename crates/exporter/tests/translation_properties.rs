@@ -54,7 +54,7 @@ fn round_trip_through_two_exporters_never_weakens_a_label() {
                 n.env
                     .machine_mut()
                     .kernel_mut()
-                    .sys_create_category(thread)
+                    .trap_create_category(thread)
                     .unwrap(),
             );
         }
@@ -96,7 +96,7 @@ fn shadow_categories_map_back_to_the_original() {
         n.env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .unwrap()
     };
     let global = fabric.export_category(0, init, cat).unwrap();
@@ -134,7 +134,7 @@ fn unexportable_taint_cannot_leave_the_machine() {
         n.env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .unwrap()
     };
     let label = Label::builder().set(cat, Level::L3).build();
@@ -160,7 +160,7 @@ fn remote_ownership_requires_a_delegation_certificate() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(t)
+            .trap_create_category(t)
             .unwrap();
         (p, s)
     };

@@ -1,0 +1,1618 @@
+//! Trap-style system-call dispatch: the single choke point between user
+//! code and the kernel.
+//!
+//! Real HiStar threads reach the kernel through one trap instruction; every
+//! call crosses the same boundary, where it can be checked, counted and
+//! audited.  This module reproduces that boundary for the simulated kernel:
+//! a [`Syscall`] value names one of the 45 `sys_*` entry points together
+//! with its arguments, and [`Kernel::dispatch`] is the only place where the
+//! value is decoded and executed.  Dispatch charges the call's CPU cost
+//! (via the underlying `sys_*` implementation), maintains per-syscall
+//! counters in [`DispatchStats`], and — when tracing is enabled — appends a
+//! [`TraceRecord`] to a bounded ring buffer, giving the machine a
+//! replayable `(tick, thread, syscall, result)` audit stream.
+//!
+//! The `trap_*` methods are the user-level calling convention: thin typed
+//! wrappers that build the [`Syscall`] value, trap through
+//! [`Kernel::dispatch`], and unwrap the typed [`SyscallResult`].  All
+//! library layers (`histar-unix`, `histar-auth`, `histar-apps`,
+//! `histar-net`, `histar-exporter`) use these instead of calling the
+//! `sys_*` methods directly, so the whole system's kernel interaction is
+//! visible in one stream.
+
+use crate::bodies::{Alert, Mapping};
+use crate::kernel::{GateEntryResult, Kernel, PageFaultResolution, RemoteCategoryName};
+use crate::object::{ContainerEntry, ObjectId, ObjectType, METADATA_LEN};
+use crate::syscall::SyscallError;
+use histar_label::{Category, Label};
+use std::collections::VecDeque;
+
+/// One system call with its arguments — what a real thread would place in
+/// registers before trapping.
+///
+/// Every variant corresponds 1:1 to a `sys_*` method on [`Kernel`]; the
+/// calling thread is supplied separately to [`Kernel::dispatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Syscall {
+    /// `sys_create_category`.
+    CreateCategory,
+    /// `sys_self_set_label`.
+    SelfSetLabel {
+        /// The requested new thread label.
+        label: Label,
+    },
+    /// `sys_self_set_clearance`.
+    SelfSetClearance {
+        /// The requested new clearance.
+        clearance: Label,
+    },
+    /// `sys_self_get_label`.
+    SelfGetLabel,
+    /// `sys_self_get_clearance`.
+    SelfGetClearance,
+    /// `sys_container_create`.
+    ContainerCreate {
+        /// Parent container.
+        parent: ObjectId,
+        /// Label of the new container.
+        label: Label,
+        /// Descriptive string.
+        descrip: String,
+        /// Object-type mask forbidden under the new container.
+        avoid_types: u8,
+        /// Quota charged to the parent.
+        quota: u64,
+    },
+    /// `sys_obj_unref`.
+    ObjUnref {
+        /// The container entry to unlink.
+        entry: ContainerEntry,
+    },
+    /// `sys_hard_link`.
+    HardLink {
+        /// Source container entry.
+        entry: ContainerEntry,
+        /// Destination container.
+        dst: ObjectId,
+    },
+    /// `sys_container_quota_avail`.
+    ContainerQuotaAvail {
+        /// The container to query.
+        container: ObjectId,
+    },
+    /// `sys_container_get_parent`.
+    ContainerGetParent {
+        /// The container to query.
+        container: ObjectId,
+    },
+    /// `sys_container_list`.
+    ContainerList {
+        /// The container to list.
+        container: ObjectId,
+    },
+    /// `sys_quota_move`.
+    QuotaMove {
+        /// The container quota moves out of (or back into).
+        container: ObjectId,
+        /// The object quota moves into (or out of).
+        object: ObjectId,
+        /// Bytes to move (negative moves quota back to the container).
+        delta: i64,
+    },
+    /// `sys_obj_get_label`.
+    ObjGetLabel {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_obj_get_info`.
+    ObjGetInfo {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_obj_get_metadata`.
+    ObjGetMetadata {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_obj_set_metadata`.
+    ObjSetMetadata {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+        /// The new 64-byte metadata area.
+        metadata: [u8; METADATA_LEN],
+    },
+    /// `sys_obj_set_immutable`.
+    ObjSetImmutable {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_obj_set_fixed_quota`.
+    ObjSetFixedQuota {
+        /// The object, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_segment_create`.
+    SegmentCreate {
+        /// The container the segment is created in.
+        container: ObjectId,
+        /// The segment's label.
+        label: Label,
+        /// Initial length in bytes.
+        len: u64,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_segment_resize`.
+    SegmentResize {
+        /// The segment, named through a container entry.
+        entry: ContainerEntry,
+        /// The new length.
+        len: u64,
+    },
+    /// `sys_segment_read`.
+    SegmentRead {
+        /// The segment, named through a container entry.
+        entry: ContainerEntry,
+        /// Byte offset of the read.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// `sys_segment_write`.
+    SegmentWrite {
+        /// The segment, named through a container entry.
+        entry: ContainerEntry,
+        /// Byte offset of the write.
+        offset: u64,
+        /// The bytes to write.
+        data: Vec<u8>,
+    },
+    /// `sys_segment_len`.
+    SegmentLen {
+        /// The segment, named through a container entry.
+        entry: ContainerEntry,
+    },
+    /// `sys_segment_copy`.
+    SegmentCopy {
+        /// Source segment.
+        src: ContainerEntry,
+        /// Destination container.
+        dst_container: ObjectId,
+        /// Label of the copy.
+        label: Label,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_as_create`.
+    AsCreate {
+        /// The container the address space is created in.
+        container: ObjectId,
+        /// The address space's label.
+        label: Label,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_as_copy`.
+    AsCopy {
+        /// Source address space.
+        src: ContainerEntry,
+        /// Destination container.
+        dst_container: ObjectId,
+        /// Label of the copy.
+        label: Label,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_as_map`.
+    AsMap {
+        /// The address space, named through a container entry.
+        aspace: ContainerEntry,
+        /// The mapping to insert or replace.
+        mapping: Mapping,
+    },
+    /// `sys_as_unmap`.
+    AsUnmap {
+        /// The address space, named through a container entry.
+        aspace: ContainerEntry,
+        /// Virtual address of the mapping to remove.
+        va: u64,
+    },
+    /// `sys_self_set_as`.
+    SelfSetAs {
+        /// The address space to switch to.
+        aspace: ContainerEntry,
+    },
+    /// `sys_page_fault`.
+    PageFault {
+        /// The faulting virtual address.
+        va: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// `sys_thread_create`.
+    ThreadCreate {
+        /// The container the thread is created in.
+        container: ObjectId,
+        /// The new thread's label.
+        label: Label,
+        /// The new thread's clearance.
+        clearance: Label,
+        /// Abstract entry point.
+        entry_point: u64,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_self_local_segment`.
+    SelfLocalSegment,
+    /// `sys_self_halt`.
+    SelfHalt,
+    /// `sys_thread_alert`.
+    ThreadAlert {
+        /// The target thread, named through a container entry.
+        target: ContainerEntry,
+        /// The alert code (Unix signal number, for the library).
+        code: u64,
+    },
+    /// `sys_self_take_alert`.
+    SelfTakeAlert,
+    /// `sys_thread_get_label`.
+    ThreadGetLabel {
+        /// The target thread, named through a container entry.
+        target: ContainerEntry,
+    },
+    /// `sys_gate_create`.
+    GateCreate {
+        /// The container the gate is created in.
+        container: ObjectId,
+        /// The gate's label (may contain `⋆`).
+        label: Label,
+        /// The gate's clearance.
+        clearance: Label,
+        /// Address space entering threads switch to, if any.
+        address_space: Option<ContainerEntry>,
+        /// Entry point for entering threads.
+        entry_point: u64,
+        /// Closure arguments passed to the entry point.
+        closure_args: Vec<u64>,
+        /// Descriptive string.
+        descrip: String,
+    },
+    /// `sys_gate_enter`.
+    GateEnter {
+        /// The gate to invoke.
+        gate: ContainerEntry,
+        /// The label the thread requests on entry.
+        requested: Label,
+        /// The clearance the thread requests on entry.
+        requested_clearance: Label,
+        /// The verify label proving category possession to the gate code.
+        verify: Label,
+    },
+    /// `sys_gate_clearance`.
+    GateClearance {
+        /// The gate to query.
+        gate: ContainerEntry,
+    },
+    /// `sys_category_bind_remote`.
+    CategoryBindRemote {
+        /// The local category.
+        category: Category,
+        /// Its self-certifying global name.
+        name: RemoteCategoryName,
+    },
+    /// `sys_category_get_remote`.
+    CategoryGetRemote {
+        /// The local category.
+        category: Category,
+    },
+    /// `sys_category_resolve_remote`.
+    CategoryResolveRemote {
+        /// The global name to resolve.
+        name: RemoteCategoryName,
+    },
+    /// `sys_net_mac`.
+    NetMac {
+        /// The device, named through a container entry.
+        device: ContainerEntry,
+    },
+    /// `sys_net_transmit`.
+    NetTransmit {
+        /// The device, named through a container entry.
+        device: ContainerEntry,
+        /// The frame to queue for transmission.
+        frame: Vec<u8>,
+    },
+    /// `sys_net_receive`.
+    NetReceive {
+        /// The device, named through a container entry.
+        device: ContainerEntry,
+    },
+}
+
+/// Number of distinct system calls in the ABI.
+pub const SYSCALL_COUNT: usize = 45;
+
+/// The names of all system calls, indexed by [`Syscall::index`].
+pub const SYSCALL_NAMES: [&str; SYSCALL_COUNT] = [
+    "create_category",
+    "self_set_label",
+    "self_set_clearance",
+    "self_get_label",
+    "self_get_clearance",
+    "container_create",
+    "obj_unref",
+    "hard_link",
+    "container_quota_avail",
+    "container_get_parent",
+    "container_list",
+    "quota_move",
+    "obj_get_label",
+    "obj_get_info",
+    "obj_get_metadata",
+    "obj_set_metadata",
+    "obj_set_immutable",
+    "obj_set_fixed_quota",
+    "segment_create",
+    "segment_resize",
+    "segment_read",
+    "segment_write",
+    "segment_len",
+    "segment_copy",
+    "as_create",
+    "as_copy",
+    "as_map",
+    "as_unmap",
+    "self_set_as",
+    "page_fault",
+    "thread_create",
+    "self_local_segment",
+    "self_halt",
+    "thread_alert",
+    "self_take_alert",
+    "thread_get_label",
+    "gate_create",
+    "gate_enter",
+    "gate_clearance",
+    "category_bind_remote",
+    "category_get_remote",
+    "category_resolve_remote",
+    "net_mac",
+    "net_transmit",
+    "net_receive",
+];
+
+impl Syscall {
+    /// The call's index into [`SYSCALL_NAMES`] and the per-syscall stats.
+    pub fn index(&self) -> usize {
+        match self {
+            Syscall::CreateCategory => 0,
+            Syscall::SelfSetLabel { .. } => 1,
+            Syscall::SelfSetClearance { .. } => 2,
+            Syscall::SelfGetLabel => 3,
+            Syscall::SelfGetClearance => 4,
+            Syscall::ContainerCreate { .. } => 5,
+            Syscall::ObjUnref { .. } => 6,
+            Syscall::HardLink { .. } => 7,
+            Syscall::ContainerQuotaAvail { .. } => 8,
+            Syscall::ContainerGetParent { .. } => 9,
+            Syscall::ContainerList { .. } => 10,
+            Syscall::QuotaMove { .. } => 11,
+            Syscall::ObjGetLabel { .. } => 12,
+            Syscall::ObjGetInfo { .. } => 13,
+            Syscall::ObjGetMetadata { .. } => 14,
+            Syscall::ObjSetMetadata { .. } => 15,
+            Syscall::ObjSetImmutable { .. } => 16,
+            Syscall::ObjSetFixedQuota { .. } => 17,
+            Syscall::SegmentCreate { .. } => 18,
+            Syscall::SegmentResize { .. } => 19,
+            Syscall::SegmentRead { .. } => 20,
+            Syscall::SegmentWrite { .. } => 21,
+            Syscall::SegmentLen { .. } => 22,
+            Syscall::SegmentCopy { .. } => 23,
+            Syscall::AsCreate { .. } => 24,
+            Syscall::AsCopy { .. } => 25,
+            Syscall::AsMap { .. } => 26,
+            Syscall::AsUnmap { .. } => 27,
+            Syscall::SelfSetAs { .. } => 28,
+            Syscall::PageFault { .. } => 29,
+            Syscall::ThreadCreate { .. } => 30,
+            Syscall::SelfLocalSegment => 31,
+            Syscall::SelfHalt => 32,
+            Syscall::ThreadAlert { .. } => 33,
+            Syscall::SelfTakeAlert => 34,
+            Syscall::ThreadGetLabel { .. } => 35,
+            Syscall::GateCreate { .. } => 36,
+            Syscall::GateEnter { .. } => 37,
+            Syscall::GateClearance { .. } => 38,
+            Syscall::CategoryBindRemote { .. } => 39,
+            Syscall::CategoryGetRemote { .. } => 40,
+            Syscall::CategoryResolveRemote { .. } => 41,
+            Syscall::NetMac { .. } => 42,
+            Syscall::NetTransmit { .. } => 43,
+            Syscall::NetReceive { .. } => 44,
+        }
+    }
+
+    /// The call's name (stable, used in traces and stats dumps).
+    pub fn name(&self) -> &'static str {
+        SYSCALL_NAMES[self.index()]
+    }
+}
+
+/// The typed result of a successful [`Kernel::dispatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SyscallResult {
+    /// The call returns nothing.
+    Unit,
+    /// A freshly allocated category.
+    Category(Category),
+    /// A label (thread label, clearance, object label).
+    Label(Label),
+    /// An object ID (created object, parent container, local segment).
+    ObjectId(ObjectId),
+    /// A plain number (quota, segment length).
+    U64(u64),
+    /// A list of object IDs (container listing).
+    ObjectIds(Vec<ObjectId>),
+    /// Object type, description and quota (`obj_get_info`).
+    Info {
+        /// The object's type.
+        object_type: ObjectType,
+        /// The object's descriptive string.
+        descrip: String,
+        /// The object's quota.
+        quota: u64,
+    },
+    /// A 64-byte metadata area.
+    Metadata([u8; METADATA_LEN]),
+    /// Raw bytes (segment reads).
+    Bytes(Vec<u8>),
+    /// A resolved page fault.
+    PageFault(PageFaultResolution),
+    /// The outcome of a gate entry.
+    GateEntry(GateEntryResult),
+    /// An alert, if one was pending.
+    Alert(Option<Alert>),
+    /// A category's global name, if bound.
+    RemoteName(Option<RemoteCategoryName>),
+    /// The local category a global name resolves to, if any.
+    ResolvedCategory(Option<Category>),
+    /// A device MAC address.
+    Mac([u8; 6]),
+    /// A received frame, if one was queued.
+    Frame(Option<Vec<u8>>),
+}
+
+/// Per-syscall invocation and error counters maintained by
+/// [`Kernel::dispatch`].
+///
+/// Unlike [`SyscallStats`](crate::syscall::SyscallStats) (which aggregates
+/// kernel activity wherever it originates, including direct `sys_*` calls in
+/// kernel unit tests), these counters see exactly the trapped stream — one
+/// increment per [`Kernel::dispatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Invocations per syscall, indexed like [`SYSCALL_NAMES`].
+    pub invocations: [u64; SYSCALL_COUNT],
+    /// Errors per syscall, indexed like [`SYSCALL_NAMES`].
+    pub errors: [u64; SYSCALL_COUNT],
+}
+
+impl Default for DispatchStats {
+    fn default() -> DispatchStats {
+        DispatchStats {
+            invocations: [0; SYSCALL_COUNT],
+            errors: [0; SYSCALL_COUNT],
+        }
+    }
+}
+
+impl DispatchStats {
+    /// Total dispatched calls.
+    pub fn total(&self) -> u64 {
+        self.invocations.iter().sum()
+    }
+
+    /// Total dispatched calls that returned an error.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.iter().sum()
+    }
+
+    /// Invocation count for one syscall by name; `None` for unknown names.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        SYSCALL_NAMES
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.invocations[i])
+    }
+
+    /// `(name, invocations, errors)` for every syscall that was invoked at
+    /// least once, in ABI order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64, u64)> {
+        (0..SYSCALL_COUNT)
+            .filter(|&i| self.invocations[i] > 0)
+            .map(|i| (SYSCALL_NAMES[i], self.invocations[i], self.errors[i]))
+            .collect()
+    }
+
+    /// Difference between two snapshots (`self - earlier`).
+    pub fn since(&self, earlier: &DispatchStats) -> DispatchStats {
+        let mut out = DispatchStats::default();
+        for i in 0..SYSCALL_COUNT {
+            out.invocations[i] = self.invocations[i] - earlier.invocations[i];
+            out.errors[i] = self.errors[i] - earlier.errors[i];
+        }
+        out
+    }
+}
+
+/// One entry of the syscall audit trace: which thread trapped, with what
+/// call, at what simulated time, and whether it succeeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (survives ring-buffer eviction, so gaps
+    /// are detectable).
+    pub seq: u64,
+    /// Simulated time at call completion, in nanoseconds since boot.
+    pub tick: u64,
+    /// The calling thread.
+    pub tid: ObjectId,
+    /// The syscall's name (from [`SYSCALL_NAMES`]).
+    pub syscall: &'static str,
+    /// Whether the call succeeded.
+    pub ok: bool,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s — the machine's auditable,
+/// replayable syscall stream.  When full, the oldest record is dropped (and
+/// counted), so enabling tracing never grows memory without bound.
+#[derive(Clone, Debug, Default)]
+pub struct SyscallTrace {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    records: VecDeque<TraceRecord>,
+}
+
+impl SyscallTrace {
+    /// Creates an empty trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> SyscallTrace {
+        SyscallTrace {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            records: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+        }
+    }
+
+    fn push(&mut self, tick: u64, tid: ObjectId, syscall: &'static str, ok: bool) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            seq: self.next_seq,
+            tick,
+            tid,
+            syscall,
+            ok,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The buffered records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records ever appended.
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl Kernel {
+    /// Executes one trapped system call on behalf of thread `tid`.
+    ///
+    /// This is the single choke point of the kernel interface: it decodes
+    /// the [`Syscall`], runs the corresponding `sys_*` implementation (which
+    /// performs the paper's label checks and charges the call's CPU cost),
+    /// bumps the per-syscall [`DispatchStats`], and appends to the audit
+    /// trace when one is enabled.
+    pub fn dispatch(
+        &mut self,
+        tid: ObjectId,
+        call: Syscall,
+    ) -> Result<SyscallResult, SyscallError> {
+        let index = call.index();
+        let name = call.name();
+        self.dispatch_stats_mut().invocations[index] += 1;
+        let result = self.dispatch_inner(tid, call);
+        if result.is_err() {
+            self.dispatch_stats_mut().errors[index] += 1;
+        }
+        let tick = self.now().as_nanos();
+        let ok = result.is_ok();
+        if let Some(trace) = self.trace_mut() {
+            trace.push(tick, tid, name, ok);
+        }
+        result
+    }
+
+    fn dispatch_inner(
+        &mut self,
+        tid: ObjectId,
+        call: Syscall,
+    ) -> Result<SyscallResult, SyscallError> {
+        use Syscall as S;
+        use SyscallResult as R;
+        match call {
+            S::CreateCategory => self.sys_create_category(tid).map(R::Category),
+            S::SelfSetLabel { label } => self.sys_self_set_label(tid, label).map(|()| R::Unit),
+            S::SelfSetClearance { clearance } => self
+                .sys_self_set_clearance(tid, clearance)
+                .map(|()| R::Unit),
+            S::SelfGetLabel => self.sys_self_get_label(tid).map(R::Label),
+            S::SelfGetClearance => self.sys_self_get_clearance(tid).map(R::Label),
+            S::ContainerCreate {
+                parent,
+                label,
+                descrip,
+                avoid_types,
+                quota,
+            } => self
+                .sys_container_create(tid, parent, label, &descrip, avoid_types, quota)
+                .map(R::ObjectId),
+            S::ObjUnref { entry } => self.sys_obj_unref(tid, entry).map(|()| R::Unit),
+            S::HardLink { entry, dst } => self.sys_hard_link(tid, entry, dst).map(|()| R::Unit),
+            S::ContainerQuotaAvail { container } => {
+                self.sys_container_quota_avail(tid, container).map(R::U64)
+            }
+            S::ContainerGetParent { container } => self
+                .sys_container_get_parent(tid, container)
+                .map(R::ObjectId),
+            S::ContainerList { container } => {
+                self.sys_container_list(tid, container).map(R::ObjectIds)
+            }
+            S::QuotaMove {
+                container,
+                object,
+                delta,
+            } => self
+                .sys_quota_move(tid, container, object, delta)
+                .map(|()| R::Unit),
+            S::ObjGetLabel { entry } => self.sys_obj_get_label(tid, entry).map(R::Label),
+            S::ObjGetInfo { entry } => {
+                self.sys_obj_get_info(tid, entry)
+                    .map(|(object_type, descrip, quota)| R::Info {
+                        object_type,
+                        descrip,
+                        quota,
+                    })
+            }
+            S::ObjGetMetadata { entry } => self.sys_obj_get_metadata(tid, entry).map(R::Metadata),
+            S::ObjSetMetadata { entry, metadata } => self
+                .sys_obj_set_metadata(tid, entry, metadata)
+                .map(|()| R::Unit),
+            S::ObjSetImmutable { entry } => {
+                self.sys_obj_set_immutable(tid, entry).map(|()| R::Unit)
+            }
+            S::ObjSetFixedQuota { entry } => {
+                self.sys_obj_set_fixed_quota(tid, entry).map(|()| R::Unit)
+            }
+            S::SegmentCreate {
+                container,
+                label,
+                len,
+                descrip,
+            } => self
+                .sys_segment_create(tid, container, label, len, &descrip)
+                .map(R::ObjectId),
+            S::SegmentResize { entry, len } => {
+                self.sys_segment_resize(tid, entry, len).map(|()| R::Unit)
+            }
+            S::SegmentRead { entry, offset, len } => {
+                self.sys_segment_read(tid, entry, offset, len).map(R::Bytes)
+            }
+            S::SegmentWrite {
+                entry,
+                offset,
+                data,
+            } => self
+                .sys_segment_write(tid, entry, offset, &data)
+                .map(|()| R::Unit),
+            S::SegmentLen { entry } => self.sys_segment_len(tid, entry).map(R::U64),
+            S::SegmentCopy {
+                src,
+                dst_container,
+                label,
+                descrip,
+            } => self
+                .sys_segment_copy(tid, src, dst_container, label, &descrip)
+                .map(R::ObjectId),
+            S::AsCreate {
+                container,
+                label,
+                descrip,
+            } => self
+                .sys_as_create(tid, container, label, &descrip)
+                .map(R::ObjectId),
+            S::AsCopy {
+                src,
+                dst_container,
+                label,
+                descrip,
+            } => self
+                .sys_as_copy(tid, src, dst_container, label, &descrip)
+                .map(R::ObjectId),
+            S::AsMap { aspace, mapping } => self.sys_as_map(tid, aspace, mapping).map(|()| R::Unit),
+            S::AsUnmap { aspace, va } => self.sys_as_unmap(tid, aspace, va).map(|()| R::Unit),
+            S::SelfSetAs { aspace } => self.sys_self_set_as(tid, aspace).map(|()| R::Unit),
+            S::PageFault { va, write } => self.sys_page_fault(tid, va, write).map(R::PageFault),
+            S::ThreadCreate {
+                container,
+                label,
+                clearance,
+                entry_point,
+                descrip,
+            } => self
+                .sys_thread_create(tid, container, label, clearance, entry_point, &descrip)
+                .map(R::ObjectId),
+            S::SelfLocalSegment => self.sys_self_local_segment(tid).map(R::ObjectId),
+            S::SelfHalt => self.sys_self_halt(tid).map(|()| R::Unit),
+            S::ThreadAlert { target, code } => {
+                self.sys_thread_alert(tid, target, code).map(|()| R::Unit)
+            }
+            S::SelfTakeAlert => self.sys_self_take_alert(tid).map(R::Alert),
+            S::ThreadGetLabel { target } => self.sys_thread_get_label(tid, target).map(R::Label),
+            S::GateCreate {
+                container,
+                label,
+                clearance,
+                address_space,
+                entry_point,
+                closure_args,
+                descrip,
+            } => self
+                .sys_gate_create(
+                    tid,
+                    container,
+                    label,
+                    clearance,
+                    address_space,
+                    entry_point,
+                    closure_args,
+                    &descrip,
+                )
+                .map(R::ObjectId),
+            S::GateEnter {
+                gate,
+                requested,
+                requested_clearance,
+                verify,
+            } => self
+                .sys_gate_enter(tid, gate, requested, requested_clearance, verify)
+                .map(R::GateEntry),
+            S::GateClearance { gate } => self.sys_gate_clearance(tid, gate).map(R::Label),
+            S::CategoryBindRemote { category, name } => self
+                .sys_category_bind_remote(tid, category, name)
+                .map(|()| R::Unit),
+            S::CategoryGetRemote { category } => self
+                .sys_category_get_remote(tid, category)
+                .map(R::RemoteName),
+            S::CategoryResolveRemote { name } => self
+                .sys_category_resolve_remote(tid, name)
+                .map(R::ResolvedCategory),
+            S::NetMac { device } => self.sys_net_mac(tid, device).map(R::Mac),
+            S::NetTransmit { device, frame } => {
+                self.sys_net_transmit(tid, device, frame).map(|()| R::Unit)
+            }
+            S::NetReceive { device } => self.sys_net_receive(tid, device).map(R::Frame),
+        }
+    }
+}
+
+/// The `trap_*` calling convention: typed wrappers over [`Kernel::dispatch`].
+///
+/// Each method mirrors the corresponding `sys_*` signature exactly, but the
+/// call crosses the dispatch boundary, so it is counted and traced.
+impl Kernel {
+    /// Traps `sys_create_category`.
+    pub fn trap_create_category(&mut self, tid: ObjectId) -> Result<Category, SyscallError> {
+        match self.dispatch(tid, Syscall::CreateCategory)? {
+            SyscallResult::Category(c) => Ok(c),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_set_label`.
+    pub fn trap_self_set_label(&mut self, tid: ObjectId, label: Label) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SelfSetLabel { label })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_set_clearance`.
+    pub fn trap_self_set_clearance(
+        &mut self,
+        tid: ObjectId,
+        clearance: Label,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SelfSetClearance { clearance })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_get_label`.
+    pub fn trap_self_get_label(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::SelfGetLabel)? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_get_clearance`.
+    pub fn trap_self_get_clearance(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::SelfGetClearance)? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_container_create`.
+    pub fn trap_container_create(
+        &mut self,
+        tid: ObjectId,
+        parent: ObjectId,
+        label: Label,
+        descrip: &str,
+        avoid_types: u8,
+        quota: u64,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::ContainerCreate {
+                parent,
+                label,
+                descrip: descrip.to_string(),
+                avoid_types,
+                quota,
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_unref`.
+    pub fn trap_obj_unref(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::ObjUnref { entry })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_hard_link`.
+    pub fn trap_hard_link(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        dst: ObjectId,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::HardLink { entry, dst })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_container_quota_avail`.
+    pub fn trap_container_quota_avail(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<u64, SyscallError> {
+        match self.dispatch(tid, Syscall::ContainerQuotaAvail { container })? {
+            SyscallResult::U64(v) => Ok(v),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_container_get_parent`.
+    pub fn trap_container_get_parent(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(tid, Syscall::ContainerGetParent { container })? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_container_list`.
+    pub fn trap_container_list(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+    ) -> Result<Vec<ObjectId>, SyscallError> {
+        match self.dispatch(tid, Syscall::ContainerList { container })? {
+            SyscallResult::ObjectIds(ids) => Ok(ids),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_quota_move`.
+    pub fn trap_quota_move(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        object: ObjectId,
+        delta: i64,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::QuotaMove {
+                container,
+                object,
+                delta,
+            },
+        )? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_get_label`.
+    pub fn trap_obj_get_label(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::ObjGetLabel { entry })? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_get_info`.
+    pub fn trap_obj_get_info(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(ObjectType, String, u64), SyscallError> {
+        match self.dispatch(tid, Syscall::ObjGetInfo { entry })? {
+            SyscallResult::Info {
+                object_type,
+                descrip,
+                quota,
+            } => Ok((object_type, descrip, quota)),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_get_metadata`.
+    pub fn trap_obj_get_metadata(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<[u8; METADATA_LEN], SyscallError> {
+        match self.dispatch(tid, Syscall::ObjGetMetadata { entry })? {
+            SyscallResult::Metadata(m) => Ok(m),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_set_metadata`.
+    pub fn trap_obj_set_metadata(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        metadata: [u8; METADATA_LEN],
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::ObjSetMetadata { entry, metadata })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_set_immutable`.
+    pub fn trap_obj_set_immutable(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::ObjSetImmutable { entry })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_obj_set_fixed_quota`.
+    pub fn trap_obj_set_fixed_quota(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::ObjSetFixedQuota { entry })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_create`.
+    pub fn trap_segment_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        len: u64,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::SegmentCreate {
+                container,
+                label,
+                len,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_resize`.
+    pub fn trap_segment_resize(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        len: u64,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SegmentResize { entry, len })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_read`.
+    pub fn trap_segment_read(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SyscallError> {
+        match self.dispatch(tid, Syscall::SegmentRead { entry, offset, len })? {
+            SyscallResult::Bytes(b) => Ok(b),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_write`.
+    pub fn trap_segment_write(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::SegmentWrite {
+                entry,
+                offset,
+                data: data.to_vec(),
+            },
+        )? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_len`.
+    pub fn trap_segment_len(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<u64, SyscallError> {
+        match self.dispatch(tid, Syscall::SegmentLen { entry })? {
+            SyscallResult::U64(v) => Ok(v),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_copy`.
+    pub fn trap_segment_copy(
+        &mut self,
+        tid: ObjectId,
+        src: ContainerEntry,
+        dst_container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::SegmentCopy {
+                src,
+                dst_container,
+                label,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_as_create`.
+    pub fn trap_as_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::AsCreate {
+                container,
+                label,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_as_copy`.
+    pub fn trap_as_copy(
+        &mut self,
+        tid: ObjectId,
+        src: ContainerEntry,
+        dst_container: ObjectId,
+        label: Label,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::AsCopy {
+                src,
+                dst_container,
+                label,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_as_map`.
+    pub fn trap_as_map(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+        mapping: Mapping,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::AsMap { aspace, mapping })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_as_unmap`.
+    pub fn trap_as_unmap(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+        va: u64,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::AsUnmap { aspace, va })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_set_as`.
+    pub fn trap_self_set_as(
+        &mut self,
+        tid: ObjectId,
+        aspace: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SelfSetAs { aspace })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_page_fault`.
+    pub fn trap_page_fault(
+        &mut self,
+        tid: ObjectId,
+        va: u64,
+        write: bool,
+    ) -> Result<PageFaultResolution, SyscallError> {
+        match self.dispatch(tid, Syscall::PageFault { va, write })? {
+            SyscallResult::PageFault(r) => Ok(r),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_thread_create`.
+    pub fn trap_thread_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        clearance: Label,
+        entry_point: u64,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::ThreadCreate {
+                container,
+                label,
+                clearance,
+                entry_point,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_local_segment`.
+    pub fn trap_self_local_segment(&mut self, tid: ObjectId) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(tid, Syscall::SelfLocalSegment)? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_halt`.
+    pub fn trap_self_halt(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SelfHalt)? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_thread_alert`.
+    pub fn trap_thread_alert(
+        &mut self,
+        tid: ObjectId,
+        target: ContainerEntry,
+        code: u64,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::ThreadAlert { target, code })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_self_take_alert`.
+    pub fn trap_self_take_alert(&mut self, tid: ObjectId) -> Result<Option<Alert>, SyscallError> {
+        match self.dispatch(tid, Syscall::SelfTakeAlert)? {
+            SyscallResult::Alert(a) => Ok(a),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_thread_get_label`.
+    pub fn trap_thread_get_label(
+        &mut self,
+        tid: ObjectId,
+        target: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::ThreadGetLabel { target })? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_gate_create`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trap_gate_create(
+        &mut self,
+        tid: ObjectId,
+        container: ObjectId,
+        label: Label,
+        clearance: Label,
+        address_space: Option<ContainerEntry>,
+        entry_point: u64,
+        closure_args: Vec<u64>,
+        descrip: &str,
+    ) -> Result<ObjectId, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::GateCreate {
+                container,
+                label,
+                clearance,
+                address_space,
+                entry_point,
+                closure_args,
+                descrip: descrip.to_string(),
+            },
+        )? {
+            SyscallResult::ObjectId(id) => Ok(id),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_gate_enter`.
+    pub fn trap_gate_enter(
+        &mut self,
+        tid: ObjectId,
+        gate: ContainerEntry,
+        requested: Label,
+        requested_clearance: Label,
+        verify: Label,
+    ) -> Result<GateEntryResult, SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::GateEnter {
+                gate,
+                requested,
+                requested_clearance,
+                verify,
+            },
+        )? {
+            SyscallResult::GateEntry(r) => Ok(r),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_gate_clearance`.
+    pub fn trap_gate_clearance(
+        &mut self,
+        tid: ObjectId,
+        gate: ContainerEntry,
+    ) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::GateClearance { gate })? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_category_bind_remote`.
+    pub fn trap_category_bind_remote(
+        &mut self,
+        tid: ObjectId,
+        category: Category,
+        name: RemoteCategoryName,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::CategoryBindRemote { category, name })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_category_get_remote`.
+    pub fn trap_category_get_remote(
+        &mut self,
+        tid: ObjectId,
+        category: Category,
+    ) -> Result<Option<RemoteCategoryName>, SyscallError> {
+        match self.dispatch(tid, Syscall::CategoryGetRemote { category })? {
+            SyscallResult::RemoteName(n) => Ok(n),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_category_resolve_remote`.
+    pub fn trap_category_resolve_remote(
+        &mut self,
+        tid: ObjectId,
+        name: RemoteCategoryName,
+    ) -> Result<Option<Category>, SyscallError> {
+        match self.dispatch(tid, Syscall::CategoryResolveRemote { name })? {
+            SyscallResult::ResolvedCategory(c) => Ok(c),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_net_mac`.
+    pub fn trap_net_mac(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+    ) -> Result<[u8; 6], SyscallError> {
+        match self.dispatch(tid, Syscall::NetMac { device })? {
+            SyscallResult::Mac(m) => Ok(m),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_net_transmit`.
+    pub fn trap_net_transmit(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+        frame: Vec<u8>,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::NetTransmit { device, frame })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_net_receive`.
+    pub fn trap_net_receive(
+        &mut self,
+        tid: ObjectId,
+        device: ContainerEntry,
+    ) -> Result<Option<Vec<u8>>, SyscallError> {
+        match self.dispatch(tid, Syscall::NetReceive { device })? {
+            SyscallResult::Frame(f) => Ok(f),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histar_label::Level;
+
+    fn boot() -> (Kernel, ObjectId) {
+        let mut k = Kernel::new(42, None);
+        let root = k.root_container();
+        let tid = k
+            .bootstrap_thread(
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                "init",
+            )
+            .unwrap();
+        (k, tid)
+    }
+
+    #[test]
+    fn dispatch_counts_per_syscall() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let seg = k
+            .trap_segment_create(tid, root, Label::unrestricted(), 64, "s")
+            .unwrap();
+        let entry = ContainerEntry::new(root, seg);
+        k.trap_segment_write(tid, entry, 0, b"hello").unwrap();
+        assert_eq!(k.trap_segment_read(tid, entry, 0, 5).unwrap(), b"hello");
+        // A failing call is counted as both an invocation and an error.
+        assert!(k.trap_segment_read(tid, entry, 60, 100).is_err());
+
+        let stats = k.dispatch_stats();
+        assert_eq!(stats.count("segment_create"), Some(1));
+        assert_eq!(stats.count("segment_write"), Some(1));
+        assert_eq!(stats.count("segment_read"), Some(2));
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.total_errors(), 1);
+        assert!(stats
+            .nonzero()
+            .iter()
+            .any(|(n, i, e)| *n == "segment_read" && *i == 2 && *e == 1));
+    }
+
+    #[test]
+    fn dispatch_equals_direct_call() {
+        let (mut ka, tida) = boot();
+        let (mut kb, tidb) = boot();
+        let ra = ka.sys_create_category(tida).unwrap();
+        let rb = kb.trap_create_category(tidb).unwrap();
+        assert_eq!(ra, rb, "same seed, same allocation stream");
+        assert_eq!(
+            ka.thread_label(tida).unwrap(),
+            kb.thread_label(tidb).unwrap()
+        );
+        // The aggregate kernel counters agree; only the dispatch counters
+        // differ (the direct call bypasses the trap boundary).
+        assert_eq!(ka.stats(), kb.stats());
+        assert_eq!(ka.dispatch_stats().total(), 0);
+        assert_eq!(kb.dispatch_stats().total(), 1);
+    }
+
+    #[test]
+    fn trace_ring_buffer_is_bounded_and_ordered() {
+        let (mut k, tid) = boot();
+        k.enable_syscall_trace(4);
+        for _ in 0..6 {
+            let _ = k.trap_self_get_label(tid);
+        }
+        let trace = k.syscall_trace().expect("trace enabled");
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 2);
+        assert_eq!(trace.total_recorded(), 6);
+        let seqs: Vec<u64> = trace.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+        for r in trace.records() {
+            assert_eq!(r.syscall, "self_get_label");
+            assert_eq!(r.tid, tid);
+            assert!(r.ok);
+        }
+        k.disable_syscall_trace();
+        assert!(k.syscall_trace().is_none());
+    }
+
+    #[test]
+    fn trace_records_failures() {
+        let (mut k, tid) = boot();
+        k.enable_syscall_trace(16);
+        let bogus = ContainerEntry::new(k.root_container(), ObjectId::from_raw(0x1234));
+        assert!(k.trap_segment_read(tid, bogus, 0, 1).is_err());
+        let rec = *k.syscall_trace().unwrap().records().next().unwrap();
+        assert_eq!(rec.syscall, "segment_read");
+        assert!(!rec.ok);
+    }
+
+    #[test]
+    fn syscall_names_are_unique_and_indexed() {
+        let mut names: Vec<&str> = SYSCALL_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SYSCALL_COUNT, "names must be unique");
+        assert_eq!(Syscall::CreateCategory.name(), "create_category");
+        assert_eq!(
+            Syscall::NetReceive {
+                device: ContainerEntry::self_entry(ObjectId::from_raw(1))
+            }
+            .index(),
+            SYSCALL_COUNT - 1
+        );
+    }
+
+    #[test]
+    fn every_result_variant_is_exercised() {
+        let (mut k, tid) = boot();
+        let root = k.root_container();
+        let cat = k.trap_create_category(tid).unwrap();
+        let lbl = Label::builder().own(cat).build();
+        let _ = lbl;
+        let seg = k
+            .trap_segment_create(tid, root, Label::unrestricted(), 32, "s")
+            .unwrap();
+        let se = ContainerEntry::new(root, seg);
+        assert_eq!(k.trap_segment_len(tid, se).unwrap(), 32);
+        let (ty, descrip, quota) = k.trap_obj_get_info(tid, se).unwrap();
+        assert_eq!(ty, ObjectType::Segment);
+        assert_eq!(descrip, "s");
+        assert!(quota >= 32);
+        assert!(k.trap_container_list(tid, root).unwrap().contains(&seg));
+        assert_eq!(k.trap_self_take_alert(tid).unwrap(), None);
+        assert_eq!(k.trap_category_get_remote(tid, cat).unwrap(), None);
+        let meta = k.trap_obj_get_metadata(tid, se).unwrap();
+        assert_eq!(meta, [0u8; METADATA_LEN]);
+        // Self-label round trip through the dispatcher.
+        let l = k.trap_self_get_label(tid).unwrap();
+        assert!(l.owns(cat));
+        assert_eq!(
+            k.trap_self_get_clearance(tid).unwrap().level(cat),
+            Level::L3
+        );
+    }
+}

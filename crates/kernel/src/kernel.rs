@@ -10,6 +10,7 @@ use crate::bodies::{
     AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody, SegmentBody,
     ThreadBody, ThreadState,
 };
+use crate::dispatch::{DispatchStats, SyscallTrace};
 use crate::object::{
     truncate_descrip, ContainerEntry, ObjectHeader, ObjectId, ObjectType, METADATA_LEN,
     OBJECT_ID_MASK, QUOTA_INFINITE,
@@ -88,6 +89,10 @@ pub struct Kernel {
     remote_bindings: HashMap<Category, RemoteCategoryName>,
     /// Reverse index of `remote_bindings` (global name → local category).
     remote_index: HashMap<RemoteCategoryName, Category>,
+    /// Per-syscall counters for calls crossing the dispatch boundary.
+    dispatch_stats: DispatchStats,
+    /// The bounded audit trace of dispatched syscalls, when enabled.
+    trace: Option<SyscallTrace>,
 }
 
 impl Kernel {
@@ -110,6 +115,8 @@ impl Kernel {
             last_address_space: None,
             remote_bindings: HashMap::new(),
             remote_index: HashMap::new(),
+            dispatch_stats: DispatchStats::default(),
+            trace: None,
         };
         let root_id = kernel.fresh_id();
         let mut header = ObjectHeader::new(
@@ -139,6 +146,43 @@ impl Kernel {
     /// Kernel activity counters.
     pub fn stats(&self) -> SyscallStats {
         self.stats
+    }
+
+    /// Per-syscall counters for the trapped (dispatched) call stream.
+    pub fn dispatch_stats(&self) -> DispatchStats {
+        self.dispatch_stats
+    }
+
+    pub(crate) fn dispatch_stats_mut(&mut self) -> &mut DispatchStats {
+        &mut self.dispatch_stats
+    }
+
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut SyscallTrace> {
+        self.trace.as_mut()
+    }
+
+    /// Starts recording dispatched syscalls into a ring buffer holding at
+    /// most `capacity` records (replacing any previous trace).
+    pub fn enable_syscall_trace(&mut self, capacity: usize) {
+        self.trace = Some(SyscallTrace::new(capacity));
+    }
+
+    /// Stops tracing and discards the buffer.
+    pub fn disable_syscall_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The current audit trace, if tracing is enabled.
+    pub fn syscall_trace(&self) -> Option<&SyscallTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Simulated time since boot (zero when no clock is attached).
+    pub fn now(&self) -> SimDuration {
+        self.clock
+            .as_ref()
+            .map(|c| c.now())
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Number of live objects (including the root container).
@@ -254,6 +298,54 @@ impl Kernel {
     /// The clearance of any thread (kernel-internal, no checks).
     pub fn thread_clearance(&self, tid: ObjectId) -> Result<Label, SyscallError> {
         Ok(self.thread(tid)?.1.clearance.clone())
+    }
+
+    /// The scheduling state of any thread (scheduler hook, no checks).
+    pub fn thread_state(&self, tid: ObjectId) -> Result<ThreadState, SyscallError> {
+        Ok(self.thread(tid)?.1.state)
+    }
+
+    /// Whether a thread has undelivered alerts (scheduler hook: a blocked
+    /// thread with pending alerts is woken rather than skipped).
+    pub fn thread_has_pending_alerts(&self, tid: ObjectId) -> bool {
+        self.thread(tid)
+            .map(|(_, b)| !b.pending_alerts.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Scheduler hook: marks a blocked thread runnable again (alert arrival
+    /// or explicit wake).  Halted threads stay halted.
+    pub fn sched_wake(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        let (_, body) = self.thread_mut(tid)?;
+        if body.state == ThreadState::Blocked {
+            body.state = ThreadState::Runnable;
+        }
+        Ok(())
+    }
+
+    /// Scheduler hook: parks a runnable thread until the next wake.  Halted
+    /// threads stay halted.
+    pub fn sched_block(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        let (_, body) = self.thread_mut(tid)?;
+        if body.state == ThreadState::Runnable {
+            body.state = ThreadState::Blocked;
+        }
+        Ok(())
+    }
+
+    /// Scheduler hook: accounts the context switch onto `tid` (full TLB
+    /// flush, or the cheap `invlpg` path when the incoming thread shares the
+    /// outgoing thread's address space) and charges it to the clock.
+    pub fn sched_context_switch(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        let new_as = self.thread(tid)?.1.address_space;
+        self.account_context_switch(new_as);
+        Ok(())
+    }
+
+    /// Scheduler hook: charges one scheduling quantum of CPU time to the
+    /// machine clock.
+    pub fn sched_charge(&mut self, quantum: SimDuration) {
+        self.charge(quantum);
     }
 
     fn count_label_check(&mut self, a: &Label, b: &Label, immutable: bool) {

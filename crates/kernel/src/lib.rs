@@ -28,20 +28,31 @@
 //! * [`machine`] — a [`machine::Machine`] bundles a kernel with a
 //!   single-level store and a simulated clock, providing boot, snapshot and
 //!   recovery.
+//! * [`dispatch`] — the trap-style syscall ABI: a [`dispatch::Syscall`]
+//!   value per entry point, decoded and executed only by
+//!   [`Kernel::dispatch`](kernel::Kernel::dispatch), with per-syscall stats
+//!   and a bounded audit trace.
+//! * [`sched`] — a deterministic round-robin [`sched::Scheduler`] stepping
+//!   user-level programs one quantum at a time over any
+//!   [`sched::SchedContext`], plus `Machine::run_until`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bodies;
+pub mod dispatch;
 pub mod kernel;
 pub mod machine;
 pub mod object;
+pub mod sched;
 pub mod serialize;
 pub mod syscall;
 
+pub use dispatch::{DispatchStats, Syscall, SyscallResult, SyscallTrace, TraceRecord};
 pub use kernel::Kernel;
 pub use machine::{Machine, MachineConfig};
 pub use object::{ContainerEntry, ObjectFlags, ObjectId, ObjectType};
+pub use sched::{RunLimit, SchedContext, ScheduleReport, Scheduler, Step, StopReason};
 pub use syscall::{SyscallError, SyscallStats};
 
 /// Convenience result alias for kernel operations.

@@ -15,7 +15,7 @@ use histar_label::Label;
 use histar_sim::{SimClock, SimDuration};
 use histar_store::codec::{Decoder, Encoder};
 use histar_store::{SingleLevelStore, StoreConfig, StoreError, SyncPolicy};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Store key (outside the 61-bit object-ID space) holding machine metadata.
 const MACHINE_META_KEY: u64 = 1 << 62;
@@ -201,26 +201,34 @@ impl Machine {
     /// Serializes the entire object table into the single-level store and
     /// takes a checkpoint.  This is the periodic system-wide snapshot; after
     /// it returns, a crash loses nothing.
+    ///
+    /// Objects are emitted in ascending ID order, so two snapshots of
+    /// identical kernel state produce byte-identical disk images — the
+    /// object table is a `HashMap` whose iteration order must never leak
+    /// into the persistent layout.
     pub fn snapshot(&mut self) {
-        // Write (or refresh) every live object.
-        let mut live: Vec<u64> = Vec::new();
-        let objects: Vec<(u64, Vec<u8>)> = self
+        // Write (or refresh) every live object, sorted by ID.
+        let mut objects: Vec<(u64, Vec<u8>)> = self
             .kernel
             .objects()
             .map(|(id, obj)| (id.raw(), encode_object(obj)))
             .collect();
+        objects.sort_unstable_by_key(|(id, _)| *id);
+        let live: HashSet<u64> = objects.iter().map(|(id, _)| *id).collect();
         for (id, bytes) in objects {
-            live.push(id);
             self.store.put(id, bytes);
         }
-        // Remove objects that no longer exist in the kernel.
-        for stale in self
+        // Remove objects that no longer exist in the kernel (sorted, for
+        // the same layout-determinism reason).
+        let mut stale: Vec<u64> = self
             .store
             .object_ids()
             .into_iter()
             .filter(|id| *id != MACHINE_META_KEY && !live.contains(id))
-        {
-            self.store.delete(stale);
+            .collect();
+        stale.sort_unstable();
+        for id in stale {
+            self.store.delete(id);
         }
         // Machine metadata: root, counters, boot-time object IDs.
         let (id_counter, cat_counter) = self.kernel.allocator_counters();
@@ -235,7 +243,8 @@ impl Machine {
         // The category-translation table: a category's global name must
         // survive a crash, or a recovered node would re-export its
         // categories under fresh names and strand every remote reference.
-        let bindings: Vec<_> = self.kernel.remote_bindings().collect();
+        let mut bindings: Vec<_> = self.kernel.remote_bindings().collect();
+        bindings.sort_unstable_by_key(|(cat, _)| cat.raw());
         e.put_u64(bindings.len() as u64);
         for (cat, (exporter, id)) in bindings {
             e.put_u64(cat.raw()).put_u64(exporter).put_u64(id);

@@ -1,0 +1,657 @@
+//! Property-style equivalence test: for every [`Syscall`] variant,
+//! trapping through `Kernel::dispatch` and calling the corresponding
+//! `sys_*` method directly produce identical results, identical label-check
+//! outcomes and identical kernel state evolution.
+//!
+//! Two kernels are built from the same seed with the same deterministic
+//! setup script, so their object IDs, category names and labels coincide
+//! exactly.  Each case then executes one call — direct on kernel A,
+//! dispatched on kernel B — and the test compares the (typed) results, the
+//! aggregate [`SyscallStats`] (which count every label comparison), and the
+//! resulting object counts.  A coverage check guarantees no syscall variant
+//! is left untested.
+
+use histar_kernel::bodies::{DeviceBody, Mapping, MappingFlags};
+use histar_kernel::dispatch::{Syscall, SyscallResult, SYSCALL_COUNT};
+use histar_kernel::kernel::RemoteCategoryName;
+use histar_kernel::object::{ContainerEntry, ObjectId, METADATA_LEN};
+use histar_kernel::syscall::SyscallError;
+use histar_kernel::Kernel;
+use histar_label::{Category, Label, Level};
+
+/// Deterministic fixture shared by both kernels of every case.
+struct Fx {
+    root: ObjectId,
+    boot: ObjectId,
+    peer: ObjectId,
+    cat: Category,
+    cat_unbound: Category,
+    bound_name: RemoteCategoryName,
+    dir: ObjectId,
+    seg: ObjectId,
+    fixed: ObjectId,
+    aspace: ObjectId,
+    gate: ObjectId,
+    gate_label: Label,
+    dev: ObjectId,
+}
+
+fn entry(fx: &Fx, o: ObjectId) -> ContainerEntry {
+    ContainerEntry::new(fx.root, o)
+}
+
+/// Builds one kernel with a rich, fully deterministic state touching every
+/// object type.
+fn setup() -> (Kernel, Fx) {
+    let mut k = Kernel::new(0x0d15_ea5e, None);
+    let root = k.root_container();
+    let boot = k
+        .bootstrap_thread(
+            root,
+            Label::unrestricted(),
+            Label::default_clearance(),
+            "init",
+        )
+        .unwrap();
+    let cat = k.sys_create_category(boot).unwrap();
+    let cat_unbound = k.sys_create_category(boot).unwrap();
+    let bound_name: RemoteCategoryName = (0xaaaa, 1);
+    k.sys_category_bind_remote(boot, cat, bound_name).unwrap();
+    let dir = k
+        .sys_container_create(boot, root, Label::unrestricted(), "dir", 0, 1 << 20)
+        .unwrap();
+    let seg = k
+        .sys_segment_create(boot, root, Label::unrestricted(), 256, "seg")
+        .unwrap();
+    k.sys_segment_write(boot, ContainerEntry::new(root, seg), 0, b"deterministic")
+        .unwrap();
+    let fixed = k
+        .sys_segment_create(boot, root, Label::unrestricted(), 64, "fixed")
+        .unwrap();
+    k.sys_obj_set_fixed_quota(boot, ContainerEntry::new(root, fixed))
+        .unwrap();
+    let aspace = k
+        .sys_as_create(boot, root, Label::unrestricted(), "as")
+        .unwrap();
+    k.sys_as_map(
+        boot,
+        ContainerEntry::new(root, aspace),
+        Mapping {
+            va: 0x10_0000,
+            segment: ContainerEntry::new(root, seg),
+            offset: 0,
+            npages: 1,
+            flags: MappingFlags::rw(),
+        },
+    )
+    .unwrap();
+    k.sys_self_set_as(boot, ContainerEntry::new(root, aspace))
+        .unwrap();
+    let gate_label = k.thread_label(boot).unwrap();
+    let gate = k
+        .sys_gate_create(
+            boot,
+            root,
+            gate_label.clone(),
+            Label::default_clearance(),
+            None,
+            0x40,
+            vec![7, 8],
+            "gate",
+        )
+        .unwrap();
+    // The peer inherits boot's address space, so alerts can reach both.
+    let peer = k
+        .sys_thread_create(
+            boot,
+            root,
+            Label::unrestricted(),
+            Label::default_clearance(),
+            0,
+            "peer",
+        )
+        .unwrap();
+    // One pending alert for boot, so SelfTakeAlert has something to take.
+    k.sys_thread_alert(peer, ContainerEntry::new(root, boot), 5)
+        .unwrap();
+    let dev = k
+        .boot_create_device(
+            root,
+            Label::unrestricted(),
+            DeviceBody::network([2, 2, 2, 2, 2, 2]),
+            "eth0",
+        )
+        .unwrap();
+    k.device_inject_rx(dev, vec![0xcc, 0xdd]).unwrap();
+    (
+        k,
+        Fx {
+            root,
+            boot,
+            peer,
+            cat,
+            cat_unbound,
+            bound_name,
+            dir,
+            seg,
+            fixed,
+            aspace,
+            gate,
+            gate_label,
+            dev,
+        },
+    )
+}
+
+type Direct = Box<dyn Fn(&mut Kernel, &Fx) -> Result<SyscallResult, SyscallError>>;
+
+/// One equivalence case: the trapped call and the equivalent direct call,
+/// with the direct result wrapped into the same typed envelope.
+fn cases(fx: &Fx) -> Vec<(Syscall, Direct)> {
+    use SyscallResult as R;
+    let e_seg = entry(fx, fx.seg);
+    let e_fixed = entry(fx, fx.fixed);
+    let e_dir = entry(fx, fx.dir);
+    let e_as = entry(fx, fx.aspace);
+    let e_gate = entry(fx, fx.gate);
+    let e_dev = entry(fx, fx.dev);
+    let e_peer = entry(fx, fx.peer);
+    let tainted = Label::builder()
+        .own(fx.cat)
+        .set(fx.cat_unbound, Level::L2)
+        .build();
+    let raised_clearance = Label::default_clearance().with(fx.cat_unbound, Level::L3);
+    let gate_request = fx.gate_label.clone();
+    let new_mapping = Mapping {
+        va: 0x20_0000,
+        segment: e_seg,
+        offset: 0,
+        npages: 1,
+        flags: MappingFlags::ro(),
+    };
+
+    vec![
+        (
+            Syscall::CreateCategory,
+            Box::new(|k, fx| k.sys_create_category(fx.boot).map(R::Category)),
+        ),
+        (
+            Syscall::SelfSetLabel {
+                label: tainted.clone(),
+            },
+            {
+                let l = tainted.clone();
+                Box::new(move |k, fx| k.sys_self_set_label(fx.boot, l.clone()).map(|()| R::Unit))
+            },
+        ),
+        (
+            Syscall::SelfSetClearance {
+                clearance: raised_clearance.clone(),
+            },
+            {
+                let c = raised_clearance.clone();
+                Box::new(move |k, fx| {
+                    k.sys_self_set_clearance(fx.boot, c.clone())
+                        .map(|()| R::Unit)
+                })
+            },
+        ),
+        (
+            Syscall::SelfGetLabel,
+            Box::new(|k, fx| k.sys_self_get_label(fx.boot).map(R::Label)),
+        ),
+        (
+            Syscall::SelfGetClearance,
+            Box::new(|k, fx| k.sys_self_get_clearance(fx.boot).map(R::Label)),
+        ),
+        (
+            Syscall::ContainerCreate {
+                parent: fx.root,
+                label: Label::unrestricted(),
+                descrip: "c2".into(),
+                avoid_types: 0,
+                quota: 1 << 16,
+            },
+            Box::new(|k, fx| {
+                k.sys_container_create(fx.boot, fx.root, Label::unrestricted(), "c2", 0, 1 << 16)
+                    .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::ObjUnref { entry: e_dir },
+            Box::new(move |k, fx| k.sys_obj_unref(fx.boot, e_dir).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::HardLink {
+                entry: e_fixed,
+                dst: fx.dir,
+            },
+            Box::new(move |k, fx| k.sys_hard_link(fx.boot, e_fixed, fx.dir).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::ContainerQuotaAvail { container: fx.dir },
+            Box::new(|k, fx| k.sys_container_quota_avail(fx.boot, fx.dir).map(R::U64)),
+        ),
+        (
+            Syscall::ContainerGetParent { container: fx.dir },
+            Box::new(|k, fx| k.sys_container_get_parent(fx.boot, fx.dir).map(R::ObjectId)),
+        ),
+        (
+            Syscall::ContainerList { container: fx.root },
+            Box::new(|k, fx| k.sys_container_list(fx.boot, fx.root).map(R::ObjectIds)),
+        ),
+        (
+            Syscall::QuotaMove {
+                container: fx.root,
+                object: fx.dir,
+                delta: 4096,
+            },
+            Box::new(|k, fx| {
+                k.sys_quota_move(fx.boot, fx.root, fx.dir, 4096)
+                    .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::ObjGetLabel { entry: e_seg },
+            Box::new(move |k, fx| k.sys_obj_get_label(fx.boot, e_seg).map(R::Label)),
+        ),
+        (
+            Syscall::ObjGetInfo { entry: e_seg },
+            Box::new(move |k, fx| {
+                k.sys_obj_get_info(fx.boot, e_seg)
+                    .map(|(object_type, descrip, quota)| R::Info {
+                        object_type,
+                        descrip,
+                        quota,
+                    })
+            }),
+        ),
+        (
+            Syscall::ObjGetMetadata { entry: e_seg },
+            Box::new(move |k, fx| k.sys_obj_get_metadata(fx.boot, e_seg).map(R::Metadata)),
+        ),
+        (
+            Syscall::ObjSetMetadata {
+                entry: e_seg,
+                metadata: [7; METADATA_LEN],
+            },
+            Box::new(move |k, fx| {
+                k.sys_obj_set_metadata(fx.boot, e_seg, [7; METADATA_LEN])
+                    .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::ObjSetImmutable { entry: e_seg },
+            Box::new(move |k, fx| k.sys_obj_set_immutable(fx.boot, e_seg).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::ObjSetFixedQuota { entry: e_seg },
+            Box::new(move |k, fx| k.sys_obj_set_fixed_quota(fx.boot, e_seg).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::SegmentCreate {
+                container: fx.root,
+                label: Label::unrestricted(),
+                len: 64,
+                descrip: "new".into(),
+            },
+            Box::new(|k, fx| {
+                k.sys_segment_create(fx.boot, fx.root, Label::unrestricted(), 64, "new")
+                    .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::SegmentResize {
+                entry: e_seg,
+                len: 512,
+            },
+            Box::new(move |k, fx| k.sys_segment_resize(fx.boot, e_seg, 512).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::SegmentRead {
+                entry: e_seg,
+                offset: 0,
+                len: 13,
+            },
+            Box::new(move |k, fx| k.sys_segment_read(fx.boot, e_seg, 0, 13).map(R::Bytes)),
+        ),
+        (
+            Syscall::SegmentWrite {
+                entry: e_seg,
+                offset: 4,
+                data: b"xyz".to_vec(),
+            },
+            Box::new(move |k, fx| {
+                k.sys_segment_write(fx.boot, e_seg, 4, b"xyz")
+                    .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::SegmentLen { entry: e_seg },
+            Box::new(move |k, fx| k.sys_segment_len(fx.boot, e_seg).map(R::U64)),
+        ),
+        (
+            Syscall::SegmentCopy {
+                src: e_seg,
+                dst_container: fx.root,
+                label: Label::unrestricted(),
+                descrip: "copy".into(),
+            },
+            Box::new(move |k, fx| {
+                k.sys_segment_copy(fx.boot, e_seg, fx.root, Label::unrestricted(), "copy")
+                    .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::AsCreate {
+                container: fx.root,
+                label: Label::unrestricted(),
+                descrip: "as2".into(),
+            },
+            Box::new(|k, fx| {
+                k.sys_as_create(fx.boot, fx.root, Label::unrestricted(), "as2")
+                    .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::AsCopy {
+                src: e_as,
+                dst_container: fx.root,
+                label: Label::unrestricted(),
+                descrip: "asc".into(),
+            },
+            Box::new(move |k, fx| {
+                k.sys_as_copy(fx.boot, e_as, fx.root, Label::unrestricted(), "asc")
+                    .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::AsMap {
+                aspace: e_as,
+                mapping: new_mapping,
+            },
+            Box::new(move |k, fx| k.sys_as_map(fx.boot, e_as, new_mapping).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::AsUnmap {
+                aspace: e_as,
+                va: 0x10_0000,
+            },
+            Box::new(move |k, fx| k.sys_as_unmap(fx.boot, e_as, 0x10_0000).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::SelfSetAs { aspace: e_as },
+            Box::new(move |k, fx| k.sys_self_set_as(fx.boot, e_as).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::PageFault {
+                va: 0x10_0000,
+                write: false,
+            },
+            Box::new(|k, fx| {
+                k.sys_page_fault(fx.boot, 0x10_0000, false)
+                    .map(R::PageFault)
+            }),
+        ),
+        (
+            Syscall::ThreadCreate {
+                container: fx.root,
+                label: Label::unrestricted(),
+                clearance: Label::default_clearance(),
+                entry_point: 9,
+                descrip: "t2".into(),
+            },
+            Box::new(|k, fx| {
+                k.sys_thread_create(
+                    fx.boot,
+                    fx.root,
+                    Label::unrestricted(),
+                    Label::default_clearance(),
+                    9,
+                    "t2",
+                )
+                .map(R::ObjectId)
+            }),
+        ),
+        (
+            Syscall::SelfLocalSegment,
+            Box::new(|k, fx| k.sys_self_local_segment(fx.boot).map(R::ObjectId)),
+        ),
+        (
+            Syscall::SelfHalt,
+            Box::new(|k, fx| k.sys_self_halt(fx.boot).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::ThreadAlert {
+                target: e_peer,
+                code: 3,
+            },
+            Box::new(move |k, fx| k.sys_thread_alert(fx.boot, e_peer, 3).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::SelfTakeAlert,
+            Box::new(|k, fx| k.sys_self_take_alert(fx.boot).map(R::Alert)),
+        ),
+        (
+            Syscall::ThreadGetLabel { target: e_peer },
+            Box::new(move |k, fx| k.sys_thread_get_label(fx.boot, e_peer).map(R::Label)),
+        ),
+        (
+            Syscall::GateCreate {
+                container: fx.root,
+                label: fx.gate_label.clone(),
+                clearance: Label::default_clearance(),
+                address_space: None,
+                entry_point: 0x44,
+                closure_args: vec![1],
+                descrip: "g2".into(),
+            },
+            {
+                let gl = fx.gate_label.clone();
+                Box::new(move |k, fx| {
+                    k.sys_gate_create(
+                        fx.boot,
+                        fx.root,
+                        gl.clone(),
+                        Label::default_clearance(),
+                        None,
+                        0x44,
+                        vec![1],
+                        "g2",
+                    )
+                    .map(R::ObjectId)
+                })
+            },
+        ),
+        (
+            Syscall::GateEnter {
+                gate: e_gate,
+                requested: gate_request.clone(),
+                requested_clearance: Label::default_clearance(),
+                verify: Label::unrestricted(),
+            },
+            {
+                let req = gate_request.clone();
+                Box::new(move |k, fx| {
+                    k.sys_gate_enter(
+                        fx.boot,
+                        e_gate,
+                        req.clone(),
+                        Label::default_clearance(),
+                        Label::unrestricted(),
+                    )
+                    .map(R::GateEntry)
+                })
+            },
+        ),
+        (
+            Syscall::GateClearance { gate: e_gate },
+            Box::new(move |k, fx| k.sys_gate_clearance(fx.boot, e_gate).map(R::Label)),
+        ),
+        (
+            Syscall::CategoryBindRemote {
+                category: fx.cat_unbound,
+                name: (0xbbbb, 2),
+            },
+            Box::new(|k, fx| {
+                k.sys_category_bind_remote(fx.boot, fx.cat_unbound, (0xbbbb, 2))
+                    .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::CategoryGetRemote { category: fx.cat },
+            Box::new(|k, fx| {
+                k.sys_category_get_remote(fx.boot, fx.cat)
+                    .map(R::RemoteName)
+            }),
+        ),
+        (
+            Syscall::CategoryResolveRemote {
+                name: fx.bound_name,
+            },
+            Box::new(|k, fx| {
+                k.sys_category_resolve_remote(fx.boot, fx.bound_name)
+                    .map(R::ResolvedCategory)
+            }),
+        ),
+        (
+            Syscall::NetMac { device: e_dev },
+            Box::new(move |k, fx| k.sys_net_mac(fx.boot, e_dev).map(R::Mac)),
+        ),
+        (
+            Syscall::NetTransmit {
+                device: e_dev,
+                frame: vec![0xee],
+            },
+            Box::new(move |k, fx| {
+                k.sys_net_transmit(fx.boot, e_dev, vec![0xee])
+                    .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::NetReceive { device: e_dev },
+            Box::new(move |k, fx| k.sys_net_receive(fx.boot, e_dev).map(R::Frame)),
+        ),
+    ]
+}
+
+#[test]
+fn every_syscall_dispatches_identically_to_its_direct_call() {
+    let (_, fx_probe) = setup();
+    let all = cases(&fx_probe);
+
+    // Coverage: the case list must touch every ABI index exactly once.
+    let mut seen = [false; SYSCALL_COUNT];
+    for (call, _) in &all {
+        assert!(!seen[call.index()], "duplicate case for {}", call.name());
+        seen[call.index()] = true;
+    }
+    assert!(
+        seen.iter().all(|s| *s),
+        "missing cases: {:?}",
+        (0..SYSCALL_COUNT)
+            .filter(|&i| !seen[i])
+            .map(|i| histar_kernel::dispatch::SYSCALL_NAMES[i])
+            .collect::<Vec<_>>()
+    );
+
+    for (call, direct) in all {
+        let name = call.name();
+        let (mut ka, fxa) = setup();
+        let (mut kb, fxb) = setup();
+        assert_eq!(fxa.seg, fxb.seg, "setup must be deterministic");
+
+        let direct_result = direct(&mut ka, &fxa);
+        let dispatched_result = kb.dispatch(fxb.boot, call);
+        assert_eq!(
+            direct_result, dispatched_result,
+            "{name}: result must be identical"
+        );
+        assert_eq!(
+            ka.stats(),
+            kb.stats(),
+            "{name}: label checks and kernel counters must be identical"
+        );
+        assert_eq!(
+            ka.object_count(),
+            kb.object_count(),
+            "{name}: object-table evolution must be identical"
+        );
+        assert_eq!(
+            kb.dispatch_stats().count(name),
+            Some(1),
+            "{name}: dispatch must count exactly one invocation"
+        );
+    }
+}
+
+#[test]
+fn failing_calls_dispatch_identically_too() {
+    let failures: Vec<(&str, Syscall, Direct)> = {
+        let (_, fx) = setup();
+        let e_seg = entry(&fx, fx.seg);
+        let bogus = ContainerEntry::new(fx.root, ObjectId::from_raw(0x7777));
+        vec![
+            (
+                "read beyond end",
+                Syscall::SegmentRead {
+                    entry: e_seg,
+                    offset: 1000,
+                    len: 10,
+                },
+                Box::new(move |k: &mut Kernel, fx: &Fx| {
+                    k.sys_segment_read(fx.boot, e_seg, 1000, 10)
+                        .map(SyscallResult::Bytes)
+                }),
+            ),
+            (
+                "unref root",
+                Syscall::ObjUnref {
+                    entry: ContainerEntry::self_entry(fx.root),
+                },
+                Box::new(move |k: &mut Kernel, fx: &Fx| {
+                    k.sys_obj_unref(fx.boot, ContainerEntry::self_entry(fx.root))
+                        .map(|()| SyscallResult::Unit)
+                }),
+            ),
+            (
+                "no such object",
+                Syscall::SegmentLen { entry: bogus },
+                Box::new(move |k: &mut Kernel, fx: &Fx| {
+                    k.sys_segment_len(fx.boot, bogus).map(SyscallResult::U64)
+                }),
+            ),
+            (
+                "over-privileged gate entry",
+                Syscall::GateEnter {
+                    gate: entry(&fx, fx.gate),
+                    requested: Label::builder().own(Category::from_raw(999_999)).build(),
+                    requested_clearance: Label::default_clearance(),
+                    verify: Label::unrestricted(),
+                },
+                {
+                    let g = entry(&fx, fx.gate);
+                    Box::new(move |k: &mut Kernel, fx: &Fx| {
+                        k.sys_gate_enter(
+                            fx.boot,
+                            g,
+                            Label::builder().own(Category::from_raw(999_999)).build(),
+                            Label::default_clearance(),
+                            Label::unrestricted(),
+                        )
+                        .map(SyscallResult::GateEntry)
+                    })
+                },
+            ),
+        ]
+    };
+    for (what, call, direct) in failures {
+        let (mut ka, fxa) = setup();
+        let (mut kb, fxb) = setup();
+        let a = direct(&mut ka, &fxa);
+        let b = kb.dispatch(fxb.boot, call);
+        assert!(a.is_err(), "{what}: expected failure");
+        assert_eq!(a, b, "{what}: identical error through both paths");
+        assert_eq!(ka.stats(), kb.stats(), "{what}: identical error counters");
+    }
+}

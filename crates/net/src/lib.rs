@@ -65,14 +65,14 @@ impl Netd {
         let taint = env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(parent_thread)?;
+            .trap_create_category(parent_thread)?;
 
         let pid = env.spawn(parent, &format!("/sbin/netd-{name}"), None)?;
         let thread = env.process(pid)?.thread;
         let kroot = env.machine().kernel().root_container();
         let kernel = env.machine_mut().kernel_mut();
-        let nr = kernel.sys_create_category(thread)?;
-        let nw = kernel.sys_create_category(thread)?;
+        let nr = kernel.trap_create_category(thread)?;
+        let nw = kernel.trap_create_category(thread)?;
         let label = Label::builder()
             .set(nr, Level::L3)
             .set(nw, Level::L0)
@@ -90,14 +90,14 @@ impl Netd {
         // Shared packet buffers, tainted like the network itself.
         let buffer_label = Label::builder().set(taint, Level::L2).build();
         let kernel = env.machine_mut().kernel_mut();
-        let tx_buffer = kernel.sys_segment_create(
+        let tx_buffer = kernel.trap_segment_create(
             parent_thread,
             kroot,
             buffer_label.clone(),
             64 * 1024,
             &format!("netd-{name} tx"),
         )?;
-        let rx_buffer = kernel.sys_segment_create(
+        let rx_buffer = kernel.trap_segment_create(
             parent_thread,
             kroot,
             buffer_label,
@@ -109,7 +109,7 @@ impl Netd {
         // anywhere untainted — "a compromised netd can only mount the
         // equivalent of a network eavesdropping or packet tampering attack".
         let netd_label = kernel.thread_label(thread)?.with(taint, Level::L2);
-        kernel.sys_self_set_label(thread, netd_label)?;
+        kernel.trap_self_set_label(thread, netd_label)?;
         Ok(Netd {
             pid,
             device,
@@ -139,20 +139,20 @@ impl Netd {
         // web browser runs at `{i 2, 1}`), unless it owns `i`.
         let label = kernel.thread_label(client_thread)?;
         if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
-            kernel.sys_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+            kernel.trap_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
         }
         // Information-flow step: the client conveys the payload to netd.
         let mut msg = (payload.len() as u64).to_le_bytes().to_vec();
         msg.extend_from_slice(payload);
-        kernel.sys_segment_write(client_thread, self.tx_buffer, 0, &msg)?;
+        kernel.trap_segment_write(client_thread, self.tx_buffer, 0, &msg)?;
         // netd drains its buffer onto the device.
         let len = u64::from_le_bytes(
-            kernel.sys_segment_read(netd_thread, self.tx_buffer, 0, 8)?[..8]
+            kernel.trap_segment_read(netd_thread, self.tx_buffer, 0, 8)?[..8]
                 .try_into()
                 .expect("8 bytes"),
         );
-        let frame = kernel.sys_segment_read(netd_thread, self.tx_buffer, 8, len)?;
-        kernel.sys_net_transmit(netd_thread, self.device_entry, frame)?;
+        let frame = kernel.trap_segment_read(netd_thread, self.tx_buffer, 8, len)?;
+        kernel.trap_net_transmit(netd_thread, self.device_entry, frame)?;
         Ok(())
     }
 
@@ -167,24 +167,24 @@ impl Netd {
         let client_thread = env.process(client)?.thread;
         let netd_thread = env.process(self.pid)?.thread;
         let kernel = env.machine_mut().kernel_mut();
-        let Some(frame) = kernel.sys_net_receive(netd_thread, self.device_entry)? else {
+        let Some(frame) = kernel.trap_net_receive(netd_thread, self.device_entry)? else {
             return Ok(None);
         };
         // netd publishes the frame in the {i 2, 1} receive buffer.
         let mut msg = (frame.len() as u64).to_le_bytes().to_vec();
         msg.extend_from_slice(&frame);
-        kernel.sys_segment_write(netd_thread, self.rx_buffer, 0, &msg)?;
+        kernel.trap_segment_write(netd_thread, self.rx_buffer, 0, &msg)?;
         // The client raises its taint (if it does not own i) and reads it.
         let label = kernel.thread_label(client_thread)?;
         if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
-            kernel.sys_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+            kernel.trap_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
         }
         let len = u64::from_le_bytes(
-            kernel.sys_segment_read(client_thread, self.rx_buffer, 0, 8)?[..8]
+            kernel.trap_segment_read(client_thread, self.rx_buffer, 0, 8)?[..8]
                 .try_into()
                 .expect("8 bytes"),
         );
-        let data = kernel.sys_segment_read(client_thread, self.rx_buffer, 8, len)?;
+        let data = kernel.trap_segment_read(client_thread, self.rx_buffer, 8, len)?;
         Ok(Some(data))
     }
 
@@ -336,7 +336,7 @@ impl VpnIsolation {
         let p = env.process(self.client)?.clone();
         let thread = p.thread;
         let kernel = env.machine_mut().kernel_mut();
-        kernel.sys_self_set_label(thread, p.thread_label())?;
+        kernel.trap_self_set_label(thread, p.thread_label())?;
         Ok(())
     }
 }
@@ -402,7 +402,7 @@ mod tests {
         let v = env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(wrap_thread)
+            .trap_create_category(wrap_thread)
             .unwrap();
         let scanner = env
             .spawn_with_label(init, "/usr/bin/clamscan", vec![], vec![(v, Level::L3)])
@@ -423,7 +423,7 @@ mod tests {
         let s = env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(init_thread)
+            .trap_create_category(init_thread)
             .unwrap();
         let protected = Label::builder().set(s, Level::L0).build();
         env.write_file_as(init, "/system.conf", b"safe", Some(protected))

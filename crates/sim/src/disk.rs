@@ -133,6 +133,20 @@ impl SimDisk {
         &self.clock
     }
 
+    /// The full on-disk image as `(block number, contents)` pairs, sorted
+    /// by block number — every block ever written, without charging any
+    /// simulated time.  Two disks holding the same data compare equal
+    /// block-for-block; snapshot byte-stability tests rely on this.
+    pub fn image(&self) -> Vec<(u64, &[u8])> {
+        let mut blocks: Vec<(u64, &[u8])> = self
+            .blocks
+            .iter()
+            .map(|(n, data)| (*n, data.as_slice()))
+            .collect();
+        blocks.sort_unstable_by_key(|(n, _)| *n);
+        blocks
+    }
+
     fn charge(&mut self, d: SimDuration) {
         self.stats.busy += d;
         self.clock.advance(d);

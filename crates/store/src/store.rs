@@ -422,30 +422,41 @@ impl SingleLevelStore {
         self.dirty.clear();
         self.deleted.clear();
 
-        // 2. Serialize metadata (object maps + free list) into a fresh extent.
+        // 2. Serialize metadata (object maps + free list) into a fresh
+        //    extent.  The serialized free list must already EXCLUDE the
+        //    extent the blob itself occupies — otherwise a recovered
+        //    allocator believes the metadata region is free and the next
+        //    checkpoint's `free(prev_meta)` double-frees it.  The blob's
+        //    size depends on the free list, so serialize twice: once to
+        //    measure, then (after allocating, which changes the free list
+        //    by at most one entry) with the final free list.
         let loc_bytes = self.object_loc.serialize();
         let extent_len_bytes = self.object_extent_len.serialize();
         let body_len_bytes = self.object_body_len.serialize();
-        let free_list = self.alloc.free_list();
-        let mut free_enc = Encoder::new();
-        free_enc.put_u64(free_list.len() as u64);
-        for e in &free_list {
-            free_enc.put_u64(e.offset).put_u64(e.len);
-        }
-        let free_bytes = free_enc.finish();
-
-        let meta_blob = {
+        let build_blob = |alloc: &ExtentAllocator| {
+            let free_list = alloc.free_list();
+            let mut free_enc = Encoder::new();
+            free_enc.put_u64(free_list.len() as u64);
+            for e in &free_list {
+                free_enc.put_u64(e.offset).put_u64(e.len);
+            }
             let mut e = Encoder::new();
             e.put_bytes(&loc_bytes)
                 .put_bytes(&extent_len_bytes)
                 .put_bytes(&body_len_bytes)
-                .put_bytes(&free_bytes);
+                .put_bytes(&free_enc.finish());
             frame(&e.finish())
         };
+        let probe_len = build_blob(&self.alloc).len() as u64;
         let meta_extent = self
             .alloc
-            .alloc((meta_blob.len() as u64).max(BLOCK_SIZE))
+            .alloc((probe_len + 64).max(BLOCK_SIZE))
             .expect("disk out of space for checkpoint metadata");
+        let meta_blob = build_blob(&self.alloc);
+        assert!(
+            meta_blob.len() as u64 <= meta_extent.len,
+            "checkpoint metadata outgrew its extent"
+        );
         self.disk.write(meta_extent.offset, &meta_blob);
 
         // 3. Superblock points at the metadata blob.

@@ -149,6 +149,12 @@ impl UnixEnv {
         &mut self.machine
     }
 
+    /// The kernel, mutably — shorthand for `machine_mut().kernel_mut()`,
+    /// the path every `trap_*` syscall takes.
+    pub fn kernel_mut(&mut self) -> &mut histar_kernel::Kernel {
+        self.machine.kernel_mut()
+    }
+
     /// The PID of the `init` process.
     pub fn init_pid(&self) -> Pid {
         self.init_pid
@@ -209,8 +215,8 @@ impl UnixEnv {
     pub fn create_user(&mut self, name: &str) -> Result<User> {
         let init_thread = self.process(self.init_pid)?.thread;
         let kernel = self.machine.kernel_mut();
-        let read_cat = kernel.sys_create_category(init_thread)?;
-        let write_cat = kernel.sys_create_category(init_thread)?;
+        let read_cat = kernel.trap_create_category(init_thread)?;
+        let write_cat = kernel.trap_create_category(init_thread)?;
         let user = User {
             name: name.to_string(),
             read_cat,
@@ -362,22 +368,22 @@ impl UnixEnv {
         let internal_entry = ContainerEntry::self_entry(internal);
 
         // Fresh text/heap/stack segments (the old ones are unreferenced).
-        let text = kernel.sys_segment_create(
+        let text = kernel.trap_segment_create(
             thread,
             internal,
             internal_label.clone(),
             image.len().max(1) as u64,
             "text",
         )?;
-        kernel.sys_segment_write(thread, ContainerEntry::new(internal, text), 0, &image)?;
-        let heap = kernel.sys_segment_create(
+        kernel.trap_segment_write(thread, ContainerEntry::new(internal, text), 0, &image)?;
+        let heap = kernel.trap_segment_create(
             thread,
             internal,
             internal_label.clone(),
             HEAP_PAGES * PAGE_SIZE,
             "heap",
         )?;
-        let stack = kernel.sys_segment_create(
+        let stack = kernel.trap_segment_create(
             thread,
             internal,
             internal_label,
@@ -391,7 +397,7 @@ impl UnixEnv {
         };
         let kernel = self.machine.kernel_mut();
         for seg in old {
-            let _ = kernel.sys_obj_unref(thread, ContainerEntry::new(internal, seg));
+            let _ = kernel.trap_obj_unref(thread, ContainerEntry::new(internal, seg));
         }
         let _ = internal_entry;
         self.map_process_image(pid, aspace, text, heap, stack)?;
@@ -427,13 +433,13 @@ impl UnixEnv {
             let _ = self.close(pid, fd);
         }
         let kernel = self.machine.kernel_mut();
-        kernel.sys_segment_write(
+        kernel.trap_segment_write(
             thread,
             ContainerEntry::new(process_container, exit_segment),
             0,
             &status.encode(),
         )?;
-        kernel.sys_self_halt(thread)?;
+        kernel.trap_self_halt(thread)?;
         self.process_mut(pid)?.state = ProcessState::Zombie(status);
         Ok(())
     }
@@ -454,7 +460,7 @@ impl UnixEnv {
         // Read the exit status through the kernel (checks that the parent
         // may observe the exit segment, which anyone may — {pw 0, 1}).
         let kernel = self.machine.kernel_mut();
-        let bytes = kernel.sys_segment_read(
+        let bytes = kernel.trap_segment_read(
             parent_thread,
             ContainerEntry::new(child_container, exit_segment),
             0,
@@ -464,7 +470,7 @@ impl UnixEnv {
         // Reclaim: unreference the child's process container from the
         // kernel root, which drops the whole subtree.
         let kroot = kernel.root_container();
-        kernel.sys_obj_unref(parent_thread, ContainerEntry::new(kroot, child_container))?;
+        kernel.trap_obj_unref(parent_thread, ContainerEntry::new(kroot, child_container))?;
         self.process_mut(child)?.state = ProcessState::Reaped;
         Ok(status)
     }
@@ -483,25 +489,25 @@ impl UnixEnv {
         let tl = kernel.thread_label(sender_thread)?;
         let tc = kernel.thread_clearance(sender_thread)?;
         let gate_entry = ContainerEntry::new(target_container, signal_gate);
-        let glabel = kernel.sys_obj_get_label(sender_thread, gate_entry)?;
+        let glabel = kernel.trap_obj_get_label(sender_thread, gate_entry)?;
         let requested = tl.ownership_union(&glabel);
-        kernel.sys_gate_enter(sender_thread, gate_entry, requested, tc.clone(), tl.clone())?;
+        kernel.trap_gate_enter(sender_thread, gate_entry, requested, tc.clone(), tl.clone())?;
         // Running in the gate's privilege, alert the target thread.
-        kernel.sys_thread_alert(
+        kernel.trap_thread_alert(
             sender_thread,
             ContainerEntry::new(target_container, target_thread),
             signal,
         )?;
         // Return to the sender's own label (it owned everything it had).
-        kernel.sys_self_set_label(sender_thread, tl)?;
-        kernel.sys_self_set_clearance(sender_thread, tc)?;
+        kernel.trap_self_set_label(sender_thread, tl)?;
+        kernel.trap_self_set_clearance(sender_thread, tc)?;
         Ok(())
     }
 
     /// Takes the next pending signal for a process, if any.
     pub fn take_signal(&mut self, pid: Pid) -> Result<Option<u64>> {
         let thread = self.process(pid)?.thread;
-        let alert = self.machine.kernel_mut().sys_self_take_alert(thread)?;
+        let alert = self.machine.kernel_mut().trap_self_take_alert(thread)?;
         Ok(alert.map(|a| a.code))
     }
 
@@ -523,8 +529,8 @@ impl UnixEnv {
         let saved_clearance = kernel.thread_clearance(creator)?;
 
         // Allocate the process's secrecy and integrity categories.
-        let pr = kernel.sys_create_category(creator)?;
-        let pw = kernel.sys_create_category(creator)?;
+        let pr = kernel.trap_create_category(creator)?;
+        let pw = kernel.trap_create_category(creator)?;
 
         // A process launched pre-tainted (e.g. the virus scanner tainted
         // `v 3`) needs that taint on everything it must be able to write:
@@ -555,7 +561,7 @@ impl UnixEnv {
         let thread_clearance = clearance_builder.build();
 
         // Process container and internal container (Figure 6).
-        let process_container = kernel.sys_container_create(
+        let process_container = kernel.trap_container_create(
             creator,
             kroot,
             external_label.clone(),
@@ -563,7 +569,7 @@ impl UnixEnv {
             0,
             PROCESS_QUOTA,
         )?;
-        let internal_container = kernel.sys_container_create(
+        let internal_container = kernel.trap_container_create(
             creator,
             process_container,
             internal_label.clone(),
@@ -572,7 +578,7 @@ impl UnixEnv {
             PROCESS_QUOTA / 2,
         )?;
         // Exit status segment, readable by anyone.
-        let exit_segment = kernel.sys_segment_create(
+        let exit_segment = kernel.trap_segment_create(
             creator,
             process_container,
             external_label,
@@ -580,7 +586,7 @@ impl UnixEnv {
             "exit status",
         )?;
         // The process's thread.
-        let thread = kernel.sys_thread_create(
+        let thread = kernel.trap_thread_create(
             creator,
             process_container,
             thread_label.clone(),
@@ -602,7 +608,7 @@ impl UnixEnv {
         for &(c, lvl) in extra_taint {
             signal_gate_clearance = signal_gate_clearance.with(c, lvl);
         }
-        let signal_gate = kernel.sys_gate_create(
+        let signal_gate = kernel.trap_gate_create(
             creator,
             process_container,
             thread_label.clone(),
@@ -614,27 +620,27 @@ impl UnixEnv {
         )?;
 
         // Address space and the initial memory image.
-        let address_space = kernel.sys_as_create(
+        let address_space = kernel.trap_as_create(
             creator,
             internal_container,
             internal_label.clone(),
             "address space",
         )?;
-        let text = kernel.sys_segment_create(
+        let text = kernel.trap_segment_create(
             creator,
             internal_container,
             internal_label.clone(),
             PAGE_SIZE,
             "text",
         )?;
-        let heap = kernel.sys_segment_create(
+        let heap = kernel.trap_segment_create(
             creator,
             internal_container,
             internal_label.clone(),
             HEAP_PAGES * PAGE_SIZE,
             "heap",
         )?;
-        let stack = kernel.sys_segment_create(
+        let stack = kernel.trap_segment_create(
             creator,
             internal_container,
             internal_label,
@@ -644,8 +650,8 @@ impl UnixEnv {
 
         // The creator drops the new process's categories again: from here on
         // only the new process's own thread owns them.
-        kernel.sys_self_set_label(creator, saved_label)?;
-        kernel.sys_self_set_clearance(creator, saved_clearance)?;
+        kernel.trap_self_set_label(creator, saved_label)?;
+        kernel.trap_self_set_clearance(creator, saved_clearance)?;
 
         let pid = self.next_pid;
         self.next_pid += 1;
@@ -702,7 +708,7 @@ impl UnixEnv {
             (0x7fff_0000u64, stack, MappingFlags::rw(), STACK_PAGES),
         ];
         for (va, seg, flags, npages) in mappings {
-            kernel.sys_as_map(
+            kernel.trap_as_map(
                 thread,
                 as_entry,
                 Mapping {
@@ -714,7 +720,7 @@ impl UnixEnv {
                 },
             )?;
         }
-        kernel.sys_self_set_as(thread, as_entry)?;
+        kernel.trap_self_set_as(thread, as_entry)?;
         Ok(())
     }
 
@@ -728,13 +734,17 @@ impl UnixEnv {
         dst: ObjectId,
     ) -> Result<()> {
         let kernel = self.machine.kernel_mut();
-        let len = kernel.sys_segment_len(src_thread, ContainerEntry::new(src_container, src))?;
+        let len = kernel.trap_segment_len(src_thread, ContainerEntry::new(src_container, src))?;
         if len == 0 {
             return Ok(());
         }
-        let data =
-            kernel.sys_segment_read(src_thread, ContainerEntry::new(src_container, src), 0, len)?;
-        kernel.sys_segment_write(
+        let data = kernel.trap_segment_read(
+            src_thread,
+            ContainerEntry::new(src_container, src),
+            0,
+            len,
+        )?;
+        kernel.trap_segment_write(
             dst_thread,
             ContainerEntry::new(dst_container, dst),
             0,
@@ -751,16 +761,16 @@ impl UnixEnv {
     /// hierarchy from the root (whose quota is infinite).
     fn ensure_quota(&mut self, thread: ObjectId, container: ObjectId, need: u64) -> Result<()> {
         let kernel = self.machine.kernel_mut();
-        let avail = kernel.sys_container_quota_avail(thread, container)?;
+        let avail = kernel.trap_container_quota_avail(thread, container)?;
         if avail >= need {
             return Ok(());
         }
         let grant = (need - avail).max(DIRECTORY_QUOTA);
-        let parent = kernel.sys_container_get_parent(thread, container)?;
+        let parent = kernel.trap_container_get_parent(thread, container)?;
         self.ensure_quota(thread, parent, grant)?;
         self.machine
             .kernel_mut()
-            .sys_quota_move(thread, parent, container, grant as i64)?;
+            .trap_quota_move(thread, parent, container, grant as i64)?;
         Ok(())
     }
 
@@ -775,7 +785,7 @@ impl UnixEnv {
     ) -> Result<ObjectId> {
         self.ensure_quota(thread, parent_container, DIRECTORY_QUOTA + 2 * PAGE_SIZE)?;
         let kernel = self.machine.kernel_mut();
-        let dir = kernel.sys_container_create(
+        let dir = kernel.trap_container_create(
             thread,
             parent_container,
             label.clone(),
@@ -783,17 +793,17 @@ impl UnixEnv {
             0,
             DIRECTORY_QUOTA,
         )?;
-        let dirseg = kernel.sys_segment_create(thread, dir, label, PAGE_SIZE, ".dirents")?;
+        let dirseg = kernel.trap_segment_create(thread, dir, label, PAGE_SIZE, ".dirents")?;
         let mut meta = [0u8; METADATA_LEN];
         meta[..8].copy_from_slice(&dirseg.raw().to_le_bytes());
-        kernel.sys_obj_set_metadata(thread, ContainerEntry::self_entry(dir), meta)?;
+        kernel.trap_obj_set_metadata(thread, ContainerEntry::self_entry(dir), meta)?;
         Ok(dir)
     }
 
     /// Finds the directory segment of a directory container.
     fn dirseg_of(&mut self, thread: ObjectId, dir: ObjectId) -> Result<ObjectId> {
         let kernel = self.machine.kernel_mut();
-        let meta = kernel.sys_obj_get_metadata(thread, ContainerEntry::self_entry(dir))?;
+        let meta = kernel.trap_obj_get_metadata(thread, ContainerEntry::self_entry(dir))?;
         let raw = u64::from_le_bytes(meta[..8].try_into().expect("metadata is 64 bytes"));
         if raw == 0 {
             return Err(UnixError::Corrupt("directory has no directory segment"));
@@ -805,8 +815,8 @@ impl UnixEnv {
         let dirseg = self.dirseg_of(thread, dir)?;
         let kernel = self.machine.kernel_mut();
         let entry = ContainerEntry::new(dir, dirseg);
-        let len = kernel.sys_segment_len(thread, entry)?;
-        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        let len = kernel.trap_segment_len(thread, entry)?;
+        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
         Directory::decode(&bytes).ok_or(UnixError::Corrupt("directory segment"))
     }
 
@@ -823,20 +833,20 @@ impl UnixEnv {
         }) = self
             .machine
             .kernel_mut()
-            .sys_segment_resize(thread, entry, bytes.len() as u64)
+            .trap_segment_resize(thread, entry, bytes.len() as u64)
         {
             let grow = (requested - available).max(64 * PAGE_SIZE);
             self.ensure_quota(thread, dir, grow)?;
             self.machine
                 .kernel_mut()
-                .sys_quota_move(thread, dir, dirseg, grow as i64)?;
+                .trap_quota_move(thread, dir, dirseg, grow as i64)?;
             self.machine
                 .kernel_mut()
-                .sys_segment_resize(thread, entry, bytes.len() as u64)?;
+                .trap_segment_resize(thread, entry, bytes.len() as u64)?;
         }
         self.machine
             .kernel_mut()
-            .sys_segment_write(thread, entry, 0, &bytes)?;
+            .trap_segment_write(thread, entry, 0, &bytes)?;
         Ok(())
     }
 
@@ -933,7 +943,7 @@ impl UnixEnv {
             Some(entry) => {
                 let seg = entry.object;
                 if flags.truncate {
-                    self.machine.kernel_mut().sys_segment_resize(
+                    self.machine.kernel_mut().trap_segment_resize(
                         thread,
                         ContainerEntry::new(dir, seg),
                         0,
@@ -948,7 +958,7 @@ impl UnixEnv {
                 let label = label.unwrap_or_else(Label::unrestricted);
                 self.ensure_quota(thread, dir, 2 * PAGE_SIZE)?;
                 let kernel = self.machine.kernel_mut();
-                let seg = kernel.sys_segment_create(thread, dir, label, 0, &name)?;
+                let seg = kernel.trap_segment_create(thread, dir, label, 0, &name)?;
                 d.insert(DirEntry {
                     name: name.clone(),
                     object: seg,
@@ -992,8 +1002,8 @@ impl UnixEnv {
         // own descriptor state.
         let fd_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
         let fd_seg =
-            kernel.sys_segment_create(thread, container, fd_label, 0, "file descriptor")?;
-        kernel.sys_segment_write(
+            kernel.trap_segment_create(thread, container, fd_label, 0, "file descriptor")?;
+        kernel.trap_segment_write(
             thread,
             ContainerEntry::new(container, fd_seg),
             0,
@@ -1014,12 +1024,12 @@ impl UnixEnv {
     ) -> Result<(ContainerEntry, u64)> {
         let kernel = self.machine.kernel_mut();
         let entry = ContainerEntry::new(preferred_container, fd_seg);
-        if let Ok(len) = kernel.sys_segment_len(thread, entry) {
+        if let Ok(len) = kernel.trap_segment_len(thread, entry) {
             return Ok((entry, len));
         }
         for p in self.processes.values() {
             let cand = ContainerEntry::new(p.process_container, fd_seg);
-            if let Ok(len) = kernel.sys_segment_len(thread, cand) {
+            if let Ok(len) = kernel.trap_segment_len(thread, cand) {
                 return Ok((cand, len));
             }
         }
@@ -1034,7 +1044,7 @@ impl UnixEnv {
         };
         let (entry, len) = self.find_fd_entry(thread, container, seg)?;
         let kernel = self.machine.kernel_mut();
-        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
         let state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
         Ok((seg, state))
     }
@@ -1051,10 +1061,10 @@ impl UnixEnv {
         };
         let (entry, len) = self.find_fd_entry(thread, container, fd_seg)?;
         let kernel = self.machine.kernel_mut();
-        let bytes = kernel.sys_segment_read(thread, entry, 0, len)?;
+        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
         let mut state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
         update(&mut state);
-        kernel.sys_segment_write(thread, entry, 0, &state.encode())?;
+        kernel.trap_segment_write(thread, entry, 0, &state.encode())?;
         Ok(state)
     }
 
@@ -1095,10 +1105,10 @@ impl UnixEnv {
                 let thread = self.process(pid)?.thread;
                 let kernel = self.machine.kernel_mut();
                 let entry = ContainerEntry::new(state.target_container, state.target);
-                let file_len = kernel.sys_segment_len(thread, entry)?;
+                let file_len = kernel.trap_segment_len(thread, entry)?;
                 let start = state.position.min(file_len);
                 let n = len.min(file_len - start);
-                let data = kernel.sys_segment_read(thread, entry, start, n)?;
+                let data = kernel.trap_segment_read(thread, entry, start, n)?;
                 self.update_fd_state(pid, fd_seg, |st| st.position = start + n)?;
                 Ok(data)
             }
@@ -1118,7 +1128,7 @@ impl UnixEnv {
                 let kernel = self.machine.kernel_mut();
                 let entry = ContainerEntry::new(state.target_container, state.target);
                 let pos = if state.flags & FLAG_APPEND != 0 {
-                    kernel.sys_segment_len(thread, entry)?
+                    kernel.trap_segment_len(thread, entry)?
                 } else {
                     state.position
                 };
@@ -1129,11 +1139,11 @@ impl UnixEnv {
                     requested,
                     available,
                     ..
-                }) = kernel.sys_segment_write(thread, entry, pos, data)
+                }) = kernel.trap_segment_write(thread, entry, pos, data)
                 {
                     let grow = (requested - available).max(PAGE_SIZE * 256);
                     self.ensure_quota(thread, state.target_container, grow)?;
-                    self.machine.kernel_mut().sys_quota_move(
+                    self.machine.kernel_mut().trap_quota_move(
                         thread,
                         state.target_container,
                         state.target,
@@ -1141,7 +1151,7 @@ impl UnixEnv {
                     )?;
                     self.machine
                         .kernel_mut()
-                        .sys_segment_write(thread, entry, pos, data)?;
+                        .trap_segment_write(thread, entry, pos, data)?;
                 }
                 self.update_fd_state(pid, fd_seg, |st| st.position = pos + data.len() as u64)?;
                 Ok(data.len() as u64)
@@ -1152,7 +1162,7 @@ impl UnixEnv {
                 let thread = self.process(pid)?.thread;
                 if let Some(console) = self.machine.console_device() {
                     let kroot = self.machine.kernel().root_container();
-                    self.machine.kernel_mut().sys_net_transmit(
+                    self.machine.kernel_mut().trap_net_transmit(
                         thread,
                         ContainerEntry::new(kroot, console),
                         data.to_vec(),
@@ -1184,7 +1194,7 @@ impl UnixEnv {
         };
         let kernel = self.machine.kernel_mut();
         let pipe_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
-        let pipe_seg = kernel.sys_segment_create(
+        let pipe_seg = kernel.trap_segment_create(
             thread,
             container,
             pipe_label,
@@ -1194,7 +1204,7 @@ impl UnixEnv {
         // Header: read pos = 0, write pos = 0, writers = 1.
         let mut header = [0u8; PIPE_HEADER as usize];
         header[16..24].copy_from_slice(&1u64.to_le_bytes());
-        kernel.sys_segment_write(thread, ContainerEntry::new(container, pipe_seg), 0, &header)?;
+        kernel.trap_segment_write(thread, ContainerEntry::new(container, pipe_seg), 0, &header)?;
         let read_fd = self.install_fd(
             pid,
             FdState {
@@ -1229,7 +1239,7 @@ impl UnixEnv {
         let thread = self.process(pid)?.thread;
         let kernel = self.machine.kernel_mut();
         let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
         let mut rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
         let mut wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
         let mut writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
@@ -1238,7 +1248,7 @@ impl UnixEnv {
         new_header[0..8].copy_from_slice(&rpos.to_le_bytes());
         new_header[8..16].copy_from_slice(&wpos.to_le_bytes());
         new_header[16..24].copy_from_slice(&writers.to_le_bytes());
-        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
         Ok((out, entry, thread))
     }
 
@@ -1246,7 +1256,7 @@ impl UnixEnv {
         let thread = self.process(pid)?.thread;
         let kernel = self.machine.kernel_mut();
         let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
         let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
         let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
         let writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
@@ -1261,13 +1271,13 @@ impl UnixEnv {
         let mut out = Vec::with_capacity(n as usize);
         let start = rpos % PIPE_CAPACITY;
         let first = n.min(PIPE_CAPACITY - start);
-        out.extend(kernel.sys_segment_read(thread, entry, PIPE_HEADER + start, first)?);
+        out.extend(kernel.trap_segment_read(thread, entry, PIPE_HEADER + start, first)?);
         if first < n {
-            out.extend(kernel.sys_segment_read(thread, entry, PIPE_HEADER, n - first)?);
+            out.extend(kernel.trap_segment_read(thread, entry, PIPE_HEADER, n - first)?);
         }
         let mut new_header = header.clone();
         new_header[0..8].copy_from_slice(&(rpos + n).to_le_bytes());
-        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
         Ok(out)
     }
 
@@ -1275,7 +1285,7 @@ impl UnixEnv {
         let thread = self.process(pid)?.thread;
         let kernel = self.machine.kernel_mut();
         let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.sys_segment_read(thread, entry, 0, PIPE_HEADER)?;
+        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
         let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
         let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
         let free = PIPE_CAPACITY - (wpos - rpos);
@@ -1285,9 +1295,9 @@ impl UnixEnv {
         let n = (data.len() as u64).min(free);
         let start = wpos % PIPE_CAPACITY;
         let first = n.min(PIPE_CAPACITY - start);
-        kernel.sys_segment_write(thread, entry, PIPE_HEADER + start, &data[..first as usize])?;
+        kernel.trap_segment_write(thread, entry, PIPE_HEADER + start, &data[..first as usize])?;
         if first < n {
-            kernel.sys_segment_write(
+            kernel.trap_segment_write(
                 thread,
                 entry,
                 PIPE_HEADER,
@@ -1296,7 +1306,7 @@ impl UnixEnv {
         }
         let mut new_header = header.clone();
         new_header[8..16].copy_from_slice(&(wpos + n).to_le_bytes());
-        kernel.sys_segment_write(thread, entry, 0, &new_header)?;
+        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
         Ok(n)
     }
 
@@ -1331,7 +1341,7 @@ impl UnixEnv {
         let (_, state) = self.fd_state(pid, fd)?;
         let thread = self.process(pid)?.thread;
         let len = match state.kind {
-            FdKind::File => self.machine.kernel_mut().sys_segment_len(
+            FdKind::File => self.machine.kernel_mut().trap_segment_len(
                 thread,
                 ContainerEntry::new(state.target_container, state.target),
             )?,
@@ -1358,7 +1368,7 @@ impl UnixEnv {
         } else {
             self.machine
                 .kernel_mut()
-                .sys_segment_len(thread, ContainerEntry::new(dir, entry.object))?
+                .trap_segment_len(thread, ContainerEntry::new(dir, entry.object))?
         };
         Ok(FileStat {
             object: entry.object,
@@ -1389,7 +1399,7 @@ impl UnixEnv {
         self.write_directory(thread, dir, &d)?;
         self.machine
             .kernel_mut()
-            .sys_obj_unref(thread, ContainerEntry::new(dir, entry.object))?;
+            .trap_obj_unref(thread, ContainerEntry::new(dir, entry.object))?;
         Ok(())
     }
 
@@ -1489,6 +1499,16 @@ impl UnixEnv {
                 .unwrap_or_default(),
             None => Vec::new(),
         }
+    }
+}
+
+/// The Unix environment can host scheduled programs: the scheduler reaches
+/// the kernel through the environment, so multiprogrammed processes issue
+/// their Unix-library work (which traps through `Kernel::dispatch`) from
+/// inside their own quanta.
+impl histar_kernel::sched::SchedContext for UnixEnv {
+    fn sched_kernel(&mut self) -> &mut histar_kernel::Kernel {
+        self.machine.kernel_mut()
     }
 }
 
@@ -1688,7 +1708,7 @@ mod tests {
         let data = env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_read(
+            .trap_segment_read(
                 kernel_thread,
                 ContainerEntry::new(p.internal_container, p.text_segment),
                 0,

@@ -42,7 +42,7 @@ pub fn create_service_gate(
     };
     let kernel = env.machine_mut().kernel_mut();
     let label = kernel.thread_label(thread)?;
-    let gate = kernel.sys_gate_create(
+    let gate = kernel.trap_gate_create(
         thread,
         container,
         label,
@@ -133,9 +133,9 @@ fn enter_service_inner(
     // Return category, and — for a private call — the taint category,
     // allocated up front so the return gate's clearance can admit the
     // tainted thread on its way back.
-    let return_category = kernel.sys_create_category(caller_thread)?;
+    let return_category = kernel.trap_create_category(caller_thread)?;
     let taint = if taint_call {
-        Some(kernel.sys_create_category(caller_thread)?)
+        Some(kernel.trap_create_category(caller_thread)?)
     } else {
         None
     };
@@ -159,7 +159,7 @@ fn enter_service_inner(
             return_gate_clearance_builder = return_gate_clearance_builder.set(c, lvl);
         }
     }
-    let return_gate = kernel.sys_gate_create(
+    let return_gate = kernel.trap_gate_create(
         caller_thread,
         caller_container,
         label_with_r.clone(),
@@ -176,7 +176,7 @@ fn enter_service_inner(
             .set(t, Level::L3)
             .set(return_category, Level::L0)
             .build();
-        let rc = kernel.sys_container_create(
+        let rc = kernel.trap_container_create(
             caller_thread,
             internal_container,
             rc_label,
@@ -191,8 +191,8 @@ fn enter_service_inner(
 
     // Request label: keep everything we own (including r and t ownership at
     // this point), add the gate's ownership, and drop to taint level 3 in t.
-    let gate_label = kernel.sys_obj_get_label(caller_thread, service.gate)?;
-    let gate_clearance = kernel.sys_gate_clearance(caller_thread, service.gate)?;
+    let gate_label = kernel.trap_obj_get_label(caller_thread, service.gate)?;
+    let gate_clearance = kernel.trap_gate_clearance(caller_thread, service.gate)?;
     let current_label = kernel.thread_label(caller_thread)?;
     let mut requested = current_label.ownership_union(&gate_label);
     if let Some(t) = taint {
@@ -202,7 +202,7 @@ fn enter_service_inner(
         requested = requested.with(c, lvl);
     }
     let requested_clearance = kernel.thread_clearance(caller_thread)?.lub(&gate_clearance);
-    let entry = kernel.sys_gate_enter(
+    let entry = kernel.trap_gate_enter(
         caller_thread,
         service.gate,
         requested,
@@ -242,13 +242,13 @@ pub fn return_from_service(env: &mut UnixEnv, session: GateSession) -> Result<()
     // Invoke the return gate; the floor of the entry label is the union of
     // the current (service-side) ownership and the return gate's ownership,
     // which includes everything the caller originally owned plus r.
-    let gate_label = kernel.sys_obj_get_label(caller_thread, return_gate)?;
+    let gate_label = kernel.trap_obj_get_label(caller_thread, return_gate)?;
     let current = kernel.thread_label(caller_thread)?;
     let requested = current.ownership_union(&gate_label);
     let requested_clearance = kernel
         .thread_clearance(caller_thread)?
         .lub(&saved_clearance);
-    kernel.sys_gate_enter(
+    kernel.trap_gate_enter(
         caller_thread,
         return_gate,
         requested,
@@ -277,16 +277,16 @@ pub fn return_from_service(env: &mut UnixEnv, session: GateSession) -> Result<()
     if restore_clearance.level(return_category) == Level::L2 {
         restore_clearance = restore_clearance.without(return_category);
     }
-    kernel.sys_self_set_label(caller_thread, restore_label)?;
-    kernel.sys_self_set_clearance(caller_thread, restore_clearance)?;
+    kernel.trap_self_set_label(caller_thread, restore_label)?;
+    kernel.trap_self_set_clearance(caller_thread, restore_clearance)?;
     // Cleanup is best-effort: a thread that acquired persistent taint during
     // the call may no longer be able to modify its own (untainted) process
     // container, in which case the per-call objects are reclaimed when the
     // process itself is deallocated.  This is the paper's §5.8 trade-off —
     // reclaiming tainted resources needs an explicit untainting gate.
-    let _ = kernel.sys_obj_unref(caller_thread, return_gate);
+    let _ = kernel.trap_obj_unref(caller_thread, return_gate);
     if let Some(rc) = resource_container {
-        let _ = kernel.sys_obj_unref(caller_thread, rc);
+        let _ = kernel.trap_obj_unref(caller_thread, rc);
     }
     let _ = caller;
     Ok(())
@@ -325,7 +325,7 @@ pub fn grant_categories(
         gate_label = gate_label.with(c, Level::Star);
         gate_clearance = gate_clearance.with(c, Level::L3);
     }
-    let gate = kernel.sys_gate_create(
+    let gate = kernel.trap_gate_create(
         from_thread,
         from_container,
         gate_label,
@@ -344,9 +344,9 @@ pub fn grant_categories(
         requested_clearance = requested_clearance.with(c, Level::L3);
     }
     let verify = kernel.thread_label(to_thread)?;
-    kernel.sys_gate_enter(to_thread, entry, requested, requested_clearance, verify)?;
+    kernel.trap_gate_enter(to_thread, entry, requested, requested_clearance, verify)?;
     // The grant gate is single-use.
-    let _ = kernel.sys_obj_unref(from_thread, entry);
+    let _ = kernel.trap_obj_unref(from_thread, entry);
 
     let proc = env.process_record_mut(to)?;
     for &c in categories {
@@ -367,7 +367,7 @@ pub fn raise_taint_for(env: &mut UnixEnv, pid: Pid, target: &Label) -> Result<()
     let current = kernel.thread_label(thread)?;
     let raised = current.raise_for_observe(target);
     if raised != current {
-        kernel.sys_self_set_label(thread, raised)?;
+        kernel.trap_self_set_label(thread, raised)?;
     }
     Ok(())
 }
@@ -425,10 +425,10 @@ mod tests {
         let heap_entry = ContainerEntry::new(daemon.internal_container, daemon.heap_segment);
         let kernel = env.machine_mut().kernel_mut();
         assert!(kernel
-            .sys_segment_read(client_thread, heap_entry, 0, 8)
+            .trap_segment_read(client_thread, heap_entry, 0, 8)
             .is_ok());
         assert!(matches!(
-            kernel.sys_segment_write(client_thread, heap_entry, 0, b"leak"),
+            kernel.trap_segment_write(client_thread, heap_entry, 0, b"leak"),
             Err(SyscallError::CannotModify(_))
         ));
 
@@ -444,7 +444,7 @@ mod tests {
         let _ = scratch_label;
         let tainted_label = Label::builder().set(t, Level::L3).build();
         assert!(kernel
-            .sys_segment_create(client_thread, rc.object, tainted_label, 128, "scratch")
+            .trap_segment_create(client_thread, rc.object, tainted_label, 128, "scratch")
             .is_ok());
 
         return_from_service(&mut env, session).unwrap();
@@ -464,7 +464,7 @@ mod tests {
         let c = env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(alice_thread)
+            .trap_create_category(alice_thread)
             .unwrap();
 
         assert!(!env
@@ -486,7 +486,7 @@ mod tests {
         let d = env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(other_thread)
+            .trap_create_category(other_thread)
             .unwrap();
         assert!(grant_categories(&mut env, mallory, victim, &[d]).is_err());
     }
@@ -499,13 +499,13 @@ mod tests {
         let init_thread = env.process(init).unwrap().thread;
         let kroot = env.machine().kernel().root_container();
         let kernel = env.machine_mut().kernel_mut();
-        let c = kernel.sys_create_category(init_thread).unwrap();
+        let c = kernel.trap_create_category(init_thread).unwrap();
         let secret = Label::builder().set(c, Level::L2).build();
         let seg = kernel
-            .sys_segment_create(init_thread, kroot, secret.clone(), 16, "tainted reply")
+            .trap_segment_create(init_thread, kroot, secret.clone(), 16, "tainted reply")
             .unwrap();
         kernel
-            .sys_segment_write(init_thread, ContainerEntry::new(kroot, seg), 0, b"reply")
+            .trap_segment_write(init_thread, ContainerEntry::new(kroot, seg), 0, b"reply")
             .unwrap();
 
         let reader_thread = env.process(reader).unwrap().thread;
@@ -513,13 +513,13 @@ mod tests {
         assert!(env
             .machine_mut()
             .kernel_mut()
-            .sys_segment_read(reader_thread, entry, 0, 5)
+            .trap_segment_read(reader_thread, entry, 0, 5)
             .is_err());
         raise_taint_for(&mut env, reader, &secret).unwrap();
         assert_eq!(
             env.machine_mut()
                 .kernel_mut()
-                .sys_segment_read(reader_thread, entry, 0, 5)
+                .trap_segment_read(reader_thread, entry, 0, 5)
                 .unwrap(),
             b"reply"
         );
@@ -540,7 +540,7 @@ mod tests {
         let tl = kernel.thread_label(outsider_thread).unwrap();
         let tc = kernel.thread_clearance(outsider_thread).unwrap();
         assert!(matches!(
-            kernel.sys_gate_enter(outsider_thread, return_gate, tl.clone(), tc, tl),
+            kernel.trap_gate_enter(outsider_thread, return_gate, tl.clone(), tc, tl),
             Err(SyscallError::GateClearance(_))
         ));
         return_from_service(&mut env, session).unwrap();

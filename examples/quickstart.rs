@@ -16,7 +16,7 @@ fn main() {
     // Allocate a category; the calling thread becomes its owner.
     let secret = machine
         .kernel_mut()
-        .sys_create_category(thread)
+        .trap_create_category(thread)
         .expect("category allocation");
     println!(
         "allocated category {secret}; thread label is now {}",
@@ -28,19 +28,19 @@ fn main() {
     let secret_label = Label::builder().set(secret, Level::L3).build();
     let seg = machine
         .kernel_mut()
-        .sys_segment_create(thread, root, secret_label, 64, "diary")
+        .trap_segment_create(thread, root, secret_label, 64, "diary")
         .expect("segment creation");
     let entry = ContainerEntry::new(root, seg);
     machine
         .kernel_mut()
-        .sys_segment_write(thread, entry, 0, b"dear diary...")
+        .trap_segment_write(thread, entry, 0, b"dear diary...")
         .expect("owner can write");
     println!("wrote a secret into segment {seg} labelled {{secret 3, 1}}");
 
     // A second, unprivileged thread cannot observe it.
     let other = machine
         .kernel_mut()
-        .sys_thread_create(
+        .trap_thread_create(
             thread,
             root,
             Label::unrestricted(),
@@ -49,7 +49,7 @@ fn main() {
             "snoop",
         )
         .expect("thread creation");
-    match machine.kernel_mut().sys_segment_read(other, entry, 0, 4) {
+    match machine.kernel_mut().trap_segment_read(other, entry, 0, 4) {
         Err(SyscallError::CannotObserve(_)) => {
             println!("unprivileged thread was refused: CannotObserve (no read up)");
         }
@@ -62,7 +62,7 @@ fn main() {
     let mut recovered = machine.crash_and_recover().expect("recovery");
     let data = recovered
         .kernel_mut()
-        .sys_segment_read(thread, entry, 0, 13)
+        .trap_segment_read(thread, entry, 0, 13)
         .expect("owner can still read after recovery");
     println!(
         "after crash+recovery the secret is still there: {:?}",

@@ -45,7 +45,7 @@ fn main() {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .expect("login category");
         (provider, login_cat, profile_label)
     };
@@ -80,7 +80,7 @@ fn main() {
                 let thread = env.process(worker).expect("worker").thread;
                 env.machine_mut()
                     .kernel_mut()
-                    .sys_segment_read(thread, entry, 0, st.len)
+                    .trap_segment_read(thread, entry, 0, st.len)
                     .unwrap_or_else(|e| format!("ERR {e}").into_bytes())
             }),
         )

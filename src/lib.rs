@@ -26,7 +26,7 @@
 //! let ktid = machine.kernel_thread();
 //!
 //! // Allocate a category; the calling thread becomes its owner.
-//! let cat = machine.kernel_mut().sys_create_category(ktid).unwrap();
+//! let cat = machine.kernel_mut().trap_create_category(ktid).unwrap();
 //! assert!(machine.kernel().thread_label(ktid).unwrap().owns(cat));
 //! ```
 

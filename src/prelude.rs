@@ -4,8 +4,9 @@ pub use histar_exporter::{Fabric, GlobalCategory};
 pub use histar_kernel::{
     machine::{Machine, MachineConfig},
     object::{ContainerEntry, ObjectId},
+    sched::{RunLimit, Scheduler, Step},
     syscall::SyscallError,
-    Kernel,
+    Kernel, Syscall, SyscallResult,
 };
 pub use histar_label::{Category, Label, Level};
 pub use histar_sim::clock::SimClock;

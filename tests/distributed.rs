@@ -52,7 +52,7 @@ fn setup_auth_node(fabric: &mut Fabric) -> (Pid, histar::label::Category) {
             .env
             .machine_mut()
             .kernel_mut()
-            .sys_create_category(thread)
+            .trap_create_category(thread)
             .unwrap();
         (provider, login_cat, profile_label)
     };
@@ -93,7 +93,7 @@ fn setup_auth_node(fabric: &mut Fabric) -> (Pid, histar::label::Category) {
                 match env
                     .machine_mut()
                     .kernel_mut()
-                    .sys_segment_read(thread, entry, 0, st.len)
+                    .trap_segment_read(thread, entry, 0, st.len)
                 {
                     Ok(bytes) => bytes,
                     Err(e) => format!("ERR {e}").into_bytes(),

@@ -25,15 +25,15 @@ fn process_structure_matches_figure6() {
     let kernel = env.machine_mut().kernel_mut();
     let exit_entry =
         histar::kernel::object::ContainerEntry::new(a_proc.process_container, a_proc.exit_segment);
-    assert!(kernel.sys_segment_read(b_thread, exit_entry, 0, 8).is_ok());
+    assert!(kernel.trap_segment_read(b_thread, exit_entry, 0, 8).is_ok());
     // ...but not write it...
     assert!(matches!(
-        kernel.sys_segment_write(b_thread, exit_entry, 0, &[1]),
+        kernel.trap_segment_write(b_thread, exit_entry, 0, &[1]),
         Err(SyscallError::CannotModify(_))
     ));
     // ...and cannot observe a's internal container at all.
     assert!(matches!(
-        kernel.sys_container_list(b_thread, a_proc.internal_container),
+        kernel.trap_container_list(b_thread, a_proc.internal_container),
         Err(SyscallError::CannotObserve(_))
     ));
 }
