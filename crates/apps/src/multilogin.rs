@@ -10,6 +10,12 @@
 //! traps through `Kernel::dispatch`, so the whole workload is visible as
 //! one auditable syscall stream, and the same scheduler seed replays the
 //! identical interleaving.
+//!
+//! The gate-call argument spills (return gate + resource container + gate
+//! label reads) and the login protocol's category/label pairs cross the
+//! boundary as submission batches, so a quantum's kernel work pays one
+//! trap cost instead of one per call — visible in the report's
+//! [`DispatchStats`] batch-size histogram.
 
 use histar_auth::{AuthService, AuthSystem, LoginOutcome};
 use histar_kernel::sched::{Program, RunLimit, SchedContext, ScheduleReport, Scheduler, Step};
@@ -298,6 +304,14 @@ mod tests {
         assert_eq!(report.granted, 100 - expected_rejected);
         assert!(report.syscalls > 1000, "got {} syscalls", report.syscalls);
         assert!(report.schedule.context_switches >= 100);
+        // The gate-call spills are batched: strictly fewer boundary
+        // crossings than dispatched entries.
+        assert!(report.dispatch.batches > 0);
+        assert!(
+            report.dispatch.mean_batch_size() > 1.0,
+            "mean batch size {:.3} must exceed 1 when spills are batched",
+            report.dispatch.mean_batch_size()
+        );
 
         // Same seed ⇒ identical outcomes AND identical audit trace.
         let (world2, report2) = run_multilogin(params).unwrap();

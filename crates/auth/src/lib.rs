@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use histar_label::{Label, Level};
+use histar_label::{Category, Label, Level};
 use histar_unix::process::Pid;
 use histar_unix::users::User;
 use histar_unix::{UnixEnv, UnixError};
@@ -161,8 +161,22 @@ impl AuthSystem {
         let kernel = env.machine_mut().kernel_mut();
         let saved_label = kernel.thread_label(login_thread)?;
         let saved_clearance = kernel.thread_clearance(login_thread)?;
-        let pi_r = kernel.trap_create_category(login_thread)?;
-        let _session_w = kernel.trap_create_category(login_thread)?;
+        // Both per-login categories are allocated in one submission batch.
+        let mut allocs = kernel
+            .submit_calls(
+                login_thread,
+                vec![
+                    histar_kernel::Syscall::CreateCategory,
+                    histar_kernel::Syscall::CreateCategory,
+                ],
+            )
+            .into_iter();
+        let mut next_cat = || -> Result<Category> {
+            let r = allocs.next().expect("one completion per submitted call")?;
+            Ok(r.into_category())
+        };
+        let pi_r = next_cat()?;
+        let _session_w = next_cat()?;
 
         // Step 3: the check runs tainted pi_r 3.  Login itself *owns* pi_r
         // (it allocated the category), so the taint restricts the user's
@@ -196,8 +210,19 @@ impl AuthSystem {
         // renounced) and, on success, gain the user's categories through
         // the grant gate.
         let kernel = env.machine_mut().kernel_mut();
-        kernel.trap_self_set_label(login_thread, saved_label.clone())?;
-        kernel.trap_self_set_clearance(login_thread, saved_clearance.clone())?;
+        for r in kernel.submit_calls(
+            login_thread,
+            vec![
+                histar_kernel::Syscall::SelfSetLabel {
+                    label: saved_label.clone(),
+                },
+                histar_kernel::Syscall::SelfSetClearance {
+                    clearance: saved_clearance.clone(),
+                },
+            ],
+        ) {
+            r?;
+        }
         match grant {
             Some(user) => {
                 let granted_label = saved_label

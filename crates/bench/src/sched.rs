@@ -13,7 +13,7 @@ use histar_apps::multilogin::{run_multilogin, MultiLoginParams};
 use histar_auth::{AuthService, AuthSystem, LoginOutcome};
 use histar_exporter::Fabric;
 use histar_kernel::sched::{Program, RunLimit, SchedContext, Scheduler, Step};
-use histar_kernel::{Kernel, SyscallStats};
+use histar_kernel::{DispatchStats, Kernel, SyscallStats};
 use histar_sim::{CostModel, OsFlavor, SimDuration};
 use histar_unix::process::Pid;
 
@@ -80,6 +80,9 @@ pub struct SchedMeasurement {
     pub elapsed: SimDuration,
     /// Mean charged context-switch cost.
     pub switch_cost: SimDuration,
+    /// Per-syscall dispatch counters over the run, including the
+    /// submission-batch size histogram.
+    pub dispatch: DispatchStats,
 }
 
 impl SchedMeasurement {
@@ -91,6 +94,17 @@ impl SchedMeasurement {
         } else {
             self.syscalls as f64 / secs
         }
+    }
+
+    /// Amortized boundary-crossing cost per dispatched entry, in
+    /// nanoseconds: one full trap per batch plus the decode cost for every
+    /// further entry, divided over all entries.
+    pub fn amortized_trap_ns(&self) -> f64 {
+        let cost = CostModel::for_flavor(OsFlavor::HiStar);
+        self.dispatch.amortized_trap_ns(
+            cost.syscall.as_nanos(),
+            cost.syscall_batched_entry.as_nanos(),
+        )
     }
 }
 
@@ -111,6 +125,7 @@ pub fn measure_single_node(params: SchedBenchParams) -> SchedMeasurement {
         context_switches: report.schedule.context_switches,
         elapsed: report.elapsed,
         switch_cost: mean_switch_cost(&report.kernel),
+        dispatch: report.dispatch,
     }
 }
 
@@ -250,16 +265,15 @@ pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
         failures: Vec::new(),
     };
     let before_clock = world.fabric.nodes[0].env.machine().uptime();
-    let dispatch_before: u64 = (0..2)
+    let dispatch_snapshots: Vec<DispatchStats> = (0..2)
         .map(|n| {
             world.fabric.nodes[n]
                 .env
                 .machine()
                 .kernel()
                 .dispatch_stats()
-                .total()
         })
-        .sum();
+        .collect();
     let stats_before: Vec<SyscallStats> = (0..2)
         .map(|n| world.fabric.nodes[n].env.machine().kernel().stats())
         .collect();
@@ -285,16 +299,17 @@ pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
     );
 
     let elapsed = world.fabric.nodes[0].env.machine().uptime() - before_clock;
-    let dispatch_after: u64 = (0..2)
-        .map(|n| {
-            world.fabric.nodes[n]
-                .env
-                .machine()
-                .kernel()
-                .dispatch_stats()
-                .total()
-        })
-        .sum();
+    // Combine both nodes' dispatch deltas into one histogram.
+    let mut dispatch = DispatchStats::default();
+    for (n, before) in dispatch_snapshots.iter().enumerate() {
+        let d = world.fabric.nodes[n]
+            .env
+            .machine()
+            .kernel()
+            .dispatch_stats()
+            .since(before);
+        dispatch = dispatch.merge(&d);
+    }
     let mut switch_stats = SyscallStats::default();
     for (n, before) in stats_before.iter().enumerate() {
         let s = world.fabric.nodes[n].env.machine().kernel().stats();
@@ -304,11 +319,12 @@ pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
     }
     SchedMeasurement {
         completed: (scheds[0].stats().completed + scheds[1].stats().completed),
-        syscalls: dispatch_after - dispatch_before,
+        syscalls: dispatch.total(),
         quanta: scheds[0].stats().quanta + scheds[1].stats().quanta,
         context_switches: switch_stats.context_switches,
         elapsed,
         switch_cost: mean_switch_cost(&switch_stats),
+        dispatch,
     }
 }
 
@@ -331,12 +347,46 @@ pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
         Row::new("two-node fabric: mean context-switch cost").measure("HiStar", fabric.switch_cost),
     );
 
+    table.push(
+        Row::new("single node: amortized boundary cost/call").measure(
+            "HiStar",
+            SimDuration::from_nanos(single.amortized_trap_ns() as u64),
+        ),
+    );
+
     let mut json = BenchJson::new("sched");
     json.metric(
         "single_node.syscalls_per_sec",
         single.syscalls_per_sec(),
         single.elapsed.as_nanos(),
     );
+    json.metric(
+        "single_node.mean_batch_size",
+        single.dispatch.mean_batch_size(),
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "single_node.amortized_trap_ns_per_call",
+        single.amortized_trap_ns(),
+        single.elapsed.as_nanos(),
+    );
+    json.metric(
+        "single_node.batches",
+        single.dispatch.batches as f64,
+        single.elapsed.as_nanos(),
+    );
+    for (i, count) in single.dispatch.batch_size_hist.iter().enumerate() {
+        if *count > 0 {
+            json.metric(
+                &format!(
+                    "single_node.batch_hist.{}",
+                    DispatchStats::batch_bucket_label(i)
+                ),
+                *count as f64,
+                single.elapsed.as_nanos(),
+            );
+        }
+    }
     json.metric(
         "single_node.context_switch_cost_ns",
         single.switch_cost.as_nanos() as f64,
@@ -367,6 +417,16 @@ pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
         fabric.completed as f64,
         fabric.elapsed.as_nanos(),
     );
+    json.metric(
+        "fabric.mean_batch_size",
+        fabric.dispatch.mean_batch_size(),
+        fabric.elapsed.as_nanos(),
+    );
+    json.metric(
+        "fabric.handle_resolutions",
+        fabric.dispatch.handle_resolutions as f64,
+        fabric.elapsed.as_nanos(),
+    );
     (table, json)
 }
 
@@ -390,6 +450,12 @@ mod tests {
         assert_eq!(m.completed, 12, "6 logins per node across 2 nodes");
         assert!(m.syscalls > 0);
         assert!(m.elapsed > SimDuration::ZERO);
+        // The echo RPCs ride netd, whose packet path names the device and
+        // buffers by capability handle.
+        assert!(
+            m.dispatch.handle_resolutions > 0,
+            "netd's hot path must resolve handle-encoded arguments"
+        );
     }
 
     #[test]
@@ -402,5 +468,26 @@ mod tests {
         assert!(j.contains("\"name\": \"sched\""));
         assert!(j.contains("single_node.syscalls_per_sec"));
         assert!(j.contains("fabric.completed"));
+        assert!(j.contains("single_node.mean_batch_size"));
+        assert!(j.contains("single_node.amortized_trap_ns_per_call"));
+        assert!(j.contains("single_node.batch_hist.1"));
+    }
+
+    #[test]
+    fn batching_amortizes_the_trap_cost() {
+        let m = measure_single_node(SchedBenchParams::smoke());
+        // The login workload batches its gate-call spills, so batches are
+        // smaller in number than entries and the amortized boundary cost
+        // is strictly below the full trap cost.
+        assert!(m.dispatch.batches > 0);
+        assert!(m.dispatch.mean_batch_size() > 1.0);
+        let full_trap = CostModel::for_flavor(OsFlavor::HiStar).syscall.as_nanos() as f64;
+        assert!(m.amortized_trap_ns() < full_trap);
+        // The histogram sees both single-call traps and multi-call batches.
+        assert!(m.dispatch.batch_size_hist[0] > 0, "1-entry batches");
+        assert!(
+            m.dispatch.batch_size_hist[1..].iter().sum::<u64>() > 0,
+            "multi-entry batches"
+        );
     }
 }

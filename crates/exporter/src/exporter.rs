@@ -463,15 +463,20 @@ impl Exporter {
             .kernel_mut()
             .trap_segment_write(caller_thread, entry, 0, request)
             .map_err(UnixError::from)?;
-        let payload = env
-            .machine_mut()
-            .kernel_mut()
-            .trap_segment_read(exporter_thread, entry, 0, request.len() as u64)
-            .map_err(UnixError::from)?;
-        let _ = env
-            .machine_mut()
-            .kernel_mut()
-            .trap_obj_unref(exporter_thread, entry);
+        // The exporter's read-back and the segment's release cross the
+        // boundary as one submission batch (the unref is best-effort).
+        let mut results = env.machine_mut().kernel_mut().submit_calls(
+            exporter_thread,
+            vec![
+                histar_kernel::Syscall::SegmentRead {
+                    entry,
+                    offset: 0,
+                    len: request.len() as u64,
+                },
+                histar_kernel::Syscall::ObjUnref { entry },
+            ],
+        );
+        let payload = results.remove(0).map_err(UnixError::from)?.into_bytes();
 
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -703,10 +708,12 @@ impl Exporter {
             &mut reply_entry,
         );
         let kernel = env.machine_mut().kernel_mut();
-        let _ = kernel.trap_obj_unref(exporter_thread, entry);
+        let mut cleanup = vec![histar_kernel::Syscall::ObjUnref { entry }];
         if let Some(re) = reply_entry {
-            let _ = kernel.trap_obj_unref(exporter_thread, re);
+            cleanup.push(histar_kernel::Syscall::ObjUnref { entry: re });
         }
+        // Best-effort release of the per-call segments, one batch.
+        let _ = kernel.submit_calls(exporter_thread, cleanup);
         result
     }
 

@@ -20,6 +20,7 @@
 //! `sys_*` methods directly, so the whole system's kernel interaction is
 //! visible in one stream.
 
+use crate::abi::{Completion, CompletionKind, SqEntry, SqOp, SubmissionQueue};
 use crate::bodies::{Alert, Mapping};
 use crate::kernel::{GateEntryResult, Kernel, PageFaultResolution, RemoteCategoryName};
 use crate::object::{ContainerEntry, ObjectId, ObjectType, METADATA_LEN};
@@ -483,6 +484,58 @@ pub enum SyscallResult {
     Frame(Option<Vec<u8>>),
 }
 
+impl SyscallResult {
+    /// Unwraps an [`ObjectId`] result; panics on any other variant.
+    /// Dispatch guarantees the variant matches the submitted call, so the
+    /// panic marks a caller/completion pairing bug, not a runtime error.
+    pub fn into_object_id(self) -> ObjectId {
+        match self {
+            SyscallResult::ObjectId(id) => id,
+            other => panic!("expected an ObjectId completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a [`Label`] result; panics on any other variant.
+    pub fn into_label(self) -> Label {
+        match self {
+            SyscallResult::Label(l) => l,
+            other => panic!("expected a Label completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a [`Category`] result; panics on any other variant.
+    pub fn into_category(self) -> Category {
+        match self {
+            SyscallResult::Category(c) => c,
+            other => panic!("expected a Category completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a byte-vector result; panics on any other variant.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            SyscallResult::Bytes(b) => b,
+            other => panic!("expected a Bytes completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a plain-number result; panics on any other variant.
+    pub fn into_u64(self) -> u64 {
+        match self {
+            SyscallResult::U64(v) => v,
+            other => panic!("expected a U64 completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a received-frame result; panics on any other variant.
+    pub fn into_frame(self) -> Option<Vec<u8>> {
+        match self {
+            SyscallResult::Frame(f) => f,
+            other => panic!("expected a Frame completion, got {other:?}"),
+        }
+    }
+}
+
 /// Per-syscall invocation and error counters maintained by
 /// [`Kernel::dispatch`].
 ///
@@ -496,13 +549,42 @@ pub struct DispatchStats {
     pub invocations: [u64; SYSCALL_COUNT],
     /// Errors per syscall, indexed like [`SYSCALL_NAMES`].
     pub errors: [u64; SYSCALL_COUNT],
+    /// Boundary crossings: submission batches drained (a single `trap_*`
+    /// call is a 1-entry batch).
+    pub batches: u64,
+    /// Total submission entries across all batches (syscalls plus handle
+    /// operations).
+    pub batch_entries: u64,
+    /// Histogram of batch sizes; bucket boundaries are
+    /// [`BATCH_HIST_BUCKETS`].
+    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS.len()],
+    /// Capability handles installed.
+    pub handle_opens: u64,
+    /// Capability handles explicitly closed.
+    pub handle_closes: u64,
+    /// Capability handles revoked by `obj_unref`/deallocation.
+    pub handle_revocations: u64,
+    /// Handle-encoded syscall arguments resolved at dispatch (how often
+    /// the hot path named objects by handle instead of raw entry).
+    pub handle_resolutions: u64,
 }
+
+/// Upper bounds (inclusive) of the batch-size histogram buckets; the last
+/// bucket is open-ended.
+pub const BATCH_HIST_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
 
 impl Default for DispatchStats {
     fn default() -> DispatchStats {
         DispatchStats {
             invocations: [0; SYSCALL_COUNT],
             errors: [0; SYSCALL_COUNT],
+            batches: 0,
+            batch_entries: 0,
+            batch_size_hist: [0; BATCH_HIST_BUCKETS.len()],
+            handle_opens: 0,
+            handle_closes: 0,
+            handle_revocations: 0,
+            handle_resolutions: 0,
         }
     }
 }
@@ -535,14 +617,90 @@ impl DispatchStats {
             .collect()
     }
 
-    /// Difference between two snapshots (`self - earlier`).
-    pub fn since(&self, earlier: &DispatchStats) -> DispatchStats {
+    /// The histogram bucket a batch of `size` entries falls into.
+    pub fn batch_bucket(size: u64) -> usize {
+        BATCH_HIST_BUCKETS
+            .iter()
+            .position(|&hi| size <= hi)
+            .unwrap_or(BATCH_HIST_BUCKETS.len() - 1)
+    }
+
+    /// Human-readable label for histogram bucket `i` (e.g. `"3-4"`).
+    pub fn batch_bucket_label(i: usize) -> String {
+        let hi = BATCH_HIST_BUCKETS[i];
+        let lo = if i == 0 {
+            1
+        } else {
+            BATCH_HIST_BUCKETS[i - 1] + 1
+        };
+        if hi == u64::MAX {
+            format!("{lo}+")
+        } else if lo == hi {
+            format!("{hi}")
+        } else {
+            format!("{lo}-{hi}")
+        }
+    }
+
+    /// Mean submission-batch size (1.0 when everything was single-call).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_entries as f64 / self.batches as f64
+        }
+    }
+
+    /// Amortized boundary cost per entry, in nanoseconds, given the full
+    /// trap cost and the batched-entry decode cost: every batch pays
+    /// `trap_ns` once and `entry_ns` for each further entry.
+    pub fn amortized_trap_ns(&self, trap_ns: u64, entry_ns: u64) -> f64 {
+        if self.batch_entries == 0 {
+            return trap_ns as f64;
+        }
+        let total = self.batches * trap_ns + (self.batch_entries - self.batches) * entry_ns;
+        total as f64 / self.batch_entries as f64
+    }
+
+    pub(crate) fn record_batch(&mut self, entries: u64) {
+        if entries == 0 {
+            return;
+        }
+        self.batches += 1;
+        self.batch_entries += entries;
+        self.batch_size_hist[DispatchStats::batch_bucket(entries)] += 1;
+    }
+
+    /// Applies `op` to every counter pair of `self` and `other` — the one
+    /// place that enumerates the struct's fields, so `since`/`merge` can
+    /// never drift apart when a counter is added.
+    fn zip_with(&self, other: &DispatchStats, op: impl Fn(u64, u64) -> u64) -> DispatchStats {
         let mut out = DispatchStats::default();
         for i in 0..SYSCALL_COUNT {
-            out.invocations[i] = self.invocations[i] - earlier.invocations[i];
-            out.errors[i] = self.errors[i] - earlier.errors[i];
+            out.invocations[i] = op(self.invocations[i], other.invocations[i]);
+            out.errors[i] = op(self.errors[i], other.errors[i]);
         }
+        for i in 0..BATCH_HIST_BUCKETS.len() {
+            out.batch_size_hist[i] = op(self.batch_size_hist[i], other.batch_size_hist[i]);
+        }
+        out.batches = op(self.batches, other.batches);
+        out.batch_entries = op(self.batch_entries, other.batch_entries);
+        out.handle_opens = op(self.handle_opens, other.handle_opens);
+        out.handle_closes = op(self.handle_closes, other.handle_closes);
+        out.handle_revocations = op(self.handle_revocations, other.handle_revocations);
+        out.handle_resolutions = op(self.handle_resolutions, other.handle_resolutions);
         out
+    }
+
+    /// Difference between two snapshots (`self - earlier`).
+    pub fn since(&self, earlier: &DispatchStats) -> DispatchStats {
+        self.zip_with(earlier, |a, b| a - b)
+    }
+
+    /// Element-wise sum of two counter sets (e.g. combining the nodes of a
+    /// fabric into one histogram).
+    pub fn merge(&self, other: &DispatchStats) -> DispatchStats {
+        self.zip_with(other, |a, b| a + b)
     }
 }
 
@@ -629,20 +787,130 @@ impl SyscallTrace {
 impl Kernel {
     /// Executes one trapped system call on behalf of thread `tid`.
     ///
-    /// This is the single choke point of the kernel interface: it decodes
-    /// the [`Syscall`], runs the corresponding `sys_*` implementation (which
-    /// performs the paper's label checks and charges the call's CPU cost),
-    /// bumps the per-syscall [`DispatchStats`], and appends to the audit
-    /// trace when one is enabled.
+    /// Since the batched ABI landed, this is a shim over a 1-entry
+    /// submission batch: the call crosses the boundary alone, pays the
+    /// full trap cost, and its result is returned directly instead of
+    /// being pushed onto the completion queue.  Per-call label checks,
+    /// [`DispatchStats`] counters and audit-trace records are identical
+    /// either way.
     pub fn dispatch(
         &mut self,
         tid: ObjectId,
         call: Syscall,
     ) -> Result<SyscallResult, SyscallError> {
+        self.begin_batch();
+        let result = self.dispatch_one(tid, call);
+        self.end_batch();
+        self.dispatch_stats_mut().record_batch(1);
+        result
+    }
+
+    /// Drains one submission batch for thread `tid`: every entry executes
+    /// in submission order against the same label checks, per-syscall
+    /// counters and audit trace as a one-per-trap stream, but the whole
+    /// batch pays the kernel entry/exit (trap) cost once — each entry
+    /// after the first is charged only the cheap decode cost.  One
+    /// [`Completion`] per entry is pushed onto the thread's completion
+    /// queue, in order, once the batch finishes.  A batch does not stop on
+    /// errors (each entry's completion carries its own result), so entries
+    /// with user-level data dependencies belong in separate batches.
+    ///
+    /// Returns the number of entries processed.  If the batch itself tears
+    /// the calling thread down (an entry unrefs the thread's last link),
+    /// its completions die with the thread — nobody is left to reap them.
+    pub fn dispatch_batch<I>(&mut self, tid: ObjectId, entries: I) -> usize
+    where
+        I: IntoIterator<Item = SqEntry>,
+    {
+        let done = self.dispatch_batch_collect(tid, entries);
+        let n = done.len();
+        // A deallocated thread's queue was dropped by `dealloc`; do not
+        // resurrect it for completions nobody can reap.
+        if self.thread_state(tid).is_ok() {
+            for completion in done {
+                self.push_completion(tid, completion);
+            }
+        }
+        n
+    }
+
+    /// The batch execution loop, returning the completions directly
+    /// instead of routing them through the thread's completion queue —
+    /// the queue can vanish mid-batch if an entry deallocates the calling
+    /// thread, so synchronous callers take results from here.
+    fn dispatch_batch_collect<I>(&mut self, tid: ObjectId, entries: I) -> Vec<Completion>
+    where
+        I: IntoIterator<Item = SqEntry>,
+    {
+        self.begin_batch();
+        let mut done = Vec::new();
+        for SqEntry { user_data, op } in entries {
+            let kind = match op {
+                SqOp::Call(call) => CompletionKind::Call(self.dispatch_one(tid, call)),
+                SqOp::HandleOpen { entry } => {
+                    CompletionKind::HandleOpened(self.handle_open(tid, entry))
+                }
+                SqOp::HandleClose { handle } => {
+                    CompletionKind::HandleClosed(self.handle_close(tid, handle))
+                }
+            };
+            done.push(Completion { user_data, kind });
+        }
+        self.end_batch();
+        self.dispatch_stats_mut().record_batch(done.len() as u64);
+        done
+    }
+
+    /// Drains a user-side [`SubmissionQueue`] in one boundary crossing.
+    /// Completions land on `tid`'s completion queue and are reaped with
+    /// [`Kernel::reap_completion`]/[`Kernel::reap_completions`].
+    pub fn submit(&mut self, tid: ObjectId, sq: &mut SubmissionQueue) -> usize {
+        self.dispatch_batch(tid, sq.drain())
+    }
+
+    /// Submits `calls` as one batch and returns their results directly,
+    /// in submission order — the synchronous multi-call pattern library
+    /// hot paths use for argument spills.  The thread's completion queue
+    /// is bypassed entirely, so completions already queued (e.g. alert
+    /// notifications, or ones pushed by an alert *inside* this batch)
+    /// stay queued, and a batch that tears down the calling thread still
+    /// reports every entry's result.
+    pub fn submit_calls(
+        &mut self,
+        tid: ObjectId,
+        calls: Vec<Syscall>,
+    ) -> Vec<Result<SyscallResult, SyscallError>> {
+        let entries: Vec<SqEntry> = calls
+            .into_iter()
+            .enumerate()
+            .map(|(i, call)| SqEntry {
+                user_data: i as u64,
+                op: SqOp::Call(call),
+            })
+            .collect();
+        self.dispatch_batch_collect(tid, entries)
+            .into_iter()
+            .map(Completion::into_call_result)
+            .collect()
+    }
+
+    /// One submitted entry, executed under the current batch's cost
+    /// accounting: handle-encoded arguments are resolved against `tid`'s
+    /// handle table, the per-syscall counters are bumped, the `sys_*`
+    /// implementation runs, and the audit trace is appended.
+    fn dispatch_one(
+        &mut self,
+        tid: ObjectId,
+        call: Syscall,
+    ) -> Result<SyscallResult, SyscallError> {
+        let mut call = call;
         let index = call.index();
         let name = call.name();
         self.dispatch_stats_mut().invocations[index] += 1;
-        let result = self.dispatch_inner(tid, call);
+        let result = match self.resolve_handle_args(tid, &mut call) {
+            Ok(()) => self.dispatch_inner(tid, call),
+            Err(e) => Err(e),
+        };
         if result.is_err() {
             self.dispatch_stats_mut().errors[index] += 1;
         }
@@ -652,6 +920,59 @@ impl Kernel {
             trace.push(tick, tid, name, ok);
         }
         result
+    }
+
+    /// Substitutes handle-encoded `ContainerEntry` arguments with the
+    /// entries installed in `tid`'s handle table.  A stale or unknown
+    /// handle fails the call with [`SyscallError::BadHandle`] before any
+    /// state is touched; the substituted entry is still re-validated by
+    /// the `sys_*` implementation like any raw entry, so handles add a
+    /// naming indirection, never a checking shortcut.
+    fn resolve_handle_args(
+        &mut self,
+        tid: ObjectId,
+        call: &mut Syscall,
+    ) -> Result<(), SyscallError> {
+        use Syscall as S;
+        let mut args: [Option<&mut ContainerEntry>; 2] = [None, None];
+        match call {
+            S::ObjUnref { entry }
+            | S::HardLink { entry, .. }
+            | S::ObjGetLabel { entry }
+            | S::ObjGetInfo { entry }
+            | S::ObjGetMetadata { entry }
+            | S::ObjSetMetadata { entry, .. }
+            | S::ObjSetImmutable { entry }
+            | S::ObjSetFixedQuota { entry }
+            | S::SegmentResize { entry, .. }
+            | S::SegmentRead { entry, .. }
+            | S::SegmentWrite { entry, .. }
+            | S::SegmentLen { entry } => args[0] = Some(entry),
+            S::SegmentCopy { src, .. } | S::AsCopy { src, .. } => args[0] = Some(src),
+            S::AsMap { aspace, mapping } => {
+                args[0] = Some(aspace);
+                args[1] = Some(&mut mapping.segment);
+            }
+            S::AsUnmap { aspace, .. } | S::SelfSetAs { aspace } => args[0] = Some(aspace),
+            S::ThreadAlert { target, .. } | S::ThreadGetLabel { target } => args[0] = Some(target),
+            S::GateCreate { address_space, .. } => args[0] = address_space.as_mut(),
+            S::GateEnter { gate, .. } | S::GateClearance { gate } => args[0] = Some(gate),
+            S::NetMac { device } | S::NetTransmit { device, .. } | S::NetReceive { device } => {
+                args[0] = Some(device)
+            }
+            _ => {}
+        }
+        let mut resolved = 0;
+        for entry in args.into_iter().flatten() {
+            if let Some(h) = entry.as_handle() {
+                *entry = self
+                    .handle_entry(tid, h)
+                    .ok_or(SyscallError::BadHandle(h.raw()))?;
+                resolved += 1;
+            }
+        }
+        self.dispatch_stats_mut().handle_resolutions += resolved;
+        Ok(())
     }
 
     fn dispatch_inner(

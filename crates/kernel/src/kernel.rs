@@ -6,6 +6,7 @@
 //! touching any state, counts itself in [`SyscallStats`], and charges its
 //! CPU cost to the machine clock (when one is attached).
 
+use crate::abi::{Completion, CompletionKind, Handle, HandleTable, KERNEL_USER_DATA};
 use crate::bodies::{
     AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody, SegmentBody,
     ThreadBody, ThreadState,
@@ -93,6 +94,15 @@ pub struct Kernel {
     dispatch_stats: DispatchStats,
     /// The bounded audit trace of dispatched syscalls, when enabled.
     trace: Option<SyscallTrace>,
+    /// Per-thread capability handle tables (ABI-edge state, not persisted).
+    handles: HashMap<ObjectId, HandleTable>,
+    /// Per-thread completion queues (ABI-edge state, not persisted).
+    completions: HashMap<ObjectId, std::collections::VecDeque<Completion>>,
+    /// True while a submission batch is being drained: the first call
+    /// charges the full trap cost, the rest only the batched decode cost.
+    in_batch: bool,
+    /// Whether the current batch has charged its trap cost yet.
+    batch_trap_charged: bool,
 }
 
 impl Kernel {
@@ -117,6 +127,10 @@ impl Kernel {
             remote_index: HashMap::new(),
             dispatch_stats: DispatchStats::default(),
             trace: None,
+            handles: HashMap::new(),
+            completions: HashMap::new(),
+            in_batch: false,
+            batch_trap_charged: false,
         };
         let root_id = kernel.fresh_id();
         let mut header = ObjectHeader::new(
@@ -203,9 +217,15 @@ impl Kernel {
     // ----- internal helpers ---------------------------------------------
 
     fn fresh_id(&mut self) -> ObjectId {
-        let id = self.id_cipher.encrypt(self.id_counter) & OBJECT_ID_MASK;
-        self.id_counter += 1;
-        ObjectId::from_raw(id)
+        loop {
+            let id = self.id_cipher.encrypt(self.id_counter) & OBJECT_ID_MASK;
+            self.id_counter += 1;
+            // The all-ones ID is reserved as the handle namespace (see
+            // `object::HANDLE_NAMESPACE`); no real object may carry it.
+            if id != crate::object::HANDLE_NAMESPACE.raw() {
+                return ObjectId::from_raw(id);
+            }
+        }
     }
 
     fn charge(&mut self, d: SimDuration) {
@@ -216,8 +236,33 @@ impl Kernel {
 
     fn charge_syscall(&mut self) {
         self.stats.syscalls += 1;
-        let c = self.cost.syscall;
+        self.charge_boundary();
+    }
+
+    /// Charges one boundary crossing.  Inside a submission batch the
+    /// kernel is entered once: the first operation pays the full trap
+    /// cost, the rest only the per-entry decode cost.  Counters are
+    /// unaffected — only charged time amortizes.
+    fn charge_boundary(&mut self) {
+        let c = if self.in_batch && self.batch_trap_charged {
+            self.cost.syscall_batched_entry
+        } else {
+            self.batch_trap_charged = true;
+            self.cost.syscall
+        };
         self.charge(c);
+    }
+
+    /// Enters batch mode: the next `charge_syscall` pays the full trap
+    /// cost, subsequent ones only the decode cost, until `end_batch`.
+    pub(crate) fn begin_batch(&mut self) {
+        self.in_batch = true;
+        self.batch_trap_charged = false;
+    }
+
+    pub(crate) fn end_batch(&mut self) {
+        self.in_batch = false;
+        self.batch_trap_charged = false;
     }
 
     fn obj(&self, id: ObjectId) -> Result<&KObject, SyscallError> {
@@ -346,6 +391,105 @@ impl Kernel {
     /// machine clock.
     pub fn sched_charge(&mut self, quantum: SimDuration) {
         self.charge(quantum);
+    }
+
+    // ----- capability handles and completion queues (ABI edge) ----------
+
+    /// Resolves a container entry into a capability handle for thread
+    /// `tid`, performing the standard reachability check: the thread must
+    /// be able to observe the entry's container and the container must
+    /// hold a link to the object.  A thread can therefore never install a
+    /// handle for an object it could not traverse to.
+    pub fn handle_open(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<Handle, SyscallError> {
+        // Handle installation is a ring operation, not a syscall: it is
+        // not counted in `SyscallStats.syscalls`, but the reachability
+        // check below performs (and counts) a real label check.
+        let (header, body) = self.thread(tid)?;
+        if body.state == ThreadState::Halted {
+            return Err(SyscallError::ThreadHalted(tid));
+        }
+        let tl = header.label.clone();
+        self.charge_boundary();
+        self.check_entry(&tl, entry)?;
+        self.dispatch_stats.handle_opens += 1;
+        Ok(self.handles.entry(tid).or_default().install(entry))
+    }
+
+    /// Drops a handle from `tid`'s handle table.  Returns whether the
+    /// handle was live.
+    pub fn handle_close(&mut self, tid: ObjectId, handle: Handle) -> bool {
+        self.charge_boundary();
+        self.dispatch_stats.handle_closes += 1;
+        self.handles
+            .get_mut(&tid)
+            .and_then(|t| t.revoke(handle))
+            .is_some()
+    }
+
+    /// The entry a handle currently resolves to for `tid`, if live.
+    pub fn handle_entry(&self, tid: ObjectId, handle: Handle) -> Option<ContainerEntry> {
+        self.handles.get(&tid).and_then(|t| t.resolve(handle))
+    }
+
+    /// Number of live handles installed for `tid`.
+    pub fn handle_count(&self, tid: ObjectId) -> usize {
+        self.handles.get(&tid).map_or(0, |t| t.len())
+    }
+
+    /// Revokes, across every thread, handles installed through exactly
+    /// this severed container link.  Empty tables are skipped in O(1), so
+    /// the sweep costs nothing on unref-heavy workloads that never
+    /// installed handles.
+    fn revoke_handles_for_entry(&mut self, entry: ContainerEntry) {
+        for table in self.handles.values_mut().filter(|t| !t.is_empty()) {
+            self.dispatch_stats.handle_revocations += table.revoke_entry(entry) as u64;
+        }
+    }
+
+    /// Revokes, across every thread, handles naming a deallocated object
+    /// through any link.
+    fn revoke_handles_for_object(&mut self, object: ObjectId) {
+        for table in self.handles.values_mut().filter(|t| !t.is_empty()) {
+            self.dispatch_stats.handle_revocations += table.revoke_object(object) as u64;
+        }
+    }
+
+    /// Pushes a completion onto `tid`'s completion queue.
+    pub(crate) fn push_completion(&mut self, tid: ObjectId, completion: Completion) {
+        self.completions
+            .entry(tid)
+            .or_default()
+            .push_back(completion);
+    }
+
+    /// Whether `tid` has unreaped completions (scheduler wake condition: a
+    /// thread blocked on an empty completion queue is woken when one
+    /// arrives).
+    pub fn completion_pending(&self, tid: ObjectId) -> bool {
+        self.completions.get(&tid).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Number of unreaped completions for `tid`.
+    pub fn completion_count(&self, tid: ObjectId) -> usize {
+        self.completions.get(&tid).map_or(0, |q| q.len())
+    }
+
+    /// Removes and returns `tid`'s oldest unreaped completion.
+    pub fn reap_completion(&mut self, tid: ObjectId) -> Option<Completion> {
+        self.completions.get_mut(&tid).and_then(|q| q.pop_front())
+    }
+
+    /// Removes and returns all of `tid`'s unreaped completions, oldest
+    /// first.
+    pub fn reap_completions(&mut self, tid: ObjectId) -> Vec<Completion> {
+        self.completions
+            .get_mut(&tid)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
     }
 
     fn count_label_check(&mut self, a: &Label, b: &Label, immutable: bool) {
@@ -502,6 +646,12 @@ impl Kernel {
             return;
         };
         self.stats.objects_deallocated += 1;
+        self.revoke_handles_for_object(id);
+        if obj.header.object_type == ObjectType::Thread {
+            // A dead thread's ABI-edge state dies with it.
+            self.handles.remove(&id);
+            self.completions.remove(&id);
+        }
         if let ObjectBody::Container(c) = obj.body {
             for child in c.links {
                 if let Some(child_obj) = self.objects.get_mut(&child) {
@@ -638,6 +788,10 @@ impl Kernel {
                 o.header.links = o.header.links.saturating_sub(1);
                 o.header.links
             };
+            // The link is severed: every capability handle installed
+            // through it is revoked, so no thread can keep naming the
+            // object along a path that no longer exists.
+            self.revoke_handles_for_entry(entry);
             if remaining == 0 {
                 self.dealloc(entry.object);
             }
@@ -1486,6 +1640,16 @@ impl Kernel {
             }
             let (_, body) = self.thread_mut(target.object)?;
             body.pending_alerts.push(Alert { code });
+            // The alert is also announced on the target's completion
+            // queue, so a thread blocked on an empty queue wakes without
+            // polling `self_take_alert` every quantum.
+            self.push_completion(
+                target.object,
+                Completion {
+                    user_data: KERNEL_USER_DATA,
+                    kind: CompletionKind::AlertPending { code },
+                },
+            );
             Ok(())
         })();
         result.inspect_err(|_| self.stats.errors += 1)
@@ -1498,7 +1662,19 @@ impl Kernel {
         if body.pending_alerts.is_empty() {
             Ok(None)
         } else {
-            Ok(Some(body.pending_alerts.remove(0)))
+            let alert = body.pending_alerts.remove(0);
+            // The alert's completion-queue notification is consumed with
+            // it; a stale notification would re-wake a blocked thread
+            // forever (the busy-poll the completion queue exists to avoid).
+            if let Some(q) = self.completions.get_mut(&tid) {
+                if let Some(i) = q
+                    .iter()
+                    .position(|c| matches!(c.kind, CompletionKind::AlertPending { .. }))
+                {
+                    q.remove(i);
+                }
+            }
+            Ok(Some(alert))
         }
     }
 

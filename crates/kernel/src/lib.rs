@@ -30,8 +30,12 @@
 //!   recovery.
 //! * [`dispatch`] — the trap-style syscall ABI: a [`dispatch::Syscall`]
 //!   value per entry point, decoded and executed only by
-//!   [`Kernel::dispatch`](kernel::Kernel::dispatch), with per-syscall stats
-//!   and a bounded audit trace.
+//!   [`Kernel::dispatch`](kernel::Kernel::dispatch) /
+//!   [`Kernel::dispatch_batch`](kernel::Kernel::dispatch_batch), with
+//!   per-syscall stats and a bounded audit trace.
+//! * [`abi`] — the batched submission/completion lanes over dispatch
+//!   (io_uring-style: one trap cost per batch) and per-thread capability
+//!   [`abi::Handle`]s installed via reachability-checked resolution.
 //! * [`sched`] — a deterministic round-robin [`sched::Scheduler`] stepping
 //!   user-level programs one quantum at a time over any
 //!   [`sched::SchedContext`], plus `Machine::run_until`.
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abi;
 pub mod bodies;
 pub mod dispatch;
 pub mod kernel;
@@ -48,6 +53,10 @@ pub mod sched;
 pub mod serialize;
 pub mod syscall;
 
+pub use abi::{
+    Completion, CompletionKind, Handle, HandleTable, SqEntry, SqOp, SubmissionQueue,
+    KERNEL_USER_DATA,
+};
 pub use dispatch::{DispatchStats, Syscall, SyscallResult, SyscallTrace, TraceRecord};
 pub use kernel::Kernel;
 pub use machine::{Machine, MachineConfig};

@@ -123,6 +123,9 @@ pub struct SchedStats {
     pub completed: u64,
     /// Blocked threads woken because an alert was pending.
     pub alert_wakeups: u64,
+    /// Blocked threads woken because a completion landed on their
+    /// completion queue.
+    pub completion_wakeups: u64,
 }
 
 /// The result of one [`Scheduler::run`] invocation.
@@ -149,6 +152,10 @@ pub struct Scheduler<Ctx> {
     quantum: SimDuration,
     rng: SimRng,
     queue: VecDeque<ObjectId>,
+    /// Threads parked off the run queue until a completion or alert
+    /// arrives.  Blocked threads consume zero quanta: they are not
+    /// rotated through the run queue, only scanned for wake conditions.
+    waiting: Vec<ObjectId>,
     pending: Vec<ObjectId>,
     programs: HashMap<ObjectId, Program<Ctx>>,
     last_run: Option<ObjectId>,
@@ -163,6 +170,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
             quantum,
             rng: SimRng::new(seed ^ 0x5ced_5ced),
             queue: VecDeque::new(),
+            waiting: Vec::new(),
             pending: Vec::new(),
             programs: HashMap::new(),
             last_run: None,
@@ -205,16 +213,64 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
         self.queue.extend(batch);
     }
 
+    /// Scans the wait set for threads whose wake condition holds — a
+    /// pending alert, a completion on their completion queue, or an
+    /// external `sched_wake` — and moves them (in blocking order) back to
+    /// the run queue.  Retires threads that halted or died while parked.
+    fn wake_waiters(&mut self, ctx: &mut Ctx) {
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let tid = self.waiting[i];
+            let kernel = ctx.sched_kernel();
+            match kernel.thread_state(tid) {
+                Err(_) | Ok(ThreadState::Halted) => {
+                    self.waiting.remove(i);
+                    self.programs.remove(&tid);
+                    self.stats.completed += 1;
+                }
+                Ok(ThreadState::Runnable) => {
+                    // Woken externally (explicit sched_wake).
+                    self.waiting.remove(i);
+                    self.queue.push_back(tid);
+                }
+                Ok(ThreadState::Blocked) => {
+                    if kernel.thread_has_pending_alerts(tid) {
+                        let _ = kernel.sched_wake(tid);
+                        self.stats.alert_wakeups += 1;
+                        self.waiting.remove(i);
+                        self.queue.push_back(tid);
+                    } else if kernel.completion_pending(tid) {
+                        let _ = kernel.sched_wake(tid);
+                        self.stats.completion_wakeups += 1;
+                        self.waiting.remove(i);
+                        self.queue.push_back(tid);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Runs scheduled programs round-robin until `limit` is reached, every
     /// program completes, or only hopelessly blocked threads remain.
+    ///
+    /// Blocked threads live in a wait set, not the run queue: they are
+    /// charged no quanta and never stepped until a completion or alert
+    /// wakes them (this replaced the old busy rotation that cycled blocked
+    /// threads through the queue every pass).
     pub fn run(&mut self, ctx: &mut Ctx, limit: RunLimit) -> ScheduleReport {
         self.admit_pending();
         let start = ctx.sched_kernel().now();
         let before = self.stats;
-        let mut skipped_in_a_row = 0usize;
         let stop = loop {
+            self.wake_waiters(ctx);
             if self.queue.is_empty() {
-                break StopReason::AllComplete;
+                break if self.waiting.is_empty() {
+                    StopReason::AllComplete
+                } else {
+                    StopReason::AllBlocked
+                };
             }
             if self.stats.quanta - before.quanta >= limit.max_quanta {
                 break StopReason::QuantaExhausted;
@@ -231,27 +287,16 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                 Err(_) | Ok(ThreadState::Halted) => {
                     self.programs.remove(&tid);
                     self.stats.completed += 1;
-                    skipped_in_a_row = 0;
                     continue;
                 }
                 Ok(ThreadState::Blocked) => {
-                    let kernel = ctx.sched_kernel();
-                    if kernel.thread_has_pending_alerts(tid) {
-                        let _ = kernel.sched_wake(tid);
-                        self.stats.alert_wakeups += 1;
-                        // Fall through and run the woken thread.
-                    } else {
-                        self.queue.push_back(tid);
-                        skipped_in_a_row += 1;
-                        if skipped_in_a_row > self.queue.len() {
-                            break StopReason::AllBlocked;
-                        }
-                        continue;
-                    }
+                    // Blocked outside the scheduler's own Step::Block path
+                    // (e.g. a direct sched_block): park it.
+                    self.waiting.push(tid);
+                    continue;
                 }
                 Ok(ThreadState::Runnable) => {}
             }
-            skipped_in_a_row = 0;
 
             // Charge the switch onto this thread and its timeslice.
             {
@@ -278,7 +323,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                 Step::Block => {
                     let _ = ctx.sched_kernel().sched_block(tid);
                     self.programs.insert(tid, program);
-                    self.queue.push_back(tid);
+                    self.waiting.push(tid);
                 }
                 Step::Done => {
                     // Halt through the trap boundary so the audit trace
@@ -467,6 +512,167 @@ mod tests {
         let report = m.run_until(&mut sched, RunLimit::to_completion());
         assert_eq!(report.stop, StopReason::AllBlocked);
         assert_eq!(report.remaining, 1);
+    }
+
+    #[test]
+    fn consumed_alert_does_not_rewake_a_reblocked_thread() {
+        // A thread that takes its alert and blocks again must park for
+        // good: the alert's completion-queue notification is consumed with
+        // the alert, so the stale completion cannot re-wake it every pass
+        // (which would spin the run loop instead of reaching AllBlocked).
+        let mut m = Machine::boot(MachineConfig::default());
+        let root = m.kernel().root_container();
+        let sleeper = spawn_thread(&mut m, "sleeper");
+        let waker = spawn_thread(&mut m, "waker");
+        let boot = m.kernel_thread();
+        let aspace = m
+            .kernel_mut()
+            .trap_as_create(boot, root, Label::unrestricted(), "as")
+            .unwrap();
+        m.kernel_mut()
+            .trap_self_set_as(sleeper, ContainerEntry::new(root, aspace))
+            .unwrap();
+
+        let mut sched: Scheduler<Machine> = Scheduler::new(5, SimDuration::from_micros(10));
+        let mut taken = 0u32;
+        sched.spawn(
+            sleeper,
+            Box::new(move |m: &mut Machine, tid| {
+                // Deliberately no reap_completions: the legacy take_alert
+                // convention must not leave a wake-causing stale entry.
+                if m.kernel_mut().trap_self_take_alert(tid).unwrap().is_some() {
+                    taken += 1;
+                }
+                if taken >= 2 {
+                    Step::Done
+                } else {
+                    // Wait for the second alert, which never comes.
+                    Step::Block
+                }
+            }),
+        );
+        let mut sent = false;
+        sched.spawn(
+            waker,
+            Box::new(move |m: &mut Machine, tid| {
+                if !sent {
+                    sent = true;
+                    m.kernel_mut()
+                        .trap_thread_alert(tid, ContainerEntry::new(root, sleeper), 1)
+                        .unwrap();
+                }
+                Step::Done
+            }),
+        );
+        let report = m.run_until(&mut sched, RunLimit::quanta(64));
+        assert_eq!(
+            report.stop,
+            StopReason::AllBlocked,
+            "a spinning re-wake would exhaust the quantum budget instead"
+        );
+        assert!(report.quanta <= 4, "got {} quanta", report.quanta);
+        assert_eq!(report.remaining, 1);
+    }
+
+    #[test]
+    fn blocked_thread_consumes_zero_quanta_until_woken() {
+        // Regression test for the alert busy-poll: a thread that blocks on
+        // an empty completion queue must not be stepped (or charged) again
+        // until the alert wakes it — exactly two quanta total, no matter
+        // how long the waker keeps the CPU busy in between.
+        let mut m = Machine::boot(MachineConfig::default());
+        let root = m.kernel().root_container();
+        let sleeper = spawn_thread(&mut m, "sleeper");
+        let waker = spawn_thread(&mut m, "waker");
+        let boot = m.kernel_thread();
+        let aspace = m
+            .kernel_mut()
+            .trap_as_create(boot, root, Label::unrestricted(), "as")
+            .unwrap();
+        m.kernel_mut()
+            .trap_self_set_as(sleeper, ContainerEntry::new(root, aspace))
+            .unwrap();
+
+        let mut sched: Scheduler<Machine> = Scheduler::new(9, SimDuration::from_micros(10));
+        let sleeper_steps = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let steps = sleeper_steps.clone();
+        sched.spawn(
+            sleeper,
+            Box::new(move |m: &mut Machine, tid| {
+                steps.set(steps.get() + 1);
+                let completions = m.kernel_mut().reap_completions(tid);
+                if completions
+                    .iter()
+                    .any(|c| matches!(c.kind, crate::abi::CompletionKind::AlertPending { .. }))
+                {
+                    let alert = m.kernel_mut().trap_self_take_alert(tid).unwrap();
+                    assert_eq!(alert.map(|a| a.code), Some(44));
+                    Step::Done
+                } else {
+                    Step::Block
+                }
+            }),
+        );
+        const BUSY_QUANTA: u64 = 25;
+        let mut spins = 0u64;
+        sched.spawn(
+            waker,
+            Box::new(move |m: &mut Machine, tid| {
+                spins += 1;
+                if spins < BUSY_QUANTA {
+                    Step::Yield
+                } else {
+                    m.kernel_mut()
+                        .trap_thread_alert(tid, ContainerEntry::new(root, sleeper), 44)
+                        .unwrap();
+                    Step::Done
+                }
+            }),
+        );
+        let report = m.run_until(&mut sched, RunLimit::to_completion());
+        assert_eq!(report.stop, StopReason::AllComplete);
+        assert_eq!(sleeper_steps.get(), 2, "one step to block, one to wake");
+        assert_eq!(
+            report.quanta,
+            BUSY_QUANTA + 2,
+            "the parked sleeper must be charged no quanta"
+        );
+        assert_eq!(sched.stats().alert_wakeups, 1);
+    }
+
+    #[test]
+    fn submit_then_block_wakes_on_completion() {
+        // The async pattern: a program submits a batch during its quantum,
+        // blocks, and is woken by the completions on its queue (not by an
+        // alert).
+        let mut m = Machine::boot(MachineConfig::default());
+        let t = spawn_thread(&mut m, "submitter");
+        let mut sched: Scheduler<Machine> = Scheduler::new(2, SimDuration::from_micros(10));
+        let mut submitted = false;
+        sched.spawn(
+            t,
+            Box::new(move |m: &mut Machine, tid| {
+                if !submitted {
+                    submitted = true;
+                    let mut sq = crate::abi::SubmissionQueue::new();
+                    sq.call(crate::dispatch::Syscall::CreateCategory);
+                    sq.call(crate::dispatch::Syscall::SelfGetLabel);
+                    assert_eq!(m.kernel_mut().submit(tid, &mut sq), 2);
+                    Step::Block
+                } else {
+                    let done = m.kernel_mut().reap_completions(tid);
+                    assert_eq!(done.len(), 2);
+                    assert!(done
+                        .iter()
+                        .all(|c| matches!(&c.kind, crate::abi::CompletionKind::Call(Ok(_)))));
+                    Step::Done
+                }
+            }),
+        );
+        let report = m.run_until(&mut sched, RunLimit::to_completion());
+        assert_eq!(report.stop, StopReason::AllComplete);
+        assert_eq!(sched.stats().completion_wakeups, 1);
+        assert_eq!(sched.stats().alert_wakeups, 0);
     }
 
     #[test]

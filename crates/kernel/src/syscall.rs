@@ -78,6 +78,10 @@ pub enum SyscallError {
     RootContainer,
     /// The call is malformed (bad argument, out-of-range offset, ...).
     InvalidArgument(&'static str),
+    /// A handle-encoded argument names no live handle in the calling
+    /// thread's handle table (never installed, closed, or revoked when the
+    /// link it was resolved through was unreferenced).
+    BadHandle(u32),
 }
 
 impl From<LabelError> for SyscallError {
@@ -143,6 +147,7 @@ impl core::fmt::Display for SyscallError {
                 write!(f, "operation not permitted on the root container")
             }
             SyscallError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            SyscallError::BadHandle(h) => write!(f, "stale or unknown handle h{h}"),
         }
     }
 }

@@ -11,11 +11,12 @@
 //! resulting object counts.  A coverage check guarantees no syscall variant
 //! is left untested.
 
+use histar_kernel::abi::{CompletionKind, SqEntry, SqOp, SubmissionQueue};
 use histar_kernel::bodies::{DeviceBody, Mapping, MappingFlags};
 use histar_kernel::dispatch::{Syscall, SyscallResult, SYSCALL_COUNT};
 use histar_kernel::kernel::RemoteCategoryName;
 use histar_kernel::object::{ContainerEntry, ObjectId, METADATA_LEN};
-use histar_kernel::syscall::SyscallError;
+use histar_kernel::syscall::{SyscallError, SyscallStats};
 use histar_kernel::Kernel;
 use histar_label::{Category, Label, Level};
 
@@ -583,6 +584,288 @@ fn every_syscall_dispatches_identically_to_its_direct_call() {
             "{name}: dispatch must count exactly one invocation"
         );
     }
+}
+
+/// Everything one execution of the 45-call sequence observed: per-call
+/// results, the aggregate kernel counters (which include every label
+/// check), the object-table size, and the audit-trace contents (tick
+/// excluded — batching amortizes charged time by design; everything else
+/// must be bit-identical).
+#[derive(Debug, PartialEq)]
+struct SequenceObservation {
+    results: Vec<Result<SyscallResult, SyscallError>>,
+    stats: SyscallStats,
+    objects: usize,
+    trace: Vec<(u64, ObjectId, &'static str, bool)>,
+}
+
+/// Runs the full 45-variant call sequence against a fresh kernel, split
+/// into submission batches of the given (cycled) sizes.  `sizes = [1]`
+/// with `via_trap = true` is the classic one-call-per-trap stream.
+fn run_sequence_in_batches(sizes: &[usize], via_trap: bool) -> SequenceObservation {
+    let (mut k, fx) = setup();
+    let calls: Vec<Syscall> = cases(&fx).into_iter().map(|(call, _)| call).collect();
+    assert_eq!(calls.len(), SYSCALL_COUNT);
+    k.enable_syscall_trace(4 * SYSCALL_COUNT);
+    // The setup's thread_alert left a notification on boot's completion
+    // queue; drain it so only this sequence's completions are reaped.
+    let _ = k.reap_completions(fx.boot);
+
+    let mut results = Vec::with_capacity(calls.len());
+    let mut sizes_cycle = sizes.iter().copied().cycle();
+    let mut remaining = &calls[..];
+    while !remaining.is_empty() {
+        let n = sizes_cycle.next().unwrap().clamp(1, remaining.len());
+        let (chunk, rest) = remaining.split_at(n);
+        remaining = rest;
+        if via_trap {
+            for call in chunk {
+                results.push(k.dispatch(fx.boot, call.clone()));
+            }
+        } else {
+            let entries: Vec<SqEntry> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, call)| SqEntry {
+                    user_data: i as u64,
+                    op: SqOp::Call(call.clone()),
+                })
+                .collect();
+            assert_eq!(k.dispatch_batch(fx.boot, entries), n);
+            for completion in k.reap_completions(fx.boot) {
+                results.push(completion.into_call_result());
+            }
+        }
+    }
+
+    let trace: Vec<(u64, ObjectId, &'static str, bool)> = k
+        .syscall_trace()
+        .expect("trace enabled")
+        .records()
+        .map(|r| (r.seq, r.tid, r.syscall, r.ok))
+        .collect();
+    SequenceObservation {
+        results,
+        stats: k.stats(),
+        objects: k.object_count(),
+        trace,
+    }
+}
+
+#[test]
+fn any_batch_split_is_equivalent_to_one_call_per_trap() {
+    // The property the batched ABI must preserve: for the full 45-variant
+    // sequence, results, label-check counts (inside `SyscallStats`), audit
+    // trace and object-table evolution are identical whether the calls
+    // trap one at a time or in arbitrary batch splits.
+    let reference = run_sequence_in_batches(&[1], true);
+    assert_eq!(reference.results.len(), SYSCALL_COUNT);
+    // The trace is continuous from seq 0 with one record per call.
+    for (i, rec) in reference.trace.iter().enumerate() {
+        assert_eq!(rec.0, i as u64, "TraceRecord.seq must be continuous");
+    }
+
+    for sizes in [
+        vec![1],                      // 1-entry batches (the trap_* shim path)
+        vec![SYSCALL_COUNT],          // one giant batch
+        vec![2],                      // pairs
+        vec![3, 1, 4, 1, 5, 9, 2, 6], // arbitrary mixed splits
+        vec![7, 13],
+    ] {
+        let split = run_sequence_in_batches(&sizes, false);
+        assert_eq!(
+            split, reference,
+            "batch split {sizes:?} must observe exactly the sequential stream"
+        );
+    }
+}
+
+#[test]
+fn handle_encoded_calls_are_equivalent_to_raw_entries() {
+    let (mut ka, fxa) = setup();
+    let (mut kb, fxb) = setup();
+    let e_seg_a = entry(&fxa, fxa.seg);
+    let e_seg_b = entry(&fxb, fxb.seg);
+
+    // Kernel B resolves the segment into a capability handle; the install
+    // performs the same reachability check every syscall performs, hence
+    // exactly one extra label check relative to kernel A.
+    let checks_before = kb.stats().label_checks - ka.stats().label_checks;
+    assert_eq!(checks_before, 0, "identical setups");
+    let h = kb.handle_open(fxb.boot, e_seg_b).unwrap();
+    let install_checks = kb.stats().label_checks - ka.stats().label_checks;
+    assert!(
+        install_checks >= 1,
+        "handle install is reachability-checked"
+    );
+
+    let ra = ka.dispatch(
+        fxa.boot,
+        Syscall::SegmentRead {
+            entry: e_seg_a,
+            offset: 0,
+            len: 13,
+        },
+    );
+    let rb = kb.dispatch(
+        fxb.boot,
+        Syscall::SegmentRead {
+            entry: h.entry(),
+            offset: 0,
+            len: 13,
+        },
+    );
+    assert_eq!(ra, rb, "handle naming must not change the result");
+    assert_eq!(
+        kb.stats().label_checks - ka.stats().label_checks,
+        install_checks,
+        "the dispatched call performs identical label checks either way"
+    );
+
+    // A thread that could not traverse to an object cannot install a
+    // handle for it: reachability is checked at install time.
+    let secret = Label::builder().set(fxb.cat_unbound, Level::L3).build();
+    let hidden_dir = kb
+        .sys_container_create(fxb.boot, fxb.root, secret, "hidden", 0, 1 << 16)
+        .unwrap();
+    let peer_err = kb
+        .handle_open(fxb.peer, ContainerEntry::new(hidden_dir, fxb.seg))
+        .unwrap_err();
+    assert!(
+        matches!(peer_err, SyscallError::CannotObserve(_)),
+        "unreachable container must be refused, got {peer_err:?}"
+    );
+}
+
+#[test]
+fn handles_are_revoked_on_unref() {
+    let (mut k, fx) = setup();
+    let e_seg = entry(&fx, fx.seg);
+    let h = k.handle_open(fx.boot, e_seg).unwrap();
+    assert_eq!(k.handle_entry(fx.boot, h), Some(e_seg));
+
+    // Unreferencing the link revokes every handle installed through it.
+    k.trap_obj_unref(fx.boot, e_seg).unwrap();
+    assert_eq!(k.handle_entry(fx.boot, h), None);
+    let err = k
+        .dispatch(fx.boot, Syscall::SegmentLen { entry: h.entry() })
+        .unwrap_err();
+    assert_eq!(err, SyscallError::BadHandle(h.raw()));
+    // The failed call is still audited/counted like any other error.
+    assert_eq!(k.dispatch_stats().count("segment_len"), Some(1));
+    assert_eq!(k.dispatch_stats().total_errors(), 1);
+}
+
+#[test]
+fn mixed_batches_interleave_calls_and_handle_ops() {
+    let (mut k, fx) = setup();
+    let _ = k.reap_completions(fx.boot);
+    let mut sq = SubmissionQueue::new();
+    let open_token = sq.open_handle(entry(&fx, fx.seg));
+    let read_token = sq.call(Syscall::SegmentRead {
+        entry: entry(&fx, fx.seg),
+        offset: 0,
+        len: 13,
+    });
+    assert_eq!(k.submit(fx.boot, &mut sq), 2);
+    let completions = k.reap_completions(fx.boot);
+    assert_eq!(completions.len(), 2);
+    assert_eq!(completions[0].user_data, open_token);
+    let h = match &completions[0].kind {
+        CompletionKind::HandleOpened(Ok(h)) => *h,
+        other => panic!("expected a handle, got {other:?}"),
+    };
+    assert_eq!(completions[1].user_data, read_token);
+
+    // Use the fresh handle in a follow-up batch, then close it.
+    let mut sq = SubmissionQueue::new();
+    sq.call(Syscall::SegmentLen { entry: h.entry() });
+    sq.close_handle(h);
+    k.submit(fx.boot, &mut sq);
+    let completions = k.reap_completions(fx.boot);
+    assert_eq!(
+        completions[0].kind,
+        CompletionKind::Call(Ok(SyscallResult::U64(256))),
+    );
+    assert_eq!(completions[1].kind, CompletionKind::HandleClosed(true));
+    assert_eq!(k.handle_count(fx.boot), 0);
+}
+
+#[test]
+fn submit_calls_skips_kernel_notifications_pushed_mid_batch() {
+    // An entry inside the batch can alert the submitting thread itself,
+    // interleaving a kernel-originated AlertPending completion between
+    // the batch's own completions.  submit_calls must still hand back
+    // exactly the submitted calls' results, in order, and leave the
+    // notification queued for the thread to reap.
+    let (mut k, fx) = setup();
+    let _ = k.reap_completions(fx.boot);
+    let results = k.submit_calls(
+        fx.boot,
+        vec![
+            Syscall::CreateCategory,
+            Syscall::ThreadAlert {
+                target: ContainerEntry::new(fx.root, fx.boot),
+                code: 7,
+            },
+            Syscall::SelfGetLabel,
+        ],
+    );
+    assert_eq!(results.len(), 3);
+    assert!(matches!(results[0], Ok(SyscallResult::Category(_))));
+    assert_eq!(results[1], Ok(SyscallResult::Unit));
+    assert!(matches!(results[2], Ok(SyscallResult::Label(_))));
+    let left = k.reap_completions(fx.boot);
+    assert_eq!(left.len(), 1, "the alert notification stays queued");
+    assert!(matches!(
+        left[0].kind,
+        CompletionKind::AlertPending { code: 7 }
+    ));
+}
+
+#[test]
+fn batch_that_tears_down_its_own_thread_still_reports_every_result() {
+    // An entry may unref the calling thread's last link, deallocating the
+    // thread (and its completion queue) mid-batch.  submit_calls must
+    // still return one aligned result per entry, and the dead thread's
+    // queue must not be resurrected for completions nobody can reap.
+    let (mut k, fx) = setup();
+    let objects_before = k.object_count();
+    let results = k.submit_calls(
+        fx.boot,
+        vec![
+            Syscall::CreateCategory,
+            Syscall::ObjUnref {
+                entry: ContainerEntry::new(fx.root, fx.boot),
+            },
+            Syscall::SelfGetLabel,
+        ],
+    );
+    assert_eq!(results.len(), 3);
+    assert!(matches!(results[0], Ok(SyscallResult::Category(_))));
+    assert_eq!(results[1], Ok(SyscallResult::Unit));
+    assert_eq!(
+        results[2],
+        Err(SyscallError::NoSuchObject(fx.boot)),
+        "entries after the teardown fail like any call from a dead thread"
+    );
+    assert_eq!(k.object_count(), objects_before - 1, "the thread is gone");
+    assert_eq!(k.completion_count(fx.boot), 0, "no resurrected queue");
+}
+
+#[test]
+fn taking_an_alert_consumes_its_notification() {
+    let (mut k, fx) = setup();
+    let _ = k.reap_completions(fx.boot);
+    k.trap_thread_alert(fx.boot, entry(&fx, fx.boot), 9)
+        .unwrap();
+    assert!(k.completion_pending(fx.boot));
+    // Claiming the alert removes the notification with it — otherwise a
+    // blocked thread would be re-woken by the stale completion forever.
+    // (The fixture queued one alert during setup; drain both.)
+    assert!(k.trap_self_take_alert(fx.boot).unwrap().is_some());
+    assert!(k.trap_self_take_alert(fx.boot).unwrap().is_some());
+    assert!(!k.completion_pending(fx.boot));
 }
 
 #[test]

@@ -17,8 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use histar_kernel::abi::{Handle, SubmissionQueue};
 use histar_kernel::bodies::DeviceBody;
 use histar_kernel::object::{ContainerEntry, ObjectId};
+use histar_kernel::Syscall;
 use histar_label::{Category, Label, Level};
 use histar_unix::process::Pid;
 use histar_unix::{UnixEnv, UnixError};
@@ -48,6 +50,13 @@ pub struct Netd {
     pub tx_buffer: ContainerEntry,
     /// Receive buffer netd publishes incoming frames in, labelled `{i 2, 1}`.
     pub rx_buffer: ContainerEntry,
+    /// netd's capability handle for the device (valid on netd's thread
+    /// only; installed at start via reachability-checked resolution).
+    pub device_handle: Handle,
+    /// netd's capability handle for the transmit buffer.
+    pub tx_handle: Handle,
+    /// netd's capability handle for the receive buffer.
+    pub rx_handle: Handle,
 }
 
 impl Netd {
@@ -110,15 +119,36 @@ impl Netd {
         // equivalent of a network eavesdropping or packet tampering attack".
         let netd_label = kernel.thread_label(thread)?.with(taint, Level::L2);
         kernel.trap_self_set_label(thread, netd_label)?;
+        let device_entry = ContainerEntry::new(kroot, device);
+        let tx_entry = ContainerEntry::new(kroot, tx_buffer);
+        let rx_entry = ContainerEntry::new(kroot, rx_buffer);
+        // netd resolves its three hot objects into capability handles once
+        // (one batch, reachability-checked); every per-packet call then
+        // names them by handle instead of raw ⟨container, object⟩ pairs.
+        let mut sq = SubmissionQueue::new();
+        sq.open_handle(device_entry);
+        sq.open_handle(tx_entry);
+        sq.open_handle(rx_entry);
+        kernel.submit(thread, &mut sq);
+        let mut handles = kernel
+            .reap_completions(thread)
+            .into_iter()
+            .map(|c| c.into_handle_result().map_err(UnixError::from));
+        let device_handle = handles.next().expect("three completions")?;
+        let tx_handle = handles.next().expect("three completions")?;
+        let rx_handle = handles.next().expect("three completions")?;
         Ok(Netd {
             pid,
             device,
             nr,
             nw,
             taint,
-            device_entry: ContainerEntry::new(kroot, device),
-            tx_buffer: ContainerEntry::new(kroot, tx_buffer),
-            rx_buffer: ContainerEntry::new(kroot, rx_buffer),
+            device_entry,
+            tx_buffer: tx_entry,
+            rx_buffer: rx_entry,
+            device_handle,
+            tx_handle,
+            rx_handle,
         })
     }
 
@@ -135,25 +165,86 @@ impl Netd {
         let client_thread = env.process(client)?.thread;
         let netd_thread = env.process(self.pid)?.thread;
         let kernel = env.machine_mut().kernel_mut();
-        // Interacting with the network taints the client `i 2` (the paper's
-        // web browser runs at `{i 2, 1}`), unless it owns `i`.
+        // The client's side is one submission batch: the taint raise (the
+        // paper's web browser runs at `{i 2, 1}`, unless it owns `i`) and
+        // the write that conveys the payload to netd.
         let label = kernel.thread_label(client_thread)?;
+        let mut client_calls = Vec::with_capacity(2);
         if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
-            kernel.trap_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+            client_calls.push(Syscall::SelfSetLabel {
+                label: label.with(self.taint, Level::L2),
+            });
         }
-        // Information-flow step: the client conveys the payload to netd.
         let mut msg = (payload.len() as u64).to_le_bytes().to_vec();
         msg.extend_from_slice(payload);
-        kernel.trap_segment_write(client_thread, self.tx_buffer, 0, &msg)?;
-        // netd drains its buffer onto the device.
+        client_calls.push(Syscall::SegmentWrite {
+            entry: self.tx_buffer,
+            offset: 0,
+            data: msg,
+        });
+        for r in kernel.submit_calls(client_thread, client_calls) {
+            r?;
+        }
+        // netd drains its buffer onto the device, naming the buffer and
+        // the device by capability handle.  The payload read cannot share
+        // the length read's batch (user-level data dependency), but the
+        // transmit is driven by kernel state the read established, so read
+        // and transmit stay one trap apart at most.
         let len = u64::from_le_bytes(
-            kernel.trap_segment_read(netd_thread, self.tx_buffer, 0, 8)?[..8]
+            kernel.trap_segment_read(netd_thread, self.tx_handle.entry(), 0, 8)?[..8]
                 .try_into()
                 .expect("8 bytes"),
         );
-        let frame = kernel.trap_segment_read(netd_thread, self.tx_buffer, 8, len)?;
-        kernel.trap_net_transmit(netd_thread, self.device_entry, frame)?;
+        let frame = kernel.trap_segment_read(netd_thread, self.tx_handle.entry(), 8, len)?;
+        kernel.trap_net_transmit(netd_thread, self.device_handle.entry(), frame)?;
         Ok(())
+    }
+
+    /// Transmits several already-encoded wire frames in a single
+    /// submission batch on netd's own thread (one trap cost for the whole
+    /// burst) — the device-side half of batched tx.
+    pub fn transmit_frames(&self, env: &mut UnixEnv, frames: Vec<Vec<u8>>) -> Result<()> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let calls: Vec<Syscall> = frames
+            .into_iter()
+            .map(|frame| Syscall::NetTransmit {
+                device: self.device_handle.entry(),
+                frame,
+            })
+            .collect();
+        for r in kernel.submit_calls(netd_thread, calls) {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Takes up to `max` frames off the device in a single submission
+    /// batch on netd's own thread — the device-side half of batched rx.
+    /// Returns the frames in arrival order (shorter than `max` when the
+    /// device ran dry).
+    pub fn drain_device(&self, env: &mut UnixEnv, max: usize) -> Result<Vec<Vec<u8>>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let calls: Vec<Syscall> = (0..max)
+            .map(|_| Syscall::NetReceive {
+                device: self.device_handle.entry(),
+            })
+            .collect();
+        let mut frames = Vec::new();
+        for r in kernel.submit_calls(netd_thread, calls) {
+            match r?.into_frame() {
+                Some(frame) => frames.push(frame),
+                None => break,
+            }
+        }
+        Ok(frames)
     }
 
     /// Receives the next pending frame for a client.
@@ -167,23 +258,35 @@ impl Netd {
         let client_thread = env.process(client)?.thread;
         let netd_thread = env.process(self.pid)?.thread;
         let kernel = env.machine_mut().kernel_mut();
-        let Some(frame) = kernel.trap_net_receive(netd_thread, self.device_entry)? else {
+        let Some(frame) = kernel.trap_net_receive(netd_thread, self.device_handle.entry())? else {
             return Ok(None);
         };
         // netd publishes the frame in the {i 2, 1} receive buffer.
         let mut msg = (frame.len() as u64).to_le_bytes().to_vec();
         msg.extend_from_slice(&frame);
-        kernel.trap_segment_write(netd_thread, self.rx_buffer, 0, &msg)?;
-        // The client raises its taint (if it does not own i) and reads it.
+        kernel.trap_segment_write(netd_thread, self.rx_handle.entry(), 0, &msg)?;
+        // The client's taint raise (if it does not own i) and its length
+        // read share one submission batch; only the payload read, whose
+        // size is computed user-side from the length, needs a second trap.
         let label = kernel.thread_label(client_thread)?;
+        let mut client_calls = Vec::with_capacity(2);
         if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
-            kernel.trap_self_set_label(client_thread, label.with(self.taint, Level::L2))?;
+            client_calls.push(Syscall::SelfSetLabel {
+                label: label.with(self.taint, Level::L2),
+            });
         }
-        let len = u64::from_le_bytes(
-            kernel.trap_segment_read(client_thread, self.rx_buffer, 0, 8)?[..8]
-                .try_into()
-                .expect("8 bytes"),
-        );
+        client_calls.push(Syscall::SegmentRead {
+            entry: self.rx_buffer,
+            offset: 0,
+            len: 8,
+        });
+        let mut results = kernel.submit_calls(client_thread, client_calls);
+        let header = results.pop().expect("one completion per submitted call");
+        for earlier in results {
+            earlier?;
+        }
+        let head = header?.into_bytes();
+        let len = u64::from_le_bytes(head[..8].try_into().expect("8 bytes"));
         let data = kernel.trap_segment_read(client_thread, self.rx_buffer, 8, len)?;
         Ok(Some(data))
     }
@@ -392,6 +495,73 @@ mod tests {
         // A malformed frame decodes to None rather than garbage.
         assert_eq!(Netd::decode_batch(b"xx"), None);
         assert_eq!(Netd::decode_batch(&[1, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn device_side_batching_transmits_and_drains_in_one_trap() {
+        let (mut env, _init, netd) = setup();
+        let batches_before = env.machine().kernel().dispatch_stats().batches;
+
+        // Three frames out in one submission batch.
+        netd.transmit_frames(
+            &mut env,
+            vec![b"f1".to_vec(), b"f2".to_vec(), b"f3".to_vec()],
+        )
+        .unwrap();
+        assert_eq!(
+            netd.wire_collect(&mut env).unwrap(),
+            vec![b"f1".to_vec(), b"f2".to_vec(), b"f3".to_vec()]
+        );
+
+        // Two frames pending, drained with headroom: both arrive, in
+        // order, and the first empty receive ends the batch's harvest.
+        netd.wire_deliver(&mut env, b"r1".to_vec()).unwrap();
+        netd.wire_deliver(&mut env, b"r2".to_vec()).unwrap();
+        let frames = netd.drain_device(&mut env, 4).unwrap();
+        assert_eq!(frames, vec![b"r1".to_vec(), b"r2".to_vec()]);
+        assert_eq!(
+            netd.drain_device(&mut env, 4).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+        assert_eq!(
+            netd.drain_device(&mut env, 0).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+
+        // Each burst crossed the boundary once (plus the empty drain).
+        let batches = env.machine().kernel().dispatch_stats().batches - batches_before;
+        assert_eq!(batches, 3, "transmit burst, drain, empty drain");
+    }
+
+    #[test]
+    fn refused_taint_raise_keeps_payload_off_the_wire() {
+        // A batch does not stop on errors, so when a client's taint raise
+        // is refused (clearance in `i` below L2 — the mechanism for
+        // denying network access), the batched SegmentWrite still
+        // *executes* — but the kernel's own per-call write check refuses
+        // the still-untainted client, so nothing reaches the buffer or
+        // the wire.  This pins down that batching never weakens a check.
+        let (mut env, init, netd) = setup();
+        let client = env.spawn(init, "/usr/bin/lowclear", None).unwrap();
+        let thread = env.process(client).unwrap().thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let lowered = kernel
+            .thread_clearance(thread)
+            .unwrap()
+            .with(netd.taint, Level::L1);
+        kernel.trap_self_set_clearance(thread, lowered).unwrap();
+
+        let err = netd.send(&mut env, client, b"forbidden").unwrap_err();
+        assert!(matches!(err, UnixError::Kernel(_)), "got {err:?}");
+        assert!(netd.wire_collect(&mut env).unwrap().is_empty());
+        // The tx buffer header is untouched (still zeroed).
+        let netd_thread = env.process(netd.pid).unwrap().thread;
+        let head = env
+            .machine_mut()
+            .kernel_mut()
+            .trap_segment_read(netd_thread, netd.tx_buffer, 0, 8)
+            .unwrap();
+        assert_eq!(head, vec![0u8; 8]);
     }
 
     #[test]

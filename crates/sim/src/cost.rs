@@ -48,6 +48,10 @@ pub struct CostModel {
     pub flavor: OsFlavor,
     /// Fixed cost of entering and leaving the kernel for one system call.
     pub syscall: SimDuration,
+    /// Cost of decoding one additional entry of an already-trapped
+    /// submission batch (the kernel is entered once per batch; every entry
+    /// after the first pays only this decode cost instead of `syscall`).
+    pub syscall_batched_entry: SimDuration,
     /// Cost of comparing one label entry (category/level pair) during a
     /// label check.  Only meaningful for HiStar.
     pub label_check_entry: SimDuration,
@@ -85,6 +89,7 @@ impl CostModel {
             OsFlavor::HiStar => CostModel {
                 flavor,
                 syscall: SimDuration::from_nanos(250),
+                syscall_batched_entry: SimDuration::from_nanos(30),
                 label_check_entry: SimDuration::from_nanos(40),
                 label_check_base: SimDuration::from_nanos(60),
                 label_cache_hit: SimDuration::from_nanos(15),
@@ -103,6 +108,7 @@ impl CostModel {
             OsFlavor::LinuxLike => CostModel {
                 flavor,
                 syscall: SimDuration::from_nanos(380),
+                syscall_batched_entry: SimDuration::from_nanos(60),
                 label_check_entry: SimDuration::ZERO,
                 label_check_base: SimDuration::ZERO,
                 label_cache_hit: SimDuration::ZERO,
@@ -121,6 +127,7 @@ impl CostModel {
             OsFlavor::OpenBsdLike => CostModel {
                 flavor,
                 syscall: SimDuration::from_nanos(300),
+                syscall_batched_entry: SimDuration::from_nanos(50),
                 label_check_entry: SimDuration::ZERO,
                 label_check_base: SimDuration::ZERO,
                 label_cache_hit: SimDuration::ZERO,
@@ -169,6 +176,15 @@ mod tests {
             let m = CostModel::for_flavor(f);
             assert_eq!(m.flavor, f);
             assert!(m.syscall > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn batched_entries_are_cheaper_than_full_traps() {
+        for f in OsFlavor::ALL {
+            let m = CostModel::for_flavor(f);
+            assert!(m.syscall_batched_entry < m.syscall, "{f:?}");
+            assert!(m.syscall_batched_entry > SimDuration::ZERO, "{f:?}");
         }
     }
 

@@ -14,6 +14,7 @@ use crate::env::{UnixEnv, UnixError};
 use crate::process::Pid;
 use histar_kernel::kernel::GateEntryResult;
 use histar_kernel::object::{ContainerEntry, ObjectId};
+use histar_kernel::{Syscall, SyscallResult};
 use histar_label::{Category, Label, Level};
 
 type Result<T> = core::result::Result<T, UnixError>;
@@ -159,40 +160,85 @@ fn enter_service_inner(
             return_gate_clearance_builder = return_gate_clearance_builder.set(c, lvl);
         }
     }
-    let return_gate = kernel.trap_gate_create(
-        caller_thread,
-        caller_container,
-        label_with_r.clone(),
-        return_gate_clearance_builder.build(),
-        None,
-        0,
-        vec![],
-        "return gate",
-    )?;
-
-    // Donated resource container for tainted allocations.
-    let resource_container = if let Some(t) = taint {
+    // The per-call argument spill — the return gate, the donated resource
+    // container, and the two reads of the service gate — has no internal
+    // data dependencies, so it crosses the trap boundary as ONE submission
+    // batch (one trap cost, every label check unchanged).
+    let mut spill = vec![Syscall::GateCreate {
+        container: caller_container,
+        label: label_with_r.clone(),
+        clearance: return_gate_clearance_builder.build(),
+        address_space: None,
+        entry_point: 0,
+        closure_args: vec![],
+        descrip: "return gate".to_string(),
+    }];
+    if let Some(t) = taint {
         let rc_label = Label::builder()
             .set(t, Level::L3)
             .set(return_category, Level::L0)
             .build();
-        let rc = kernel.trap_container_create(
-            caller_thread,
-            internal_container,
-            rc_label,
-            "gate call resources",
-            0,
-            1 << 20,
-        )?;
-        Some(ContainerEntry::new(internal_container, rc))
-    } else {
-        None
-    };
+        spill.push(Syscall::ContainerCreate {
+            parent: internal_container,
+            label: rc_label,
+            descrip: "gate call resources".to_string(),
+            avoid_types: 0,
+            quota: 1 << 20,
+        });
+    }
+    spill.push(Syscall::ObjGetLabel {
+        entry: service.gate,
+    });
+    spill.push(Syscall::GateClearance { gate: service.gate });
+    let mut results = kernel.submit_calls(caller_thread, spill).into_iter();
+    let mut next = || results.next().expect("one completion per submitted call");
 
+    let gate_result = next();
+    let rc_result = taint.map(|_| next());
+    let label_result = next();
+    let clearance_result = next();
+    // The batch does not stop on errors, so an entry may have created an
+    // object even though an earlier one failed; release anything the
+    // aborted call would orphan before propagating the first error.
+    let created = |r: &core::result::Result<SyscallResult, histar_kernel::SyscallError>| match r {
+        Ok(SyscallResult::ObjectId(id)) => Some(*id),
+        _ => None,
+    };
+    if gate_result.is_err()
+        || rc_result.as_ref().is_some_and(|r| r.is_err())
+        || label_result.is_err()
+        || clearance_result.is_err()
+    {
+        if let Some(gate) = created(&gate_result) {
+            let _ =
+                kernel.trap_obj_unref(caller_thread, ContainerEntry::new(caller_container, gate));
+        }
+        if let Some(rc) = rc_result.as_ref().and_then(created) {
+            let _ =
+                kernel.trap_obj_unref(caller_thread, ContainerEntry::new(internal_container, rc));
+        }
+        // First error in sequential order, matching the old fail-stop path.
+        for r in [
+            Some(gate_result),
+            rc_result,
+            Some(label_result),
+            Some(clearance_result),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            r?;
+        }
+        unreachable!("at least one result was an error");
+    }
+    let ok = "errors handled above";
+    let return_gate = gate_result.expect(ok).into_object_id();
+    let resource_container =
+        rc_result.map(|r| ContainerEntry::new(internal_container, r.expect(ok).into_object_id()));
     // Request label: keep everything we own (including r and t ownership at
     // this point), add the gate's ownership, and drop to taint level 3 in t.
-    let gate_label = kernel.trap_obj_get_label(caller_thread, service.gate)?;
-    let gate_clearance = kernel.trap_gate_clearance(caller_thread, service.gate)?;
+    let gate_label = label_result.expect(ok).into_label();
+    let gate_clearance = clearance_result.expect(ok).into_label();
     let current_label = kernel.thread_label(caller_thread)?;
     let mut requested = current_label.ownership_union(&gate_label);
     if let Some(t) = taint {
@@ -277,16 +323,30 @@ pub fn return_from_service(env: &mut UnixEnv, session: GateSession) -> Result<()
     if restore_clearance.level(return_category) == Level::L2 {
         restore_clearance = restore_clearance.without(return_category);
     }
-    kernel.trap_self_set_label(caller_thread, restore_label)?;
-    kernel.trap_self_set_clearance(caller_thread, restore_clearance)?;
+    // Label restoration and per-call cleanup ride one submission batch.
     // Cleanup is best-effort: a thread that acquired persistent taint during
     // the call may no longer be able to modify its own (untainted) process
     // container, in which case the per-call objects are reclaimed when the
     // process itself is deallocated.  This is the paper's §5.8 trade-off —
     // reclaiming tainted resources needs an explicit untainting gate.
-    let _ = kernel.trap_obj_unref(caller_thread, return_gate);
+    let mut cleanup = vec![
+        Syscall::SelfSetLabel {
+            label: restore_label,
+        },
+        Syscall::SelfSetClearance {
+            clearance: restore_clearance,
+        },
+        Syscall::ObjUnref { entry: return_gate },
+    ];
     if let Some(rc) = resource_container {
-        let _ = kernel.trap_obj_unref(caller_thread, rc);
+        cleanup.push(Syscall::ObjUnref { entry: rc });
+    }
+    let results = kernel.submit_calls(caller_thread, cleanup);
+    // The label restorations must succeed; the unrefs are best-effort.
+    for restore in &results[..2] {
+        if let Err(e) = restore {
+            return Err(e.clone().into());
+        }
     }
     let _ = caller;
     Ok(())
@@ -526,6 +586,26 @@ mod tests {
         // The taint sticks: the reader is now tainted in c.
         let label = env.machine().kernel().thread_label(reader_thread).unwrap();
         assert_eq!(label.level(c), Level::L2);
+    }
+
+    #[test]
+    fn failed_gate_call_releases_partially_created_spill_objects() {
+        // The spill batch does not stop on errors, so the return gate and
+        // the resource container may exist even though a later read of
+        // the (here: dangling) service gate failed; the error path must
+        // release them instead of leaking quota on every failed call.
+        let (mut env, _init, client, service) = setup();
+        let bogus = ServiceGate {
+            gate: ContainerEntry::new(service.gate.container, ObjectId::from_raw(0x5add)),
+            provider: service.provider,
+        };
+        let objects_before = env.machine().kernel().object_count();
+        assert!(enter_service(&mut env, client, &bogus, true).is_err());
+        assert_eq!(
+            env.machine().kernel().object_count(),
+            objects_before,
+            "failed gate calls must not leak spill objects"
+        );
     }
 
     #[test]
