@@ -1,0 +1,23 @@
+//! The file-system benchmark: open/read/write/readdir ops per simulated
+//! second through the VFS, single node.  Run with `--smoke` for the quick
+//! CI configuration.
+
+use histar_bench::fs::{run, FsBenchParams};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        FsBenchParams::smoke()
+    } else {
+        FsBenchParams::full()
+    };
+    println!("parameters: {params:?}\n");
+    let (table, json) = run(params);
+    print!("{}", table.render());
+    match json.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
+    println!("Times are simulated; ops/sec and the I/O-phase batch-size");
+    println!("histogram are emitted as machine-readable JSON for the CI gate.");
+}

@@ -1,0 +1,286 @@
+//! The file-system benchmark: open/read/write/readdir operations per
+//! simulated second through the Unix library's file API, single node.
+//!
+//! The interesting number is the hot read/write path: each iteration goes
+//! descriptor segment → backing segment → descriptor seek update, so the
+//! measured throughput tracks exactly the boundary crossings the VFS layer
+//! spends per I/O.  The submission-batch histogram over the I/O phases is
+//! emitted alongside, making the batched seek-update (data op + descriptor
+//! position write in ONE batch) visible in `BENCH_fs.json`.
+
+use crate::report::{BenchJson, Row, Table};
+use histar_kernel::DispatchStats;
+use histar_sim::SimDuration;
+use histar_unix::fs::OpenFlags;
+use histar_unix::UnixEnv;
+
+/// Parameters of the file-system benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct FsBenchParams {
+    /// open+close iterations.
+    pub open_ops: u64,
+    /// Sequential 4 KiB read iterations.
+    pub read_ops: u64,
+    /// Sequential 4 KiB write iterations.
+    pub write_ops: u64,
+    /// readdir iterations.
+    pub readdir_ops: u64,
+    /// Entries in the readdir target directory.
+    pub dir_entries: u64,
+}
+
+/// Bytes moved per read/write iteration.
+pub const IO_SIZE: u64 = 4096;
+
+impl FsBenchParams {
+    /// Quick parameters for tests and CI smoke runs.
+    pub fn smoke() -> FsBenchParams {
+        FsBenchParams {
+            open_ops: 200,
+            read_ops: 400,
+            write_ops: 400,
+            readdir_ops: 100,
+            dir_entries: 32,
+        }
+    }
+
+    /// The parameters the `fs_bench` binary reports.
+    pub fn full() -> FsBenchParams {
+        FsBenchParams {
+            open_ops: 2_000,
+            read_ops: 8_000,
+            write_ops: 8_000,
+            readdir_ops: 1_000,
+            dir_entries: 64,
+        }
+    }
+}
+
+/// One measured phase: iterations and the simulated time they consumed.
+#[derive(Clone, Copy, Debug)]
+pub struct FsPhase {
+    /// Iterations completed.
+    pub ops: u64,
+    /// Simulated time consumed.
+    pub elapsed: SimDuration,
+}
+
+impl FsPhase {
+    /// Operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Mean simulated time per operation.
+    pub fn per_op(&self) -> SimDuration {
+        match self.elapsed.as_nanos().checked_div(self.ops) {
+            Some(ns) => SimDuration::from_nanos(ns),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// The full measurement: per-phase throughput plus the dispatch counters
+/// accumulated over the read+write (hot-path) phases.
+#[derive(Clone, Debug)]
+pub struct FsMeasurement {
+    /// open+close a pre-existing file.
+    pub open_close: FsPhase,
+    /// Sequential 4 KiB reads through one descriptor.
+    pub read: FsPhase,
+    /// Sequential 4 KiB writes through one descriptor.
+    pub write: FsPhase,
+    /// readdir of a populated directory.
+    pub readdir: FsPhase,
+    /// Dispatch counters over the read+write phases only (batch-size
+    /// histogram, handle traffic).
+    pub io_dispatch: DispatchStats,
+}
+
+/// Runs the benchmark on a freshly booted environment.
+pub fn measure(params: FsBenchParams) -> FsMeasurement {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+
+    // Fixture: one big file for the I/O phases, one populated directory.
+    env.mkdir(init, "/bench", None).expect("mkdir /bench");
+    let file_size = params.read_ops.max(1) * IO_SIZE;
+    env.reserve_quota(init, "/bench", 4 * file_size + 64 * 1024 * 1024)
+        .expect("reserve quota");
+    env.write_file_as(init, "/bench/big", &vec![0xabu8; file_size as usize], None)
+        .expect("create /bench/big");
+    env.mkdir(init, "/bench/dir", None)
+        .expect("mkdir /bench/dir");
+    for i in 0..params.dir_entries {
+        env.write_file_as(init, &format!("/bench/dir/f{i}"), b"x", None)
+            .expect("populate dir");
+    }
+
+    let clock_now = |env: &UnixEnv| env.machine().clock().now();
+
+    // Phase: open+close.
+    let start = clock_now(&env);
+    for _ in 0..params.open_ops {
+        let fd = env
+            .open(init, "/bench/big", OpenFlags::read_only())
+            .expect("open");
+        env.close(init, fd).expect("close");
+    }
+    let open_close = FsPhase {
+        ops: params.open_ops,
+        elapsed: clock_now(&env) - start,
+    };
+
+    // Phase: sequential reads (the descriptor advances through the file;
+    // every iteration re-reads descriptor state and updates the seek
+    // position, like a real read(2) loop).
+    let dispatch_before = env.machine().kernel().dispatch_stats();
+    let fd = env
+        .open(init, "/bench/big", OpenFlags::read_only())
+        .expect("open for reads");
+    let start = clock_now(&env);
+    for _ in 0..params.read_ops {
+        let data = env.read(init, fd, IO_SIZE).expect("read");
+        assert_eq!(data.len() as u64, IO_SIZE, "fixture sized for read count");
+    }
+    let read = FsPhase {
+        ops: params.read_ops,
+        elapsed: clock_now(&env) - start,
+    };
+    env.close(init, fd).expect("close read fd");
+
+    // Phase: sequential overwrites of the same file.
+    let fd = env
+        .open(
+            init,
+            "/bench/big",
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        )
+        .expect("open for writes");
+    let buf = vec![0x5au8; IO_SIZE as usize];
+    let start = clock_now(&env);
+    for _ in 0..params.write_ops {
+        let n = env.write(init, fd, &buf).expect("write");
+        assert_eq!(n, IO_SIZE);
+    }
+    let write = FsPhase {
+        ops: params.write_ops,
+        elapsed: clock_now(&env) - start,
+    };
+    env.close(init, fd).expect("close write fd");
+    let io_dispatch = env
+        .machine()
+        .kernel()
+        .dispatch_stats()
+        .since(&dispatch_before);
+
+    // Phase: readdir.
+    let start = clock_now(&env);
+    for _ in 0..params.readdir_ops {
+        let entries = env.readdir(init, "/bench/dir").expect("readdir");
+        assert_eq!(entries.len() as u64, params.dir_entries);
+    }
+    let readdir = FsPhase {
+        ops: params.readdir_ops,
+        elapsed: clock_now(&env) - start,
+    };
+
+    FsMeasurement {
+        open_close,
+        read,
+        write,
+        readdir,
+        io_dispatch,
+    }
+}
+
+/// Runs the benchmark and renders the table + `BENCH_fs.json` report.
+pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
+    let m = measure(params);
+
+    let mut table = Table::new("File-system throughput through the VFS (simulated time)");
+    table.push(Row::new("open+close, per op").measure("HiStar", m.open_close.per_op()));
+    table.push(Row::new("read 4 KiB, per op").measure("HiStar", m.read.per_op()));
+    table.push(Row::new("write 4 KiB, per op").measure("HiStar", m.write.per_op()));
+    table.push(Row::new("readdir, per op").measure("HiStar", m.readdir.per_op()));
+    table.push(Row::new("I/O-phase mean batch size").measure(
+        "HiStar",
+        SimDuration::from_nanos((m.io_dispatch.mean_batch_size() * 100.0) as u64),
+    ));
+
+    let mut json = BenchJson::new("fs");
+    json.metric(
+        "open_close.ops_per_sec",
+        m.open_close.ops_per_sec(),
+        m.open_close.elapsed.as_nanos(),
+    );
+    json.metric(
+        "read.ops_per_sec",
+        m.read.ops_per_sec(),
+        m.read.elapsed.as_nanos(),
+    );
+    json.metric(
+        "write.ops_per_sec",
+        m.write.ops_per_sec(),
+        m.write.elapsed.as_nanos(),
+    );
+    json.metric(
+        "readdir.ops_per_sec",
+        m.readdir.ops_per_sec(),
+        m.readdir.elapsed.as_nanos(),
+    );
+    json.metric(
+        "io.mean_batch_size",
+        m.io_dispatch.mean_batch_size(),
+        (m.read.elapsed + m.write.elapsed).as_nanos(),
+    );
+    json.metric(
+        "io.batches",
+        m.io_dispatch.batches as f64,
+        (m.read.elapsed + m.write.elapsed).as_nanos(),
+    );
+    for (i, count) in m.io_dispatch.batch_size_hist.iter().enumerate() {
+        if *count > 0 {
+            json.metric(
+                &format!("io.batch_hist.{}", DispatchStats::batch_bucket_label(i)),
+                *count as f64,
+                (m.read.elapsed + m.write.elapsed).as_nanos(),
+            );
+        }
+    }
+    json.metric(
+        "io.handle_resolutions",
+        m.io_dispatch.handle_resolutions as f64,
+        (m.read.elapsed + m.write.elapsed).as_nanos(),
+    );
+    (table, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_all_metrics() {
+        let (table, json) = run(FsBenchParams::smoke());
+        assert_eq!(table.rows.len(), 5);
+        let doc = json.render();
+        for metric in [
+            "open_close.ops_per_sec",
+            "read.ops_per_sec",
+            "write.ops_per_sec",
+            "readdir.ops_per_sec",
+            "io.mean_batch_size",
+        ] {
+            assert!(doc.contains(metric), "missing {metric} in {doc}");
+        }
+    }
+}

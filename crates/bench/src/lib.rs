@@ -6,6 +6,9 @@
 //!   models.
 //! * [`fig13`] — the application benchmarks of Figure 13 (kernel build,
 //!   wget, virus scan with and without the isolation wrapper).
+//! * [`fs`] — file-system throughput through the Unix library's VFS:
+//!   open/read/write/readdir ops per simulated second, plus the
+//!   submission-batch histogram over the I/O hot path.
 //! * [`rpc`] — cross-node RPC over the exporter subsystem: latency and
 //!   throughput of label-checked calls, with and without message batching.
 //! * [`sched`] — the multiprogramming benchmark: N concurrent untrusted
@@ -23,6 +26,7 @@
 
 pub mod fig12;
 pub mod fig13;
+pub mod fs;
 pub mod report;
 pub mod rpc;
 pub mod sched;

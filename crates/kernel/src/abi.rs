@@ -92,6 +92,19 @@ impl HandleTable {
         self.slots.get(h.0 as usize).copied().flatten()
     }
 
+    /// Finds a live handle already installed for exactly this entry, so
+    /// hot paths that repeatedly name the same object (the VFS fd path)
+    /// can reuse one handle instead of growing the table per operation.
+    pub fn find(&self, entry: ContainerEntry) -> Option<Handle> {
+        if self.live == 0 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .position(|s| *s == Some(entry))
+            .map(|i| Handle(i as u32))
+    }
+
     /// Drops one handle.  Returns the entry it named, if any.
     pub fn revoke(&mut self, h: Handle) -> Option<ContainerEntry> {
         let slot = self.slots.get_mut(h.0 as usize)?;

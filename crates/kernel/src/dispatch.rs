@@ -567,6 +567,9 @@ pub struct DispatchStats {
     /// Handle-encoded syscall arguments resolved at dispatch (how often
     /// the hot path named objects by handle instead of raw entry).
     pub handle_resolutions: u64,
+    /// Handle-open requests satisfied by an already-installed handle for
+    /// the same container link (the fd hot path's steady state).
+    pub handle_reuses: u64,
 }
 
 /// Upper bounds (inclusive) of the batch-size histogram buckets; the last
@@ -585,6 +588,7 @@ impl Default for DispatchStats {
             handle_closes: 0,
             handle_revocations: 0,
             handle_resolutions: 0,
+            handle_reuses: 0,
         }
     }
 }
@@ -689,6 +693,7 @@ impl DispatchStats {
         out.handle_closes = op(self.handle_closes, other.handle_closes);
         out.handle_revocations = op(self.handle_revocations, other.handle_revocations);
         out.handle_resolutions = op(self.handle_resolutions, other.handle_resolutions);
+        out.handle_reuses = op(self.handle_reuses, other.handle_reuses);
         out
     }
 

@@ -419,6 +419,24 @@ impl Kernel {
         Ok(self.handles.entry(tid).or_default().install(entry))
     }
 
+    /// Like [`Kernel::handle_open`], but reuses an already-installed live
+    /// handle when `tid` holds one for exactly this entry, skipping the
+    /// redundant reachability check (the installed handle is proof the
+    /// check passed, and it is revoked the moment the link is severed).
+    /// The fd hot path calls this on every descriptor operation, so the
+    /// steady state costs one table probe instead of a label check.
+    pub fn handle_open_reuse(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<Handle, SyscallError> {
+        if let Some(h) = self.handles.get(&tid).and_then(|t| t.find(entry)) {
+            self.dispatch_stats.handle_reuses += 1;
+            return Ok(h);
+        }
+        self.handle_open(tid, entry)
+    }
+
     /// Drops a handle from `tid`'s handle table.  Returns whether the
     /// handle was live.
     pub fn handle_close(&mut self, tid: ObjectId, handle: Handle) -> bool {

@@ -1,5 +1,5 @@
-//! The Unix environment: the library state tying processes, the file system
-//! and file descriptors together over a simulated HiStar machine.
+//! The Unix environment: the library state tying processes, the VFS and
+//! file descriptors together over a simulated HiStar machine.
 //!
 //! Everything in this module is *untrusted library code* in the paper's
 //! sense: it only ever acts through kernel system calls made on behalf of
@@ -7,15 +7,28 @@
 //! kernel's label checks.  A process with insufficient privilege simply gets
 //! `CannotObserve`/`CannotModify` errors back, exactly as a buggy or
 //! malicious library would.
+//!
+//! File and descriptor operations are thin wrappers here: paths resolve
+//! through the [`Vfs`] mount table (segment fs at `/`, label-filtered
+//! `/proc`, devices at `/dev`, plus whatever [`UnixEnv::mount`] overlays)
+//! and every descriptor dispatches through its [`Vnode`], which owns the
+//! batched hot path.  What remains in this file is the process machinery
+//! (§5.2) and the descriptor-segment bookkeeping that must straddle
+//! processes (`dup`/`fork` sharing, reference counts).
 
-use crate::fdtable::{Fd, FdKind, FdState, FdTable, FLAG_APPEND, FLAG_RDONLY, FLAG_WRONLY};
-use crate::fs::{join_path, split_path, DirEntry, Directory, FileStat, MountTable, OpenFlags};
+use crate::devfs::DevFs;
+use crate::fdtable::{Fd, FdState, FdTable};
+use crate::fs::DirEntry;
+use crate::fs::{join_path, FileStat, OpenFlags};
 use crate::process::{ExitStatus, Pid, Process, ProcessState};
+use crate::procfs::{ProcFs, ProcInfo};
+use crate::segfs::SegFs;
 use crate::users::{User, UserTable};
+use crate::vfs::{ensure_quota, Vfs};
+use crate::vnode::{self, create_pipe, FdRef, VfsCtx, Vnode};
 use histar_kernel::bodies::{Mapping, MappingFlags};
 use histar_kernel::kernel::PAGE_SIZE;
-use histar_kernel::object::{ContainerEntry, ObjectId, METADATA_LEN};
-use histar_kernel::serialize::encode_object;
+use histar_kernel::object::{ContainerEntry, ObjectId};
 use histar_kernel::syscall::SyscallError;
 use histar_kernel::{Machine, MachineConfig};
 use histar_label::{Category, Label, Level};
@@ -48,6 +61,16 @@ pub enum UnixError {
     Unsupported(&'static str),
     /// The corrupted state was detected in a library data structure.
     Corrupt(&'static str),
+    /// The paths of a rename resolve into different mounted filesystems;
+    /// neither directory was modified.
+    CrossMount {
+        /// The (normalized) source path.
+        from: String,
+        /// The (normalized) destination path.
+        to: String,
+    },
+    /// The filesystem does not support modification.
+    ReadOnly(&'static str),
 }
 
 impl From<SyscallError> for UnixError {
@@ -71,6 +94,10 @@ impl core::fmt::Display for UnixError {
             UnixError::NoSuchUser(u) => write!(f, "no such user: {u}"),
             UnixError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             UnixError::Corrupt(what) => write!(f, "corrupt library state: {what}"),
+            UnixError::CrossMount { from, to } => {
+                write!(f, "rename across mount points: {from} -> {to}")
+            }
+            UnixError::ReadOnly(fs) => write!(f, "read-only filesystem: {fs}"),
         }
     }
 }
@@ -81,17 +108,24 @@ type Result<T> = core::result::Result<T, UnixError>;
 
 /// Default quota handed to each process container.
 const PROCESS_QUOTA: u64 = 64 * 1024 * 1024;
-/// Initial quota handed to each directory container; the library tops
-/// directories up automatically from their ancestors as they fill.
-const DIRECTORY_QUOTA: u64 = 4 * 1024 * 1024;
-/// Size of the ring buffer inside a pipe segment.
-const PIPE_CAPACITY: u64 = 64 * 1024;
-/// Header bytes of a pipe segment: read position, write position, writer count.
-const PIPE_HEADER: u64 = 24;
 /// Number of pages in a freshly exec'd heap.
 const HEAP_PAGES: u64 = 16;
 /// Number of pages in a freshly exec'd stack.
 const STACK_PAGES: u64 = 4;
+/// Seed for `/dev/urandom` streams.
+const DEV_RNG_SEED: u64 = 0x0dd5_eed5;
+
+/// One live (per-thread) view of an open descriptor: the resolved
+/// location of its descriptor segment and the vnode serving its I/O.
+/// Keyed by `(thread, descriptor segment)` — each process sharing a
+/// descriptor keeps its own vnode (capability handles are per-thread),
+/// while the shared state (seek position, flags, refs) stays in the
+/// descriptor segment.
+#[derive(Debug)]
+struct OpenFd {
+    fd_ref: FdRef,
+    vnode: Box<dyn Vnode>,
+}
 
 /// The Unix environment (§5): the untrusted library that makes a HiStar
 /// machine feel like Unix.
@@ -101,35 +135,48 @@ pub struct UnixEnv {
     processes: HashMap<Pid, Process>,
     next_pid: Pid,
     users: UserTable,
-    mounts: MountTable,
+    vfs: Vfs,
     fs_root: ObjectId,
     init_pid: Pid,
+    open_vnodes: HashMap<(ObjectId, ObjectId), OpenFd>,
 }
 
 impl UnixEnv {
     /// Boots a fresh machine and builds a Unix environment on it, with a
-    /// root file system and an `init` process (PID 1).
+    /// root file system, `/proc` and `/dev`, and an `init` process (PID 1).
     pub fn boot() -> UnixEnv {
         UnixEnv::on_machine(Machine::boot(MachineConfig::default()))
     }
 
     /// Builds a Unix environment on an existing machine.
-    pub fn on_machine(machine: Machine) -> UnixEnv {
+    pub fn on_machine(mut machine: Machine) -> UnixEnv {
+        let boot_thread = machine.kernel_thread();
+        let kroot = machine.kernel().root_container();
+        // The root directory and its filesystem.
+        let root_fs = {
+            let mut ctx = VfsCtx {
+                machine: &mut machine,
+                thread: boot_thread,
+            };
+            SegFs::format(&mut ctx, kroot, Label::unrestricted(), "/")
+                .expect("creating the root directory cannot fail on a fresh machine")
+        };
+        let fs_root = root_fs.root_container();
+        let mut vfs = Vfs::new(Box::new(root_fs));
+        let procfs = vfs.add_filesystem(Box::new(ProcFs::new()));
+        vfs.mount("/proc", procfs);
+        let devfs = vfs.add_filesystem(Box::new(DevFs::new(DEV_RNG_SEED)));
+        vfs.mount("/dev", devfs);
         let mut env = UnixEnv {
             machine,
             processes: HashMap::new(),
             next_pid: 1,
             users: UserTable::new(),
-            mounts: MountTable::new(),
-            fs_root: ObjectId::from_raw(0),
+            vfs,
+            fs_root,
             init_pid: 1,
+            open_vnodes: HashMap::new(),
         };
-        let boot_thread = env.machine.kernel_thread();
-        let kernel_root = env.machine.kernel().root_container();
-        // The root directory.
-        env.fs_root = env
-            .make_directory_in(boot_thread, kernel_root, Label::unrestricted(), "/")
-            .expect("creating the root directory cannot fail on a fresh machine");
         // PID 1.
         let init = env
             .create_process(boot_thread, None, None, "/sbin/init", Vec::new(), &[])
@@ -170,9 +217,20 @@ impl UnixEnv {
         &self.users
     }
 
-    /// Mounts a container at a path in the (shared) mount table.
+    /// The mount layer, mutably (to mount additional filesystems).
+    pub fn vfs_mut(&mut self) -> &mut Vfs {
+        &mut self.vfs
+    }
+
+    /// Mounts an existing directory container at a path, as its own
+    /// segment filesystem (how daemons export their namespaces).
+    /// Remounting the same container reuses its registered filesystem.
     pub fn mount(&mut self, path: &str, container: ObjectId) {
-        self.mounts.mount(path, container);
+        let fs = match self.vfs.segfs_with_root(container) {
+            Some(fs) => fs,
+            None => self.vfs.add_filesystem(Box::new(SegFs::new(container))),
+        };
+        self.vfs.mount(path, fs);
     }
 
     /// A process's bookkeeping record.
@@ -205,6 +263,37 @@ impl UnixEnv {
             .values()
             .filter(|p| p.state != ProcessState::Reaped)
             .count()
+    }
+
+    /// Refreshes one process's `/proc` mirror from the library's
+    /// bookkeeping (called on every lifecycle and descriptor change).
+    fn sync_proc_mirror(&mut self, pid: Pid) {
+        let Some(p) = self.processes.get(&pid) else {
+            return;
+        };
+        let reaped = p.state == ProcessState::Reaped;
+        let info = ProcInfo {
+            pid,
+            parent: p.parent,
+            user: p.user.clone(),
+            executable: p.executable.clone(),
+            state: match p.state {
+                ProcessState::Running => "running",
+                ProcessState::Zombie(_) => "zombie",
+                ProcessState::Reaped => "reaped",
+            },
+            thread: p.thread,
+            process_container: p.process_container,
+            internal_container: p.internal_container,
+            open_fds: p.fds.open_count() as u64,
+        };
+        if let Some(procfs) = self.vfs.find_fs_mut::<ProcFs>() {
+            if reaped {
+                procfs.remove(pid);
+            } else {
+                procfs.update(info);
+            }
+        }
     }
 
     // ----- users -----------------------------------------------------------
@@ -342,8 +431,9 @@ impl UnixEnv {
             self.process_mut(child)?.cwd = cwd;
         }
         for (_, seg) in fds {
-            self.update_fd_state(parent, seg, |st| st.refs += 1)?;
+            self.adjust_fd_refs(parent, seg, 1)?;
         }
+        self.sync_proc_mirror(child);
         Ok(child)
     }
 
@@ -365,7 +455,6 @@ impl UnixEnv {
             )
         };
         let kernel = self.machine.kernel_mut();
-        let internal_entry = ContainerEntry::self_entry(internal);
 
         // Fresh text/heap/stack segments (the old ones are unreferenced).
         let text = kernel.trap_segment_create(
@@ -399,7 +488,6 @@ impl UnixEnv {
         for seg in old {
             let _ = kernel.trap_obj_unref(thread, ContainerEntry::new(internal, seg));
         }
-        let _ = internal_entry;
         self.map_process_image(pid, aspace, text, heap, stack)?;
         {
             let p = self.process_mut(pid)?;
@@ -408,6 +496,7 @@ impl UnixEnv {
             p.stack_segment = stack;
             p.executable = path.to_string();
         }
+        self.sync_proc_mirror(pid);
         Ok(())
     }
 
@@ -441,6 +530,7 @@ impl UnixEnv {
         )?;
         kernel.trap_self_halt(thread)?;
         self.process_mut(pid)?.state = ProcessState::Zombie(status);
+        self.sync_proc_mirror(pid);
         Ok(())
     }
 
@@ -471,7 +561,10 @@ impl UnixEnv {
         // kernel root, which drops the whole subtree.
         let kroot = kernel.root_container();
         kernel.trap_obj_unref(parent_thread, ContainerEntry::new(kroot, child_container))?;
+        let child_thread = self.process(child)?.thread;
         self.process_mut(child)?.state = ProcessState::Reaped;
+        self.open_vnodes.retain(|(t, _), _| *t != child_thread);
+        self.sync_proc_mirror(child);
         Ok(status)
     }
 
@@ -683,6 +776,7 @@ impl UnixEnv {
         };
         self.processes.insert(pid, process);
         self.map_process_image(pid, address_space, text, heap, stack)?;
+        self.sync_proc_mirror(pid);
         Ok(pid)
     }
 
@@ -753,173 +847,171 @@ impl UnixEnv {
         Ok(())
     }
 
-    // ----- file system (§5.1) ------------------------------------------------
+    // ----- descriptor plumbing ----------------------------------------------
 
-    /// Automatic quota management (§3.3: "the system library can manage
-    /// quotas automatically"): tops up a container from its ancestors so
-    /// that at least `need` bytes are available, moving quota down the
-    /// hierarchy from the root (whose quota is infinite).
-    fn ensure_quota(&mut self, thread: ObjectId, container: ObjectId, need: u64) -> Result<()> {
-        let kernel = self.machine.kernel_mut();
-        let avail = kernel.trap_container_quota_avail(thread, container)?;
-        if avail >= need {
-            return Ok(());
-        }
-        let grant = (need - avail).max(DIRECTORY_QUOTA);
-        let parent = kernel.trap_container_get_parent(thread, container)?;
-        self.ensure_quota(thread, parent, grant)?;
-        self.machine
-            .kernel_mut()
-            .trap_quota_move(thread, parent, container, grant as i64)?;
-        Ok(())
-    }
-
-    /// Creates a directory container plus its directory segment, recording
-    /// the directory segment's object ID in the container metadata.
-    fn make_directory_in(
+    /// Finds a container entry through which `thread` can name a (possibly
+    /// shared) descriptor segment.  After `fork`, a descriptor segment
+    /// created by the parent is still linked only in the parent's process
+    /// container, so the child names it through that container instead.
+    fn locate_fd_segment(
         &mut self,
         thread: ObjectId,
-        parent_container: ObjectId,
-        label: Label,
-        descrip: &str,
-    ) -> Result<ObjectId> {
-        self.ensure_quota(thread, parent_container, DIRECTORY_QUOTA + 2 * PAGE_SIZE)?;
+        preferred_container: ObjectId,
+        fd_seg: ObjectId,
+    ) -> Result<ContainerEntry> {
         let kernel = self.machine.kernel_mut();
-        let dir = kernel.trap_container_create(
-            thread,
-            parent_container,
-            label.clone(),
-            descrip,
-            0,
-            DIRECTORY_QUOTA,
-        )?;
-        let dirseg = kernel.trap_segment_create(thread, dir, label, PAGE_SIZE, ".dirents")?;
-        let mut meta = [0u8; METADATA_LEN];
-        meta[..8].copy_from_slice(&dirseg.raw().to_le_bytes());
-        kernel.trap_obj_set_metadata(thread, ContainerEntry::self_entry(dir), meta)?;
-        Ok(dir)
-    }
-
-    /// Finds the directory segment of a directory container.
-    fn dirseg_of(&mut self, thread: ObjectId, dir: ObjectId) -> Result<ObjectId> {
-        let kernel = self.machine.kernel_mut();
-        let meta = kernel.trap_obj_get_metadata(thread, ContainerEntry::self_entry(dir))?;
-        let raw = u64::from_le_bytes(meta[..8].try_into().expect("metadata is 64 bytes"));
-        if raw == 0 {
-            return Err(UnixError::Corrupt("directory has no directory segment"));
+        let entry = ContainerEntry::new(preferred_container, fd_seg);
+        if kernel.trap_segment_len(thread, entry).is_ok() {
+            return Ok(entry);
         }
-        Ok(ObjectId::from_raw(raw))
+        for p in self.processes.values() {
+            let cand = ContainerEntry::new(p.process_container, fd_seg);
+            if kernel.trap_segment_len(thread, cand).is_ok() {
+                return Ok(cand);
+            }
+        }
+        Err(UnixError::Corrupt("shared fd segment not reachable"))
     }
 
-    fn read_directory(&mut self, thread: ObjectId, dir: ObjectId) -> Result<Directory> {
-        let dirseg = self.dirseg_of(thread, dir)?;
-        let kernel = self.machine.kernel_mut();
-        let entry = ContainerEntry::new(dir, dirseg);
-        let len = kernel.trap_segment_len(thread, entry)?;
-        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
-        Directory::decode(&bytes).ok_or(UnixError::Corrupt("directory segment"))
-    }
-
-    fn write_directory(&mut self, thread: ObjectId, dir: ObjectId, d: &Directory) -> Result<()> {
-        let dirseg = self.dirseg_of(thread, dir)?;
-        let entry = ContainerEntry::new(dir, dirseg);
-        let bytes = d.encode();
-        // Large directories outgrow the directory segment's initial quota;
-        // the library moves more quota into it as needed.
-        if let Err(SyscallError::QuotaExceeded {
-            requested,
-            available,
-            ..
-        }) = self
+    /// Ensures a live `(thread, descriptor segment)` cache entry exists:
+    /// resolves the descriptor segment's location (caching a capability
+    /// handle for it) and rebuilds the vnode from the stored state if
+    /// this thread has not touched the descriptor before.
+    fn ensure_open_fd(
+        &mut self,
+        thread: ObjectId,
+        container: ObjectId,
+        seg: ObjectId,
+    ) -> Result<()> {
+        if self.open_vnodes.contains_key(&(thread, seg)) {
+            return Ok(());
+        }
+        let entry = self.locate_fd_segment(thread, container, seg)?;
+        let handle = self
             .machine
             .kernel_mut()
-            .trap_segment_resize(thread, entry, bytes.len() as u64)
-        {
-            let grow = (requested - available).max(64 * PAGE_SIZE);
-            self.ensure_quota(thread, dir, grow)?;
-            self.machine
-                .kernel_mut()
-                .trap_quota_move(thread, dir, dirseg, grow as i64)?;
-            self.machine
-                .kernel_mut()
-                .trap_segment_resize(thread, entry, bytes.len() as u64)?;
-        }
-        self.machine
-            .kernel_mut()
-            .trap_segment_write(thread, entry, 0, &bytes)?;
+            .handle_open_reuse(thread, entry)
+            .ok();
+        let fd_ref = FdRef { seg, entry, handle };
+        let state = {
+            let mut ctx = VfsCtx {
+                machine: &mut self.machine,
+                thread,
+            };
+            vnode::read_fd_state(&mut ctx, &fd_ref)?
+        };
+        let vnode = {
+            let mut ctx = VfsCtx {
+                machine: &mut self.machine,
+                thread,
+            };
+            self.vfs.vnode_from_state(&mut ctx, &state)?
+        };
+        self.open_vnodes
+            .insert((thread, seg), OpenFd { fd_ref, vnode });
         Ok(())
     }
 
-    /// Resolves a path to its parent directory container and final
-    /// component name.
-    fn resolve_parent(&mut self, pid: Pid, path: &str) -> Result<(ObjectId, String, Vec<String>)> {
-        let (thread, cwd) = {
+    /// Runs one descriptor operation: reads the (shared) descriptor state
+    /// once, then dispatches to the vnode.
+    fn with_fd<T>(
+        &mut self,
+        pid: Pid,
+        fd: Fd,
+        f: impl FnOnce(&mut VfsCtx, &FdRef, &mut dyn Vnode, &FdState) -> Result<T>,
+    ) -> Result<T> {
+        let (thread, container, seg) = {
             let p = self.process(pid)?;
-            (p.thread, p.cwd.clone())
+            let seg = p.fds.get(fd).ok_or(UnixError::BadFd(fd))?;
+            (p.thread, p.process_container, seg)
         };
-        let comps = split_path(&cwd, path);
-        if comps.is_empty() {
-            return Err(UnixError::Unsupported("path resolves to the root itself"));
+        self.ensure_open_fd(thread, container, seg)?;
+        let ofd = self
+            .open_vnodes
+            .get_mut(&(thread, seg))
+            .expect("ensure_open_fd installed the entry");
+        let mut ctx = VfsCtx {
+            machine: &mut self.machine,
+            thread,
+        };
+        // The descriptor-segment handle is primed on first I/O (not at
+        // open), so open/close-only descriptors never pay for one.
+        if ofd.fd_ref.handle.is_none() {
+            ofd.fd_ref.handle = ctx
+                .kernel()
+                .handle_open_reuse(thread, ofd.fd_ref.entry)
+                .ok();
         }
-        let (dir_comps, name) = comps.split_at(comps.len() - 1);
-        let dir = self.resolve_dir_components(thread, dir_comps)?;
-        Ok((dir, name[0].clone(), comps))
+        let state = vnode::read_fd_state(&mut ctx, &ofd.fd_ref)?;
+        f(&mut ctx, &ofd.fd_ref, ofd.vnode.as_mut(), &state)
     }
 
-    fn resolve_dir_components(&mut self, thread: ObjectId, comps: &[String]) -> Result<ObjectId> {
-        let mut current = self.fs_root;
-        for (i, comp) in comps.iter().enumerate() {
-            // A mount exactly covering the prefix overrides the lookup.
-            if let Some(mounted) = self.mounts.resolve(&comps[..=i]) {
-                current = mounted;
-                continue;
-            }
-            let dir = self.read_directory(thread, current)?;
-            let entry = dir
-                .lookup(comp)
-                .ok_or_else(|| UnixError::NotFound(join_path(&comps[..=i])))?;
-            if !entry.is_dir {
-                return Err(UnixError::NotADirectory(comp.clone()));
-            }
-            current = entry.object;
-        }
-        Ok(current)
-    }
-
-    /// Pre-reserves quota for a directory so that processes which cannot
-    /// modify the directory's ancestors (e.g. network-tainted downloaders)
-    /// can still grow files inside it.  The calling process must be able to
-    /// write the directory and its ancestors — this is the §5.8 observation
-    /// that quota adjustments for tainted work must be arranged by an owner
-    /// ahead of time.
-    pub fn reserve_quota(&mut self, pid: Pid, path: &str, bytes: u64) -> Result<()> {
-        let (thread, cwd) = {
+    /// Creates the descriptor segment for `state` and installs it in the
+    /// process's table, seeding the vnode cache when the opener already
+    /// built one.
+    fn install_fd(
+        &mut self,
+        pid: Pid,
+        state: FdState,
+        vnode: Option<Box<dyn Vnode>>,
+    ) -> Result<Fd> {
+        let (thread, container) = {
             let p = self.process(pid)?;
-            (p.thread, p.cwd.clone())
+            (p.thread, p.process_container)
         };
-        let comps = split_path(&cwd, path);
-        let dir = self.resolve_dir_components(thread, &comps)?;
-        self.ensure_quota(thread, dir, bytes)
+        let kernel = self.machine.kernel_mut();
+        // The descriptor segment carries the opening thread's taint (but not
+        // its ownership) so that tainted processes can still maintain their
+        // own descriptor state.
+        let fd_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
+        let fd_seg =
+            kernel.trap_segment_create(thread, container, fd_label, 0, "file descriptor")?;
+        let entry = ContainerEntry::new(container, fd_seg);
+        kernel.trap_segment_write(thread, entry, 0, &state.encode())?;
+        if let Some(vnode) = vnode {
+            self.open_vnodes.insert(
+                (thread, fd_seg),
+                OpenFd {
+                    fd_ref: FdRef {
+                        seg: fd_seg,
+                        entry,
+                        handle: None,
+                    },
+                    vnode,
+                },
+            );
+        }
+        let fd = self.process_mut(pid)?.fds.allocate(fd_seg);
+        self.sync_proc_mirror(pid);
+        Ok(fd)
     }
 
-    /// Creates a directory at `path` with an optional explicit label.
-    pub fn mkdir(&mut self, pid: Pid, path: &str, label: Option<Label>) -> Result<ObjectId> {
-        let (dir, name, _) = self.resolve_parent(pid, path)?;
-        let thread = self.process(pid)?.thread;
-        let mut d = self.read_directory(thread, dir)?;
-        if d.lookup(&name).is_some() {
-            return Err(UnixError::Exists(path.to_string()));
-        }
-        let label = label.unwrap_or_else(Label::unrestricted);
-        let new_dir = self.make_directory_in(thread, dir, label, &name)?;
-        d.insert(DirEntry {
-            name,
-            object: new_dir,
-            is_dir: true,
-        });
-        self.write_directory(thread, dir, &d)?;
-        Ok(new_dir)
+    /// Adjusts a shared descriptor's reference count on behalf of `pid`.
+    fn adjust_fd_refs(&mut self, pid: Pid, seg: ObjectId, delta: i64) -> Result<FdState> {
+        let (thread, container) = {
+            let p = self.process(pid)?;
+            (p.thread, p.process_container)
+        };
+        let entry = self.locate_fd_segment(thread, container, seg)?;
+        let fd_ref = FdRef {
+            seg,
+            entry,
+            handle: None,
+        };
+        let mut ctx = VfsCtx {
+            machine: &mut self.machine,
+            thread,
+        };
+        vnode::update_fd_state(&mut ctx, &fd_ref, |st| {
+            if delta < 0 {
+                st.refs = st.refs.saturating_sub(delta.unsigned_abs() as u32);
+            } else {
+                st.refs += delta as u32;
+            }
+        })
     }
+
+    // ----- descriptor operations (thin wrappers over the vnode layer) -------
 
     /// Creates (or opens) a file and returns a descriptor for it.
     pub fn open(&mut self, pid: Pid, path: &str, flags: OpenFlags) -> Result<Fd> {
@@ -935,256 +1027,112 @@ impl UnixEnv {
         flags: OpenFlags,
         label: Option<Label>,
     ) -> Result<Fd> {
-        let (dir, name, _) = self.resolve_parent(pid, path)?;
-        let thread = self.process(pid)?.thread;
-        let mut d = self.read_directory(thread, dir)?;
-        let file_seg = match d.lookup(&name) {
-            Some(entry) if entry.is_dir => return Err(UnixError::IsADirectory(path.to_string())),
-            Some(entry) => {
-                let seg = entry.object;
-                if flags.truncate {
-                    self.machine.kernel_mut().trap_segment_resize(
-                        thread,
-                        ContainerEntry::new(dir, seg),
-                        0,
-                    )?;
-                }
-                seg
-            }
-            None => {
-                if !flags.create {
-                    return Err(UnixError::NotFound(path.to_string()));
-                }
-                let label = label.unwrap_or_else(Label::unrestricted);
-                self.ensure_quota(thread, dir, 2 * PAGE_SIZE)?;
-                let kernel = self.machine.kernel_mut();
-                let seg = kernel.trap_segment_create(thread, dir, label, 0, &name)?;
-                d.insert(DirEntry {
-                    name: name.clone(),
-                    object: seg,
-                    is_dir: false,
-                });
-                self.write_directory(thread, dir, &d)?;
-                seg
-            }
-        };
-        let mut fd_flags = 0u32;
-        if flags.append {
-            fd_flags |= FLAG_APPEND;
-        }
-        if flags.read && !flags.write {
-            fd_flags |= FLAG_RDONLY;
-        }
-        if flags.write && !flags.read {
-            fd_flags |= FLAG_WRONLY;
-        }
-        self.install_fd(
-            pid,
-            FdState {
-                kind: FdKind::File,
-                target: file_seg,
-                target_container: dir,
-                position: 0,
-                flags: fd_flags,
-                refs: 1,
-            },
-        )
-    }
-
-    fn install_fd(&mut self, pid: Pid, state: FdState) -> Result<Fd> {
-        let (thread, container) = {
+        let (thread, cwd) = {
             let p = self.process(pid)?;
-            (p.thread, p.process_container)
+            (p.thread, p.cwd.clone())
         };
-        let kernel = self.machine.kernel_mut();
-        // The descriptor segment carries the opening thread's taint (but not
-        // its ownership) so that tainted processes can still maintain their
-        // own descriptor state.
-        let fd_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
-        let fd_seg =
-            kernel.trap_segment_create(thread, container, fd_label, 0, "file descriptor")?;
-        kernel.trap_segment_write(
-            thread,
-            ContainerEntry::new(container, fd_seg),
-            0,
-            &state.encode(),
-        )?;
-        Ok(self.process_mut(pid)?.fds.allocate(fd_seg))
-    }
-
-    /// Finds a container entry through which `thread` can name a (possibly
-    /// shared) descriptor segment.  After `fork`, a descriptor segment
-    /// created by the parent is still linked only in the parent's process
-    /// container, so the child names it through that container instead.
-    fn find_fd_entry(
-        &mut self,
-        thread: ObjectId,
-        preferred_container: ObjectId,
-        fd_seg: ObjectId,
-    ) -> Result<(ContainerEntry, u64)> {
-        let kernel = self.machine.kernel_mut();
-        let entry = ContainerEntry::new(preferred_container, fd_seg);
-        if let Ok(len) = kernel.trap_segment_len(thread, entry) {
-            return Ok((entry, len));
-        }
-        for p in self.processes.values() {
-            let cand = ContainerEntry::new(p.process_container, fd_seg);
-            if let Ok(len) = kernel.trap_segment_len(thread, cand) {
-                return Ok((cand, len));
-            }
-        }
-        Err(UnixError::Corrupt("shared fd segment not reachable"))
-    }
-
-    fn fd_state(&mut self, pid: Pid, fd: Fd) -> Result<(ObjectId, FdState)> {
-        let (thread, container, seg) = {
-            let p = self.process(pid)?;
-            let seg = p.fds.get(fd).ok_or(UnixError::BadFd(fd))?;
-            (p.thread, p.process_container, seg)
+        let (state, vnode) = {
+            let mut ctx = VfsCtx {
+                machine: &mut self.machine,
+                thread,
+            };
+            self.vfs.open(&mut ctx, &cwd, path, flags, label)?
         };
-        let (entry, len) = self.find_fd_entry(thread, container, seg)?;
-        let kernel = self.machine.kernel_mut();
-        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
-        let state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
-        Ok((seg, state))
-    }
-
-    fn update_fd_state(
-        &mut self,
-        pid: Pid,
-        fd_seg: ObjectId,
-        update: impl FnOnce(&mut FdState),
-    ) -> Result<FdState> {
-        let (thread, container) = {
-            let p = self.process(pid)?;
-            (p.thread, p.process_container)
-        };
-        let (entry, len) = self.find_fd_entry(thread, container, fd_seg)?;
-        let kernel = self.machine.kernel_mut();
-        let bytes = kernel.trap_segment_read(thread, entry, 0, len)?;
-        let mut state = FdState::decode(&bytes).ok_or(UnixError::Corrupt("fd segment"))?;
-        update(&mut state);
-        kernel.trap_segment_write(thread, entry, 0, &state.encode())?;
-        Ok(state)
+        self.install_fd(pid, state, Some(vnode))
     }
 
     /// Closes a descriptor; the descriptor segment is dropped when the last
     /// process sharing it closes it.
+    ///
+    /// Closing must never require re-opening the vnode: an inherited
+    /// `/proc` descriptor, for example, is rebuilt through a label check
+    /// the closing process may not pass — but dropping a descriptor is
+    /// always allowed.  The refcount is adjusted directly on the
+    /// descriptor segment; a vnode is only consulted (and built on
+    /// demand, best-effort) for the last-close hook.
     pub fn close(&mut self, pid: Pid, fd: Fd) -> Result<()> {
-        let fd_seg = {
+        let (thread, container, seg) = {
             let p = self.process_mut(pid)?;
-            p.fds.remove(fd).ok_or(UnixError::BadFd(fd))?
+            let seg = p.fds.remove(fd).ok_or(UnixError::BadFd(fd))?;
+            (p.thread, p.process_container, seg)
         };
-        let state = self.update_fd_state(pid, fd_seg, |st| st.refs = st.refs.saturating_sub(1))?;
-        if state.refs == 0 && state.kind == FdKind::PipeWrite {
-            // Mark end-of-file for readers by clearing the writer count in
-            // the pipe header.
-            let _ = self.with_pipe(pid, &state, |_, _, writers| {
-                *writers = writers.saturating_sub(1);
-            });
+        let cached = self.open_vnodes.remove(&(thread, seg));
+        let fd_ref = match &cached {
+            Some(ofd) => ofd.fd_ref,
+            None => {
+                let entry = self.locate_fd_segment(thread, container, seg)?;
+                FdRef {
+                    seg,
+                    entry,
+                    handle: None,
+                }
+            }
+        };
+        let mut ctx = VfsCtx {
+            machine: &mut self.machine,
+            thread,
+        };
+        let state =
+            vnode::update_fd_state(&mut ctx, &fd_ref, |st| st.refs = st.refs.saturating_sub(1))?;
+        let mut vnode = match cached {
+            Some(ofd) => Some(ofd.vnode),
+            // Only the last-close hook needs a vnode; building one can
+            // legitimately fail (label-gated /proc state), in which case
+            // there is nothing to clean up anyway.
+            None if state.refs == 0 => self.vfs.vnode_from_state(&mut ctx, &state).ok(),
+            None => None,
+        };
+        if let Some(vnode) = vnode.as_mut() {
+            if state.refs == 0 {
+                let _ = vnode.on_last_close(&mut ctx, &state);
+            }
+            vnode.release(&mut ctx);
         }
+        if let Some(h) = fd_ref.handle {
+            ctx.kernel().handle_close(thread, h);
+        }
+        self.sync_proc_mirror(pid);
         Ok(())
     }
 
     /// Duplicates a descriptor (both numbers share the same descriptor
     /// segment, hence offset and flags).
     pub fn dup(&mut self, pid: Pid, fd: Fd) -> Result<Fd> {
-        let fd_seg = {
+        let seg = {
             let p = self.process(pid)?;
             p.fds.get(fd).ok_or(UnixError::BadFd(fd))?
         };
-        self.update_fd_state(pid, fd_seg, |st| st.refs += 1)?;
-        Ok(self.process_mut(pid)?.fds.allocate(fd_seg))
+        self.adjust_fd_refs(pid, seg, 1)?;
+        let new_fd = self.process_mut(pid)?.fds.allocate(seg);
+        self.sync_proc_mirror(pid);
+        Ok(new_fd)
     }
 
     /// Reads up to `len` bytes from a descriptor.
     pub fn read(&mut self, pid: Pid, fd: Fd, len: u64) -> Result<Vec<u8>> {
-        let (fd_seg, state) = self.fd_state(pid, fd)?;
-        match state.kind {
-            FdKind::File => {
-                let thread = self.process(pid)?.thread;
-                let kernel = self.machine.kernel_mut();
-                let entry = ContainerEntry::new(state.target_container, state.target);
-                let file_len = kernel.trap_segment_len(thread, entry)?;
-                let start = state.position.min(file_len);
-                let n = len.min(file_len - start);
-                let data = kernel.trap_segment_read(thread, entry, start, n)?;
-                self.update_fd_state(pid, fd_seg, |st| st.position = start + n)?;
-                Ok(data)
-            }
-            FdKind::PipeRead => self.pipe_read(pid, &state, len),
-            FdKind::PipeWrite => Err(UnixError::Unsupported("read from pipe write end")),
-            FdKind::Console => Ok(Vec::new()),
-            FdKind::Socket => Err(UnixError::Unsupported("socket reads go through netd")),
-        }
+        self.with_fd(pid, fd, |ctx, fd_ref, vnode, state| {
+            vnode.read(ctx, fd_ref, state, len)
+        })
     }
 
     /// Writes bytes to a descriptor, returning the number written.
     pub fn write(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<u64> {
-        let (fd_seg, state) = self.fd_state(pid, fd)?;
-        match state.kind {
-            FdKind::File => {
-                let thread = self.process(pid)?.thread;
-                let kernel = self.machine.kernel_mut();
-                let entry = ContainerEntry::new(state.target_container, state.target);
-                let pos = if state.flags & FLAG_APPEND != 0 {
-                    kernel.trap_segment_len(thread, entry)?
-                } else {
-                    state.position
-                };
-                // Growing the file past its segment quota is handled by the
-                // library: move more quota into the segment from the
-                // directory (topping the directory up from its ancestors).
-                if let Err(SyscallError::QuotaExceeded {
-                    requested,
-                    available,
-                    ..
-                }) = kernel.trap_segment_write(thread, entry, pos, data)
-                {
-                    let grow = (requested - available).max(PAGE_SIZE * 256);
-                    self.ensure_quota(thread, state.target_container, grow)?;
-                    self.machine.kernel_mut().trap_quota_move(
-                        thread,
-                        state.target_container,
-                        state.target,
-                        grow as i64,
-                    )?;
-                    self.machine
-                        .kernel_mut()
-                        .trap_segment_write(thread, entry, pos, data)?;
-                }
-                self.update_fd_state(pid, fd_seg, |st| st.position = pos + data.len() as u64)?;
-                Ok(data.len() as u64)
-            }
-            FdKind::PipeWrite => self.pipe_write(pid, &state, data),
-            FdKind::PipeRead => Err(UnixError::Unsupported("write to pipe read end")),
-            FdKind::Console => {
-                let thread = self.process(pid)?.thread;
-                if let Some(console) = self.machine.console_device() {
-                    let kroot = self.machine.kernel().root_container();
-                    self.machine.kernel_mut().trap_net_transmit(
-                        thread,
-                        ContainerEntry::new(kroot, console),
-                        data.to_vec(),
-                    )?;
-                }
-                Ok(data.len() as u64)
-            }
-            FdKind::Socket => Err(UnixError::Unsupported("socket writes go through netd")),
-        }
+        self.with_fd(pid, fd, |ctx, fd_ref, vnode, state| {
+            vnode.write(ctx, fd_ref, state, data)
+        })
     }
 
     /// Repositions a file descriptor (absolute seek).
     pub fn lseek(&mut self, pid: Pid, fd: Fd, position: u64) -> Result<()> {
-        let (fd_seg, state) = self.fd_state(pid, fd)?;
-        if state.kind != FdKind::File {
-            return Err(UnixError::Unsupported("seek on a non-file descriptor"));
-        }
-        self.update_fd_state(pid, fd_seg, |st| st.position = position)?;
-        Ok(())
+        self.with_fd(pid, fd, |ctx, fd_ref, vnode, _state| {
+            vnode.seek(ctx, fd_ref, position)
+        })
     }
 
-    // ----- pipes ---------------------------------------------------------------
+    /// `stat` on an open descriptor.
+    pub fn fstat(&mut self, pid: Pid, fd: Fd) -> Result<FileStat> {
+        self.with_fd(pid, fd, |ctx, _fd_ref, vnode, state| vnode.stat(ctx, state))
+    }
 
     /// Creates a pipe, returning `(read end, write end)`.
     pub fn pipe(&mut self, pid: Pid) -> Result<(Fd, Fd)> {
@@ -1192,122 +1140,105 @@ impl UnixEnv {
             let p = self.process(pid)?;
             (p.thread, p.process_container)
         };
-        let kernel = self.machine.kernel_mut();
-        let pipe_label = kernel.thread_label(thread)?.drop_ownership(Level::L1);
-        let pipe_seg = kernel.trap_segment_create(
-            thread,
-            container,
-            pipe_label,
-            PIPE_HEADER + PIPE_CAPACITY,
-            "pipe",
-        )?;
-        // Header: read pos = 0, write pos = 0, writers = 1.
-        let mut header = [0u8; PIPE_HEADER as usize];
-        header[16..24].copy_from_slice(&1u64.to_le_bytes());
-        kernel.trap_segment_write(thread, ContainerEntry::new(container, pipe_seg), 0, &header)?;
-        let read_fd = self.install_fd(
-            pid,
-            FdState {
-                kind: FdKind::PipeRead,
-                target: pipe_seg,
-                target_container: container,
-                position: 0,
-                flags: FLAG_RDONLY,
-                refs: 1,
-            },
-        )?;
-        let write_fd = self.install_fd(
-            pid,
-            FdState {
-                kind: FdKind::PipeWrite,
-                target: pipe_seg,
-                target_container: container,
-                position: 0,
-                flags: FLAG_WRONLY,
-                refs: 1,
-            },
-        )?;
+        let (read_state, write_state) = {
+            let mut ctx = VfsCtx {
+                machine: &mut self.machine,
+                thread,
+            };
+            create_pipe(&mut ctx, container)?
+        };
+        let read_fd = self.install_fd(pid, read_state, None)?;
+        let write_fd = self.install_fd(pid, write_state, None)?;
         Ok((read_fd, write_fd))
     }
 
-    fn with_pipe<T>(
+    // ----- path operations (thin wrappers over the VFS) ---------------------
+
+    /// Creates a directory at `path` with an optional explicit label.
+    pub fn mkdir(&mut self, pid: Pid, path: &str, label: Option<Label>) -> Result<ObjectId> {
+        let node = self.vfs_op(pid, |vfs, ctx, cwd| vfs.mkdir(ctx, cwd, path, label))?;
+        Ok(ObjectId::from_raw(node))
+    }
+
+    /// `stat` on a path.
+    pub fn stat(&mut self, pid: Pid, path: &str) -> Result<FileStat> {
+        self.vfs_op(pid, |vfs, ctx, cwd| vfs.stat(ctx, cwd, path))
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&mut self, pid: Pid, path: &str) -> Result<Vec<DirEntry>> {
+        self.vfs_op(pid, |vfs, ctx, cwd| vfs.readdir(ctx, cwd, path))
+    }
+
+    /// Removes a file (or empty directory entry) from its directory.
+    pub fn unlink(&mut self, pid: Pid, path: &str) -> Result<()> {
+        self.vfs_op(pid, |vfs, ctx, cwd| vfs.unlink(ctx, cwd, path))
+    }
+
+    /// Renames a file.  Both paths must live in the same mounted
+    /// filesystem (and, as in real HiStar, the same directory — renames
+    /// are atomic under the directory mutex); a rename across mount
+    /// points fails with [`UnixError::CrossMount`] without touching
+    /// either directory.
+    pub fn rename(&mut self, pid: Pid, from: &str, to: &str) -> Result<()> {
+        self.vfs_op(pid, |vfs, ctx, cwd| vfs.rename(ctx, cwd, from, to))
+    }
+
+    /// Changes a process's working directory.
+    pub fn chdir(&mut self, pid: Pid, path: &str) -> Result<()> {
+        let comps = {
+            let p = self.process(pid)?;
+            Vfs::normalize(&p.cwd, path)
+        };
+        self.vfs_op(pid, |vfs, ctx, cwd| {
+            vfs.resolve_dir(ctx, cwd, path).map(|_| ())
+        })?;
+        self.process_mut(pid)?.cwd = join_path(&comps);
+        Ok(())
+    }
+
+    /// A process's current working directory.
+    pub fn getcwd(&self, pid: Pid) -> Result<String> {
+        Ok(self.process(pid)?.cwd.clone())
+    }
+
+    /// Pre-reserves quota for a directory so that processes which cannot
+    /// modify the directory's ancestors (e.g. network-tainted downloaders)
+    /// can still grow files inside it.  The calling process must be able to
+    /// write the directory and its ancestors — this is the §5.8 observation
+    /// that quota adjustments for tainted work must be arranged by an owner
+    /// ahead of time.
+    pub fn reserve_quota(&mut self, pid: Pid, path: &str, bytes: u64) -> Result<()> {
+        self.vfs_op(pid, |vfs, ctx, cwd| {
+            let (fs, dir) = vfs.resolve_dir(ctx, cwd, path)?;
+            if vfs
+                .filesystem_mut(fs)
+                .as_any_mut()
+                .downcast_mut::<SegFs>()
+                .is_none()
+            {
+                return Err(UnixError::Unsupported(
+                    "quota reservation on a pseudo filesystem",
+                ));
+            }
+            ensure_quota(ctx, ObjectId::from_raw(dir), bytes)
+        })
+    }
+
+    fn vfs_op<T>(
         &mut self,
         pid: Pid,
-        state: &FdState,
-        f: impl FnOnce(&mut u64, &mut u64, &mut u64) -> T,
-    ) -> Result<(T, ContainerEntry, ObjectId)> {
-        let thread = self.process(pid)?.thread;
-        let kernel = self.machine.kernel_mut();
-        let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
-        let mut rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
-        let mut wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let mut writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-        let out = f(&mut rpos, &mut wpos, &mut writers);
-        let mut new_header = [0u8; PIPE_HEADER as usize];
-        new_header[0..8].copy_from_slice(&rpos.to_le_bytes());
-        new_header[8..16].copy_from_slice(&wpos.to_le_bytes());
-        new_header[16..24].copy_from_slice(&writers.to_le_bytes());
-        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
-        Ok((out, entry, thread))
-    }
-
-    fn pipe_read(&mut self, pid: Pid, state: &FdState, len: u64) -> Result<Vec<u8>> {
-        let thread = self.process(pid)?.thread;
-        let kernel = self.machine.kernel_mut();
-        let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
-        let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
-        let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-        let available = wpos - rpos;
-        if available == 0 {
-            if writers == 0 {
-                return Ok(Vec::new()); // end of file
-            }
-            return Err(UnixError::WouldBlock);
-        }
-        let n = len.min(available);
-        let mut out = Vec::with_capacity(n as usize);
-        let start = rpos % PIPE_CAPACITY;
-        let first = n.min(PIPE_CAPACITY - start);
-        out.extend(kernel.trap_segment_read(thread, entry, PIPE_HEADER + start, first)?);
-        if first < n {
-            out.extend(kernel.trap_segment_read(thread, entry, PIPE_HEADER, n - first)?);
-        }
-        let mut new_header = header.clone();
-        new_header[0..8].copy_from_slice(&(rpos + n).to_le_bytes());
-        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
-        Ok(out)
-    }
-
-    fn pipe_write(&mut self, pid: Pid, state: &FdState, data: &[u8]) -> Result<u64> {
-        let thread = self.process(pid)?.thread;
-        let kernel = self.machine.kernel_mut();
-        let entry = ContainerEntry::new(state.target_container, state.target);
-        let header = kernel.trap_segment_read(thread, entry, 0, PIPE_HEADER)?;
-        let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
-        let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-        let free = PIPE_CAPACITY - (wpos - rpos);
-        if free == 0 {
-            return Err(UnixError::WouldBlock);
-        }
-        let n = (data.len() as u64).min(free);
-        let start = wpos % PIPE_CAPACITY;
-        let first = n.min(PIPE_CAPACITY - start);
-        kernel.trap_segment_write(thread, entry, PIPE_HEADER + start, &data[..first as usize])?;
-        if first < n {
-            kernel.trap_segment_write(
-                thread,
-                entry,
-                PIPE_HEADER,
-                &data[first as usize..n as usize],
-            )?;
-        }
-        let mut new_header = header.clone();
-        new_header[8..16].copy_from_slice(&(wpos + n).to_le_bytes());
-        kernel.trap_segment_write(thread, entry, 0, &new_header)?;
-        Ok(n)
+        f: impl FnOnce(&mut Vfs, &mut VfsCtx, &str) -> Result<T>,
+    ) -> Result<T> {
+        let (thread, cwd) = {
+            let p = self.process(pid)?;
+            (p.thread, p.cwd.clone())
+        };
+        let mut ctx = VfsCtx {
+            machine: &mut self.machine,
+            thread,
+        };
+        f(&mut self.vfs, &mut ctx, &cwd)
     }
 
     // ----- higher-level file helpers ------------------------------------------
@@ -1336,107 +1267,6 @@ impl UnixEnv {
         Ok(())
     }
 
-    /// `stat` on an open descriptor.
-    pub fn fstat(&mut self, pid: Pid, fd: Fd) -> Result<FileStat> {
-        let (_, state) = self.fd_state(pid, fd)?;
-        let thread = self.process(pid)?.thread;
-        let len = match state.kind {
-            FdKind::File => self.machine.kernel_mut().trap_segment_len(
-                thread,
-                ContainerEntry::new(state.target_container, state.target),
-            )?,
-            _ => 0,
-        };
-        Ok(FileStat {
-            object: state.target,
-            is_dir: false,
-            len,
-        })
-    }
-
-    /// `stat` on a path.
-    pub fn stat(&mut self, pid: Pid, path: &str) -> Result<FileStat> {
-        let (dir, name, _) = self.resolve_parent(pid, path)?;
-        let thread = self.process(pid)?.thread;
-        let d = self.read_directory(thread, dir)?;
-        let entry = d
-            .lookup(&name)
-            .ok_or_else(|| UnixError::NotFound(path.to_string()))?
-            .clone();
-        let len = if entry.is_dir {
-            0
-        } else {
-            self.machine
-                .kernel_mut()
-                .trap_segment_len(thread, ContainerEntry::new(dir, entry.object))?
-        };
-        Ok(FileStat {
-            object: entry.object,
-            is_dir: entry.is_dir,
-            len,
-        })
-    }
-
-    /// Lists a directory.
-    pub fn readdir(&mut self, pid: Pid, path: &str) -> Result<Vec<DirEntry>> {
-        let (thread, cwd) = {
-            let p = self.process(pid)?;
-            (p.thread, p.cwd.clone())
-        };
-        let comps = split_path(&cwd, path);
-        let dir = self.resolve_dir_components(thread, &comps)?;
-        Ok(self.read_directory(thread, dir)?.entries)
-    }
-
-    /// Removes a file (or empty directory entry) from its directory.
-    pub fn unlink(&mut self, pid: Pid, path: &str) -> Result<()> {
-        let (dir, name, _) = self.resolve_parent(pid, path)?;
-        let thread = self.process(pid)?.thread;
-        let mut d = self.read_directory(thread, dir)?;
-        let entry = d
-            .remove(&name)
-            .ok_or_else(|| UnixError::NotFound(path.to_string()))?;
-        self.write_directory(thread, dir, &d)?;
-        self.machine
-            .kernel_mut()
-            .trap_obj_unref(thread, ContainerEntry::new(dir, entry.object))?;
-        Ok(())
-    }
-
-    /// Renames a file within one directory (atomic under the directory
-    /// mutex in real HiStar).
-    pub fn rename(&mut self, pid: Pid, from: &str, to: &str) -> Result<()> {
-        let (dir_from, name_from, _) = self.resolve_parent(pid, from)?;
-        let (dir_to, name_to, _) = self.resolve_parent(pid, to)?;
-        if dir_from != dir_to {
-            return Err(UnixError::Unsupported("cross-directory rename"));
-        }
-        let thread = self.process(pid)?.thread;
-        let mut d = self.read_directory(thread, dir_from)?;
-        if !d.rename(&name_from, &name_to) {
-            return Err(UnixError::NotFound(from.to_string()));
-        }
-        self.write_directory(thread, dir_from, &d)?;
-        Ok(())
-    }
-
-    /// Changes a process's working directory.
-    pub fn chdir(&mut self, pid: Pid, path: &str) -> Result<()> {
-        let (thread, cwd) = {
-            let p = self.process(pid)?;
-            (p.thread, p.cwd.clone())
-        };
-        let comps = split_path(&cwd, path);
-        self.resolve_dir_components(thread, &comps)?;
-        self.process_mut(pid)?.cwd = join_path(&comps);
-        Ok(())
-    }
-
-    /// A process's current working directory.
-    pub fn getcwd(&self, pid: Pid) -> Result<String> {
-        Ok(self.process(pid)?.cwd.clone())
-    }
-
     // ----- durability (§7.1) -----------------------------------------------------
 
     /// `fsync`: makes one file (and the directory naming it) durable.  Under
@@ -1444,43 +1274,16 @@ impl UnixEnv {
     /// store; with the per-operation policy that is a sequential append to
     /// the write-ahead log.
     pub fn fsync_path(&mut self, pid: Pid, path: &str) -> Result<()> {
-        let (dir, name, _) = self.resolve_parent(pid, path)?;
-        let thread = self.process(pid)?.thread;
-        let d = self.read_directory(thread, dir)?;
-        let dirseg = self.dirseg_of(thread, dir)?;
-        let mut ids = vec![dir, dirseg];
-        if let Some(entry) = d.lookup(&name) {
-            ids.push(entry.object);
-        }
-        for id in ids {
-            if let Some(obj) = self.machine.kernel().raw_object(id) {
-                let bytes = encode_object(obj);
-                let store = self.machine.store_mut();
-                store.put(id.raw(), bytes);
-                store.sync_object(id.raw());
-            }
-        }
-        Ok(())
+        self.vfs_op(pid, |vfs, ctx, cwd| vfs.fsync_path(ctx, cwd, path))
     }
 
     /// `fdatasync` limited to specific pages of an open file: flushes those
     /// pages of the backing segment in place, without writing any metadata —
     /// the fast path for random writes to large existing files.
     pub fn fsync_pages(&mut self, pid: Pid, fd: Fd, pages: &[u64]) -> Result<()> {
-        let (_, state) = self.fd_state(pid, fd)?;
-        if state.kind != FdKind::File {
-            return Err(UnixError::Unsupported("fsync on a non-file descriptor"));
-        }
-        let id = state.target;
-        if let Some(obj) = self.machine.kernel().raw_object(id) {
-            let bytes = encode_object(obj);
-            let store = self.machine.store_mut();
-            store.put(id.raw(), bytes);
-            if store.sync_pages_in_place(id.raw(), pages).is_err() {
-                store.sync_object(id.raw());
-            }
-        }
-        Ok(())
+        self.with_fd(pid, fd, |ctx, _fd_ref, vnode, state| {
+            vnode.fsync_pages(ctx, state, pages)
+        })
     }
 
     /// Group sync: one system-wide snapshot covering everything (the
@@ -1566,11 +1369,17 @@ mod tests {
             env.read_file_as(init, "../bob/notes.txt").unwrap(),
             b"secret"
         );
+        // Sloppy paths normalize to the same file.
+        assert_eq!(
+            env.read_file_as(init, "/home//bob/./notes.txt/").unwrap(),
+            b"secret"
+        );
         // mkdir over an existing name fails.
         assert!(matches!(
             env.mkdir(init, "/home/bob", None),
             Err(UnixError::Exists(_))
         ));
+        env.chdir(init, "/").unwrap();
     }
 
     #[test]
@@ -1793,21 +1602,87 @@ mod tests {
     fn console_writes_reach_the_device() {
         let (mut env, init) = env();
         let fd = env
-            .install_fd(
+            .open(
                 init,
-                FdState {
-                    kind: FdKind::Console,
-                    target: ObjectId::from_raw(0),
-                    target_container: ObjectId::from_raw(0),
-                    position: 0,
-                    flags: 0,
-                    refs: 1,
+                "/dev/console",
+                OpenFlags {
+                    write: true,
+                    ..Default::default()
                 },
             )
             .unwrap();
         env.write(init, fd, b"hello tty").unwrap();
         let out = env.console_output();
         assert_eq!(out, vec![b"hello tty".to_vec()]);
+        // Console reads return end-of-file.
+        assert_eq!(env.read(init, fd, 8).unwrap(), b"");
+        env.close(init, fd).unwrap();
+    }
+
+    #[test]
+    fn dev_null_zero_urandom() {
+        let (mut env, init) = env();
+        let entries = env.readdir(init, "/dev").unwrap();
+        for dev in ["console", "null", "zero", "urandom"] {
+            assert!(entries.iter().any(|e| e.name == dev), "missing {dev}");
+        }
+        let null = env.open(init, "/dev/null", OpenFlags::read_only()).unwrap();
+        assert_eq!(env.read(init, null, 16).unwrap(), b"");
+        let zero = env.open(init, "/dev/zero", OpenFlags::read_only()).unwrap();
+        assert_eq!(env.read(init, zero, 4).unwrap(), vec![0u8; 4]);
+        let ur = env
+            .open(init, "/dev/urandom", OpenFlags::read_only())
+            .unwrap();
+        let a = env.read(init, ur, 32).unwrap();
+        let b = env.read(init, ur, 32).unwrap();
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, b, "urandom streams");
+        // Writes to read-only devices fail; /dev/null swallows.
+        assert!(matches!(
+            env.write(init, zero, b"x"),
+            Err(UnixError::ReadOnly(_))
+        ));
+        for fd in [null, zero, ur] {
+            env.close(init, fd).unwrap();
+        }
+    }
+
+    #[test]
+    fn proc_lists_processes_and_serves_own_status() {
+        let (mut env, init) = env();
+        let child = env.spawn(init, "/bin_child", None).unwrap();
+        let entries = env.readdir(init, "/proc").unwrap();
+        assert!(entries.iter().any(|e| e.name == init.to_string()));
+        assert!(entries.iter().any(|e| e.name == child.to_string()));
+        // A process can read its own /proc entry.
+        let status = env
+            .read_file_as(init, &format!("/proc/{init}/status"))
+            .unwrap();
+        let text = String::from_utf8(status).unwrap();
+        assert!(text.contains("exe:\t/sbin/init"), "got: {text}");
+        assert!(text.contains("state:\trunning"));
+        // ...but not a sibling's (the kernel denies observing the internal
+        // container).
+        let err = env
+            .read_file_as(init, &format!("/proc/{child}/status"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            UnixError::Kernel(SyscallError::CannotObserve(_))
+        ));
+    }
+
+    #[test]
+    fn rename_across_mounts_fails_cleanly() {
+        let (mut env, init) = env();
+        let exported = env.mkdir(init, "/exported", None).unwrap();
+        env.mount("/mnt", exported);
+        env.write_file_as(init, "/a.txt", b"a", None).unwrap();
+        let err = env.rename(init, "/a.txt", "/mnt/a.txt").unwrap_err();
+        assert!(matches!(err, UnixError::CrossMount { .. }));
+        // Neither namespace was touched.
+        assert_eq!(env.read_file_as(init, "/a.txt").unwrap(), b"a");
+        assert!(env.readdir(init, "/mnt").unwrap().is_empty());
     }
 
     #[test]
@@ -1819,5 +1694,10 @@ mod tests {
             .unwrap();
         env.mount("/netd", exported);
         assert_eq!(env.read_file_as(init, "/netd/status").unwrap(), b"ready");
+        // `..` escapes the mount point lexically.
+        assert_eq!(
+            env.read_file_as(init, "/netd/../exported/status").unwrap(),
+            b"ready"
+        );
     }
 }

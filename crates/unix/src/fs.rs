@@ -4,9 +4,9 @@
 //! directory is a container holding a *directory segment* that maps names to
 //! object IDs, and permissions are nothing but the labels on those kernel
 //! objects, enforced by the kernel rather than by this library.  This module
-//! defines the on-segment directory format, path manipulation, open flags
-//! and the mount table; the actual operations live in
-//! [`UnixEnv`](crate::env::UnixEnv), which issues the kernel calls.
+//! defines the on-segment directory format, path manipulation and open
+//! flags; the directory operations live in [`SegFs`](crate::segfs::SegFs)
+//! and the mount table in [`Vfs`](crate::vfs::Vfs).
 
 use histar_kernel::object::ObjectId;
 use histar_store::codec::{Decoder, Encoder};
@@ -138,6 +138,11 @@ impl Directory {
 
     /// Decodes a directory segment (empty segments decode to an empty
     /// directory, which is how freshly created directories start out).
+    ///
+    /// Directory segments are writable by anything the kernel's labels
+    /// admit, so the bytes are untrusted input: malformed framing,
+    /// non-UTF-8 names and out-of-range object IDs are all rejected with
+    /// `None` (the library reports corruption) rather than panicking.
     pub fn decode(bytes: &[u8]) -> Option<Directory> {
         if bytes.iter().all(|&b| b == 0) {
             return Some(Directory::new());
@@ -145,10 +150,14 @@ impl Directory {
         let mut d = Decoder::new(bytes);
         let generation = d.get_u64().ok()?;
         let n = d.get_u64().ok()? as usize;
-        let mut entries = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             let name = d.get_str().ok()?;
-            let object = ObjectId::from_raw(d.get_u64().ok()?);
+            let raw = d.get_u64().ok()?;
+            if raw > histar_kernel::object::OBJECT_ID_MASK {
+                return None;
+            }
+            let object = ObjectId::from_raw(raw);
             let is_dir = d.get_u8().ok()? != 0;
             entries.push(DirEntry {
                 name,
@@ -164,26 +173,11 @@ impl Directory {
 }
 
 /// Splits an absolute or relative path into its components, resolving `.`
-/// and `..` lexically.
+/// and `..` lexically.  This is a thin alias for
+/// [`Vfs::normalize`](crate::vfs::Vfs::normalize) — path parsing lives in
+/// exactly one place.
 pub fn split_path(cwd: &str, path: &str) -> Vec<String> {
-    let joined = if path.starts_with('/') {
-        path.to_string()
-    } else if cwd.ends_with('/') {
-        format!("{cwd}{path}")
-    } else {
-        format!("{cwd}/{path}")
-    };
-    let mut out: Vec<String> = Vec::new();
-    for comp in joined.split('/') {
-        match comp {
-            "" | "." => {}
-            ".." => {
-                out.pop();
-            }
-            other => out.push(other.to_string()),
-        }
-    }
-    out
+    crate::vfs::Vfs::normalize(cwd, path)
 }
 
 /// Joins components back into an absolute path.
@@ -192,53 +186,6 @@ pub fn join_path(components: &[String]) -> String {
         "/".to_string()
     } else {
         format!("/{}", components.join("/"))
-    }
-}
-
-/// The per-process mount table (§5.1): overlays containers onto paths, much
-/// like Plan 9.  `netd`'s process container is mounted as `/netd` by
-/// default.
-#[derive(Clone, Debug, Default)]
-pub struct MountTable {
-    mounts: Vec<(Vec<String>, ObjectId)>,
-}
-
-impl MountTable {
-    /// Creates an empty mount table.
-    pub fn new() -> MountTable {
-        MountTable::default()
-    }
-
-    /// Mounts `container` at the given absolute path.
-    pub fn mount(&mut self, path: &str, container: ObjectId) {
-        let comps = split_path("/", path);
-        self.mounts.retain(|(p, _)| *p != comps);
-        self.mounts.push((comps, container));
-    }
-
-    /// Removes a mount, returning the container that was mounted there.
-    pub fn unmount(&mut self, path: &str) -> Option<ObjectId> {
-        let comps = split_path("/", path);
-        let idx = self.mounts.iter().position(|(p, _)| *p == comps)?;
-        Some(self.mounts.remove(idx).1)
-    }
-
-    /// If `components` exactly names a mount point, returns its container.
-    pub fn resolve(&self, components: &[String]) -> Option<ObjectId> {
-        self.mounts
-            .iter()
-            .find(|(p, _)| p.as_slice() == components)
-            .map(|(_, c)| *c)
-    }
-
-    /// Number of mounts.
-    pub fn len(&self) -> usize {
-        self.mounts.len()
-    }
-
-    /// True if nothing is mounted.
-    pub fn is_empty(&self) -> bool {
-        self.mounts.is_empty()
     }
 }
 
@@ -354,23 +301,5 @@ mod tests {
         assert!(!OpenFlags::read_only().write);
         assert!(OpenFlags::write_create().truncate);
         assert!(OpenFlags::read_write_create().create);
-    }
-
-    #[test]
-    fn mount_table_resolution() {
-        let mut m = MountTable::new();
-        assert!(m.is_empty());
-        m.mount("/netd", oid(77));
-        m.mount("/vpn/netd", oid(88));
-        assert_eq!(m.len(), 2);
-        assert_eq!(m.resolve(&split_path("/", "/netd")), Some(oid(77)));
-        assert_eq!(m.resolve(&split_path("/", "/vpn/netd")), Some(oid(88)));
-        assert_eq!(m.resolve(&split_path("/", "/other")), None);
-        // Remounting replaces.
-        m.mount("/netd", oid(99));
-        assert_eq!(m.len(), 2);
-        assert_eq!(m.resolve(&split_path("/", "/netd")), Some(oid(99)));
-        assert_eq!(m.unmount("/netd"), Some(oid(99)));
-        assert_eq!(m.unmount("/netd"), None);
     }
 }

@@ -12,8 +12,16 @@
 //!
 //! * [`process`] — processes as container pairs (Figure 6), `spawn`,
 //!   `fork`, `exec`, `wait`, `exit`.
-//! * [`fs`] — files as segments, directories as containers with a
-//!   directory segment, mount table, `fsync` via the single-level store.
+//! * [`vfs`] — the mount layer: path resolution across filesystem
+//!   boundaries and the [`vfs::Filesystem`] trait.
+//! * [`vnode`] — the [`vnode::Vnode`] trait every descriptor dispatches
+//!   through, plus pipes, the console and the batched descriptor hot
+//!   path.
+//! * [`segfs`] — the paper's file system (§5.1): files as segments,
+//!   directories as containers with a directory segment.
+//! * [`procfs`] — label-filtered per-process state under `/proc`.
+//! * [`devfs`] — `/dev`: console, null, zero, urandom.
+//! * [`fs`] — the on-segment directory format, path helpers, open flags.
 //! * [`fdtable`] — file descriptors as segments shared across processes.
 //! * [`users`] — per-user read/write categories (no superuser anywhere).
 //! * [`gatecall`] — the service-gate / return-gate convention (Figure 7),
@@ -22,18 +30,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod devfs;
 pub mod env;
 pub mod fdtable;
 pub mod fs;
 pub mod gatecall;
 pub mod process;
+pub mod procfs;
+pub mod segfs;
 pub mod users;
+pub mod vfs;
+pub mod vnode;
 
 pub use env::{UnixEnv, UnixError};
 pub use fdtable::{Fd, FdKind};
 pub use fs::OpenFlags;
 pub use process::{ExitStatus, Pid, Process};
 pub use users::User;
+pub use vfs::{Filesystem, Vfs};
+pub use vnode::Vnode;
 
 /// Convenience result alias for Unix-library operations.
 pub type Result<T> = core::result::Result<T, UnixError>;

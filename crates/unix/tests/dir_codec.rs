@@ -1,0 +1,141 @@
+//! Property tests for the directory-segment codec: round-trips over
+//! adversarial names and rejection of malformed encodings.
+//!
+//! The repo runs offline, so these are seeded pseudo-property tests (like
+//! the label-algebra ones): a deterministic RNG drives many iterations
+//! over a generator of adversarial inputs.
+
+use histar_sim::SimRng;
+use histar_store::codec::Encoder;
+use histar_unix::fs::{DirEntry, Directory};
+
+fn oid(n: u64) -> histar_kernel::object::ObjectId {
+    // Object IDs are 61-bit; clamp generated values into range.
+    histar_kernel::object::ObjectId::from_raw(n & histar_kernel::object::OBJECT_ID_MASK)
+}
+
+/// Generates an adversarial (but valid-UTF-8) name.
+fn adversarial_name(rng: &mut SimRng, salt: u64) -> String {
+    match rng.next_below(8) {
+        // Empty name: the codec must carry it even though the VFS never
+        // creates one.
+        0 => String::new(),
+        // Slash-bearing names: never produced by path resolution, but
+        // the codec must not corrupt neighbouring entries over them.
+        1 => format!("a/b/{salt}"),
+        2 => "/".to_string(),
+        // Maximum-length (255-byte) names.
+        3 => "x".repeat(255),
+        // Multi-byte UTF-8.
+        4 => format!("ファイル-{salt}-✓"),
+        // Names that look like codec framing.
+        5 => "\u{0}\u{0}\u{0}\u{0}".to_string(),
+        6 => format!(".{salt}"),
+        // Plain names.
+        _ => format!("file-{salt}"),
+    }
+}
+
+#[test]
+fn round_trip_over_adversarial_names() {
+    let mut rng = SimRng::new(0xd1c0de);
+    for iter in 0..500 {
+        let mut dir = Directory::new();
+        let entries = rng.next_below(12);
+        for i in 0..entries {
+            dir.insert(DirEntry {
+                // Suffix with the index so insert() replacement semantics
+                // don't shrink the directory under us.
+                name: format!("{}#{i}", adversarial_name(&mut rng, iter)),
+                object: oid(rng.next_u64()),
+                is_dir: rng.next_below(2) == 1,
+            });
+        }
+        let encoded = dir.encode();
+        let decoded = Directory::decode(&encoded)
+            .unwrap_or_else(|| panic!("iteration {iter}: decode failed for {dir:?}"));
+        assert_eq!(decoded, dir, "iteration {iter}");
+    }
+}
+
+#[test]
+fn round_trip_preserves_exact_255_byte_and_empty_names() {
+    let mut dir = Directory::new();
+    for name in ["", "/", "a/b", &"n".repeat(255)] {
+        dir.insert(DirEntry {
+            name: name.to_string(),
+            object: oid(7),
+            is_dir: false,
+        });
+    }
+    let decoded = Directory::decode(&dir.encode()).unwrap();
+    assert_eq!(decoded, dir);
+    for name in ["", "/", "a/b"] {
+        assert!(decoded.lookup(name).is_some(), "lost {name:?}");
+    }
+    assert_eq!(decoded.lookup(&"n".repeat(255)).unwrap().object, oid(7));
+}
+
+/// Non-UTF-8 name bytes are rejected: the decoder returns `None` instead
+/// of fabricating a lossy name that would no longer round-trip.
+#[test]
+fn non_utf8_names_are_rejected() {
+    // Hand-encode a directory whose single entry has invalid UTF-8 bytes.
+    let mut e = Encoder::new();
+    e.put_u64(1); // generation
+    e.put_u64(1); // entry count
+    e.put_bytes(&[0xff, 0xfe, 0x80]); // invalid UTF-8 "name"
+    e.put_u64(42); // object id
+    e.put_u8(0); // is_dir
+    assert_eq!(Directory::decode(&e.finish()), None);
+}
+
+/// Truncated and garbage encodings are rejected rather than decoded into
+/// a partial directory.
+#[test]
+fn malformed_encodings_are_rejected() {
+    let mut rng = SimRng::new(0xbadc0de);
+    let mut dir = Directory::new();
+    for i in 0..8 {
+        dir.insert(DirEntry {
+            name: format!("entry-{i}"),
+            object: oid(i),
+            is_dir: i % 2 == 0,
+        });
+    }
+    let good = dir.encode();
+    // Every strict prefix long enough to not look like a fresh (zeroed)
+    // segment must fail to decode.
+    for cut in 1..good.len() {
+        let prefix = &good[..cut];
+        if prefix.iter().all(|&b| b == 0) {
+            continue; // decodes as an empty directory by design
+        }
+        assert_eq!(
+            Directory::decode(prefix),
+            None,
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    // Random byte flips either decode to *some* directory or are
+    // rejected — but never panic.
+    for _ in 0..200 {
+        let mut bytes = good.clone();
+        let idx = rng.next_below(bytes.len() as u64) as usize;
+        bytes[idx] ^= (1 + rng.next_below(255)) as u8;
+        let _ = Directory::decode(&bytes);
+    }
+}
+
+/// Out-of-range object IDs (beyond the kernel's 61-bit space) are
+/// rejected — the decoder must not panic on untrusted segment bytes.
+#[test]
+fn out_of_range_object_ids_are_rejected() {
+    let mut e = Encoder::new();
+    e.put_u64(1); // generation
+    e.put_u64(1); // entry count
+    e.put_str("evil");
+    e.put_u64(u64::MAX); // object id outside the 61-bit space
+    e.put_u8(0);
+    assert_eq!(Directory::decode(&e.finish()), None);
+}

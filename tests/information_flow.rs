@@ -223,3 +223,57 @@ fn multi_user_privilege() {
         Err(UnixError::Kernel(SyscallError::CannotObserve(_)))
     ));
 }
+
+/// §5 over the VFS: `/proc` entries are label-filtered by the kernel.  A
+/// tainted observer cannot stat an untainted process's `/proc` entry —
+/// entering the PID directory requires observing that process's internal
+/// container (`{pr 3, pw 0, 1}`), which the kernel denies — while the
+/// process itself (whose label owns `pr`) reads its own entry freely.
+#[test]
+fn proc_entries_are_label_filtered() {
+    use histar::label::Level;
+
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+
+    // A taint category owned by init; the observer starts tainted in it.
+    let init_thread = env.process(init).unwrap().thread;
+    let taint = env.kernel_mut().trap_create_category(init_thread).unwrap();
+    env.process_record_mut(init)
+        .unwrap()
+        .extra_ownership
+        .push(taint);
+    let observer = env
+        .spawn_with_label(init, "/bin/observer", vec![], vec![(taint, Level::L3)])
+        .unwrap();
+    let victim = env.spawn(init, "/bin/victim", None).unwrap();
+
+    // PIDs are public: anyone can list /proc.
+    let pids = env.readdir(observer, "/proc").unwrap();
+    assert!(pids.iter().any(|e| e.name == victim.to_string()));
+
+    // The tainted observer cannot stat (or read) the victim's entry.
+    assert!(matches!(
+        env.stat(observer, &format!("/proc/{victim}/status")),
+        Err(UnixError::Kernel(SyscallError::CannotObserve(_)))
+    ));
+    assert!(matches!(
+        env.read_file_as(observer, &format!("/proc/{victim}/status")),
+        Err(UnixError::Kernel(SyscallError::CannotObserve(_)))
+    ));
+
+    // An untainted stranger is denied just the same: the gate is the
+    // victim's `pr` category, not the observer's taint.
+    let stranger = env.spawn(init, "/bin/stranger", None).unwrap();
+    assert!(env
+        .stat(stranger, &format!("/proc/{victim}/status"))
+        .is_err());
+
+    // Labels that admit the entry open it: the victim reads its own.
+    let status = env
+        .read_file_as(victim, &format!("/proc/{victim}/status"))
+        .unwrap();
+    assert!(String::from_utf8(status)
+        .unwrap()
+        .contains("state:\trunning"));
+}
