@@ -27,6 +27,12 @@ pub struct FsBenchParams {
     pub readdir_ops: u64,
     /// Entries in the readdir target directory.
     pub dir_entries: u64,
+    /// Sequential 4 KiB reads through a `/persist` descriptor.
+    pub persist_read_ops: u64,
+    /// Sequential 4 KiB overwrites through a `/persist` descriptor.
+    pub persist_write_ops: u64,
+    /// Crash → recover → remount → read-back round trips.
+    pub recover_iters: u64,
 }
 
 /// Bytes moved per read/write iteration.
@@ -41,6 +47,9 @@ impl FsBenchParams {
             write_ops: 400,
             readdir_ops: 100,
             dir_entries: 32,
+            persist_read_ops: 400,
+            persist_write_ops: 400,
+            recover_iters: 3,
         }
     }
 
@@ -52,6 +61,9 @@ impl FsBenchParams {
             write_ops: 8_000,
             readdir_ops: 1_000,
             dir_entries: 64,
+            persist_read_ops: 8_000,
+            persist_write_ops: 8_000,
+            recover_iters: 8,
         }
     }
 }
@@ -97,6 +109,13 @@ pub struct FsMeasurement {
     pub write: FsPhase,
     /// readdir of a populated directory.
     pub readdir: FsPhase,
+    /// Sequential 4 KiB reads through a `/persist` descriptor (extent
+    /// records in the single-level store, one batch per read).
+    pub persist_read: FsPhase,
+    /// Sequential 4 KiB overwrites through a `/persist` descriptor.
+    pub persist_write: FsPhase,
+    /// Crash → recover → remount → read-back round trips.
+    pub recover_mount: FsPhase,
     /// Dispatch counters over the read+write phases only (batch-size
     /// histogram, handle traffic).
     pub io_dispatch: DispatchStats,
@@ -193,11 +212,90 @@ pub fn measure(params: FsBenchParams) -> FsMeasurement {
         elapsed: clock_now(&env) - start,
     };
 
+    // Fixture for the persist phases: one big file under /persist whose
+    // extents live in the single-level store, not the object heap.
+    let persist_size = params.persist_read_ops.max(1) * IO_SIZE;
+    env.write_file_as(
+        init,
+        "/persist/bench_big",
+        &vec![0xcdu8; persist_size as usize],
+        None,
+    )
+    .expect("create /persist/bench_big");
+
+    // Phase: sequential /persist reads (extent read + seek update, one
+    // batch per iteration).
+    let fd = env
+        .open(init, "/persist/bench_big", OpenFlags::read_only())
+        .expect("open persist for reads");
+    let start = clock_now(&env);
+    for _ in 0..params.persist_read_ops {
+        let data = env.read(init, fd, IO_SIZE).expect("persist read");
+        assert_eq!(data.len() as u64, IO_SIZE);
+    }
+    let persist_read = FsPhase {
+        ops: params.persist_read_ops,
+        elapsed: clock_now(&env) - start,
+    };
+    env.close(init, fd).expect("close persist read fd");
+
+    // Phase: sequential /persist overwrites.
+    let fd = env
+        .open(
+            init,
+            "/persist/bench_big",
+            OpenFlags {
+                write: true,
+                ..Default::default()
+            },
+        )
+        .expect("open persist for writes");
+    let start = clock_now(&env);
+    for _ in 0..params.persist_write_ops {
+        let n = env.write(init, fd, &buf).expect("persist write");
+        assert_eq!(n, IO_SIZE);
+    }
+    let persist_write = FsPhase {
+        ops: params.persist_write_ops,
+        elapsed: clock_now(&env) - start,
+    };
+    env.close(init, fd).expect("close persist write fd");
+
+    // Phase: crash → recover → remount → read one fsynced file back.
+    // This prices the full recovery path: superblock + checkpoint
+    // metadata decode, write-ahead-log replay, object-table restore and
+    // the /persist reattach.
+    env.write_file_as(init, "/persist/marker", b"recover me", None)
+        .expect("create marker");
+    env.fsync_path(init, "/persist/marker")
+        .expect("fsync marker");
+    let start = clock_now(&env);
+    let mut env = env;
+    for _ in 0..params.recover_iters {
+        let machine = env
+            .into_machine()
+            .crash_and_recover()
+            .expect("crash recovery");
+        env = histar_unix::UnixEnv::on_machine(machine);
+        let init = env.init_pid();
+        let back = env
+            .read_file_as(init, "/persist/marker")
+            .expect("marker survives");
+        assert_eq!(back, b"recover me");
+    }
+    let recover_mount = FsPhase {
+        ops: params.recover_iters,
+        elapsed: clock_now(&env) - start,
+    };
+
     FsMeasurement {
         open_close,
         read,
         write,
         readdir,
+        persist_read,
+        persist_write,
+        recover_mount,
         io_dispatch,
     }
 }
@@ -211,6 +309,12 @@ pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
     table.push(Row::new("read 4 KiB, per op").measure("HiStar", m.read.per_op()));
     table.push(Row::new("write 4 KiB, per op").measure("HiStar", m.write.per_op()));
     table.push(Row::new("readdir, per op").measure("HiStar", m.readdir.per_op()));
+    table.push(Row::new("/persist read 4 KiB, per op").measure("HiStar", m.persist_read.per_op()));
+    table
+        .push(Row::new("/persist write 4 KiB, per op").measure("HiStar", m.persist_write.per_op()));
+    table.push(
+        Row::new("crash+recover+remount, per op").measure("HiStar", m.recover_mount.per_op()),
+    );
     table.push(Row::new("I/O-phase mean batch size").measure(
         "HiStar",
         SimDuration::from_nanos((m.io_dispatch.mean_batch_size() * 100.0) as u64),
@@ -236,6 +340,21 @@ pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
         "readdir.ops_per_sec",
         m.readdir.ops_per_sec(),
         m.readdir.elapsed.as_nanos(),
+    );
+    json.metric(
+        "persist_read.ops_per_sec",
+        m.persist_read.ops_per_sec(),
+        m.persist_read.elapsed.as_nanos(),
+    );
+    json.metric(
+        "persist_write.ops_per_sec",
+        m.persist_write.ops_per_sec(),
+        m.persist_write.elapsed.as_nanos(),
+    );
+    json.metric(
+        "recover_mount.ops_per_sec",
+        m.recover_mount.ops_per_sec(),
+        m.recover_mount.elapsed.as_nanos(),
     );
     json.metric(
         "io.mean_batch_size",
@@ -271,13 +390,16 @@ mod tests {
     #[test]
     fn smoke_run_produces_all_metrics() {
         let (table, json) = run(FsBenchParams::smoke());
-        assert_eq!(table.rows.len(), 5);
+        assert_eq!(table.rows.len(), 8);
         let doc = json.render();
         for metric in [
             "open_close.ops_per_sec",
             "read.ops_per_sec",
             "write.ops_per_sec",
             "readdir.ops_per_sec",
+            "persist_read.ops_per_sec",
+            "persist_write.ops_per_sec",
+            "recover_mount.ops_per_sec",
             "io.mean_batch_size",
         ] {
             assert!(doc.contains(metric), "missing {metric} in {doc}");

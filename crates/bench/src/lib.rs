@@ -8,7 +8,12 @@
 //!   wget, virus scan with and without the isolation wrapper).
 //! * [`fs`] — file-system throughput through the Unix library's VFS:
 //!   open/read/write/readdir ops per simulated second, plus the
-//!   submission-batch histogram over the I/O hot path.
+//!   submission-batch histogram over the I/O hot path and the `/persist`
+//!   read/write/recover workloads.
+//! * [`crash`] — the torn-write-ahead-log sweep behind the
+//!   `crash-recovery` CI job: truncate the log at every record boundary,
+//!   recover, and assert tree invariants, prefix-closed durability and
+//!   label enforcement on recovered secrets.
 //! * [`rpc`] — cross-node RPC over the exporter subsystem: latency and
 //!   throughput of label-checked calls, with and without message batching.
 //! * [`sched`] — the multiprogramming benchmark: N concurrent untrusted
@@ -24,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod fig12;
 pub mod fig13;
 pub mod fs;

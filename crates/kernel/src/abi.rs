@@ -28,7 +28,7 @@
 use crate::dispatch::{Syscall, SyscallResult};
 use crate::object::{ContainerEntry, ObjectId, HANDLE_NAMESPACE};
 use crate::syscall::SyscallError;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// A dense, per-thread capability handle naming one kernel object through
 /// the container link it was resolved against.
@@ -65,12 +65,19 @@ impl core::fmt::Display for Handle {
 /// A per-thread table of installed handles: dense `u32` slots with a free
 /// list, so handle values stay small and reuse is cheap.  A live counter
 /// keeps emptiness O(1), letting the unref-time revocation sweep skip
-/// threads holding no handles.
+/// threads holding no handles, and a reverse `entry → slots` index makes
+/// [`HandleTable::find`] O(1) — the fd hot path probes it on every
+/// descriptor operation, and a thread holding many open descriptors used
+/// to pay a linear slot scan per probe.
 #[derive(Clone, Debug, Default)]
 pub struct HandleTable {
     slots: Vec<Option<ContainerEntry>>,
     free: Vec<u32>,
     live: usize,
+    /// Reverse index: every live slot holding `entry`, in install order.
+    /// Invariant: `index[e]` lists exactly the slots `i` with
+    /// `slots[i] == Some(e)`, and no empty lists are retained.
+    index: HashMap<ContainerEntry, Vec<u32>>,
 }
 
 impl HandleTable {
@@ -78,13 +85,15 @@ impl HandleTable {
     /// handle.
     pub fn install(&mut self, entry: ContainerEntry) -> Handle {
         self.live += 1;
-        if let Some(idx) = self.free.pop() {
+        let idx = if let Some(idx) = self.free.pop() {
             self.slots[idx as usize] = Some(entry);
-            Handle(idx)
+            idx
         } else {
             self.slots.push(Some(entry));
-            Handle((self.slots.len() - 1) as u32)
-        }
+            (self.slots.len() - 1) as u32
+        };
+        self.index.entry(entry).or_default().push(idx);
+        Handle(idx)
     }
 
     /// The entry a handle resolves to, if still installed.
@@ -95,49 +104,69 @@ impl HandleTable {
     /// Finds a live handle already installed for exactly this entry, so
     /// hot paths that repeatedly name the same object (the VFS fd path)
     /// can reuse one handle instead of growing the table per operation.
+    /// One reverse-index probe, however many descriptors the thread holds.
     pub fn find(&self, entry: ContainerEntry) -> Option<Handle> {
-        if self.live == 0 {
-            return None;
+        self.index
+            .get(&entry)
+            .and_then(|slots| slots.first())
+            .map(|&i| Handle(i))
+    }
+
+    /// Removes one slot from the reverse index (the slot was just
+    /// cleared).
+    fn unindex(&mut self, entry: ContainerEntry, idx: u32) {
+        if let Some(slots) = self.index.get_mut(&entry) {
+            slots.retain(|&i| i != idx);
+            if slots.is_empty() {
+                self.index.remove(&entry);
+            }
         }
-        self.slots
-            .iter()
-            .position(|s| *s == Some(entry))
-            .map(|i| Handle(i as u32))
     }
 
     /// Drops one handle.  Returns the entry it named, if any.
     pub fn revoke(&mut self, h: Handle) -> Option<ContainerEntry> {
         let slot = self.slots.get_mut(h.0 as usize)?;
         let old = slot.take();
-        if old.is_some() {
+        if let Some(entry) = old {
             self.free.push(h.0);
             self.live -= 1;
+            self.unindex(entry, h.0);
         }
         old
     }
 
     /// Revokes every handle installed through exactly this container link
     /// (an `obj_unref` severed it).  Returns how many were revoked.
+    /// Served entirely from the reverse index: threads without a handle
+    /// for this link pay one hash probe.
     pub fn revoke_entry(&mut self, entry: ContainerEntry) -> usize {
-        self.revoke_where(|e| e == entry)
+        let Some(slots) = self.index.remove(&entry) else {
+            return 0;
+        };
+        let revoked = slots.len();
+        for idx in slots {
+            self.slots[idx as usize] = None;
+            self.free.push(idx);
+        }
+        self.live -= revoked;
+        revoked
     }
 
     /// Revokes every handle naming `object` through any link (the object
     /// was deallocated).  Returns how many were revoked.
     pub fn revoke_object(&mut self, object: ObjectId) -> usize {
-        self.revoke_where(|e| e.object == object || e.container == object)
-    }
-
-    fn revoke_where(&mut self, pred: impl Fn(ContainerEntry) -> bool) -> usize {
         if self.live == 0 {
             return 0;
         }
         let mut revoked = 0;
-        for (idx, slot) in self.slots.iter_mut().enumerate() {
-            if slot.is_some_and(&pred) {
-                *slot = None;
-                self.free.push(idx as u32);
-                revoked += 1;
+        for idx in 0..self.slots.len() {
+            if let Some(entry) = self.slots[idx] {
+                if entry.object == object || entry.container == object {
+                    self.slots[idx] = None;
+                    self.free.push(idx as u32);
+                    self.unindex(entry, idx as u32);
+                    revoked += 1;
+                }
             }
         }
         self.live -= revoked;
@@ -335,6 +364,39 @@ mod tests {
         // Deallocating a container revokes handles resolved through it.
         assert_eq!(t.revoke_object(ObjectId::from_raw(1)), 1);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reverse_index_finds_in_constant_time_and_tracks_duplicates() {
+        let mut t = HandleTable::default();
+        // Many distinct entries, then duplicates of one of them.
+        for i in 0..100 {
+            t.install(e(1, 100 + i));
+        }
+        let a = t.install(e(9, 9));
+        let b = t.install(e(9, 9));
+        assert_ne!(a, b, "duplicate installs get distinct slots");
+        // find returns the earliest-installed live duplicate...
+        assert_eq!(t.find(e(9, 9)), Some(a));
+        // ...and falls through to the next one when it is revoked.
+        assert_eq!(t.revoke(a), Some(e(9, 9)));
+        assert_eq!(t.find(e(9, 9)), Some(b));
+        assert_eq!(t.revoke(b), Some(e(9, 9)));
+        assert_eq!(t.find(e(9, 9)), None);
+        // Slot reuse re-indexes under the new entry.
+        let c = t.install(e(7, 7));
+        assert_eq!(t.find(e(7, 7)), Some(c));
+        assert_eq!(t.find(e(1, 100)), Some(Handle(0)));
+        // revoke_entry removes every duplicate at once.
+        let d1 = t.install(e(4, 4));
+        let d2 = t.install(e(4, 4));
+        assert_eq!(t.revoke_entry(e(4, 4)), 2);
+        assert_eq!(t.resolve(d1), None);
+        assert_eq!(t.resolve(d2), None);
+        assert_eq!(t.find(e(4, 4)), None);
+        // revoke_object keeps the index consistent too.
+        assert_eq!(t.revoke_object(ObjectId::from_raw(7)), 1);
+        assert_eq!(t.find(e(7, 7)), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Real HiStar threads reach the kernel through one trap instruction; every
 //! call crosses the same boundary, where it can be checked, counted and
 //! audited.  This module reproduces that boundary for the simulated kernel:
-//! a [`Syscall`] value names one of the 45 `sys_*` entry points together
+//! a [`Syscall`] value names one of the `sys_*` entry points ([`SYSCALL_COUNT`] of them) together
 //! with its arguments, and [`Kernel::dispatch`] is the only place where the
 //! value is decoded and executed.  Dispatch charges the call's CPU cost
 //! (via the underlying `sys_*` implementation), maintains per-syscall
@@ -328,10 +328,61 @@ pub enum Syscall {
         /// The device, named through a container entry.
         device: ContainerEntry,
     },
+    /// `sys_persist_put`: create or update a labeled record in the
+    /// single-level store's persist namespace.
+    PersistPut {
+        /// The record key (must lie in the persist namespace).
+        key: u64,
+        /// Label for a newly created record (ignored when the record
+        /// exists — a record's label is immutable, like any non-thread
+        /// kernel object's).
+        label: Option<Label>,
+        /// Byte offset of the write within the record payload.
+        offset: u64,
+        /// The bytes to write.
+        data: Vec<u8>,
+    },
+    /// `sys_persist_read`: read bytes out of a persist record.
+    PersistRead {
+        /// The record key.
+        key: u64,
+        /// Byte offset of the read.
+        offset: u64,
+        /// Bytes to read (`u64::MAX` reads to the end of the record).
+        len: u64,
+    },
+    /// `sys_persist_delete`: remove a persist record.
+    PersistDelete {
+        /// The record key.
+        key: u64,
+    },
+    /// `sys_persist_scan`: range-scan the persist namespace, returning
+    /// each observable record's key and payload.
+    PersistScan {
+        /// Inclusive lower key bound.
+        lo: u64,
+        /// Exclusive upper key bound.
+        hi: u64,
+        /// Maximum number of records to return.
+        max: u64,
+    },
+    /// `sys_persist_sync`: make the named records durable (a write-ahead
+    /// log append per record — HiStar's `fsync` primitive for data living
+    /// directly in the store).
+    PersistSync {
+        /// The record keys to sync; keys with no record log a durable
+        /// deletion instead.
+        keys: Vec<u64>,
+    },
+    /// `sys_persist_get_label`: the label a persist record carries.
+    PersistGetLabel {
+        /// The record key.
+        key: u64,
+    },
 }
 
 /// Number of distinct system calls in the ABI.
-pub const SYSCALL_COUNT: usize = 45;
+pub const SYSCALL_COUNT: usize = 51;
 
 /// The names of all system calls, indexed by [`Syscall::index`].
 pub const SYSCALL_NAMES: [&str; SYSCALL_COUNT] = [
@@ -380,6 +431,12 @@ pub const SYSCALL_NAMES: [&str; SYSCALL_COUNT] = [
     "net_mac",
     "net_transmit",
     "net_receive",
+    "persist_put",
+    "persist_read",
+    "persist_delete",
+    "persist_scan",
+    "persist_sync",
+    "persist_get_label",
 ];
 
 impl Syscall {
@@ -431,6 +488,12 @@ impl Syscall {
             Syscall::NetMac { .. } => 42,
             Syscall::NetTransmit { .. } => 43,
             Syscall::NetReceive { .. } => 44,
+            Syscall::PersistPut { .. } => 45,
+            Syscall::PersistRead { .. } => 46,
+            Syscall::PersistDelete { .. } => 47,
+            Syscall::PersistScan { .. } => 48,
+            Syscall::PersistSync { .. } => 49,
+            Syscall::PersistGetLabel { .. } => 50,
         }
     }
 
@@ -482,6 +545,8 @@ pub enum SyscallResult {
     Mac([u8; 6]),
     /// A received frame, if one was queued.
     Frame(Option<Vec<u8>>),
+    /// Persist records from a range scan: `(key, payload)` pairs.
+    Records(Vec<(u64, Vec<u8>)>),
 }
 
 impl SyscallResult {
@@ -532,6 +597,14 @@ impl SyscallResult {
         match self {
             SyscallResult::Frame(f) => f,
             other => panic!("expected a Frame completion, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a persist-scan result; panics on any other variant.
+    pub fn into_records(self) -> Vec<(u64, Vec<u8>)> {
+        match self {
+            SyscallResult::Records(r) => r,
+            other => panic!("expected a Records completion, got {other:?}"),
         }
     }
 }
@@ -1149,6 +1222,23 @@ impl Kernel {
                 self.sys_net_transmit(tid, device, frame).map(|()| R::Unit)
             }
             S::NetReceive { device } => self.sys_net_receive(tid, device).map(R::Frame),
+            S::PersistPut {
+                key,
+                label,
+                offset,
+                data,
+            } => self
+                .sys_persist_put(tid, key, label, offset, &data)
+                .map(|()| R::Unit),
+            S::PersistRead { key, offset, len } => {
+                self.sys_persist_read(tid, key, offset, len).map(R::Bytes)
+            }
+            S::PersistDelete { key } => self.sys_persist_delete(tid, key).map(|()| R::Unit),
+            S::PersistScan { lo, hi, max } => {
+                self.sys_persist_scan(tid, lo, hi, max).map(R::Records)
+            }
+            S::PersistSync { keys } => self.sys_persist_sync(tid, &keys).map(|()| R::Unit),
+            S::PersistGetLabel { key } => self.sys_persist_get_label(tid, key).map(R::Label),
         }
     }
 }
@@ -1799,6 +1889,85 @@ impl Kernel {
             _ => unreachable!("dispatch result variant mismatch"),
         }
     }
+
+    /// Traps `sys_persist_put`.
+    pub fn trap_persist_put(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+        label: Option<Label>,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(
+            tid,
+            Syscall::PersistPut {
+                key,
+                label,
+                offset,
+                data: data.to_vec(),
+            },
+        )? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_persist_read`.
+    pub fn trap_persist_read(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SyscallError> {
+        match self.dispatch(tid, Syscall::PersistRead { key, offset, len })? {
+            SyscallResult::Bytes(b) => Ok(b),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_persist_delete`.
+    pub fn trap_persist_delete(&mut self, tid: ObjectId, key: u64) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::PersistDelete { key })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_persist_scan`.
+    pub fn trap_persist_scan(
+        &mut self,
+        tid: ObjectId,
+        lo: u64,
+        hi: u64,
+        max: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, SyscallError> {
+        match self.dispatch(tid, Syscall::PersistScan { lo, hi, max })? {
+            SyscallResult::Records(r) => Ok(r),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_persist_sync`.
+    pub fn trap_persist_sync(&mut self, tid: ObjectId, keys: Vec<u64>) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::PersistSync { keys })? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_persist_get_label`.
+    pub fn trap_persist_get_label(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+    ) -> Result<Label, SyscallError> {
+        match self.dispatch(tid, Syscall::PersistGetLabel { key })? {
+            SyscallResult::Label(l) => Ok(l),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1907,7 +2076,11 @@ mod tests {
             Syscall::NetReceive {
                 device: ContainerEntry::self_entry(ObjectId::from_raw(1))
             }
-            .index(),
+            .name(),
+            "net_receive"
+        );
+        assert_eq!(
+            Syscall::PersistGetLabel { key: 0 }.index(),
             SYSCALL_COUNT - 1
         );
     }

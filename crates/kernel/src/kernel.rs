@@ -20,6 +20,9 @@ use crate::syscall::{SyscallError, SyscallStats};
 use histar_label::category::FeistelCipher;
 use histar_label::{Category, CategoryAllocator, Label, LabelCache, Level};
 use histar_sim::{CostModel, OsFlavor, SimClock, SimDuration};
+use histar_store::codec::{Decoder, Encoder};
+use histar_store::records::is_persist_key;
+use histar_store::SingleLevelStore;
 use std::collections::HashMap;
 
 /// Size of one page, matching the simulated hardware.
@@ -103,6 +106,12 @@ pub struct Kernel {
     in_batch: bool,
     /// Whether the current batch has charged its trap cost yet.
     batch_trap_charged: bool,
+    /// The machine's single-level store, when this kernel is part of a
+    /// [`Machine`](crate::Machine).  The persist-record syscalls operate
+    /// on it directly — data in the persist namespace bypasses the object
+    /// heap entirely — and having it here lets those calls ride the same
+    /// batched submission path (and audit trace) as every other syscall.
+    store: Option<SingleLevelStore>,
 }
 
 impl Kernel {
@@ -131,6 +140,7 @@ impl Kernel {
             completions: HashMap::new(),
             in_batch: false,
             batch_trap_charged: false,
+            store: None,
         };
         let root_id = kernel.fresh_id();
         let mut header = ObjectHeader::new(
@@ -508,6 +518,313 @@ impl Kernel {
             .get_mut(&tid)
             .map(|q| q.drain(..).collect())
             .unwrap_or_default()
+    }
+
+    // ----- the single-level store and persist records -------------------
+
+    /// Attaches the machine's single-level store.  From here on the
+    /// persist-record syscalls are live; without a store they fail with
+    /// [`SyscallError::NoStore`].
+    pub fn attach_store(&mut self, store: SingleLevelStore) {
+        self.store = Some(store);
+    }
+
+    /// Detaches and returns the store (crash simulation: the machine keeps
+    /// the disk, the kernel's memory is lost).
+    pub fn take_store(&mut self) -> Option<SingleLevelStore> {
+        self.store.take()
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&SingleLevelStore> {
+        self.store.as_ref()
+    }
+
+    /// The attached store, mutably.
+    pub fn store_mut(&mut self) -> Option<&mut SingleLevelStore> {
+        self.store.as_mut()
+    }
+
+    /// Upper bound on one persist record's payload (a record is one
+    /// B+-tree value; file data is split into extents far below this).
+    pub const PERSIST_RECORD_MAX: u64 = 16 * 1024 * 1024;
+
+    /// Frames a persist record for the store: label, then length-prefixed
+    /// payload.  The label rides inside the record so that every access
+    /// after a crash re-checks exactly what was protected before it.
+    fn persist_frame(label: &Label, payload: &[u8]) -> Vec<u8> {
+        let mut e = Encoder::new();
+        crate::serialize::encode_label(&mut e, label);
+        e.put_bytes(payload);
+        e.finish()
+    }
+
+    fn persist_unframe(key: u64, bytes: &[u8]) -> Result<(Label, Vec<u8>), SyscallError> {
+        let mut d = Decoder::new(bytes);
+        let label =
+            crate::serialize::decode_label(&mut d).map_err(|_| SyscallError::CorruptRecord(key))?;
+        let payload = d
+            .get_bytes()
+            .map_err(|_| SyscallError::CorruptRecord(key))?;
+        Ok((label, payload))
+    }
+
+    /// Reads a record's raw framed bytes, or `None` if absent.
+    fn persist_record(&mut self, key: u64) -> Result<Option<Vec<u8>>, SyscallError> {
+        let store = self.store.as_mut().ok_or(SyscallError::NoStore)?;
+        if !store.contains(key) {
+            return Ok(None);
+        }
+        store
+            .get(key)
+            .map(Some)
+            .map_err(|_| SyscallError::CorruptRecord(key))
+    }
+
+    /// "No read up" for persist records: record labels are immutable, so
+    /// the comparison is memoizable exactly like a segment's.
+    fn check_record_observe(
+        &mut self,
+        tl: &Label,
+        key: u64,
+        rlabel: &Label,
+    ) -> Result<(), SyscallError> {
+        self.count_label_check(rlabel, tl, true);
+        if rlabel.leq_high_rhs(tl) {
+            Ok(())
+        } else {
+            Err(SyscallError::CannotObserveRecord(key))
+        }
+    }
+
+    /// "No write down" for persist records.
+    fn check_record_modify(
+        &mut self,
+        tl: &Label,
+        key: u64,
+        rlabel: &Label,
+    ) -> Result<(), SyscallError> {
+        self.count_label_check(rlabel, tl, true);
+        if tl.leq(rlabel) && rlabel.leq_high_rhs(tl) {
+            Ok(())
+        } else {
+            Err(SyscallError::CannotModifyRecord(key))
+        }
+    }
+
+    /// Creates or updates a labeled record in the persist namespace.
+    ///
+    /// An existing record keeps its (immutable) label — the caller must
+    /// pass the modify check against it; `offset`/`data` splice into the
+    /// payload, growing it (zero-filled) as needed.  A new record takes
+    /// `label`, validated by the allocation rule `L_T ⊑ L ⊑ C_T`.
+    pub fn sys_persist_put(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+        label: Option<Label>,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), SyscallError> {
+        let (tl, tc) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            if !is_persist_key(key) {
+                return Err(SyscallError::InvalidArgument(
+                    "key outside the persist record namespace",
+                ));
+            }
+            let end = offset
+                .checked_add(data.len() as u64)
+                .filter(|&e| e <= Self::PERSIST_RECORD_MAX)
+                .ok_or(SyscallError::InvalidArgument(
+                    "persist record write out of range",
+                ))?;
+            let (rlabel, mut payload) = match self.persist_record(key)? {
+                Some(bytes) => {
+                    let (rlabel, payload) = Self::persist_unframe(key, &bytes)?;
+                    self.check_record_modify(&tl, key, &rlabel)?;
+                    (rlabel, payload)
+                }
+                None => {
+                    let label = label.ok_or(SyscallError::InvalidArgument(
+                        "creating a persist record requires a label",
+                    ))?;
+                    if label.contains_star() {
+                        return Err(SyscallError::OwnershipNotAllowed(ObjectType::Segment));
+                    }
+                    tl.can_allocate(&tc, &label)?;
+                    (label, Vec::new())
+                }
+            };
+            if end as usize > payload.len() {
+                payload.resize(end as usize, 0);
+            }
+            payload[offset as usize..end as usize].copy_from_slice(data);
+            let copy_cost = self.cost.copy(data.len() as u64);
+            self.charge(copy_cost);
+            let framed = Self::persist_frame(&rlabel, &payload);
+            self.store
+                .as_mut()
+                .expect("persist_record verified the store")
+                .put(key, framed);
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Reads bytes out of a persist record (label-checked against the
+    /// label stored *in* the record — the check a tainted reader fails
+    /// even after the record was recovered from the write-ahead log).
+    /// `len == u64::MAX` reads to the end of the payload.
+    pub fn sys_persist_read(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Vec<u8>, SyscallError> {
+            let bytes = self
+                .persist_record(key)?
+                .ok_or(SyscallError::NoSuchRecord(key))?;
+            let (rlabel, payload) = Self::persist_unframe(key, &bytes)?;
+            self.check_record_observe(&tl, key, &rlabel)?;
+            if offset > payload.len() as u64 {
+                return Err(SyscallError::InvalidArgument("read beyond end of record"));
+            }
+            let end = if len == u64::MAX {
+                payload.len() as u64
+            } else {
+                offset
+                    .checked_add(len)
+                    .filter(|&e| e <= payload.len() as u64)
+                    .ok_or(SyscallError::InvalidArgument("read beyond end of record"))?
+            };
+            let copy_cost = self.cost.copy(end - offset);
+            self.charge(copy_cost);
+            Ok(payload[offset as usize..end as usize].to_vec())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Removes a persist record (modify-checked against its label).  The
+    /// deletion becomes durable at the next sync of the key or the next
+    /// checkpoint.
+    pub fn sys_persist_delete(&mut self, tid: ObjectId, key: u64) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            let bytes = self
+                .persist_record(key)?
+                .ok_or(SyscallError::NoSuchRecord(key))?;
+            let (rlabel, _) = Self::persist_unframe(key, &bytes)?;
+            self.check_record_modify(&tl, key, &rlabel)?;
+            self.store
+                .as_mut()
+                .expect("persist_record verified the store")
+                .delete(key);
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Range-scans the persist namespace, returning `(key, payload)` for
+    /// every record in `[lo, hi)` whose label the calling thread may
+    /// observe (at most `max` of them).  Records the thread may not
+    /// observe are skipped, never partially revealed; keys below the
+    /// persist namespace are unreachable through this call by
+    /// construction.
+    pub fn sys_persist_scan(
+        &mut self,
+        tid: ObjectId,
+        lo: u64,
+        hi: u64,
+        max: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<Vec<(u64, Vec<u8>)>, SyscallError> {
+            let store = self.store.as_mut().ok_or(SyscallError::NoStore)?;
+            let lo = lo.max(histar_store::PERSIST_KEY_BASE);
+            let keys = store.keys_in_range(lo, hi);
+            let mut raw = Vec::with_capacity(keys.len());
+            for key in keys {
+                match store.get(key) {
+                    Ok(bytes) => raw.push((key, bytes)),
+                    Err(_) => return Err(SyscallError::CorruptRecord(key)),
+                }
+            }
+            let mut out = Vec::new();
+            let mut copied = 0u64;
+            for (key, bytes) in raw {
+                if out.len() as u64 >= max {
+                    break;
+                }
+                let (rlabel, payload) = Self::persist_unframe(key, &bytes)?;
+                if self.check_record_observe(&tl, key, &rlabel).is_err() {
+                    continue;
+                }
+                copied += payload.len() as u64;
+                out.push((key, payload));
+            }
+            let copy_cost = self.cost.copy(copied);
+            self.charge(copy_cost);
+            Ok(out)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// Makes the named records durable: one sequential write-ahead-log
+    /// append per record (§7.1's `fsync` path), batched and applied by the
+    /// store.  A key with no record logs a durable *deletion*, so an
+    /// unlink followed by a sync cannot resurrect after a crash.
+    pub fn sys_persist_sync(&mut self, tid: ObjectId, keys: &[u64]) -> Result<(), SyscallError> {
+        let (tl, _) = self.calling_thread(tid)?;
+        let result = (|| -> Result<(), SyscallError> {
+            for &key in keys {
+                if !is_persist_key(key) {
+                    return Err(SyscallError::InvalidArgument(
+                        "key outside the persist record namespace",
+                    ));
+                }
+                match self.persist_record(key)? {
+                    Some(bytes) => {
+                        let (rlabel, _) = Self::persist_unframe(key, &bytes)?;
+                        self.check_record_observe(&tl, key, &rlabel)?;
+                        self.store
+                            .as_mut()
+                            .expect("persist_record verified the store")
+                            .sync_object(key);
+                    }
+                    None => self
+                        .store
+                        .as_mut()
+                        .expect("persist_record verified the store")
+                        .sync_delete(key),
+                }
+            }
+            Ok(())
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
+    }
+
+    /// The label a persist record carries.  Like `obj_get_label`, the
+    /// label itself is metadata a caller needs in order to make labeling
+    /// decisions (e.g. labeling new extents of an existing file), not
+    /// protected content.
+    pub fn sys_persist_get_label(
+        &mut self,
+        tid: ObjectId,
+        key: u64,
+    ) -> Result<Label, SyscallError> {
+        self.calling_thread(tid)?;
+        let result = (|| -> Result<Label, SyscallError> {
+            let bytes = self
+                .persist_record(key)?
+                .ok_or(SyscallError::NoSuchRecord(key))?;
+            let (rlabel, _) = Self::persist_unframe(key, &bytes)?;
+            Ok(rlabel)
+        })();
+        result.inspect_err(|_| self.stats.errors += 1)
     }
 
     fn count_label_check(&mut self, a: &Label, b: &Label, immutable: bool) {

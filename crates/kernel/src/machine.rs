@@ -14,6 +14,7 @@ use crate::syscall::SyscallError;
 use histar_label::Label;
 use histar_sim::{SimClock, SimDuration};
 use histar_store::codec::{Decoder, Encoder};
+use histar_store::records::is_persist_key;
 use histar_store::{SingleLevelStore, StoreConfig, StoreError, SyncPolicy};
 use std::collections::{HashMap, HashSet};
 
@@ -80,10 +81,14 @@ impl core::fmt::Display for MachineError {
 impl std::error::Error for MachineError {}
 
 /// A simulated HiStar machine.
+///
+/// The single-level store lives *inside* the kernel (attached at boot):
+/// the persist-record syscalls operate on it directly, so keyed records —
+/// the `/persist` filesystem's inodes, dirents and extents — reach disk
+/// through the same dispatch boundary as every other syscall.
 #[derive(Debug)]
 pub struct Machine {
     kernel: Kernel,
-    store: SingleLevelStore,
     clock: SimClock,
     config: MachineConfig,
     kernel_thread: ObjectId,
@@ -98,6 +103,7 @@ impl Machine {
         let clock = SimClock::new();
         let store = SingleLevelStore::format(config.store, clock.clone());
         let mut kernel = Kernel::new(config.seed, Some(clock.clone()));
+        kernel.attach_store(store);
         let root = kernel.root_container();
         let kernel_thread = kernel
             .bootstrap_thread(
@@ -139,7 +145,6 @@ impl Machine {
 
         Machine {
             kernel,
-            store,
             clock,
             config,
             kernel_thread,
@@ -168,14 +173,16 @@ impl Machine {
         &mut self.kernel
     }
 
-    /// The single-level store.
+    /// The single-level store (attached to the kernel).
     pub fn store(&self) -> &SingleLevelStore {
-        &self.store
+        self.kernel.store().expect("a machine's kernel has a store")
     }
 
     /// The single-level store, mutably.
     pub fn store_mut(&mut self) -> &mut SingleLevelStore {
-        &mut self.store
+        self.kernel
+            .store_mut()
+            .expect("a machine's kernel has a store")
     }
 
     /// The initial kernel thread created at boot.
@@ -195,7 +202,7 @@ impl Machine {
 
     /// Changes the store's synchronous-update policy.
     pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
-        self.store.set_sync_policy(policy);
+        self.store_mut().set_sync_policy(policy);
     }
 
     /// Serializes the entire object table into the single-level store and
@@ -216,19 +223,21 @@ impl Machine {
         objects.sort_unstable_by_key(|(id, _)| *id);
         let live: HashSet<u64> = objects.iter().map(|(id, _)| *id).collect();
         for (id, bytes) in objects {
-            self.store.put(id, bytes);
+            self.store_mut().put(id, bytes);
         }
         // Remove objects that no longer exist in the kernel (sorted, for
-        // the same layout-determinism reason).
+        // the same layout-determinism reason).  Keys in the persist record
+        // namespace are not kernel objects — they are owned by the store's
+        // own clients (the `/persist` filesystem) and must never be swept.
         let mut stale: Vec<u64> = self
-            .store
+            .store()
             .object_ids()
             .into_iter()
-            .filter(|id| *id != MACHINE_META_KEY && !live.contains(id))
+            .filter(|id| *id != MACHINE_META_KEY && !is_persist_key(*id) && !live.contains(id))
             .collect();
         stale.sort_unstable();
         for id in stale {
-            self.store.delete(id);
+            self.store_mut().delete(id);
         }
         // Machine metadata: root, counters, boot-time object IDs.
         let (id_counter, cat_counter) = self.kernel.allocator_counters();
@@ -249,8 +258,9 @@ impl Machine {
         for (cat, (exporter, id)) in bindings {
             e.put_u64(cat.raw()).put_u64(exporter).put_u64(id);
         }
-        self.store.put(MACHINE_META_KEY, e.finish());
-        self.store.checkpoint();
+        let meta = e.finish();
+        self.store_mut().put(MACHINE_META_KEY, meta);
+        self.store_mut().checkpoint();
     }
 
     /// Simulates a crash: the machine is dropped and a new one is recovered
@@ -259,8 +269,17 @@ impl Machine {
     /// is exactly the single-level-store semantics of §3.
     pub fn crash_and_recover(self) -> Result<Machine, MachineError> {
         let config = self.config;
-        let disk = self.store.into_disk();
-        Machine::recover(config, disk)
+        Machine::recover(config, self.into_disk())
+    }
+
+    /// Consumes the machine, returning the raw disk image (for crash
+    /// harnesses that mutilate the write-ahead log before recovering).
+    pub fn into_disk(self) -> histar_sim::SimDisk {
+        let mut kernel = self.kernel;
+        kernel
+            .take_store()
+            .expect("a machine's kernel has a store")
+            .into_disk()
     }
 
     /// Recovers a machine from an existing disk image.
@@ -297,7 +316,11 @@ impl Machine {
 
         let mut objects: HashMap<ObjectId, KObject> = HashMap::new();
         for id in store.object_ids() {
-            if id == MACHINE_META_KEY {
+            // Skip the machine metadata blob and the persist record
+            // namespace: persist records are not kernel objects — they are
+            // replayed from the write-ahead log by the store itself and
+            // re-mounted by the library's `/persist` filesystem.
+            if id == MACHINE_META_KEY || is_persist_key(id) {
                 continue;
             }
             let bytes = store.get(id)?;
@@ -309,10 +332,10 @@ impl Machine {
         let mut kernel = Kernel::new(seed, Some(clock.clone()));
         kernel.restore_objects(root, objects, id_counter, cat_counter, seed);
         kernel.restore_remote_bindings(bindings);
+        kernel.attach_store(store);
 
         Ok(Machine {
             kernel,
-            store,
             clock,
             config: MachineConfig { seed, ..config },
             kernel_thread,

@@ -82,6 +82,20 @@ pub enum SyscallError {
     /// thread's handle table (never installed, closed, or revoked when the
     /// link it was resolved through was unreferenced).
     BadHandle(u32),
+    /// A persist-record call reached a kernel with no single-level store
+    /// attached (standalone kernels used in pure label tests).
+    NoStore,
+    /// The named persist record does not exist in the store.
+    NoSuchRecord(u64),
+    /// A label check failed: the calling thread may not observe the
+    /// persist record.
+    CannotObserveRecord(u64),
+    /// A label check failed: the calling thread may not modify the
+    /// persist record.
+    CannotModifyRecord(u64),
+    /// A persist record's on-store framing (label prefix) failed to
+    /// decode.
+    CorruptRecord(u64),
 }
 
 impl From<LabelError> for SyscallError {
@@ -148,6 +162,15 @@ impl core::fmt::Display for SyscallError {
             }
             SyscallError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             SyscallError::BadHandle(h) => write!(f, "stale or unknown handle h{h}"),
+            SyscallError::NoStore => write!(f, "no single-level store attached to this kernel"),
+            SyscallError::NoSuchRecord(k) => write!(f, "no such persist record: {k:#x}"),
+            SyscallError::CannotObserveRecord(k) => {
+                write!(f, "label check: cannot observe persist record {k:#x}")
+            }
+            SyscallError::CannotModifyRecord(k) => {
+                write!(f, "label check: cannot modify persist record {k:#x}")
+            }
+            SyscallError::CorruptRecord(k) => write!(f, "corrupt persist record: {k:#x}"),
         }
     }
 }

@@ -19,6 +19,9 @@ use histar_kernel::object::{ContainerEntry, ObjectId, METADATA_LEN};
 use histar_kernel::syscall::{SyscallError, SyscallStats};
 use histar_kernel::Kernel;
 use histar_label::{Category, Label, Level};
+use histar_sim::SimClock;
+use histar_store::records::inode_key;
+use histar_store::{SingleLevelStore, StoreConfig, PERSIST_KEY_BASE};
 
 /// Deterministic fixture shared by both kernels of every case.
 struct Fx {
@@ -35,6 +38,8 @@ struct Fx {
     gate: ObjectId,
     gate_label: Label,
     dev: ObjectId,
+    /// A pre-created persist record (the store is attached in setup).
+    pkey: u64,
 }
 
 fn entry(fx: &Fx, o: ObjectId) -> ContainerEntry {
@@ -45,6 +50,11 @@ fn entry(fx: &Fx, o: ObjectId) -> ContainerEntry {
 /// object type.
 fn setup() -> (Kernel, Fx) {
     let mut k = Kernel::new(0x0d15_ea5e, None);
+    // A deterministic store so the persist-record syscalls are live.
+    k.attach_store(SingleLevelStore::format(
+        StoreConfig::default(),
+        SimClock::new(),
+    ));
     let root = k.root_container();
     let boot = k
         .bootstrap_thread(
@@ -124,6 +134,15 @@ fn setup() -> (Kernel, Fx) {
         )
         .unwrap();
     k.device_inject_rx(dev, vec![0xcc, 0xdd]).unwrap();
+    let pkey = inode_key(42);
+    k.sys_persist_put(
+        boot,
+        pkey,
+        Some(Label::unrestricted()),
+        0,
+        b"persist-fixture",
+    )
+    .unwrap();
     (
         k,
         Fx {
@@ -140,6 +159,7 @@ fn setup() -> (Kernel, Fx) {
             gate,
             gate_label,
             dev,
+            pkey,
         },
     )
 }
@@ -533,6 +553,60 @@ fn cases(fx: &Fx) -> Vec<(Syscall, Direct)> {
             Syscall::NetReceive { device: e_dev },
             Box::new(move |k, fx| k.sys_net_receive(fx.boot, e_dev).map(R::Frame)),
         ),
+        (
+            Syscall::PersistPut {
+                key: inode_key(43),
+                label: Some(Label::unrestricted()),
+                offset: 4,
+                data: b"spliced".to_vec(),
+            },
+            Box::new(|k, fx| {
+                k.sys_persist_put(
+                    fx.boot,
+                    inode_key(43),
+                    Some(Label::unrestricted()),
+                    4,
+                    b"spliced",
+                )
+                .map(|()| R::Unit)
+            }),
+        ),
+        (
+            Syscall::PersistRead {
+                key: fx.pkey,
+                offset: 0,
+                len: u64::MAX,
+            },
+            Box::new(|k, fx| {
+                k.sys_persist_read(fx.boot, fx.pkey, 0, u64::MAX)
+                    .map(R::Bytes)
+            }),
+        ),
+        (
+            Syscall::PersistDelete { key: fx.pkey },
+            Box::new(|k, fx| k.sys_persist_delete(fx.boot, fx.pkey).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::PersistScan {
+                lo: PERSIST_KEY_BASE,
+                hi: u64::MAX,
+                max: 64,
+            },
+            Box::new(|k, fx| {
+                k.sys_persist_scan(fx.boot, PERSIST_KEY_BASE, u64::MAX, 64)
+                    .map(R::Records)
+            }),
+        ),
+        (
+            Syscall::PersistSync {
+                keys: vec![fx.pkey],
+            },
+            Box::new(|k, fx| k.sys_persist_sync(fx.boot, &[fx.pkey]).map(|()| R::Unit)),
+        ),
+        (
+            Syscall::PersistGetLabel { key: fx.pkey },
+            Box::new(|k, fx| k.sys_persist_get_label(fx.boot, fx.pkey).map(R::Label)),
+        ),
     ]
 }
 
@@ -586,7 +660,7 @@ fn every_syscall_dispatches_identically_to_its_direct_call() {
     }
 }
 
-/// Everything one execution of the 45-call sequence observed: per-call
+/// Everything one execution of the full call sequence observed: per-call
 /// results, the aggregate kernel counters (which include every label
 /// check), the object-table size, and the audit-trace contents (tick
 /// excluded — batching amortizes charged time by design; everything else
@@ -599,7 +673,7 @@ struct SequenceObservation {
     trace: Vec<(u64, ObjectId, &'static str, bool)>,
 }
 
-/// Runs the full 45-variant call sequence against a fresh kernel, split
+/// Runs the full every-variant call sequence against a fresh kernel, split
 /// into submission batches of the given (cycled) sizes.  `sizes = [1]`
 /// with `via_trap = true` is the classic one-call-per-trap stream.
 fn run_sequence_in_batches(sizes: &[usize], via_trap: bool) -> SequenceObservation {
@@ -654,7 +728,7 @@ fn run_sequence_in_batches(sizes: &[usize], via_trap: bool) -> SequenceObservati
 
 #[test]
 fn any_batch_split_is_equivalent_to_one_call_per_trap() {
-    // The property the batched ABI must preserve: for the full 45-variant
+    // The property the batched ABI must preserve: for the full every-variant
     // sequence, results, label-check counts (inside `SyscallStats`), audit
     // trace and object-table evolution are identical whether the calls
     // trap one at a time or in arbitrary batch splits.
@@ -735,6 +809,51 @@ fn handle_encoded_calls_are_equivalent_to_raw_entries() {
         matches!(peer_err, SyscallError::CannotObserve(_)),
         "unreachable container must be refused, got {peer_err:?}"
     );
+}
+
+#[test]
+fn handle_open_reuse_hits_the_reverse_index_not_a_rescan() {
+    let (mut k, fx) = setup();
+    // Fill the thread's table with many unrelated handles (one per
+    // sibling object), the regime where the old linear slot scan hurt.
+    let mut others = Vec::new();
+    for i in 0..64 {
+        let seg = k
+            .sys_segment_create(
+                fx.boot,
+                fx.root,
+                Label::unrestricted(),
+                16,
+                &format!("s{i}"),
+            )
+            .unwrap();
+        others.push(k.handle_open(fx.boot, entry(&fx, seg)).unwrap());
+    }
+    let e_seg = entry(&fx, fx.seg);
+    let reuses_before = k.dispatch_stats().handle_reuses;
+    let first = k.handle_open_reuse(fx.boot, e_seg).unwrap();
+    assert_eq!(
+        k.dispatch_stats().handle_reuses,
+        reuses_before,
+        "first resolution installs, it does not reuse"
+    );
+    // Every subsequent resolution of the same entry reuses the installed
+    // handle — the `handle_reuses` stat counts exactly those index hits.
+    for round in 1..=10 {
+        let again = k.handle_open_reuse(fx.boot, e_seg).unwrap();
+        assert_eq!(again, first);
+        assert_eq!(k.dispatch_stats().handle_reuses, reuses_before + round);
+    }
+    // Closing the handle empties the index slot; the next open installs
+    // fresh instead of reusing a stale one.
+    assert!(k.handle_close(fx.boot, first));
+    let fresh = k.handle_open_reuse(fx.boot, e_seg).unwrap();
+    assert_eq!(
+        k.dispatch_stats().handle_reuses,
+        reuses_before + 10,
+        "a closed handle must not be reused"
+    );
+    assert_eq!(k.handle_entry(fx.boot, fresh), Some(e_seg));
 }
 
 #[test]

@@ -244,12 +244,45 @@ impl BPlusTree {
         out
     }
 
-    /// Iterates over all pairs with key in `[lo, hi)`.
+    /// Iterates over all pairs with key in `[lo, hi)`, descending only
+    /// into subtrees that can intersect the range (the readdir scan of the
+    /// persistent filesystem rides on this, so it must not touch the whole
+    /// tree).
     pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
-        self.iter()
-            .into_iter()
-            .filter(|&(k, _)| k >= lo && k < hi)
-            .collect()
+        let mut out = Vec::new();
+        Self::collect_range(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn collect_range(node: &Node, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        if lo >= hi {
+            return;
+        }
+        match node {
+            Node::Leaf { keys, values } => {
+                let start = keys.partition_point(|&k| k < lo);
+                let end = keys.partition_point(|&k| k < hi);
+                out.extend(
+                    keys[start..end]
+                        .iter()
+                        .copied()
+                        .zip(values[start..end].iter().copied()),
+                );
+            }
+            Node::Internal { keys, children } => {
+                // Child i covers keys in [keys[i-1], keys[i]); the first
+                // child whose upper bound exceeds `lo` is the first that
+                // can intersect, and children whose lower bound reaches
+                // `hi` are pruned.
+                let first = keys.partition_point(|&k| k <= lo);
+                for (i, child) in children.iter().enumerate().skip(first) {
+                    if i > 0 && keys[i - 1] >= hi {
+                        break;
+                    }
+                    Self::collect_range(child, lo, hi, out);
+                }
+            }
+        }
     }
 
     fn collect(node: &Node, out: &mut Vec<(u64, u64)>) {
@@ -274,6 +307,67 @@ impl BPlusTree {
             node = &children[0];
         }
         h
+    }
+
+    /// Structural invariant check, used by crash-recovery tests: every
+    /// node's keys are strictly increasing, internal separators bound
+    /// their subtrees, internal nodes have `keys.len() + 1` children, and
+    /// the leaf sequence is globally sorted.  Returns a description of the
+    /// first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn walk(node: &Node, lo: Option<u64>, hi: Option<u64>) -> Result<usize, String> {
+            match node {
+                Node::Leaf { keys, values } => {
+                    if keys.len() != values.len() {
+                        return Err(format!(
+                            "leaf key/value length mismatch: {} vs {}",
+                            keys.len(),
+                            values.len()
+                        ));
+                    }
+                    for w in keys.windows(2) {
+                        if w[0] >= w[1] {
+                            return Err(format!("leaf keys not strictly increasing: {w:?}"));
+                        }
+                    }
+                    for &k in keys {
+                        if lo.is_some_and(|lo| k < lo) || hi.is_some_and(|hi| k >= hi) {
+                            return Err(format!("leaf key {k} outside separator bounds"));
+                        }
+                    }
+                    Ok(keys.len())
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err(format!(
+                            "internal node has {} keys but {} children",
+                            keys.len(),
+                            children.len()
+                        ));
+                    }
+                    for w in keys.windows(2) {
+                        if w[0] >= w[1] {
+                            return Err(format!("separators not strictly increasing: {w:?}"));
+                        }
+                    }
+                    let mut total = 0;
+                    for (i, child) in children.iter().enumerate() {
+                        let child_lo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let child_hi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        total += walk(child, child_lo, child_hi)?;
+                    }
+                    Ok(total)
+                }
+            }
+        }
+        let counted = walk(&self.root, None, None)?;
+        if counted != self.len {
+            return Err(format!(
+                "length counter {} disagrees with {} entries reachable",
+                self.len, counted
+            ));
+        }
+        Ok(())
     }
 
     /// Serializes the tree contents as a flat sorted list of key/value

@@ -18,6 +18,10 @@
 //! * [`store::SingleLevelStore`] — the snapshot/recovery engine tying the
 //!   pieces together over a [`histar_sim::SimDisk`].
 //! * [`codec`] — the small binary encoding used for on-disk records.
+//! * [`records`] — the typed record namespace: reserved keys for data
+//!   (such as the `/persist` filesystem's inodes, directory entries and
+//!   extents) that lives directly in the store, outside the kernel object
+//!   heap, laid out so range scans enumerate one directory or one file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +29,12 @@
 pub mod bptree;
 pub mod codec;
 pub mod extent;
+pub mod records;
 pub mod store;
 pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use extent::{Extent, ExtentAllocator};
+pub use records::{is_persist_key, RecordKind, PERSIST_KEY_BASE};
 pub use store::{SingleLevelStore, StoreConfig, StoreError, StoreStats, SyncPolicy};
 pub use wal::{LogRecord, WriteAheadLog};

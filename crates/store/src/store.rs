@@ -183,6 +183,13 @@ impl SingleLevelStore {
         &self.disk
     }
 
+    /// Bytes of write-ahead-log space used since the last application —
+    /// the crash-recovery harness truncates the on-disk log at every
+    /// record boundary up to this point.
+    pub fn wal_used(&self) -> u64 {
+        self.wal.used()
+    }
+
     /// The latest checkpoint sequence number.
     pub fn sequence(&self) -> u64 {
         self.sequence
@@ -275,6 +282,89 @@ impl SingleLevelStore {
         if let Some(data) = self.cache.get(&id).cloned() {
             self.append_log(LogRecord::PutObject(id, data));
         }
+    }
+
+    /// Synchronously logs the *deletion* of an object: the durable
+    /// counterpart of [`SingleLevelStore::delete`] under the async policy,
+    /// used when an unlink must survive a crash without waiting for the
+    /// next checkpoint.
+    pub fn sync_delete(&mut self, id: u64) {
+        self.append_log(LogRecord::DeleteObject(id));
+    }
+
+    /// All keys currently present in `[lo, hi)` — the union of the
+    /// on-disk object map and the in-memory cache, minus deletions.  This
+    /// is the range-scan entry point the persistent filesystem's readdir
+    /// and extent walks use; the key layout in [`crate::records`] makes
+    /// one directory (or one file) a contiguous key range.
+    pub fn keys_in_range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        if lo >= hi {
+            return Vec::new();
+        }
+        let mut keys: BTreeSet<u64> = self
+            .object_loc
+            .range(lo, hi)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        keys.extend(self.cache.range(lo..hi).map(|(k, _)| *k));
+        for id in self.deleted.range(lo..hi) {
+            keys.remove(id);
+        }
+        keys.into_iter().collect()
+    }
+
+    /// Structural consistency check used by the crash-recovery gate: the
+    /// three object-map B+-trees satisfy their tree invariants and agree
+    /// on exactly which objects have home locations, and no two home
+    /// extents overlap.  Returns the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.object_loc
+            .check_invariants()
+            .map_err(|e| format!("object_loc: {e}"))?;
+        self.object_extent_len
+            .check_invariants()
+            .map_err(|e| format!("object_extent_len: {e}"))?;
+        self.object_body_len
+            .check_invariants()
+            .map_err(|e| format!("object_body_len: {e}"))?;
+        let locs = self.object_loc.iter();
+        let extent_lens = self.object_extent_len.iter();
+        let body_lens = self.object_body_len.iter();
+        if locs.len() != extent_lens.len() || locs.len() != body_lens.len() {
+            return Err(format!(
+                "object maps disagree: {} locations, {} extent lengths, {} body lengths",
+                locs.len(),
+                extent_lens.len(),
+                body_lens.len()
+            ));
+        }
+        let mut extents: Vec<(u64, u64)> = Vec::with_capacity(locs.len());
+        for (((id, off), (id2, elen)), (id3, blen)) in
+            locs.iter().zip(extent_lens.iter()).zip(body_lens.iter())
+        {
+            if id != id2 || id != id3 {
+                return Err(format!(
+                    "object maps key mismatch: {id:#x}/{id2:#x}/{id3:#x}"
+                ));
+            }
+            if blen + RECORD_HEADER > *elen {
+                return Err(format!(
+                    "object {id:#x}: body length {blen} does not fit extent {elen}"
+                ));
+            }
+            extents.push((*off, *elen));
+        }
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            if w[0].0 + w[0].1 > w[1].0 {
+                return Err(format!(
+                    "home extents overlap: [{:#x}+{:#x}) and [{:#x}+{:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn append_log(&mut self, record: LogRecord) {
@@ -559,6 +649,7 @@ impl SingleLevelStore {
                 other => after_marker.push(other),
             }
         }
+        let replayed = !after_marker.is_empty();
         for rec in after_marker {
             match rec {
                 LogRecord::PutObject(id, data) => {
@@ -573,6 +664,14 @@ impl SingleLevelStore {
                 }
                 LogRecord::CheckpointMarker { .. } => {}
             }
+        }
+        // Fold the replayed records into a fresh checkpoint before the
+        // log region is reused.  The recovered log head starts back at
+        // zero, so without this, new appends would overwrite records the
+        // previous life never applied — and a *second* crash would lose
+        // updates that were durably synced before the first one.
+        if replayed {
+            store.checkpoint();
         }
         Ok(store)
     }
@@ -672,6 +771,57 @@ mod tests {
         for i in 0..50u64 {
             assert_eq!(r.get(i).unwrap(), vec![i as u8; 100], "object {i}");
         }
+    }
+
+    #[test]
+    fn synced_updates_survive_two_crashes() {
+        // Regression: recovery resets the log head, so records replayed
+        // from the log must be folded into a checkpoint before new
+        // appends reuse the region — otherwise a second crash loses
+        // updates that were durably synced before the first.
+        let config = StoreConfig::default();
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        s.checkpoint();
+        s.put(1, vec![0xa1; 64]);
+        s.sync_object(1);
+        let mut r1 = SingleLevelStore::recover(config, s.into_disk()).unwrap();
+        assert_eq!(r1.get(1).unwrap(), vec![0xa1; 64]);
+        // New synced work after the first recovery reuses the log region.
+        r1.put(2, vec![0xb2; 64]);
+        r1.sync_object(2);
+        let mut r2 = SingleLevelStore::recover(config, r1.into_disk()).unwrap();
+        assert_eq!(r2.get(1).unwrap(), vec![0xa1; 64], "first-life sync");
+        assert_eq!(r2.get(2).unwrap(), vec![0xb2; 64], "second-life sync");
+        r2.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sync_delete_makes_removal_durable() {
+        let config = StoreConfig::default();
+        let mut s = SingleLevelStore::format(config, SimClock::new());
+        s.put(9, vec![1, 2, 3]);
+        s.checkpoint();
+        s.delete(9);
+        s.sync_delete(9);
+        let mut r = SingleLevelStore::recover(config, s.into_disk()).unwrap();
+        assert!(!r.contains(9), "durably deleted object must not return");
+        assert_eq!(r.get(9), Err(StoreError::NoSuchObject(9)));
+    }
+
+    #[test]
+    fn keys_in_range_unions_cache_and_disk_minus_deletions() {
+        let mut s = store(SyncPolicy::Async);
+        s.put(10, vec![1]);
+        s.put(20, vec![2]);
+        s.checkpoint();
+        s.put(15, vec![3]); // cache only
+        s.delete(20); // deleted after checkpoint
+        assert_eq!(s.keys_in_range(0, 100), vec![10, 15]);
+        assert_eq!(s.keys_in_range(11, 16), vec![15]);
+        assert_eq!(s.keys_in_range(16, 100), Vec::<u64>::new());
+        // Inverted and empty ranges are harmless.
+        assert_eq!(s.keys_in_range(50, 10), Vec::<u64>::new());
+        assert_eq!(s.keys_in_range(10, 10), Vec::<u64>::new());
     }
 
     #[test]

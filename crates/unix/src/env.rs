@@ -20,6 +20,7 @@ use crate::devfs::DevFs;
 use crate::fdtable::{Fd, FdState, FdTable};
 use crate::fs::DirEntry;
 use crate::fs::{join_path, FileStat, OpenFlags};
+use crate::persistfs::PersistFs;
 use crate::process::{ExitStatus, Pid, Process, ProcessState};
 use crate::procfs::{ProcFs, ProcInfo};
 use crate::segfs::SegFs;
@@ -167,6 +168,21 @@ impl UnixEnv {
         vfs.mount("/proc", procfs);
         let devfs = vfs.add_filesystem(Box::new(DevFs::new(DEV_RNG_SEED)));
         vfs.mount("/dev", devfs);
+        // The store-backed persistent filesystem: reattached when the
+        // store already holds a formatted tree (this machine was
+        // recovered from a crash — the write-ahead log has been replayed
+        // by the store and the tree is simply mounted again), formatted
+        // fresh otherwise.
+        let persistfs = {
+            let mut ctx = VfsCtx {
+                machine: &mut machine,
+                thread: boot_thread,
+            };
+            PersistFs::mount_or_format(&mut ctx, Label::unrestricted())
+                .expect("mounting /persist cannot fail on a bootable machine")
+        };
+        let persistfs = vfs.add_filesystem(Box::new(persistfs));
+        vfs.mount("/persist", persistfs);
         let mut env = UnixEnv {
             machine,
             processes: HashMap::new(),
@@ -182,7 +198,20 @@ impl UnixEnv {
             .create_process(boot_thread, None, None, "/sbin/init", Vec::new(), &[])
             .expect("creating init cannot fail on a fresh machine");
         env.init_pid = init;
+        // A store that has never checkpointed cannot recover at all (no
+        // superblock); seed one system snapshot at boot so that from here
+        // on, `/persist` fsyncs alone decide what a crash preserves.
+        if env.machine.store().sequence() == 0 {
+            env.machine.snapshot();
+        }
         env
+    }
+
+    /// Consumes the environment, returning the underlying machine (for
+    /// crash/recovery tests: crash the machine, then build a fresh
+    /// environment on the recovered one — `/persist` reattaches itself).
+    pub fn into_machine(self) -> Machine {
+        self.machine
     }
 
     /// The underlying machine.

@@ -33,6 +33,11 @@ pub enum FdKind {
     /// ID and `target_container` the process's internal container (the
     /// object the label check runs against on every access).
     Proc,
+    /// A file on the store-backed persistent filesystem; `target` holds
+    /// the inode number and `target_container` the directory inode it was
+    /// opened through.  The backing records live in the single-level
+    /// store's persist namespace, not in the kernel object heap.
+    Persist,
 }
 
 impl FdKind {
@@ -45,6 +50,7 @@ impl FdKind {
             FdKind::Socket => 4,
             FdKind::Dev => 5,
             FdKind::Proc => 6,
+            FdKind::Persist => 7,
         }
     }
 
@@ -57,6 +63,7 @@ impl FdKind {
             4 => FdKind::Socket,
             5 => FdKind::Dev,
             6 => FdKind::Proc,
+            7 => FdKind::Persist,
             _ => return None,
         })
     }
@@ -258,6 +265,7 @@ mod tests {
             FdKind::Socket,
             FdKind::Dev,
             FdKind::Proc,
+            FdKind::Persist,
         ] {
             let s = FdState {
                 kind,

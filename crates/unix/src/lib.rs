@@ -19,6 +19,10 @@
 //!   path.
 //! * [`segfs`] — the paper's file system (§5.1): files as segments,
 //!   directories as containers with a directory segment.
+//! * [`persistfs`] — the store-backed persistent filesystem at
+//!   `/persist`: inodes, dirents and extents as labeled records in the
+//!   single-level store's B+-tree; `fsync` is a write-ahead-log append
+//!   and recovery replays the log into a mountable tree.
 //! * [`procfs`] — label-filtered per-process state under `/proc`.
 //! * [`devfs`] — `/dev`: console, null, zero, urandom.
 //! * [`fs`] — the on-segment directory format, path helpers, open flags.
@@ -35,6 +39,7 @@ pub mod env;
 pub mod fdtable;
 pub mod fs;
 pub mod gatecall;
+pub mod persistfs;
 pub mod process;
 pub mod procfs;
 pub mod segfs;

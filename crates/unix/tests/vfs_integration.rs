@@ -3,9 +3,19 @@
 //! cross-mount rename error.
 
 use histar_kernel::syscall::SyscallError;
-use histar_label::Level;
+use histar_label::{Label, Level};
 use histar_unix::fs::OpenFlags;
 use histar_unix::{UnixEnv, UnixError};
+
+/// Crashes the environment's machine and rebuilds a fresh environment on
+/// the recovered one; `/persist` reattaches itself from the store.
+fn crash_and_remount(env: UnixEnv) -> UnixEnv {
+    let machine = env
+        .into_machine()
+        .crash_and_recover()
+        .expect("recovery succeeds");
+    UnixEnv::on_machine(machine)
+}
 
 /// §5.3: "descriptor state lives in the descriptor segment" — `dup`'d
 /// descriptors and fork-shared descriptors observe each other's seek
@@ -321,4 +331,306 @@ fn mount_point_paths_refuse_namespace_edits() {
     let before = env.vfs_mut().mount_count();
     env.mount("/mnt", exported);
     assert_eq!(env.vfs_mut().mount_count(), before);
+}
+
+// ------------------------------------------------ /persist semantics --
+
+/// The acceptance story: a file written under `/persist` and fsynced
+/// survives a simulated crash and is readable after recovery, while an
+/// unsynced write is cleanly absent.
+#[test]
+fn persist_fsynced_data_survives_crash_unsynced_data_does_not() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.mkdir(init, "/persist/etc", None).unwrap();
+    env.write_file_as(init, "/persist/etc/motd", b"durable greeting", None)
+        .unwrap();
+    env.fsync_path(init, "/persist/etc/motd").unwrap();
+    // Also fsync the directory chain so the namespace entries are logged.
+    env.fsync_path(init, "/persist/etc").unwrap();
+    env.write_file_as(init, "/persist/etc/scratch", b"never synced", None)
+        .unwrap();
+
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    assert_eq!(
+        env.read_file_as(init, "/persist/etc/motd").unwrap(),
+        b"durable greeting"
+    );
+    assert!(matches!(
+        env.read_file_as(init, "/persist/etc/scratch"),
+        Err(UnixError::NotFound(_))
+    ));
+    // The recovered tree is fully usable: new writes and a second crash
+    // round-trip cleanly.
+    env.write_file_as(init, "/persist/etc/motd2", b"second life", None)
+        .unwrap();
+    env.fsync_path(init, "/persist/etc/motd2").unwrap();
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    assert_eq!(
+        env.read_file_as(init, "/persist/etc/motd2").unwrap(),
+        b"second life"
+    );
+}
+
+/// Labels are enforced across recovery: a secret file recovered from the
+/// write-ahead log still carries its label inside the record, and the
+/// kernel re-checks it on every read — an unprivileged reader is refused
+/// exactly as before the crash.
+#[test]
+fn persist_labels_are_enforced_across_recovery() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let alice = env.create_user("alice").unwrap();
+    env.write_file_as(
+        init,
+        "/persist/diary",
+        b"alice's secrets",
+        Some(alice.private_file_label()),
+    )
+    .unwrap();
+    env.fsync_path(init, "/persist/diary").unwrap();
+
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    // The recovered environment has no users table (library state), but
+    // kernel-side category ownership recovered with init's thread; an
+    // unprivileged sibling cannot observe the file.
+    let snoop = env.spawn(init, "/bin_snoop", None).unwrap();
+    let err = env.read_file_as(snoop, "/persist/diary").unwrap_err();
+    assert!(
+        matches!(err, UnixError::Kernel(SyscallError::CannotObserveRecord(_))),
+        "got {err:?}"
+    );
+    // init still owns alice's categories (they were snapshotted with its
+    // thread), so it reads the recovered bytes.
+    assert_eq!(
+        env.read_file_as(init, "/persist/diary").unwrap(),
+        b"alice's secrets"
+    );
+}
+
+/// A rename between `/persist` and the heap-backed root filesystem fails
+/// with `CrossMount` and corrupts neither namespace.
+#[test]
+fn persist_rename_across_mounts_fails_cleanly() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.write_file_as(init, "/persist/keep", b"p", None)
+        .unwrap();
+    env.write_file_as(init, "/heap.txt", b"h", None).unwrap();
+    for (from, to) in [
+        ("/persist/keep", "/stolen"),
+        ("/heap.txt", "/persist/heap.txt"),
+    ] {
+        let err = env.rename(init, from, to).unwrap_err();
+        assert!(matches!(err, UnixError::CrossMount { .. }), "{from}->{to}");
+    }
+    assert_eq!(env.read_file_as(init, "/persist/keep").unwrap(), b"p");
+    assert_eq!(env.read_file_as(init, "/heap.txt").unwrap(), b"h");
+    // Renames inside /persist work, including across directories.
+    env.mkdir(init, "/persist/a", None).unwrap();
+    env.mkdir(init, "/persist/b", None).unwrap();
+    env.write_file_as(init, "/persist/a/f", b"x", None).unwrap();
+    env.rename(init, "/persist/a/f", "/persist/b/g").unwrap();
+    assert_eq!(env.read_file_as(init, "/persist/b/g").unwrap(), b"x");
+    assert!(env.stat(init, "/persist/a/f").is_err());
+}
+
+/// Descriptor semantics on /persist match the heap filesystem: shared
+/// seek positions through dup/fork, append mode, truncation, unlink, and
+/// an unlink made durable (it does not resurrect after a crash).
+#[test]
+fn persist_descriptor_semantics_match_segfs() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.write_file_as(init, "/persist/f", b"0123456789", None)
+        .unwrap();
+    let fd = env
+        .open(init, "/persist/f", OpenFlags::read_only())
+        .unwrap();
+    let dup = env.dup(init, fd).unwrap();
+    assert_eq!(env.read(init, fd, 4).unwrap(), b"0123");
+    assert_eq!(env.read(init, dup, 4).unwrap(), b"4567");
+    env.lseek(init, dup, 1).unwrap();
+    assert_eq!(env.read(init, fd, 2).unwrap(), b"12");
+    let child = env.fork(init).unwrap();
+    assert_eq!(env.read(child, fd, 2).unwrap(), b"34");
+    env.close(init, fd).unwrap();
+    env.close(init, dup).unwrap();
+
+    // Append always writes at the end.
+    let fda = env
+        .open(
+            init,
+            "/persist/f",
+            OpenFlags {
+                write: true,
+                append: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    env.write(init, fda, b"ab").unwrap();
+    env.close(init, fda).unwrap();
+    assert_eq!(
+        env.read_file_as(init, "/persist/f").unwrap(),
+        b"0123456789ab"
+    );
+
+    // Truncating open resets the contents.
+    env.write_file_as(init, "/persist/f", b"short", None)
+        .unwrap();
+    assert_eq!(env.read_file_as(init, "/persist/f").unwrap(), b"short");
+    let stat = env.stat(init, "/persist/f").unwrap();
+    assert_eq!(stat.len, 5);
+
+    // Unlink is durable: after fsyncing the create, unlinking and
+    // crashing must not resurrect the file.
+    env.fsync_path(init, "/persist/f").unwrap();
+    env.unlink(init, "/persist/f").unwrap();
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    assert!(matches!(
+        env.read_file_as(init, "/persist/f"),
+        Err(UnixError::NotFound(_))
+    ));
+}
+
+/// Large files span many extent records; contents round-trip through
+/// crash/recovery intact, and readdir lists the tree.
+#[test]
+fn persist_multi_extent_files_and_readdir() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let big: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+    env.write_file_as(init, "/persist/big.bin", &big, None)
+        .unwrap();
+    env.write_file_as(init, "/persist/small", b"s", None)
+        .unwrap();
+    env.fsync_path(init, "/persist/big.bin").unwrap();
+    let names: Vec<String> = env
+        .readdir(init, "/persist")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(names.contains(&"big.bin".to_string()));
+    assert!(names.contains(&"small".to_string()));
+
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    assert_eq!(env.read_file_as(init, "/persist/big.bin").unwrap(), big);
+    // Partial reads across extent boundaries behave.
+    let fd = env
+        .open(init, "/persist/big.bin", OpenFlags::read_only())
+        .unwrap();
+    env.lseek(init, fd, 4090).unwrap();
+    assert_eq!(env.read(init, fd, 12).unwrap(), big[4090..4102].to_vec());
+    env.close(init, fd).unwrap();
+}
+
+/// A tainted process cannot create records it could not modify, and a
+/// labeled private directory under /persist hides its entries from
+/// unprivileged listers at the kernel, not in the library.
+#[test]
+fn persist_private_directory_is_label_gated() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let bob = env.create_user("bob").unwrap();
+    env.mkdir(init, "/persist/bob", Some(bob.private_file_label()))
+        .unwrap();
+    env.write_file_as(init, "/persist/bob/mail", b"private", None)
+        .unwrap();
+    // An unprivileged process cannot even look up inside the directory.
+    let other = env.spawn(init, "/bin_other", None).unwrap();
+    let err = env.read_file_as(other, "/persist/bob/mail").unwrap_err();
+    assert!(
+        matches!(err, UnixError::Kernel(SyscallError::CannotObserveRecord(_))),
+        "got {err:?}"
+    );
+    assert!(env.readdir(other, "/persist/bob").is_err());
+    // A process running as bob reads it (files inherit the directory's
+    // label when created without an explicit one).
+    let shell = env.spawn(init, "/bin_sh", Some("bob")).unwrap();
+    assert_eq!(
+        env.read_file_as(shell, "/persist/bob/mail").unwrap(),
+        b"private"
+    );
+    let _ = Label::unrestricted();
+}
+
+/// Regression: a rename must be durable as a unit.  Renaming a fully
+/// fsynced file and crashing used to log only the old entry's tombstone,
+/// orphaning the file from both directories; now the new entry (and the
+/// moved inode) are logged with it.
+#[test]
+fn persist_rename_then_crash_keeps_the_file_reachable() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.mkdir(init, "/persist/a", None).unwrap();
+    env.mkdir(init, "/persist/b", None).unwrap();
+    env.fsync_path(init, "/persist/a").unwrap();
+    env.fsync_path(init, "/persist/b").unwrap();
+    env.write_file_as(init, "/persist/a/f", b"move me", None)
+        .unwrap();
+    env.fsync_path(init, "/persist/a/f").unwrap();
+    env.rename(init, "/persist/a/f", "/persist/b/g").unwrap();
+
+    let mut env = crash_and_remount(env);
+    let init = env.init_pid();
+    assert_eq!(env.read_file_as(init, "/persist/b/g").unwrap(), b"move me");
+    assert!(matches!(
+        env.read_file_as(init, "/persist/a/f"),
+        Err(UnixError::NotFound(_))
+    ));
+}
+
+/// Regression: a vnode whose cached length went stale (another
+/// descriptor's vnode grew the file) must not shrink the authoritative
+/// inode length when it writes.
+#[test]
+fn persist_stale_length_cache_does_not_truncate_on_write() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    env.write_file_as(init, "/persist/f", b"0123456789", None)
+        .unwrap();
+    // fd1's vnode caches len = 10.
+    let fd1 = env
+        .open(
+            init,
+            "/persist/f",
+            OpenFlags {
+                read: true,
+                write: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(env.read(init, fd1, 10).unwrap(), b"0123456789");
+    // fd2 (a separate open, separate vnode) grows the file.
+    let fd2 = env
+        .open(
+            init,
+            "/persist/f",
+            OpenFlags {
+                write: true,
+                append: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let tail = vec![0xEEu8; 5000];
+    env.write(init, fd2, &tail).unwrap();
+    env.close(init, fd2).unwrap();
+    // fd1 writes within its stale idea of the file; the real length must
+    // survive.
+    env.lseek(init, fd1, 2).unwrap();
+    env.write(init, fd1, b"XY").unwrap();
+    env.close(init, fd1).unwrap();
+    let all = env.read_file_as(init, "/persist/f").unwrap();
+    assert_eq!(all.len(), 10 + 5000, "stale cache must not shrink the file");
+    assert_eq!(&all[..10], b"01XY456789");
+    assert_eq!(&all[10..], &tail[..]);
 }
