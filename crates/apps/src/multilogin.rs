@@ -60,6 +60,9 @@ pub struct MultiLoginParams {
     pub wrong_every: usize,
     /// Keep a syscall audit trace of this capacity (0 = tracing off).
     pub trace_capacity: usize,
+    /// Keep a flight-recorder span ring of this capacity (0 = recorder
+    /// off), capturing dispatch/scheduler/store spans during the run.
+    pub recorder_capacity: usize,
 }
 
 impl Default for MultiLoginParams {
@@ -70,6 +73,7 @@ impl Default for MultiLoginParams {
             seed: 0x10_91,
             wrong_every: 7,
             trace_capacity: 0,
+            recorder_capacity: 0,
         }
     }
 }
@@ -222,6 +226,10 @@ pub fn build_multilogin(
     if params.trace_capacity > 0 {
         env.kernel_mut().enable_syscall_trace(params.trace_capacity);
     }
+    if params.recorder_capacity > 0 {
+        env.kernel_mut()
+            .enable_flight_recorder(params.recorder_capacity);
+    }
 
     let mut sched: Scheduler<LoginWorld> =
         Scheduler::new(params.seed, SimDuration::from_micros(50));
@@ -293,6 +301,7 @@ mod tests {
             seed: 42,
             wrong_every: 7,
             trace_capacity: 1 << 20,
+            recorder_capacity: 1 << 16,
         };
         let (world, report) = run_multilogin(params).unwrap();
         assert_eq!(report.schedule.stop, StopReason::AllComplete);
@@ -348,6 +357,7 @@ mod tests {
             seed: 1,
             wrong_every: 0,
             trace_capacity: 0,
+            recorder_capacity: 0,
         };
         let b = MultiLoginParams { seed: 2, ..a };
         let (wa, ra) = run_multilogin(a).unwrap();
@@ -374,6 +384,7 @@ mod tests {
             seed: 3,
             wrong_every: 0,
             trace_capacity: 0,
+            recorder_capacity: 0,
         })
         .unwrap();
         let k0 = world.env.machine().kernel().stats().syscalls;

@@ -2,7 +2,8 @@
 //! second through the VFS, single node.  Run with `--smoke` for the quick
 //! CI configuration.
 
-use histar_bench::fs::{run, FsBenchParams};
+use histar_bench::fs::{chrome_trace, run, FsBenchParams};
+use histar_bench::report::write_artifact;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -17,6 +18,10 @@ fn main() {
     match json.write() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
+    match write_artifact("TRACE_fs.json", &chrome_trace()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write chrome trace: {e}"),
     }
     println!("Times are simulated; ops/sec and the I/O-phase batch-size");
     println!("histogram are emitted as machine-readable JSON for the CI gate.");

@@ -2,7 +2,8 @@
 //! deterministic scheduler, single-node and across the two-node fabric.
 //! Run with `--smoke` for the quick CI configuration.
 
-use histar_bench::sched::{run, SchedBenchParams};
+use histar_bench::report::write_artifact;
+use histar_bench::sched::{chrome_trace, run, SchedBenchParams};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -17,6 +18,10 @@ fn main() {
     match json.write() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
+    match write_artifact("TRACE_sched.json", &chrome_trace(params)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write chrome trace: {e}"),
     }
     println!("Times are simulated; syscalls/sec and context-switch cost are");
     println!("also emitted as machine-readable JSON for the CI trajectory.");

@@ -52,6 +52,14 @@ fn main() -> ExitCode {
                      {} label checks on the recovered secret",
                     report.cuts, report.files_verified, report.secret_checks
                 );
+                // Where recovery time went, from the flight recorder's
+                // per-phase spans (summed over every cut's recovery).
+                for (phase, total_ns, count) in report.recovery_phases.iter().take(3) {
+                    println!(
+                        "torn_wal:   recovery phase {phase:<16} {total_ns:>12} ns \
+                         across {count} recoveries"
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("torn_wal: seed {seed:#x}: FAIL — {e}");

@@ -16,6 +16,7 @@
 //!    unprivileged reader — labels recover with the data or not at all.
 
 use histar_kernel::{Machine, MachineConfig, SyscallError};
+use histar_obs::Recorder;
 use histar_store::codec::unframe;
 use histar_unix::{UnixEnv, UnixError};
 
@@ -37,6 +38,10 @@ pub struct TornReport {
     pub files_verified: usize,
     /// Cuts at which the secret file had recovered and was label-checked.
     pub secret_checks: usize,
+    /// Per-phase recovery tick totals — `(phase, total simulated ns,
+    /// occurrences)` summed over every recovery of the sweep, sorted by
+    /// total descending (from the flight recorder's `recover` spans).
+    pub recovery_phases: Vec<(&'static str, u64, u64)>,
 }
 
 /// Runs the seeded workload on a fresh machine, returning the machine
@@ -159,6 +164,11 @@ pub fn run_torn_wal(seed: u64, max_cuts: usize) -> Result<TornReport, String> {
         cuts: cuts.len(),
         ..TornReport::default()
     };
+    // Every recovery of the sweep records its phases into one shared
+    // flight recorder; if a guarantee fails and the harness panics, the
+    // on-panic hook prints the last spans leading up to the failure.
+    let recorder = Recorder::with_capacity(1 << 16);
+    histar_obs::hook::arm_crash_dump("torn_wal", &recorder, 32);
     for &cut in &cuts {
         let (env, _) = run_workload(seed);
         let mut disk2 = env.into_machine().into_disk();
@@ -167,12 +177,15 @@ pub fn run_torn_wal(seed: u64, max_cuts: usize) -> Result<TornReport, String> {
         if cut < used {
             disk2.write(region_start + cut, &vec![0u8; (used - cut) as usize]);
         }
-        let machine = Machine::recover(machine_config, disk2)
+        let mut machine = Machine::recover_traced(machine_config, disk2, recorder.clone())
             .map_err(|e| format!("cut {cut}: recovery failed: {e}"))?;
         machine
             .store()
             .check_invariants()
             .map_err(|e| format!("cut {cut}: store invariants violated: {e}"))?;
+        // The shared ring is for *recovery* phases: detach it before the
+        // recovered machine's ordinary dispatch traffic can evict them.
+        machine.kernel_mut().disable_flight_recorder();
         let mut env = UnixEnv::on_machine(machine);
         let init = env.init_pid();
 
@@ -238,6 +251,8 @@ pub fn run_torn_wal(seed: u64, max_cuts: usize) -> Result<TornReport, String> {
             }
         }
     }
+    report.recovery_phases = recorder.phase_totals("recover");
+    histar_obs::hook::disarm_crash_dump("torn_wal");
     Ok(report)
 }
 
@@ -254,5 +269,17 @@ mod tests {
             report.secret_checks > 0,
             "the secret file must recover (and be checked) at the full-log cut: {report:?}"
         );
+        let phases: Vec<&str> = report.recovery_phases.iter().map(|(n, _, _)| *n).collect();
+        for phase in [
+            "superblock",
+            "btree_rebuild",
+            "wal_replay",
+            "object_restore",
+        ] {
+            assert!(phases.contains(&phase), "missing recovery phase {phase}");
+        }
+        // Sorted by total descending: the top entry dominates the sweep.
+        let totals: Vec<u64> = report.recovery_phases.iter().map(|(_, t, _)| *t).collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
     }
 }

@@ -300,6 +300,44 @@ pub fn measure(params: FsBenchParams) -> FsMeasurement {
     }
 }
 
+/// Runs a flight-recorder-enabled mini I/O pass — segment and `/persist`
+/// reads and writes, an fsync, and one traced crash/recover round trip —
+/// and returns the chrome-trace JSON dump: the `TRACE_fs.json` artifact
+/// CI uploads so the batched I/O hot path and the recovery phases can be
+/// inspected in a trace viewer.
+pub fn chrome_trace() -> String {
+    let mut env = UnixEnv::boot();
+    let recorder = env.kernel_mut().enable_flight_recorder(1 << 16);
+    let init = env.init_pid();
+    env.mkdir(init, "/bench", None).expect("mkdir /bench");
+    env.reserve_quota(init, "/bench", 64 * 1024 * 1024)
+        .expect("reserve quota");
+    env.write_file_as(
+        init,
+        "/bench/traced",
+        &vec![0xabu8; (64 * IO_SIZE) as usize],
+        None,
+    )
+    .expect("create /bench/traced");
+    let fd = env
+        .open(init, "/bench/traced", OpenFlags::read_only())
+        .expect("open traced file");
+    for _ in 0..64 {
+        env.read(init, fd, IO_SIZE).expect("traced read");
+    }
+    env.close(init, fd).expect("close traced fd");
+    env.write_file_as(init, "/persist/traced", b"traced bytes", None)
+        .expect("create /persist/traced");
+    env.fsync_path(init, "/persist/traced").expect("fsync");
+    // One traced recovery so the dump also shows the wal/recover phases.
+    let machine = env
+        .into_machine()
+        .crash_and_recover_traced(recorder.clone())
+        .expect("traced crash recovery");
+    drop(machine);
+    recorder.chrome_trace_json()
+}
+
 /// Runs the benchmark and renders the table + `BENCH_fs.json` report.
 pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
     let m = measure(params);
@@ -366,15 +404,11 @@ pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
         m.io_dispatch.batches as f64,
         (m.read.elapsed + m.write.elapsed).as_nanos(),
     );
-    for (i, count) in m.io_dispatch.batch_size_hist.iter().enumerate() {
-        if *count > 0 {
-            json.metric(
-                &format!("io.batch_hist.{}", DispatchStats::batch_bucket_label(i)),
-                *count as f64,
-                (m.read.elapsed + m.write.elapsed).as_nanos(),
-            );
-        }
-    }
+    json.histogram(
+        "io.batch_hist",
+        &m.io_dispatch.batch_size_hist,
+        (m.read.elapsed + m.write.elapsed).as_nanos(),
+    );
     json.metric(
         "io.handle_resolutions",
         m.io_dispatch.handle_resolutions as f64,

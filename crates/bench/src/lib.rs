@@ -19,6 +19,9 @@
 //! * [`sched`] — the multiprogramming benchmark: N concurrent untrusted
 //!   logins interleaved by the deterministic scheduler, on one node and
 //!   across the two-node fabric (syscalls/sec, context-switch cost).
+//! * [`obs`] — the observability overhead benchmark: the login workload
+//!   with tracing off vs on (audit trace + flight recorder), gated in CI
+//!   so tracing stays within 3% of the untraced throughput.
 //! * [`report`] — small helpers for printing paper-style tables, recording
 //!   paper-vs-measured comparisons, and emitting machine-readable
 //!   `BENCH_<name>.json` files for CI.
@@ -33,6 +36,7 @@ pub mod crash;
 pub mod fig12;
 pub mod fig13;
 pub mod fs;
+pub mod obs;
 pub mod report;
 pub mod rpc;
 pub mod sched;

@@ -140,6 +140,21 @@ impl BenchJson {
         self
     }
 
+    /// Appends one metric per nonzero bucket of `hist`, named
+    /// `<prefix>.<bucket label>` — the single emission path for every
+    /// histogram any benchmark reports.
+    pub fn histogram<const N: usize>(
+        &mut self,
+        prefix: &str,
+        hist: &histar_obs::Histogram<N>,
+        ticks: u64,
+    ) -> &mut BenchJson {
+        for (label, count) in hist.nonzero() {
+            self.metric(&format!("{prefix}.{label}"), count as f64, ticks);
+        }
+        self
+    }
+
     /// Builds a report from a rendered [`Table`]: every `(row, system)`
     /// measurement becomes one metric, valued in nanoseconds.
     pub fn from_table(name: &str, table: &Table) -> BenchJson {
@@ -203,6 +218,28 @@ impl BenchJson {
         std::fs::write(&path, self.render())?;
         Ok(path)
     }
+}
+
+/// Writes an arbitrary artifact (e.g. a chrome-trace JSON dump) next to the
+/// `BENCH_*.json` reports, honoring `$BENCH_OUT_DIR`.  The name is
+/// sanitized the same way as benchmark names.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("BENCH_OUT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let safe: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = dir.join(safe);
+    std::fs::write(&path, contents)?;
+    Ok(path)
 }
 
 #[cfg(test)]

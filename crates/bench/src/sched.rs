@@ -116,6 +116,7 @@ pub fn measure_single_node(params: SchedBenchParams) -> SchedMeasurement {
         seed: params.seed,
         wrong_every: 7,
         trace_capacity: 0,
+        recorder_capacity: 0,
     })
     .expect("multilogin scenario");
     SchedMeasurement {
@@ -127,6 +128,24 @@ pub fn measure_single_node(params: SchedBenchParams) -> SchedMeasurement {
         switch_cost: mean_switch_cost(&report.kernel),
         dispatch: report.dispatch,
     }
+}
+
+/// Runs a flight-recorder-enabled single-node pass and returns its
+/// chrome-trace JSON dump — the `TRACE_sched.json` artifact CI uploads so
+/// a regression can be inspected span-by-span in a trace viewer.
+pub fn chrome_trace(params: SchedBenchParams) -> String {
+    let (world, _report) = run_multilogin(MultiLoginParams {
+        // A bounded slice of the workload: the trace is for inspection,
+        // not measurement, and the viewer does not need 200 logins.
+        processes: params.processes.min(24),
+        users: params.users,
+        seed: params.seed,
+        wrong_every: 7,
+        trace_capacity: 0,
+        recorder_capacity: 1 << 16,
+    })
+    .expect("multilogin scenario");
+    world.env.machine().kernel().recorder().chrome_trace_json()
 }
 
 // ----- the two-node fabric variant ---------------------------------------
@@ -375,18 +394,11 @@ pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
         single.dispatch.batches as f64,
         single.elapsed.as_nanos(),
     );
-    for (i, count) in single.dispatch.batch_size_hist.iter().enumerate() {
-        if *count > 0 {
-            json.metric(
-                &format!(
-                    "single_node.batch_hist.{}",
-                    DispatchStats::batch_bucket_label(i)
-                ),
-                *count as f64,
-                single.elapsed.as_nanos(),
-            );
-        }
-    }
+    json.histogram(
+        "single_node.batch_hist",
+        &single.dispatch.batch_size_hist,
+        single.elapsed.as_nanos(),
+    );
     json.metric(
         "single_node.context_switch_cost_ns",
         single.switch_cost.as_nanos() as f64,
@@ -486,7 +498,7 @@ mod tests {
         // The histogram sees both single-call traps and multi-call batches.
         assert!(m.dispatch.batch_size_hist[0] > 0, "1-entry batches");
         assert!(
-            m.dispatch.batch_size_hist[1..].iter().sum::<u64>() > 0,
+            m.dispatch.batch_size_hist.counts()[1..].iter().sum::<u64>() > 0,
             "multi-entry batches"
         );
     }

@@ -14,6 +14,7 @@ use crate::ExporterError;
 use histar_kernel::machine::{Machine, MachineConfig};
 use histar_label::{Category, Label, Level};
 use histar_net::Netd;
+use histar_obs::Span;
 use histar_unix::gatecall::{grant_categories, raise_taint_for, ServiceGate};
 use histar_unix::process::Pid;
 use histar_unix::UnixEnv;
@@ -37,6 +38,33 @@ impl Node {
     /// The node's init pid (convenient for spawning test processes).
     pub fn init(&self) -> Pid {
         self.env.init_pid()
+    }
+}
+
+/// Start tick for an `rpc` flight-recorder span on a node, `None` when
+/// that node's recorder is disabled (the common case — spans must cost
+/// nothing then).
+fn rpc_span_start(n: &Node) -> Option<u64> {
+    let kernel = n.env.machine().kernel();
+    kernel
+        .recorder()
+        .is_enabled()
+        .then(|| kernel.now().as_nanos())
+}
+
+/// Closes an `rpc` span opened by [`rpc_span_start`]; `seq` carries the
+/// message count the phase handled.
+fn rpc_span_end(n: &Node, name: &'static str, start: Option<u64>, seq: u64) {
+    if let Some(start) = start {
+        let kernel = n.env.machine().kernel();
+        kernel.recorder().record(Span {
+            cat: "rpc",
+            name,
+            start,
+            end: kernel.now().as_nanos(),
+            tid: 0,
+            seq,
+        });
     }
 }
 
@@ -130,6 +158,8 @@ impl Fabric {
     pub fn dispatch(&mut self, node: usize) {
         let n = &mut self.nodes[node];
         let exporter_pid = n.exporter.pid();
+        let serve_start = rpc_span_start(n);
+        let mut served = 0u64;
         loop {
             let batch = match n.netd.recv_batch(&mut n.env, exporter_pid) {
                 Ok(Some(batch)) => batch,
@@ -142,12 +172,14 @@ impl Fabric {
                     replies.push(sealed_reply);
                 }
             }
+            served += replies.len() as u64;
             if !replies.is_empty() {
                 n.netd
                     .send_batch(&mut n.env, exporter_pid, &replies)
                     .expect("the exporter owns the netd taint category");
             }
         }
+        rpc_span_end(n, "serve", serve_start, served);
     }
 
     // ----- federation setup ------------------------------------------------
@@ -316,6 +348,7 @@ impl Fabric {
         let mut seqs = Vec::with_capacity(requests.len());
         {
             let n = &mut self.nodes[from];
+            let send_start = rpc_span_start(n);
             for request in requests {
                 let msg = n
                     .exporter
@@ -329,6 +362,7 @@ impl Fabric {
             n.netd
                 .send_batch(&mut n.env, exporter_pid, &encoded)
                 .map_err(ExporterError::Unix)?;
+            rpc_span_end(n, "send", send_start, encoded.len() as u64);
         }
 
         self.pump(from, to);
@@ -338,6 +372,8 @@ impl Fabric {
         // Collect the reply batch on the calling node.
         let n = &mut self.nodes[from];
         let exporter_pid = n.exporter.pid();
+        let recv_start = rpc_span_start(n);
+        let mut received = 0u64;
         let mut results: Vec<Option<Result<RemoteReply>>> = (0..seqs.len()).map(|_| None).collect();
         loop {
             let batch = match n.netd.recv_batch(&mut n.env, exporter_pid) {
@@ -359,6 +395,7 @@ impl Fabric {
                         payload,
                     } => {
                         if let Some(slot) = seqs.iter().position(|s| *s == seq) {
+                            received += 1;
                             results[slot] =
                                 Some(n.exporter.land_reply(&mut n.env, &label, &payload));
                         }
@@ -376,6 +413,7 @@ impl Fabric {
                 }
             }
         }
+        rpc_span_end(n, "recv", recv_start, received);
         Ok(results
             .into_iter()
             .map(|r| r.unwrap_or(Err(ExporterError::NoReply)))

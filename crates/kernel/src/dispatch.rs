@@ -26,6 +26,7 @@ use crate::kernel::{GateEntryResult, Kernel, PageFaultResolution, RemoteCategory
 use crate::object::{ContainerEntry, ObjectId, ObjectType, METADATA_LEN};
 use crate::syscall::SyscallError;
 use histar_label::{Category, Label};
+use histar_obs::{Histogram, Span};
 use std::collections::VecDeque;
 
 /// One system call with its arguments — what a real thread would place in
@@ -630,7 +631,11 @@ pub struct DispatchStats {
     pub batch_entries: u64,
     /// Histogram of batch sizes; bucket boundaries are
     /// [`BATCH_HIST_BUCKETS`].
-    pub batch_size_hist: [u64; BATCH_HIST_BUCKETS.len()],
+    pub batch_size_hist: Histogram<{ BATCH_HIST_BUCKETS.len() }>,
+    /// Audit-trace records evicted from the bounded ring before anyone
+    /// read them — silent loss of audit history.  The dispatch-equivalence
+    /// tests assert this stays zero when the trace is sized to the run.
+    pub trace_dropped: u64,
     /// Capability handles installed.
     pub handle_opens: u64,
     /// Capability handles explicitly closed.
@@ -646,8 +651,9 @@ pub struct DispatchStats {
 }
 
 /// Upper bounds (inclusive) of the batch-size histogram buckets; the last
-/// bucket is open-ended.
-pub const BATCH_HIST_BUCKETS: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
+/// bucket is open-ended.  The edges live in `histar-obs` so the dispatch
+/// stats and the I/O benchmarks bucket identically.
+pub use histar_obs::BATCH_SIZE_EDGES as BATCH_HIST_BUCKETS;
 
 impl Default for DispatchStats {
     fn default() -> DispatchStats {
@@ -656,7 +662,8 @@ impl Default for DispatchStats {
             errors: [0; SYSCALL_COUNT],
             batches: 0,
             batch_entries: 0,
-            batch_size_hist: [0; BATCH_HIST_BUCKETS.len()],
+            batch_size_hist: Histogram::new(&BATCH_HIST_BUCKETS),
+            trace_dropped: 0,
             handle_opens: 0,
             handle_closes: 0,
             handle_revocations: 0,
@@ -696,27 +703,12 @@ impl DispatchStats {
 
     /// The histogram bucket a batch of `size` entries falls into.
     pub fn batch_bucket(size: u64) -> usize {
-        BATCH_HIST_BUCKETS
-            .iter()
-            .position(|&hi| size <= hi)
-            .unwrap_or(BATCH_HIST_BUCKETS.len() - 1)
+        Histogram::new(&BATCH_HIST_BUCKETS).bucket_of(size)
     }
 
     /// Human-readable label for histogram bucket `i` (e.g. `"3-4"`).
     pub fn batch_bucket_label(i: usize) -> String {
-        let hi = BATCH_HIST_BUCKETS[i];
-        let lo = if i == 0 {
-            1
-        } else {
-            BATCH_HIST_BUCKETS[i - 1] + 1
-        };
-        if hi == u64::MAX {
-            format!("{lo}+")
-        } else if lo == hi {
-            format!("{hi}")
-        } else {
-            format!("{lo}-{hi}")
-        }
+        Histogram::new(&BATCH_HIST_BUCKETS).bucket_label(i)
     }
 
     /// Mean submission-batch size (1.0 when everything was single-call).
@@ -745,7 +737,7 @@ impl DispatchStats {
         }
         self.batches += 1;
         self.batch_entries += entries;
-        self.batch_size_hist[DispatchStats::batch_bucket(entries)] += 1;
+        self.batch_size_hist.record(entries);
     }
 
     /// Applies `op` to every counter pair of `self` and `other` — the one
@@ -757,9 +749,8 @@ impl DispatchStats {
             out.invocations[i] = op(self.invocations[i], other.invocations[i]);
             out.errors[i] = op(self.errors[i], other.errors[i]);
         }
-        for i in 0..BATCH_HIST_BUCKETS.len() {
-            out.batch_size_hist[i] = op(self.batch_size_hist[i], other.batch_size_hist[i]);
-        }
+        out.batch_size_hist = self.batch_size_hist.zip_with(&other.batch_size_hist, &op);
+        out.trace_dropped = op(self.trace_dropped, other.trace_dropped);
         out.batches = op(self.batches, other.batches);
         out.batch_entries = op(self.batch_entries, other.batch_entries);
         out.handle_opens = op(self.handle_opens, other.handle_opens);
@@ -779,6 +770,22 @@ impl DispatchStats {
     /// fabric into one histogram).
     pub fn merge(&self, other: &DispatchStats) -> DispatchStats {
         self.zip_with(other, |a, b| a + b)
+    }
+}
+
+impl histar_obs::MetricSource for DispatchStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("dispatch.calls", self.total());
+        set.counter("dispatch.errors", self.total_errors());
+        set.counter("dispatch.batches", self.batches);
+        set.counter("dispatch.batch_entries", self.batch_entries);
+        set.counter("dispatch.trace_dropped", self.trace_dropped);
+        set.counter("dispatch.handle_opens", self.handle_opens);
+        set.counter("dispatch.handle_closes", self.handle_closes);
+        set.counter("dispatch.handle_revocations", self.handle_revocations);
+        set.counter("dispatch.handle_resolutions", self.handle_resolutions);
+        set.counter("dispatch.handle_reuses", self.handle_reuses);
+        set.histogram("dispatch.batch_size", &self.batch_size_hist);
     }
 }
 
@@ -821,8 +828,12 @@ impl SyscallTrace {
         }
     }
 
-    fn push(&mut self, tick: u64, tid: ObjectId, syscall: &'static str, ok: bool) {
-        if self.records.len() == self.capacity {
+    /// Appends a record, evicting the oldest if full.  Returns whether a
+    /// record was evicted, so the dispatcher can mirror silent audit loss
+    /// into [`DispatchStats::trace_dropped`].
+    fn push(&mut self, tick: u64, tid: ObjectId, syscall: &'static str, ok: bool) -> bool {
+        let evicted = self.records.len() == self.capacity;
+        if evicted {
             self.records.pop_front();
             self.dropped += 1;
         }
@@ -834,6 +845,7 @@ impl SyscallTrace {
             ok,
         });
         self.next_seq += 1;
+        evicted
     }
 
     /// The buffered records, oldest first.
@@ -921,6 +933,7 @@ impl Kernel {
         I: IntoIterator<Item = SqEntry>,
     {
         self.begin_batch();
+        let span_start = self.recorder().is_enabled().then(|| self.now().as_nanos());
         let mut done = Vec::new();
         for SqEntry { user_data, op } in entries {
             let kind = match op {
@@ -936,6 +949,17 @@ impl Kernel {
         }
         self.end_batch();
         self.dispatch_stats_mut().record_batch(done.len() as u64);
+        if let Some(start) = span_start {
+            let batch_id = self.dispatch_stats().batches;
+            self.recorder().record(Span {
+                cat: "dispatch",
+                name: "batch",
+                start,
+                end: self.now().as_nanos(),
+                tid: tid.raw(),
+                seq: batch_id,
+            });
+        }
         done
     }
 
@@ -984,7 +1008,9 @@ impl Kernel {
         let mut call = call;
         let index = call.index();
         let name = call.name();
+        let span_start = self.recorder().is_enabled().then(|| self.now().as_nanos());
         self.dispatch_stats_mut().invocations[index] += 1;
+        self.note_thread_syscall(tid);
         let result = match self.resolve_handle_args(tid, &mut call) {
             Ok(()) => self.dispatch_inner(tid, call),
             Err(e) => Err(e),
@@ -995,7 +1021,20 @@ impl Kernel {
         let tick = self.now().as_nanos();
         let ok = result.is_ok();
         if let Some(trace) = self.trace_mut() {
-            trace.push(tick, tid, name, ok);
+            if trace.push(tick, tid, name, ok) {
+                self.dispatch_stats_mut().trace_dropped += 1;
+            }
+        }
+        if let Some(start) = span_start {
+            let seq = self.next_dispatch_seq();
+            self.recorder().record(Span {
+                cat: "dispatch",
+                name,
+                start,
+                end: tick,
+                tid: tid.raw(),
+                seq,
+            });
         }
         result
     }
@@ -2043,6 +2082,9 @@ mod tests {
         assert_eq!(trace.len(), 4);
         assert_eq!(trace.dropped(), 2);
         assert_eq!(trace.total_recorded(), 6);
+        // Evictions are mirrored into the dispatch stats so monitoring can
+        // spot silent audit loss without holding a reference to the trace.
+        assert_eq!(k.dispatch_stats().trace_dropped, 2);
         let seqs: Vec<u64> = trace.records().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4, 5]);
         for r in trace.records() {

@@ -19,11 +19,12 @@ use crate::object::{
 use crate::syscall::{SyscallError, SyscallStats};
 use histar_label::category::FeistelCipher;
 use histar_label::{Category, CategoryAllocator, Label, LabelCache, Level};
+use histar_obs::{MetricSet, Recorder};
 use histar_sim::{CostModel, OsFlavor, SimClock, SimDuration};
 use histar_store::codec::{Decoder, Encoder};
 use histar_store::records::is_persist_key;
 use histar_store::SingleLevelStore;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Size of one page, matching the simulated hardware.
 pub const PAGE_SIZE: u64 = 4096;
@@ -97,6 +98,18 @@ pub struct Kernel {
     dispatch_stats: DispatchStats,
     /// The bounded audit trace of dispatched syscalls, when enabled.
     trace: Option<SyscallTrace>,
+    /// The flight recorder dispatched syscalls (and the scheduler/store,
+    /// which hold clones of this handle) emit spans into.  Disabled by
+    /// default — recording charges no simulated time either way, so the
+    /// only cost of enabling it is host memory for the ring.
+    recorder: Recorder,
+    /// Monotonic sequence number tagging dispatch spans, so a trace viewer
+    /// can correlate a span with its audit-trace record even after ring
+    /// eviction.
+    dispatch_seq: u64,
+    /// Dispatched-syscall counts per calling thread, for the per-activity
+    /// metrics filesystem.  Entries die with their thread.
+    per_thread_syscalls: BTreeMap<ObjectId, u64>,
     /// Per-thread capability handle tables (ABI-edge state, not persisted).
     handles: HashMap<ObjectId, HandleTable>,
     /// Per-thread completion queues (ABI-edge state, not persisted).
@@ -136,6 +149,9 @@ impl Kernel {
             remote_index: HashMap::new(),
             dispatch_stats: DispatchStats::default(),
             trace: None,
+            recorder: Recorder::disabled(),
+            dispatch_seq: 0,
+            per_thread_syscalls: BTreeMap::new(),
             handles: HashMap::new(),
             completions: HashMap::new(),
             in_batch: false,
@@ -199,6 +215,92 @@ impl Kernel {
     /// The current audit trace, if tracing is enabled.
     pub fn syscall_trace(&self) -> Option<&SyscallTrace> {
         self.trace.as_ref()
+    }
+
+    /// The kernel's flight recorder (disabled by default).  The scheduler,
+    /// store and exporter fabric clone this handle, so enabling it here is
+    /// enabled everywhere that shares the kernel.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Starts span recording into a fresh bounded ring of `capacity` spans,
+    /// replacing any previous recorder.  Returns a handle to the new ring.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) -> Recorder {
+        self.recorder = Recorder::with_capacity(capacity);
+        if let Some(store) = self.store.as_mut() {
+            store.set_recorder(self.recorder.clone());
+        }
+        self.recorder.clone()
+    }
+
+    /// Installs an externally created recorder (e.g. the one that already
+    /// holds a machine's recovery spans), replacing any previous one.
+    pub fn install_recorder(&mut self, recorder: Recorder) {
+        if let Some(store) = self.store.as_mut() {
+            store.set_recorder(recorder.clone());
+        }
+        self.recorder = recorder;
+    }
+
+    /// Stops span recording and drops the ring.
+    pub fn disable_flight_recorder(&mut self) {
+        self.install_recorder(Recorder::disabled());
+    }
+
+    pub(crate) fn next_dispatch_seq(&mut self) -> u64 {
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        seq
+    }
+
+    pub(crate) fn note_thread_syscall(&mut self, tid: ObjectId) {
+        *self.per_thread_syscalls.entry(tid).or_insert(0) += 1;
+    }
+
+    /// Dispatched-syscall count for one thread (zero if it never trapped,
+    /// or was deallocated — the counter dies with the thread).
+    pub fn thread_syscalls(&self, tid: ObjectId) -> u64 {
+        self.per_thread_syscalls.get(&tid).copied().unwrap_or(0)
+    }
+
+    /// IDs of every live container, in stable (sorted) order — the
+    /// enumeration the per-container metrics filesystem serves, with each
+    /// entry's visibility decided by its own label at read time.
+    pub fn container_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, o)| o.header.object_type == ObjectType::Container)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable_by_key(|id| id.raw());
+        ids
+    }
+
+    /// One snapshot of every counter the kernel and its attached subsystems
+    /// maintain: syscall + dispatch stats, the label-comparison cache, and
+    /// (when a store is attached) store/WAL/disk counters.  Collecting a
+    /// snapshot charges no simulated time.
+    pub fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.collect(&self.stats);
+        set.collect(&self.dispatch_stats);
+        set.collect(&self.label_cache.stats());
+        set.gauge("kernel.objects", self.object_count() as u64);
+        set.gauge("kernel.threads_with_handles", self.handles.len() as u64);
+        if let Some(trace) = &self.trace {
+            set.counter("trace.recorded", trace.total_recorded());
+            set.counter("trace.dropped", trace.dropped());
+        }
+        set.counter("spans.recorded", self.recorder.total_recorded());
+        set.counter("spans.dropped", self.recorder.dropped());
+        if let Some(store) = &self.store {
+            set.collect(&store.stats());
+            set.collect(&store.wal_stats());
+            set.collect(&store.disk_stats());
+        }
+        set
     }
 
     /// Simulated time since boot (zero when no clock is attached).
@@ -526,6 +628,8 @@ impl Kernel {
     /// persist-record syscalls are live; without a store they fail with
     /// [`SyscallError::NoStore`].
     pub fn attach_store(&mut self, store: SingleLevelStore) {
+        let mut store = store;
+        store.set_recorder(self.recorder.clone());
         self.store = Some(store);
     }
 
@@ -986,6 +1090,7 @@ impl Kernel {
             // A dead thread's ABI-edge state dies with it.
             self.handles.remove(&id);
             self.completions.remove(&id);
+            self.per_thread_syscalls.remove(&id);
         }
         if let ObjectBody::Container(c) = obj.body {
             for child in c.links {

@@ -272,6 +272,17 @@ impl Machine {
         Machine::recover(config, self.into_disk())
     }
 
+    /// [`Machine::crash_and_recover`] with flight recording: the recovery
+    /// phases land as spans in `recorder`, which stays installed on the
+    /// recovered kernel (see [`Machine::recover_traced`]).
+    pub fn crash_and_recover_traced(
+        self,
+        recorder: histar_obs::Recorder,
+    ) -> Result<Machine, MachineError> {
+        let config = self.config;
+        Machine::recover_traced(config, self.into_disk(), recorder)
+    }
+
     /// Consumes the machine, returning the raw disk image (for crash
     /// harnesses that mutilate the write-ahead log before recovering).
     pub fn into_disk(self) -> histar_sim::SimDisk {
@@ -287,8 +298,22 @@ impl Machine {
         config: MachineConfig,
         disk: histar_sim::SimDisk,
     ) -> Result<Machine, MachineError> {
+        Machine::recover_traced(config, disk, histar_obs::Recorder::disabled())
+    }
+
+    /// [`Machine::recover`] with flight recording: the store emits a span
+    /// per recovery phase (superblock, B+-tree rebuild, WAL replay), the
+    /// machine adds its own object-restore phase, and the recorder stays
+    /// installed on the recovered kernel so post-recovery activity lands
+    /// in the same trace.
+    pub fn recover_traced(
+        config: MachineConfig,
+        disk: histar_sim::SimDisk,
+        recorder: histar_obs::Recorder,
+    ) -> Result<Machine, MachineError> {
         let clock = disk.clock().clone();
-        let mut store = SingleLevelStore::recover(config.store, disk)?;
+        let mut store = SingleLevelStore::recover_traced(config.store, disk, recorder.clone())?;
+        let restore_start = clock.now().as_nanos();
         let meta_bytes = store.get(MACHINE_META_KEY)?;
         let mut d = Decoder::new(&meta_bytes);
         let read = |d: &mut Decoder<'_>| -> Result<u64, MachineError> {
@@ -333,6 +358,15 @@ impl Machine {
         kernel.restore_objects(root, objects, id_counter, cat_counter, seed);
         kernel.restore_remote_bindings(bindings);
         kernel.attach_store(store);
+        recorder.record(histar_obs::Span {
+            cat: "recover",
+            name: "object_restore",
+            start: restore_start,
+            end: clock.now().as_nanos(),
+            tid: 0,
+            seq: 0,
+        });
+        kernel.install_recorder(recorder);
 
         Ok(Machine {
             kernel,

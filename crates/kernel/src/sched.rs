@@ -128,6 +128,16 @@ pub struct SchedStats {
     pub completion_wakeups: u64,
 }
 
+impl histar_obs::MetricSource for SchedStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("sched.quanta", self.quanta);
+        set.counter("sched.context_switches", self.context_switches);
+        set.counter("sched.completed", self.completed);
+        set.counter("sched.alert_wakeups", self.alert_wakeups);
+        set.counter("sched.completion_wakeups", self.completion_wakeups);
+    }
+}
+
 /// The result of one [`Scheduler::run`] invocation.
 #[derive(Clone, Copy, Debug)]
 pub struct ScheduleReport {
@@ -299,14 +309,24 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
             }
 
             // Charge the switch onto this thread and its timeslice.
-            {
+            let (recorder, quantum_start) = {
                 let kernel = ctx.sched_kernel();
+                let quantum_start = kernel.now().as_nanos();
                 if self.last_run != Some(tid) {
                     let _ = kernel.sched_context_switch(tid);
                     self.stats.context_switches += 1;
+                    kernel.recorder().record(histar_obs::Span {
+                        cat: "sched",
+                        name: "context_switch",
+                        start: quantum_start,
+                        end: kernel.now().as_nanos(),
+                        tid: tid.raw(),
+                        seq: self.stats.context_switches,
+                    });
                 }
                 kernel.sched_charge(self.quantum);
-            }
+                (kernel.recorder().clone(), quantum_start)
+            };
             self.last_run = Some(tid);
             self.stats.quanta += 1;
 
@@ -315,6 +335,14 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                 .remove(&tid)
                 .expect("every queued thread has a program");
             let step = program(ctx, tid);
+            recorder.record(histar_obs::Span {
+                cat: "sched",
+                name: "quantum",
+                start: quantum_start,
+                end: ctx.sched_kernel().now().as_nanos(),
+                tid: tid.raw(),
+                seq: self.stats.quanta,
+            });
             match step {
                 Step::Yield => {
                     self.programs.insert(tid, program);

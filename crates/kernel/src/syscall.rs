@@ -202,6 +202,21 @@ pub struct SyscallStats {
     pub invlpg_switches: u64,
 }
 
+impl histar_obs::MetricSource for SyscallStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("kernel.syscalls", self.syscalls);
+        set.counter("kernel.errors", self.errors);
+        set.counter("kernel.label_checks", self.label_checks);
+        set.counter("kernel.label_cache_hits", self.label_cache_hits);
+        set.counter("kernel.page_faults", self.page_faults);
+        set.counter("kernel.objects_created", self.objects_created);
+        set.counter("kernel.objects_deallocated", self.objects_deallocated);
+        set.counter("kernel.gate_invocations", self.gate_invocations);
+        set.counter("kernel.context_switches", self.context_switches);
+        set.counter("kernel.invlpg_switches", self.invlpg_switches);
+    }
+}
+
 impl SyscallStats {
     /// Difference between two snapshots (`self - earlier`), for measuring a
     /// region of execution.

@@ -657,6 +657,11 @@ fn every_syscall_dispatches_identically_to_its_direct_call() {
             Some(1),
             "{name}: dispatch must count exactly one invocation"
         );
+        assert_eq!(
+            kb.dispatch_stats().trace_dropped,
+            0,
+            "{name}: no audit record may be silently evicted"
+        );
     }
 }
 
@@ -718,6 +723,13 @@ fn run_sequence_in_batches(sizes: &[usize], via_trap: bool) -> SequenceObservati
         .records()
         .map(|r| (r.seq, r.tid, r.syscall, r.ok))
         .collect();
+    // The ring was sized to hold the whole sequence: any eviction here
+    // means the comparison below would silently cover a truncated trace.
+    assert_eq!(
+        k.dispatch_stats().trace_dropped,
+        0,
+        "audit trace must not drop records during the equivalence sweep"
+    );
     SequenceObservation {
         results,
         stats: k.stats(),

@@ -49,6 +49,14 @@ pub struct CacheStats {
     pub interned: u64,
 }
 
+impl histar_obs::MetricSource for CacheStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("label_cache.hits", self.hits);
+        set.counter("label_cache.misses", self.misses);
+        set.gauge("label_cache.interned", self.interned);
+    }
+}
+
 /// A comparison cache over interned immutable labels.
 ///
 /// The cache is not itself thread-safe; the kernel wraps it in its own lock

@@ -1,0 +1,180 @@
+//! The shared fixed-bucket histogram.
+//!
+//! Bucket edges are `'static` arrays of inclusive upper bounds (the last
+//! edge is conventionally `u64::MAX`, making the final bucket open-ended).
+//! The edges travel with the histogram, so two snapshots can only be
+//! combined when they describe the same buckets, and bucket labels like
+//! `"3-4"` or `"65+"` render identically wherever the histogram is
+//! reported.
+
+use core::ops::Index;
+
+/// Inclusive upper bounds of the submission-batch-size buckets shared by
+/// the dispatch stats and the I/O benchmarks (the last bucket is
+/// open-ended).
+pub const BATCH_SIZE_EDGES: [u64; 8] = [1, 2, 4, 8, 16, 32, 64, u64::MAX];
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// `N` is the bucket count; `edges[i]` is the inclusive upper bound of
+/// bucket `i`.  The struct is `Copy`, so stats structs embedding it keep
+/// their snapshot-by-value semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Histogram<const N: usize> {
+    edges: &'static [u64; N],
+    counts: [u64; N],
+}
+
+impl<const N: usize> Histogram<N> {
+    /// An empty histogram over the given bucket edges.  Edges must be
+    /// strictly increasing; values above the last edge land in the last
+    /// bucket.
+    pub const fn new(edges: &'static [u64; N]) -> Histogram<N> {
+        Histogram {
+            edges,
+            counts: [0; N],
+        }
+    }
+
+    /// The bucket edges this histogram was built over.
+    pub fn edges(&self) -> &'static [u64; N] {
+        self.edges
+    }
+
+    /// The per-bucket sample counts.
+    pub fn counts(&self) -> &[u64; N] {
+        &self.counts
+    }
+
+    /// The bucket a sample of `value` falls into.
+    pub fn bucket_of(&self, value: u64) -> usize {
+        self.edges
+            .iter()
+            .position(|&hi| value <= hi)
+            .unwrap_or(N - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[self.bucket_of(value)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human-readable label for bucket `i` (e.g. `"1"`, `"3-4"`, `"65+"`).
+    pub fn bucket_label(&self, i: usize) -> String {
+        let hi = self.edges[i];
+        let lo = if i == 0 { 1 } else { self.edges[i - 1] + 1 };
+        if hi == u64::MAX {
+            format!("{lo}+")
+        } else if lo == hi {
+            format!("{hi}")
+        } else {
+            format!("{lo}-{hi}")
+        }
+    }
+
+    /// `(bucket label, count)` for every non-empty bucket, in bucket order
+    /// — the one rendering every reporter (bench JSON, `/metrics` files)
+    /// shares.
+    pub fn nonzero(&self) -> Vec<(String, u64)> {
+        (0..N)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| (self.bucket_label(i), self.counts[i]))
+            .collect()
+    }
+
+    /// Applies `op` bucket-wise over two histograms with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges differ — combining histograms over different
+    /// buckets is always a bug.
+    pub fn zip_with(&self, other: &Histogram<N>, op: impl Fn(u64, u64) -> u64) -> Histogram<N> {
+        assert_eq!(self.edges, other.edges, "histogram bucket edges differ");
+        let mut out = Histogram::new(self.edges);
+        for i in 0..N {
+            out.counts[i] = op(self.counts[i], other.counts[i]);
+        }
+        out
+    }
+
+    /// Bucket-wise difference (`self - earlier`), for measuring a region.
+    pub fn since(&self, earlier: &Histogram<N>) -> Histogram<N> {
+        self.zip_with(earlier, |a, b| a - b)
+    }
+
+    /// Bucket-wise sum, for combining nodes or runs.
+    pub fn merge(&self, other: &Histogram<N>) -> Histogram<N> {
+        self.zip_with(other, |a, b| a + b)
+    }
+}
+
+impl<const N: usize> Index<usize> for Histogram<N> {
+    type Output = u64;
+    fn index(&self, i: usize) -> &u64 {
+        &self.counts[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_labels_match_the_legacy_dispatch_histogram() {
+        let mut h = Histogram::new(&BATCH_SIZE_EDGES);
+        for size in [1, 1, 2, 3, 4, 9, 70, u64::MAX] {
+            h.record(size);
+        }
+        assert_eq!(h.total(), 8);
+        assert_eq!(h[0], 2, "two 1-entry batches");
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 2, "3 and 4 share the 3-4 bucket");
+        assert_eq!(h[4], 1, "9 lands in the 9-16 bucket");
+        assert_eq!(h.bucket_label(0), "1");
+        assert_eq!(h.bucket_label(2), "3-4");
+        assert_eq!(h.bucket_label(7), "65+");
+        assert_eq!(h[7], 2, "70 and u64::MAX are both open-ended");
+    }
+
+    #[test]
+    fn bucket_of_is_inclusive_on_edges() {
+        let h = Histogram::new(&BATCH_SIZE_EDGES);
+        assert_eq!(h.bucket_of(1), 0);
+        assert_eq!(h.bucket_of(2), 1);
+        assert_eq!(h.bucket_of(4), 2);
+        assert_eq!(h.bucket_of(5), 3);
+        assert_eq!(h.bucket_of(64), 6);
+        assert_eq!(h.bucket_of(65), 7);
+    }
+
+    #[test]
+    fn since_and_merge_are_bucketwise() {
+        let mut a = Histogram::new(&BATCH_SIZE_EDGES);
+        let mut b = Histogram::new(&BATCH_SIZE_EDGES);
+        a.record(1);
+        a.record(3);
+        a.record(3);
+        b.record(3);
+        let d = a.since(&b);
+        assert_eq!(d[0], 1);
+        assert_eq!(d[2], 1);
+        let m = a.merge(&b);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn nonzero_skips_empty_buckets() {
+        let mut h = Histogram::new(&BATCH_SIZE_EDGES);
+        h.record(1);
+        h.record(100);
+        assert_eq!(
+            h.nonzero(),
+            vec![("1".to_string(), 1), ("65+".to_string(), 1)]
+        );
+    }
+}

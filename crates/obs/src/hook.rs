@@ -1,0 +1,128 @@
+//! The on-panic/on-crash dump hook.
+//!
+//! A crash harness (the `torn_wal` sweep, the crash-recovery CI job) arms
+//! a recorder before running its assertions; if anything panics, the
+//! process-wide panic hook prints the last N spans of every armed recorder
+//! to stderr before the normal panic message — the flight recording is the
+//! first thing a failing CI log shows.
+//!
+//! Recorders are single-threaded (`Rc` inside), so the armed set lives in
+//! a thread-local: the hook prints the recorders armed by the thread that
+//! panicked, which is exactly the thread whose history matters.
+
+use crate::span::Recorder;
+use std::cell::RefCell;
+use std::sync::Once;
+
+thread_local! {
+    static ARMED: RefCell<Vec<(String, Recorder, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Arms `recorder` for crash dumping under `tag`: on panic (or on an
+/// explicit [`crash_dump`]), its last `last_n` spans are printed.  Arming
+/// the same tag again replaces the previous recorder.  The process panic
+/// hook is installed on first use.
+pub fn arm_crash_dump(tag: &str, recorder: &Recorder, last_n: usize) {
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let dump = crash_dump();
+            if !dump.is_empty() {
+                eprintln!("--- flight recorder (last spans before panic) ---");
+                eprint!("{dump}");
+                eprintln!("-------------------------------------------------");
+            }
+            previous(info);
+        }));
+    });
+    ARMED.with(|armed| {
+        let mut armed = armed.borrow_mut();
+        armed.retain(|(t, _, _)| t != tag);
+        armed.push((tag.to_string(), recorder.clone(), last_n));
+    });
+}
+
+/// Disarms the recorder registered under `tag` (no-op if absent).
+pub fn disarm_crash_dump(tag: &str) {
+    ARMED.with(|armed| armed.borrow_mut().retain(|(t, _, _)| t != tag));
+}
+
+/// Renders the dump the panic hook would print: every armed recorder's
+/// last spans, tagged.  Empty when nothing is armed (or nothing recorded).
+pub fn crash_dump() -> String {
+    ARMED.with(|armed| {
+        let mut out = String::new();
+        for (tag, recorder, last_n) in armed.borrow().iter() {
+            let dump = recorder.dump_last(*last_n);
+            if dump.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{tag}: last {last_n} spans\n"));
+            out.push_str(&dump);
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn arm_and_disarm_control_the_dump() {
+        let r = Recorder::with_capacity(8);
+        r.record(Span {
+            cat: "recover",
+            name: "replay",
+            start: 0,
+            end: 42,
+            tid: 0,
+            seq: 0,
+        });
+        arm_crash_dump("test-harness", &r, 4);
+        let dump = crash_dump();
+        assert!(dump.contains("test-harness: last 4 spans"));
+        assert!(dump.contains("recover/replay"));
+        disarm_crash_dump("test-harness");
+        assert_eq!(crash_dump(), "");
+    }
+
+    #[test]
+    fn rearming_a_tag_replaces_the_recorder() {
+        let a = Recorder::with_capacity(4);
+        a.record(Span {
+            cat: "c",
+            name: "old",
+            start: 0,
+            end: 1,
+            tid: 0,
+            seq: 0,
+        });
+        let b = Recorder::with_capacity(4);
+        b.record(Span {
+            cat: "c",
+            name: "new",
+            start: 0,
+            end: 1,
+            tid: 0,
+            seq: 0,
+        });
+        arm_crash_dump("replace-me", &a, 4);
+        arm_crash_dump("replace-me", &b, 4);
+        let dump = crash_dump();
+        assert!(dump.contains("c/new"));
+        assert!(!dump.contains("c/old"));
+        disarm_crash_dump("replace-me");
+    }
+
+    #[test]
+    fn empty_recorders_are_skipped() {
+        let r = Recorder::with_capacity(4);
+        arm_crash_dump("silent", &r, 4);
+        assert_eq!(crash_dump(), "");
+        disarm_crash_dump("silent");
+    }
+}

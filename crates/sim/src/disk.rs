@@ -84,6 +84,18 @@ pub struct DiskStats {
     pub busy: SimDuration,
 }
 
+impl histar_obs::MetricSource for DiskStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("disk.reads", self.reads);
+        set.counter("disk.writes", self.writes);
+        set.counter("disk.bytes_read", self.bytes_read);
+        set.counter("disk.bytes_written", self.bytes_written);
+        set.counter("disk.lookahead_hits", self.lookahead_hits);
+        set.counter("disk.flushes", self.flushes);
+        set.counter("disk.busy_ns", self.busy.as_nanos());
+    }
+}
+
 /// A simulated block device.
 ///
 /// All operations advance the machine-wide [`SimClock`] by the simulated

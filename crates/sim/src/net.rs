@@ -41,6 +41,15 @@ pub struct NetStats {
     pub bytes_rx: u64,
 }
 
+impl histar_obs::MetricSource for NetStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("net.packets_tx", self.packets_tx);
+        set.counter("net.packets_rx", self.packets_rx);
+        set.counter("net.bytes_tx", self.bytes_tx);
+        set.counter("net.bytes_rx", self.bytes_rx);
+    }
+}
+
 /// A half-duplex simulated network link charging time to the machine clock.
 #[derive(Debug)]
 pub struct SimNetwork {

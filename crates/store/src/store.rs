@@ -11,6 +11,7 @@ use crate::bptree::BPlusTree;
 use crate::codec::{frame, unframe, Decoder, Encoder};
 use crate::extent::{Extent, ExtentAllocator};
 use crate::wal::{LogRecord, WriteAheadLog};
+use histar_obs::{Recorder, Span};
 use histar_sim::disk::BLOCK_SIZE;
 use histar_sim::{DiskConfig, SimClock, SimDisk};
 use std::collections::{BTreeMap, BTreeSet};
@@ -74,6 +75,16 @@ pub struct StoreStats {
     pub inplace_flushes: u64,
 }
 
+impl histar_obs::MetricSource for StoreStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("store.objects_written", self.objects_written);
+        set.counter("store.objects_read", self.objects_read);
+        set.counter("store.checkpoints", self.checkpoints);
+        set.counter("store.log_applications", self.log_applications);
+        set.counter("store.inplace_flushes", self.inplace_flushes);
+    }
+}
+
 /// Errors from store operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreError {
@@ -135,6 +146,9 @@ pub struct SingleLevelStore {
     /// Monotonic checkpoint sequence number.
     sequence: u64,
     stats: StoreStats,
+    /// Flight recorder for WAL/checkpoint/recovery spans (disabled by
+    /// default; the kernel hands its own recorder down on attach).
+    recorder: Recorder,
 }
 
 /// Magic number identifying a formatted superblock ("HISTAR!!").
@@ -157,9 +171,34 @@ impl SingleLevelStore {
             prev_meta: None,
             sequence: 0,
             stats: StoreStats::default(),
+            recorder: Recorder::disabled(),
             config,
             disk,
         }
+    }
+
+    /// Installs the flight recorder WAL appends, log applications,
+    /// checkpoints and recovery replays emit spans into.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Simulated time as seen by the store's disk clock, in nanoseconds.
+    fn tick(&self) -> u64 {
+        self.disk.clock().now().as_nanos()
+    }
+
+    /// Records a store-side span from `start` to now (no-op when the
+    /// recorder is disabled; never advances simulated time).
+    fn span(&self, cat: &'static str, name: &'static str, start: u64) {
+        self.recorder.record(Span {
+            cat,
+            name,
+            start,
+            end: self.tick(),
+            tid: 0,
+            seq: self.sequence,
+        });
     }
 
     /// The current synchronous-update policy.
@@ -181,6 +220,16 @@ impl SingleLevelStore {
     /// A reference to the underlying simulated disk (for its statistics).
     pub fn disk(&self) -> &SimDisk {
         &self.disk
+    }
+
+    /// The underlying disk's operation counters.
+    pub fn disk_stats(&self) -> histar_sim::disk::DiskStats {
+        self.disk.stats()
+    }
+
+    /// The write-ahead log's counters.
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.wal.stats()
     }
 
     /// Bytes of write-ahead-log space used since the last application —
@@ -377,8 +426,10 @@ impl SingleLevelStore {
         {
             self.apply_log();
         }
+        let start = self.tick();
         self.wal.append(&mut self.disk, record);
         self.disk.flush();
+        self.span("wal", "append", start);
     }
 
     /// Applies every pending log record by writing the objects to their home
@@ -388,6 +439,7 @@ impl SingleLevelStore {
         if pending.is_empty() {
             return;
         }
+        let start = self.tick();
         let mut latest: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
         for rec in pending {
             match rec {
@@ -411,6 +463,7 @@ impl SingleLevelStore {
         }
         self.disk.flush();
         self.stats.log_applications += 1;
+        self.span("wal", "apply", start);
     }
 
     /// Writes one object record to a (possibly new) home location.
@@ -496,6 +549,7 @@ impl SingleLevelStore {
     /// superblock is updated.  After a checkpoint the system can recover to
     /// exactly this state.
     pub fn checkpoint(&mut self) {
+        let start = self.tick();
         // 0. The metadata blob from the previous checkpoint can be recycled
         //    now; the superblock will be rewritten before this call returns.
         if let Some(prev) = self.prev_meta.take() {
@@ -570,12 +624,36 @@ impl SingleLevelStore {
         );
         self.prev_meta = Some(meta_extent);
         self.stats.checkpoints += 1;
+        self.span("wal", "checkpoint", start);
     }
 
     /// Restores a store from the most recent on-disk snapshot plus any log
     /// records appended after it.  This is what "bootup" means in HiStar —
     /// there are no boot scripts, the entire system state simply reappears.
-    pub fn recover(config: StoreConfig, mut disk: SimDisk) -> Result<SingleLevelStore, StoreError> {
+    pub fn recover(config: StoreConfig, disk: SimDisk) -> Result<SingleLevelStore, StoreError> {
+        SingleLevelStore::recover_traced(config, disk, Recorder::disabled())
+    }
+
+    /// [`SingleLevelStore::recover`] with per-phase flight recording: each
+    /// recovery phase (superblock read, B+-tree rebuild, WAL replay, the
+    /// fold-back checkpoint) emits a `recover` span into `recorder`, and
+    /// the recorder stays installed on the recovered store.
+    pub fn recover_traced(
+        config: StoreConfig,
+        mut disk: SimDisk,
+        recorder: Recorder,
+    ) -> Result<SingleLevelStore, StoreError> {
+        let phase = |recorder: &Recorder, name: &'static str, start: u64, end: u64| {
+            recorder.record(Span {
+                cat: "recover",
+                name,
+                start,
+                end,
+                tid: 0,
+                seq: 0,
+            });
+        };
+        let t0 = disk.clock().now().as_nanos();
         let raw_sb = disk.read(0, config.superblock_len.min(4096));
         let (sb_payload, _) =
             unframe(&raw_sb).map_err(|_| StoreError::Corrupt("superblock frame"))?;
@@ -590,6 +668,8 @@ impl SingleLevelStore {
         let meta_alloc_len = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
 
         let raw_meta = disk.read(meta_off, meta_len);
+        let t1 = disk.clock().now().as_nanos();
+        phase(&recorder, "superblock", t0, t1);
         let (meta_payload, _) =
             unframe(&raw_meta).map_err(|_| StoreError::Corrupt("checkpoint metadata"))?;
         let mut d = Decoder::new(&meta_payload);
@@ -618,6 +698,8 @@ impl SingleLevelStore {
             free.push(Extent::new(off, len));
         }
         let alloc = ExtentAllocator::from_free_list(config.disk.capacity, &free);
+        let t2 = disk.clock().now().as_nanos();
+        phase(&recorder, "btree_rebuild", t1, t2);
 
         let wal = WriteAheadLog::new(config.superblock_len, config.log_region_len);
         let mut store = SingleLevelStore {
@@ -633,6 +715,7 @@ impl SingleLevelStore {
             prev_meta: Some(Extent::new(meta_off, meta_alloc_len)),
             sequence,
             stats: StoreStats::default(),
+            recorder,
             disk,
         };
 
@@ -665,13 +748,16 @@ impl SingleLevelStore {
                 LogRecord::CheckpointMarker { .. } => {}
             }
         }
+        store.span("recover", "wal_replay", t2);
         // Fold the replayed records into a fresh checkpoint before the
         // log region is reused.  The recovered log head starts back at
         // zero, so without this, new appends would overwrite records the
         // previous life never applied — and a *second* crash would lose
         // updates that were durably synced before the first one.
         if replayed {
+            let t3 = store.tick();
             store.checkpoint();
+            store.span("recover", "replay_checkpoint", t3);
         }
         Ok(store)
     }

@@ -69,6 +69,14 @@ pub struct WalStats {
     pub applications: u64,
 }
 
+impl histar_obs::MetricSource for WalStats {
+    fn export(&self, set: &mut histar_obs::MetricSet) {
+        set.counter("wal.appends", self.appends);
+        set.counter("wal.bytes_appended", self.bytes_appended);
+        set.counter("wal.applications", self.applications);
+    }
+}
+
 /// A write-ahead log stored in a reserved region of the disk.
 #[derive(Debug)]
 pub struct WriteAheadLog {

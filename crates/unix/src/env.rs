@@ -20,6 +20,7 @@ use crate::devfs::DevFs;
 use crate::fdtable::{Fd, FdState, FdTable};
 use crate::fs::DirEntry;
 use crate::fs::{join_path, FileStat, OpenFlags};
+use crate::metricsfs::{MetricsFs, TaskInfo};
 use crate::persistfs::PersistFs;
 use crate::process::{ExitStatus, Pid, Process, ProcessState};
 use crate::procfs::{ProcFs, ProcInfo};
@@ -198,6 +199,37 @@ impl UnixEnv {
             .create_process(boot_thread, None, None, "/sbin/init", Vec::new(), &[])
             .expect("creating init cannot fail on a fresh machine");
         env.init_pid = init;
+        // `/metrics`: global counter files are gated by a container
+        // labeled with a fresh secrecy category only init owns, so an
+        // unprivileged or tainted thread cannot observe whole-machine
+        // aggregates; per-task entries reuse each process's own gate.
+        {
+            let init_thread = env.process(init).expect("init exists at boot").thread;
+            let kernel = env.machine.kernel_mut();
+            let mr = kernel
+                .trap_create_category(init_thread)
+                .expect("creating the metrics category cannot fail at boot");
+            let gate = kernel
+                .trap_container_create(
+                    init_thread,
+                    kroot,
+                    Label::unrestricted().with(mr, Level::L3),
+                    "metrics gate",
+                    0,
+                    PAGE_SIZE,
+                )
+                .expect("creating the metrics gate cannot fail at boot");
+            env.processes
+                .get_mut(&init)
+                .expect("init exists at boot")
+                .extra_ownership
+                .push(mr);
+            let metricsfs = env.vfs.add_filesystem(Box::new(MetricsFs::new(gate)));
+            env.vfs.mount("/metrics", metricsfs);
+            // Init was created before the mount existed; refresh its
+            // task mirror now.
+            env.sync_proc_mirror(init);
+        }
         // A store that has never checkpointed cannot recover at all (no
         // superblock); seed one system snapshot at boot so that from here
         // on, `/persist` fsyncs alone decide what a crash preserves.
@@ -316,11 +348,24 @@ impl UnixEnv {
             internal_container: p.internal_container,
             open_fds: p.fds.open_count() as u64,
         };
+        let task = TaskInfo {
+            thread: info.thread,
+            internal_container: info.internal_container,
+        };
         if let Some(procfs) = self.vfs.find_fs_mut::<ProcFs>() {
             if reaped {
                 procfs.remove(pid);
             } else {
                 procfs.update(info);
+            }
+        }
+        // The same lifecycle events keep `/metrics/tasks` fresh; its
+        // entries are gated by the same per-process internal container.
+        if let Some(mfs) = self.vfs.find_fs_mut::<MetricsFs>() {
+            if reaped {
+                mfs.remove_task(pid);
+            } else {
+                mfs.update_task(pid, task);
             }
         }
     }

@@ -38,6 +38,10 @@ pub enum FdKind {
     /// opened through.  The backing records live in the single-level
     /// store's persist namespace, not in the kernel object heap.
     Persist,
+    /// A `/metrics` pseudo-file; `target` holds the metrics filesystem's
+    /// node ID and `target_container` the container whose label gates the
+    /// entry (re-checked on every read).
+    Metrics,
 }
 
 impl FdKind {
@@ -51,6 +55,7 @@ impl FdKind {
             FdKind::Dev => 5,
             FdKind::Proc => 6,
             FdKind::Persist => 7,
+            FdKind::Metrics => 8,
         }
     }
 
@@ -64,6 +69,7 @@ impl FdKind {
             5 => FdKind::Dev,
             6 => FdKind::Proc,
             7 => FdKind::Persist,
+            8 => FdKind::Metrics,
             _ => return None,
         })
     }

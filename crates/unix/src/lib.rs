@@ -39,6 +39,7 @@ pub mod env;
 pub mod fdtable;
 pub mod fs;
 pub mod gatecall;
+pub mod metricsfs;
 pub mod persistfs;
 pub mod process;
 pub mod procfs;

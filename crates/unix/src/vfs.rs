@@ -470,6 +470,19 @@ impl Vfs {
                 }
                 Err(UnixError::Corrupt("proc descriptor with no procfs mounted"))
             }
+            FdKind::Metrics => {
+                for f in &mut self.filesystems {
+                    if f.as_any_mut()
+                        .downcast_mut::<crate::metricsfs::MetricsFs>()
+                        .is_some()
+                    {
+                        return f.vnode_from_state(ctx, state);
+                    }
+                }
+                Err(UnixError::Corrupt(
+                    "metrics descriptor with no metricsfs mounted",
+                ))
+            }
             FdKind::Persist => {
                 for f in &mut self.filesystems {
                     if f.as_any_mut()

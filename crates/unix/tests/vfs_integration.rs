@@ -634,3 +634,179 @@ fn persist_stale_length_cache_does_not_truncate_on_write() {
     assert_eq!(&all[..10], b"01XY456789");
     assert_eq!(&all[10..], &tail[..]);
 }
+
+/// `/metrics` is label-filtered end to end, and — unlike `/proc` — its
+/// per-activity namespaces carry **no existence channel**: a reader that
+/// cannot observe an activity's label gets the byte-identical `NotFound`
+/// a genuinely missing entry produces, and directory listings silently
+/// omit the entry.  The uncontained administrator (`init`, who owns the
+/// metrics-gate category and the secret activity's category) sees the
+/// full set.
+#[test]
+fn metrics_entries_are_label_filtered() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let init_thread = env.process(init).unwrap().thread;
+
+    // High-secrecy activity: a container labeled with a fresh category
+    // only init owns.
+    let secret_cat = env.kernel_mut().trap_create_category(init_thread).unwrap();
+    let kroot = env.kernel_mut().root_container();
+    let secret = env
+        .kernel_mut()
+        .trap_container_create(
+            init_thread,
+            kroot,
+            Label::unrestricted().with(secret_cat, Level::L3),
+            "secret activity",
+            0,
+            1 << 16,
+        )
+        .unwrap();
+
+    let reader = env.spawn(init, "/bin_reader", None).unwrap();
+    let victim = env.spawn(init, "/bin_victim", None).unwrap();
+
+    // The /metrics namespace itself is public: names, not contents.
+    let names: Vec<String> = env
+        .readdir(reader, "/metrics")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    for expected in [
+        "kernel",
+        "dispatch",
+        "labels",
+        "store",
+        "tasks",
+        "containers",
+    ] {
+        assert!(names.contains(&expected.to_string()), "missing {expected}");
+    }
+
+    // Global counter files aggregate every label's activity, so they are
+    // gated like /proc gates a process — an explicit CannotObserve (the
+    // file visibly exists; only its contents are privileged).
+    let err = env.read_file_as(reader, "/metrics/kernel").unwrap_err();
+    assert!(matches!(
+        err,
+        UnixError::Kernel(SyscallError::CannotObserve(_))
+    ));
+    let global = String::from_utf8(env.read_file_as(init, "/metrics/kernel").unwrap()).unwrap();
+    assert!(global.contains("kernel.syscalls\t"), "got: {global}");
+    assert!(global.contains("spans.recorded\t"), "got: {global}");
+
+    // The uncontained reader sees the secret container and its counters.
+    let listed: Vec<String> = env
+        .readdir(init, "/metrics/containers")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(listed.contains(&secret.raw().to_string()));
+    let body = String::from_utf8(
+        env.read_file_as(init, &format!("/metrics/containers/{}", secret.raw()))
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(body.contains("container.entries\t"), "got: {body}");
+
+    // The contained reader does not — and cannot tell the entry exists.
+    let listed: Vec<String> = env
+        .readdir(reader, "/metrics/containers")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(!listed.contains(&secret.raw().to_string()));
+    let denied = env
+        .read_file_as(reader, &format!("/metrics/containers/{}", secret.raw()))
+        .unwrap_err();
+    let missing = env
+        .read_file_as(reader, "/metrics/containers/999999")
+        .unwrap_err();
+    // Structurally identical errors: NotFound carrying exactly the probed
+    // path — no variant, payload or wording distinguishes "denied" from
+    // "absent".
+    assert!(
+        matches!(denied, UnixError::NotFound(ref n)
+            if *n == format!("/metrics/containers/{}", secret.raw())),
+        "denial must read as absence, got {denied:?}"
+    );
+    assert!(
+        matches!(missing, UnixError::NotFound(ref n) if n == "/metrics/containers/999999"),
+        "got {missing:?}"
+    );
+
+    // Per-task entries are framed by each process's own secrecy category
+    // (the spawner deliberately drops it after process creation): a
+    // process reads its own measurements, and a sibling sees neither the
+    // numbers nor the fact that the task is measured.
+    let own = String::from_utf8(
+        env.read_file_as(victim, &format!("/metrics/tasks/{victim}"))
+            .unwrap(),
+    )
+    .unwrap();
+    assert!(own.contains("task.syscalls\t"), "got: {own}");
+    let tasks_as_init: Vec<String> = env
+        .readdir(init, "/metrics/tasks")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(tasks_as_init.contains(&init.to_string()));
+    assert!(!tasks_as_init.contains(&victim.to_string()));
+    let tasks_as_reader: Vec<String> = env
+        .readdir(reader, "/metrics/tasks")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert!(tasks_as_reader.contains(&reader.to_string()));
+    assert!(!tasks_as_reader.contains(&victim.to_string()));
+    let denied = env
+        .read_file_as(reader, &format!("/metrics/tasks/{victim}"))
+        .unwrap_err();
+    assert!(
+        matches!(denied, UnixError::NotFound(ref n)
+            if *n == format!("/metrics/tasks/{victim}")),
+        "task denial must read as absence, got {denied:?}"
+    );
+    assert!(matches!(
+        env.read_file_as(reader, "/metrics/tasks/9999"),
+        Err(UnixError::NotFound(_))
+    ));
+}
+
+/// An open `/metrics` descriptor re-runs its label gate on every read:
+/// a fork-inherited descriptor for the parent's own task entry yields
+/// `NotFound` — not stale snapshot bytes, and not a telltale denial —
+/// in the child, which does not own the parent's secrecy category.
+#[test]
+fn metrics_reads_recheck_labels_and_deny_as_absence() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let parent = env.spawn(init, "/bin_parent", None).unwrap();
+    let fd = env
+        .open(
+            parent,
+            &format!("/metrics/tasks/{parent}"),
+            OpenFlags::read_only(),
+        )
+        .unwrap();
+    assert!(!env.read(parent, fd, 8).unwrap().is_empty());
+
+    let child = env.fork(parent).unwrap();
+    let err = env.read(child, fd, 8).unwrap_err();
+    assert!(
+        matches!(err, UnixError::NotFound(_)),
+        "inherited gated descriptor must deny as absence, got {err:?}"
+    );
+    // The failed read did not move the shared position, and closing the
+    // inherited descriptor still works.
+    let rest = env.read(parent, fd, u64::MAX).unwrap();
+    assert!(!rest.is_empty());
+    env.close(child, fd).unwrap();
+    env.close(parent, fd).unwrap();
+}

@@ -11,6 +11,8 @@
 //! * [`kernel`] — the six kernel object types and the system-call surface.
 //! * [`unix`] — the untrusted user-level Unix emulation library.
 //! * [`net`] — netd, the simulated network device, and VPN isolation.
+//! * [`obs`] — label-aware observability: metrics registry, histograms,
+//!   flight-recorder span tracing.
 //! * [`exporter`] — DStar-style exporters: label-checked RPC across nodes.
 //! * [`auth`] — the decentralized user-authentication service.
 //! * [`apps`] — wrap/ClamAV-style scanner isolation and workloads.
@@ -37,6 +39,7 @@ pub use histar_exporter as exporter;
 pub use histar_kernel as kernel;
 pub use histar_label as label;
 pub use histar_net as net;
+pub use histar_obs as obs;
 pub use histar_sim as sim;
 pub use histar_store as store;
 pub use histar_unix as unix;

@@ -27,6 +27,7 @@ fn hundred_interleaved_logins_replay_identically() {
         seed: 0xfeed,
         wrong_every: 9,
         trace_capacity: 1 << 20,
+        recorder_capacity: 0,
     };
     let (w1, r1) = run_multilogin(params).expect("scenario");
     let (w2, r2) = run_multilogin(params).expect("scenario");
