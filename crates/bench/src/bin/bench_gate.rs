@@ -4,12 +4,17 @@
 //!
 //! Usage:
 //!   bench_gate <baseline.json> <current.json> <metric> [max_regression]
+//!   bench_gate <baseline.json> <current.json> <metric> --min-speedup <factor>
 //!
 //! `max_regression` is a fraction (default 0.20): the gate fails when
-//! `current < baseline * (1 - max_regression)`.  Higher-is-better metrics
-//! only (rates like `single_node.syscalls_per_sec`).  Simulated time is
-//! deterministic, so the comparison is exact — no noise margin is needed
-//! beyond the configured budget.
+//! `current < baseline * (1 - max_regression)`.  With `--min-speedup F`
+//! the gate inverts into an improvement floor: it fails unless
+//! `current >= baseline * F` — used to pin a performance win (e.g.
+//! recovery throughput vs a pre-optimisation baseline) so it cannot
+//! quietly erode back.  Higher-is-better metrics only (rates like
+//! `single_node.syscalls_per_sec`).  Simulated time is deterministic, so
+//! the comparison is exact — no noise margin is needed beyond the
+//! configured budget.
 
 use std::process::ExitCode;
 
@@ -39,10 +44,25 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let (baseline_path, current_path, metric) = (&args[0], &args[1], &args[2]);
-    let max_regression: f64 = args
-        .get(3)
-        .map(|s| s.parse().expect("max_regression must be a number"))
-        .unwrap_or(0.20);
+    let min_speedup: Option<f64> = if args.get(3).map(String::as_str) == Some("--min-speedup") {
+        Some(
+            args.get(4)
+                .map(|s| s.parse().expect("--min-speedup needs a number"))
+                .unwrap_or_else(|| {
+                    eprintln!("bench_gate: --min-speedup needs a number");
+                    std::process::exit(1);
+                }),
+        )
+    } else {
+        None
+    };
+    let max_regression: f64 = if min_speedup.is_some() {
+        0.0
+    } else {
+        args.get(3)
+            .map(|s| s.parse().expect("max_regression must be a number"))
+            .unwrap_or(0.20)
+    };
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -61,7 +81,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let floor = baseline * (1.0 - max_regression);
+    let floor = match min_speedup {
+        Some(factor) => baseline * factor,
+        None => baseline * (1.0 - max_regression),
+    };
     let delta_pct = if baseline != 0.0 {
         (current - baseline) / baseline * 100.0
     } else {
@@ -71,10 +94,15 @@ fn main() -> ExitCode {
         "bench_gate: {metric}: baseline {baseline:.3}, current {current:.3} ({delta_pct:+.2}%), floor {floor:.3}"
     );
     if current < floor {
-        eprintln!(
-            "bench_gate: FAIL — {metric} regressed more than {:.0}% below the committed baseline",
-            max_regression * 100.0
-        );
+        match min_speedup {
+            Some(factor) => eprintln!(
+                "bench_gate: FAIL — {metric} fell below {factor}x the committed baseline"
+            ),
+            None => eprintln!(
+                "bench_gate: FAIL — {metric} regressed more than {:.0}% below the committed baseline",
+                max_regression * 100.0
+            ),
+        }
         return ExitCode::FAILURE;
     }
     println!("bench_gate: OK");

@@ -10,7 +10,7 @@
 //! Usage: `torn_wal [--seed N]... [--max-cuts N]` (defaults: three seeds,
 //! all cuts).  Exits nonzero on the first violated guarantee.
 
-use histar_bench::crash::run_torn_wal;
+use histar_bench::crash::{run_replay_equivalence, run_torn_wal};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -63,6 +63,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("torn_wal: seed {seed:#x}: FAIL — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // The same cut sweep again, recovering each crashed disk under
+        // both replay modes: batched replay must be bit-identical to
+        // record-by-record replay.
+        match run_replay_equivalence(seed, max_cuts) {
+            Ok(report) => {
+                println!(
+                    "torn_wal: seed {seed:#x}: replay equivalence OK — {} cuts, \
+                     {} dual-mode label checks",
+                    report.cuts, report.secret_checks
+                );
+            }
+            Err(e) => {
+                eprintln!("torn_wal: seed {seed:#x}: replay equivalence FAIL — {e}");
                 return ExitCode::FAILURE;
             }
         }

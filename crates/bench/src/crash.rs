@@ -18,6 +18,7 @@
 use histar_kernel::{Machine, MachineConfig, SyscallError};
 use histar_obs::Recorder;
 use histar_store::codec::unframe;
+use histar_store::ReplayMode;
 use histar_unix::{UnixEnv, UnixError};
 
 /// One file the workload created, with the log offset that made it
@@ -256,6 +257,142 @@ pub fn run_torn_wal(seed: u64, max_cuts: usize) -> Result<TornReport, String> {
     Ok(report)
 }
 
+/// What one replay-equivalence sweep observed.
+#[derive(Clone, Debug, Default)]
+pub struct EquivalenceReport {
+    /// Cut positions exercised (byte offsets into the log region).
+    pub cuts: usize,
+    /// Cuts at which the recovered secret passed its label check under
+    /// *both* replay modes.
+    pub secret_checks: usize,
+}
+
+/// Proves batched replay is an optimisation, not a semantic change: for
+/// every torn-WAL cut point, recovering the same crashed disk with
+/// [`ReplayMode::Batched`] and [`ReplayMode::RecordByRecord`] must yield
+/// machines whose post-`snapshot` disk images are byte-identical, and
+/// whose recovered secret files refuse an unprivileged reader under both
+/// modes.  `max_cuts` bounds the sweep exactly as in [`run_torn_wal`].
+pub fn run_replay_equivalence(seed: u64, max_cuts: usize) -> Result<EquivalenceReport, String> {
+    // One pristine run to learn the log layout (the workload is
+    // deterministic, so re-running it reproduces this exact disk).
+    let (env, manifest) = run_workload(seed);
+    let base_config = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
+    let region_start = base_config.store.superblock_len;
+    let used = env.machine().store().wal_used();
+    let mut disk = env.into_machine().into_disk();
+    let region = disk.read(region_start, used.max(16));
+
+    let boundaries = record_boundaries(&region, used);
+    if boundaries.len() < manifest.len() {
+        return Err(format!(
+            "expected at least {} log records, found {} boundaries",
+            manifest.len(),
+            boundaries.len() - 1
+        ));
+    }
+    let mut cuts: Vec<u64> = Vec::new();
+    for w in boundaries.windows(2) {
+        cuts.push(w[0]);
+        cuts.push(w[0] + (w[1] - w[0]) / 2);
+    }
+    cuts.push(*boundaries.last().expect("at least the zero boundary"));
+    if max_cuts > 0 && cuts.len() > max_cuts {
+        let step = cuts.len().div_ceil(max_cuts);
+        cuts = cuts.iter().copied().step_by(step).collect();
+    }
+
+    let mut report = EquivalenceReport {
+        cuts: cuts.len(),
+        ..EquivalenceReport::default()
+    };
+    for &cut in &cuts {
+        let mut images: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+        let mut secret_ok = true;
+        for mode in [ReplayMode::Batched, ReplayMode::RecordByRecord] {
+            // The workload is deterministic, so each mode starts from a
+            // bit-identical crashed disk.
+            let (env, _) = run_workload(seed);
+            let mut disk = env.into_machine().into_disk();
+            if cut < used {
+                disk.write(region_start + cut, &vec![0u8; (used - cut) as usize]);
+            }
+            let mut config = base_config;
+            config.store.replay_mode = mode;
+            let machine = Machine::recover(config, disk)
+                .map_err(|e| format!("cut {cut} ({mode:?}): recovery failed: {e}"))?;
+            machine
+                .store()
+                .check_invariants()
+                .map_err(|e| format!("cut {cut} ({mode:?}): store invariants violated: {e}"))?;
+            let mut env = UnixEnv::on_machine(machine);
+            let init = env.init_pid();
+            // Labels must recover identically: whenever the secret file
+            // survives, both modes must refuse the unprivileged reader.
+            if env.stat(init, "/persist/home/secret").is_ok() {
+                let snoop = env
+                    .spawn(init, "/bin_snoop", None)
+                    .map_err(|e| format!("cut {cut} ({mode:?}): spawn failed: {e}"))?;
+                match env.read_file_as(snoop, "/persist/home/secret") {
+                    Err(UnixError::Kernel(SyscallError::CannotObserveRecord(_))) => {}
+                    other => {
+                        return Err(format!(
+                            "cut {cut} ({mode:?}): tainted reader observed the \
+                             recovered secret file (or failed oddly): {other:?}"
+                        ));
+                    }
+                }
+            } else {
+                secret_ok = false;
+            }
+            let mut machine = env.into_machine();
+            machine.snapshot();
+            let disk = machine.into_disk();
+            images.push(
+                disk.image()
+                    .into_iter()
+                    .map(|(off, bytes)| (off, bytes.to_vec()))
+                    .collect(),
+            );
+        }
+        if images[0] != images[1] {
+            let detail = diff_images(&images[0], &images[1]);
+            return Err(format!(
+                "cut {cut}: batched and record-by-record replay diverged: {detail}"
+            ));
+        }
+        if secret_ok {
+            report.secret_checks += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Describes the first difference between two disk images, for error
+/// messages when the equivalence sweep fails.
+fn diff_images(a: &[(u64, Vec<u8>)], b: &[(u64, Vec<u8>)]) -> String {
+    if a.len() != b.len() {
+        return format!("{} vs {} populated blocks", a.len(), b.len());
+    }
+    for ((off_a, bytes_a), (off_b, bytes_b)) in a.iter().zip(b) {
+        if off_a != off_b {
+            return format!("block offsets diverge: {off_a} vs {off_b}");
+        }
+        if bytes_a != bytes_b {
+            let byte = bytes_a
+                .iter()
+                .zip(bytes_b)
+                .position(|(x, y)| x != y)
+                .unwrap_or(0);
+            return format!("block at offset {off_a} differs from byte {byte}");
+        }
+    }
+    "images compare equal pairwise (length bookkeeping bug)".into()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +418,16 @@ mod tests {
         // Sorted by total descending: the top entry dominates the sweep.
         let totals: Vec<u64> = report.recovery_phases.iter().map(|(_, t, _)| *t).collect();
         assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn replay_equivalence_smoke() {
+        let report = run_replay_equivalence(0x5eed, 5).expect("replay modes agree");
+        assert!(report.cuts >= 4, "got {report:?}");
+        assert!(
+            report.secret_checks > 0,
+            "the secret file must recover (and be checked under both modes) \
+             at the full-log cut: {report:?}"
+        );
     }
 }

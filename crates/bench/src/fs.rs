@@ -10,6 +10,7 @@
 
 use crate::report::{BenchJson, Row, Table};
 use histar_kernel::DispatchStats;
+use histar_obs::Recorder;
 use histar_sim::SimDuration;
 use histar_unix::fs::OpenFlags;
 use histar_unix::UnixEnv;
@@ -33,6 +34,10 @@ pub struct FsBenchParams {
     pub persist_write_ops: u64,
     /// Crash → recover → remount → read-back round trips.
     pub recover_iters: u64,
+    /// Small `/persist` files synced together per fsync round.
+    pub persist_sync_files: u64,
+    /// Rounds of rewrite-everything-then-fsync-everything.
+    pub persist_sync_rounds: u64,
 }
 
 /// Bytes moved per read/write iteration.
@@ -50,6 +55,8 @@ impl FsBenchParams {
             persist_read_ops: 400,
             persist_write_ops: 400,
             recover_iters: 3,
+            persist_sync_files: 8,
+            persist_sync_rounds: 10,
         }
     }
 
@@ -64,6 +71,8 @@ impl FsBenchParams {
             persist_read_ops: 8_000,
             persist_write_ops: 8_000,
             recover_iters: 8,
+            persist_sync_files: 16,
+            persist_sync_rounds: 100,
         }
     }
 }
@@ -116,6 +125,16 @@ pub struct FsMeasurement {
     pub persist_write: FsPhase,
     /// Crash → recover → remount → read-back round trips.
     pub recover_mount: FsPhase,
+    /// fsync-heavy `/persist` workload: many files rewritten and synced
+    /// together, each round group-committed into one WAL frame.
+    pub persist_sync: FsPhase,
+    /// Mean records per physical WAL frame over the fsync phase
+    /// (Δappends / Δframes from the store's own counters).
+    pub wal_mean_flush_batch: f64,
+    /// Per-phase recovery tick totals over the recover_mount iterations —
+    /// `(phase, total simulated ns, occurrences)` from the flight
+    /// recorder's `recover` spans, sorted by total descending.
+    pub recovery_phases: Vec<(&'static str, u64, u64)>,
     /// Dispatch counters over the read+write phases only (batch-size
     /// histogram, handle traffic).
     pub io_dispatch: DispatchStats,
@@ -269,14 +288,18 @@ pub fn measure(params: FsBenchParams) -> FsMeasurement {
         .expect("create marker");
     env.fsync_path(init, "/persist/marker")
         .expect("fsync marker");
+    let recorder = Recorder::with_capacity(1 << 16);
     let start = clock_now(&env);
     let mut env = env;
     for _ in 0..params.recover_iters {
         let machine = env
             .into_machine()
-            .crash_and_recover()
+            .crash_and_recover_traced(recorder.clone())
             .expect("crash recovery");
         env = histar_unix::UnixEnv::on_machine(machine);
+        // The shared ring is for *recovery* phases: detach it before the
+        // read-back's dispatch traffic can evict them.
+        env.kernel_mut().disable_flight_recorder();
         let init = env.init_pid();
         let back = env
             .read_file_as(init, "/persist/marker")
@@ -287,6 +310,45 @@ pub fn measure(params: FsBenchParams) -> FsMeasurement {
         ops: params.recover_iters,
         elapsed: clock_now(&env) - start,
     };
+    let recovery_phases = recorder.phase_totals("recover");
+
+    // Phase: fsync-heavy /persist workload.  Every round rewrites all the
+    // small files and syncs them with ONE `fsync_paths` call: the library
+    // resolves each file to its record keys, issues a single persist_sync,
+    // and the store group-commits the whole round into one multi-record
+    // WAL frame (§5's group sync) — the per-frame seek is amortised over
+    // every file in the round, which the mean-flush-batch counter makes
+    // visible.
+    let init = env.init_pid();
+    let sync_paths: Vec<String> = (0..params.persist_sync_files)
+        .map(|i| format!("/persist/sync{i}"))
+        .collect();
+    for path in &sync_paths {
+        env.write_file_as(init, path, b"seed", None)
+            .expect("create sync file");
+    }
+    let sync_refs: Vec<&str> = sync_paths.iter().map(String::as_str).collect();
+    let wal_before = env.machine().store().wal_stats();
+    let start = clock_now(&env);
+    for round in 0..params.persist_sync_rounds {
+        let payload = [(round & 0xff) as u8; 64];
+        for path in &sync_paths {
+            env.write_file_as(init, path, &payload, None)
+                .expect("rewrite sync file");
+        }
+        env.fsync_paths(init, &sync_refs).expect("fsync round");
+    }
+    let persist_sync = FsPhase {
+        ops: params.persist_sync_files * params.persist_sync_rounds,
+        elapsed: clock_now(&env) - start,
+    };
+    let wal_after = env.machine().store().wal_stats();
+    let frames = wal_after.frames - wal_before.frames;
+    let wal_mean_flush_batch = if frames == 0 {
+        0.0
+    } else {
+        (wal_after.appends - wal_before.appends) as f64 / frames as f64
+    };
 
     FsMeasurement {
         open_close,
@@ -296,6 +358,9 @@ pub fn measure(params: FsBenchParams) -> FsMeasurement {
         persist_read,
         persist_write,
         recover_mount,
+        persist_sync,
+        wal_mean_flush_batch,
+        recovery_phases,
         io_dispatch,
     }
 }
@@ -353,6 +418,9 @@ pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
     table.push(
         Row::new("crash+recover+remount, per op").measure("HiStar", m.recover_mount.per_op()),
     );
+    table.push(
+        Row::new("/persist fsync (grouped), per op").measure("HiStar", m.persist_sync.per_op()),
+    );
     table.push(Row::new("I/O-phase mean batch size").measure(
         "HiStar",
         SimDuration::from_nanos((m.io_dispatch.mean_batch_size() * 100.0) as u64),
@@ -394,6 +462,23 @@ pub fn run(params: FsBenchParams) -> (Table, BenchJson) {
         m.recover_mount.ops_per_sec(),
         m.recover_mount.elapsed.as_nanos(),
     );
+    for (phase, total_ns, _count) in &m.recovery_phases {
+        json.metric(
+            &format!("recover_mount.phase.{phase}"),
+            *total_ns as f64,
+            *total_ns,
+        );
+    }
+    json.metric(
+        "persist_sync.ops_per_sec",
+        m.persist_sync.ops_per_sec(),
+        m.persist_sync.elapsed.as_nanos(),
+    );
+    json.metric(
+        "wal.mean_flush_batch",
+        m.wal_mean_flush_batch,
+        m.persist_sync.elapsed.as_nanos(),
+    );
     json.metric(
         "io.mean_batch_size",
         m.io_dispatch.mean_batch_size(),
@@ -424,7 +509,7 @@ mod tests {
     #[test]
     fn smoke_run_produces_all_metrics() {
         let (table, json) = run(FsBenchParams::smoke());
-        assert_eq!(table.rows.len(), 8);
+        assert_eq!(table.rows.len(), 9);
         let doc = json.render();
         for metric in [
             "open_close.ops_per_sec",
@@ -434,9 +519,27 @@ mod tests {
             "persist_read.ops_per_sec",
             "persist_write.ops_per_sec",
             "recover_mount.ops_per_sec",
+            "recover_mount.phase.superblock",
+            "recover_mount.phase.btree_rebuild",
+            "recover_mount.phase.wal_replay",
+            "recover_mount.phase.object_restore",
+            "persist_sync.ops_per_sec",
+            "wal.mean_flush_batch",
             "io.mean_batch_size",
         ] {
             assert!(doc.contains(metric), "missing {metric} in {doc}");
         }
+    }
+
+    #[test]
+    fn grouped_fsync_coalesces_records_into_frames() {
+        let m = measure(FsBenchParams::smoke());
+        // Each round syncs 8 files' record keys through one persist_sync:
+        // the WAL must be averaging well more than one record per frame.
+        assert!(
+            m.wal_mean_flush_batch > 2.0,
+            "fsync rounds were not group-committed: mean flush batch {}",
+            m.wal_mean_flush_batch
+        );
     }
 }

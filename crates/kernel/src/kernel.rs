@@ -367,14 +367,26 @@ impl Kernel {
 
     /// Enters batch mode: the next `charge_syscall` pays the full trap
     /// cost, subsequent ones only the decode cost, until `end_batch`.
+    /// The store opens a group-commit window for the same span, so every
+    /// `persist_sync` in the batch rides one shared WAL frame.
     pub(crate) fn begin_batch(&mut self) {
         self.in_batch = true;
         self.batch_trap_charged = false;
+        if let Some(store) = self.store.as_mut() {
+            store.begin_sync_group();
+        }
     }
 
+    /// Leaves batch mode.  Closing the store's group-commit window flushes
+    /// the coalesced syncs as one multi-record frame — this runs BEFORE
+    /// any completion is delivered, so a sync is acked only after the
+    /// shared append is durable.
     pub(crate) fn end_batch(&mut self) {
         self.in_batch = false;
         self.batch_trap_charged = false;
+        if let Some(store) = self.store.as_mut() {
+            store.end_sync_group();
+        }
     }
 
     fn obj(&self, id: ObjectId) -> Result<&KObject, SyscallError> {

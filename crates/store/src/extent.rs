@@ -177,6 +177,17 @@ impl ExtentAllocator {
         self.by_location.range(0, offset).into_iter().next_back()
     }
 
+    /// One past the highest allocated byte: if the topmost free extent
+    /// runs to the end of the disk, nothing above its start is in use.
+    /// The superblock records this so recovery can preload the whole live
+    /// data region in a single read.
+    pub fn high_water(&self) -> u64 {
+        match self.free_list().last() {
+            Some(last) if last.end() == self.capacity => last.offset,
+            _ => self.capacity,
+        }
+    }
+
     /// All free extents in ascending offset order (used by checkpointing).
     pub fn free_list(&self) -> Vec<Extent> {
         self.by_location
@@ -293,6 +304,26 @@ mod tests {
         assert_eq!(a.alloc(0), Some(Extent::new(0, 0)));
         a.free(Extent::new(500, 0));
         assert_eq!(a.free_bytes(), 1000);
+    }
+
+    #[test]
+    fn high_water_tracks_topmost_allocation() {
+        let mut a = ExtentAllocator::new(4096, 1_000_000);
+        assert_eq!(a.high_water(), 4096, "empty disk: nothing allocated");
+        let e1 = a.alloc(10_000).unwrap();
+        assert_eq!(a.high_water(), e1.end());
+        let e2 = a.alloc(10_000).unwrap();
+        assert_eq!(a.high_water(), e2.end());
+        // Freeing a middle extent does not lower the mark.
+        a.free(e1);
+        assert_eq!(a.high_water(), e2.end());
+        // Freeing the topmost extent coalesces with the tail and lowers it.
+        a.free(e2);
+        assert_eq!(a.high_water(), 4096);
+        // A fully allocated disk has no tail extent at all.
+        let all = a.alloc(1_000_000 - 4096).unwrap();
+        assert_eq!(a.high_water(), a.capacity());
+        a.free(all);
     }
 
     #[test]

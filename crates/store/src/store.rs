@@ -31,6 +31,19 @@ pub enum SyncPolicy {
     GroupSync,
 }
 
+/// How recovery rebuilds state from the checkpoint and the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Read the log in large chunks, bulk-load the B+-trees bottom-up,
+    /// preload the live data region in one read, and fold the replayed
+    /// records per object.  The default.
+    Batched,
+    /// Read the whole log region in one I/O and rebuild the trees with one
+    /// point insert per entry — the legacy strategy, kept so the
+    /// equivalence harness can prove both paths recover identical state.
+    RecordByRecord,
+}
+
 /// Configuration of the store.
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
@@ -38,14 +51,20 @@ pub struct StoreConfig {
     pub disk: DiskConfig,
     /// Bytes reserved at the start of the disk for the superblock.
     pub superblock_len: u64,
-    /// Bytes reserved for the write-ahead log region.
+    /// Bytes reserved for the write-ahead log region.  Kept small: the log
+    /// only needs to cover the window between checkpoints, and recovery
+    /// cost is bounded by how much log can accumulate, so a short region
+    /// keeps `recover` fast (pre-apply + checkpoint-on-full keep it from
+    /// overflowing under sustained sync load).
     pub log_region_len: u64,
-    /// Apply (truncate) the log after this many pending records, modelling
-    /// the paper's observation of one application per ~1,000 synchronous
-    /// operations.
+    /// Apply (fold into a checkpoint) the log after this many pending
+    /// records, modelling the paper's observation of one application per
+    /// ~1,000 synchronous operations.
     pub apply_batch: usize,
     /// Synchronous-update policy.
     pub sync_policy: SyncPolicy,
+    /// Recovery replay strategy.
+    pub replay_mode: ReplayMode,
 }
 
 impl Default for StoreConfig {
@@ -53,9 +72,10 @@ impl Default for StoreConfig {
         StoreConfig {
             disk: DiskConfig::default(),
             superblock_len: 4096,
-            log_region_len: 64 * 1024 * 1024,
+            log_region_len: 128 * 1024,
             apply_batch: 1000,
             sync_policy: SyncPolicy::Async,
+            replay_mode: ReplayMode::Batched,
         }
     }
 }
@@ -73,6 +93,9 @@ pub struct StoreStats {
     pub log_applications: u64,
     /// In-place page flushes (large-file sync writes).
     pub inplace_flushes: u64,
+    /// Objects loaded into the cache by recovery's single preload read of
+    /// the live data region (instead of one random read each on demand).
+    pub objects_preloaded: u64,
 }
 
 impl histar_obs::MetricSource for StoreStats {
@@ -82,6 +105,7 @@ impl histar_obs::MetricSource for StoreStats {
         set.counter("store.checkpoints", self.checkpoints);
         set.counter("store.log_applications", self.log_applications);
         set.counter("store.inplace_flushes", self.inplace_flushes);
+        set.counter("store.objects_preloaded", self.objects_preloaded);
     }
 }
 
@@ -145,6 +169,14 @@ pub struct SingleLevelStore {
     prev_meta: Option<Extent>,
     /// Monotonic checkpoint sequence number.
     sequence: u64,
+    /// Group-commit staging: while `Some`, synchronous log appends are
+    /// buffered here and flushed as ONE multi-record frame when the group
+    /// closes (see [`SingleLevelStore::begin_sync_group`]).
+    staged: Option<Vec<LogRecord>>,
+    /// How many of the WAL's pending records have already been written to
+    /// their home locations by incremental pre-apply (pipelined
+    /// checkpointing); reset when the log truncates.
+    preapplied: usize,
     stats: StoreStats,
     /// Flight recorder for WAL/checkpoint/recovery spans (disabled by
     /// default; the kernel hands its own recorder down on attach).
@@ -170,6 +202,8 @@ impl SingleLevelStore {
             deleted: BTreeSet::new(),
             prev_meta: None,
             sequence: 0,
+            staged: None,
+            preapplied: 0,
             stats: StoreStats::default(),
             recorder: Recorder::disabled(),
             config,
@@ -416,54 +450,133 @@ impl SingleLevelStore {
         Ok(())
     }
 
+    /// Opens a group-commit window: until [`SingleLevelStore::end_sync_group`],
+    /// synchronous log appends are staged in memory instead of each paying
+    /// for its own disk write and flush.  Idempotent; the kernel brackets
+    /// every syscall batch with this pair, so all syncs submitted in one
+    /// batch share one WAL frame (§5's group sync).
+    pub fn begin_sync_group(&mut self) {
+        if self.staged.is_none() {
+            self.staged = Some(Vec::new());
+        }
+    }
+
+    /// Closes the group-commit window, flushing every staged record as ONE
+    /// multi-record frame.  Nothing staged in the window is durable — or
+    /// acknowledged to callers — until this returns.
+    pub fn end_sync_group(&mut self) {
+        if let Some(staged) = self.staged.take() {
+            if !staged.is_empty() {
+                self.flush_records(staged);
+            }
+        }
+    }
+
     fn append_log(&mut self, record: LogRecord) {
-        let approx = match &record {
-            LogRecord::PutObject(_, d) => d.len() as u64 + 64,
-            _ => 64,
-        };
-        if self.wal.needs_application(approx)
+        if let Some(staged) = self.staged.as_mut() {
+            staged.push(record);
+            return;
+        }
+        self.flush_records(vec![record]);
+    }
+
+    /// Writes a batch of records as one WAL frame: one disk write plus one
+    /// flush, regardless of how many records the frame carries — the cost
+    /// model charges per flushed frame, not per logical record.
+    fn flush_records(&mut self, records: Vec<LogRecord>) {
+        let framed_len = 16 + records.iter().map(LogRecord::encoded_len).sum::<u64>();
+        // A frame that could never fit the region, even empty (a huge
+        // record or a huge group): the records are already reflected in
+        // the cache, so fold them into a full checkpoint instead — a
+        // strictly stronger durability point than the log append.
+        if framed_len + 64 > self.config.log_region_len {
+            self.checkpoint();
+            return;
+        }
+        if self.wal.needs_application(framed_len)
             || self.wal.pending_records() >= self.config.apply_batch
         {
             self.apply_log();
         }
         let start = self.tick();
-        self.wal.append(&mut self.disk, record);
+        self.wal.append_frame(&mut self.disk, records);
         self.disk.flush();
         self.span("wal", "append", start);
+        self.maybe_preapply();
     }
 
-    /// Applies every pending log record by writing the objects to their home
-    /// locations, then truncates the log.
+    /// Folds every pending log record into a full checkpoint, truncating
+    /// the log.  (Historically this wrote pending objects home and reset
+    /// the log head while the B+-trees lived only in memory — a crash
+    /// after truncation then lost the maps that located the freshly homed
+    /// records.  A checkpoint makes the fold itself durable.)
     pub fn apply_log(&mut self) {
-        let pending = self.wal.take_pending();
-        if pending.is_empty() {
+        if self.wal.pending_records() == 0 {
             return;
         }
         let start = self.tick();
-        let mut latest: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
-        for rec in pending {
-            match rec {
-                LogRecord::PutObject(id, data) => {
-                    latest.insert(id, Some(data));
-                }
-                LogRecord::DeleteObject(id) => {
-                    latest.insert(id, None);
-                }
-                LogRecord::CheckpointMarker { .. } => {}
-            }
-        }
-        for (id, data) in latest {
-            match data {
-                Some(data) => {
-                    self.write_home(id, &data);
-                    self.dirty.remove(&id);
-                }
-                None => self.drop_home(id),
-            }
-        }
-        self.disk.flush();
         self.stats.log_applications += 1;
+        self.checkpoint();
         self.span("wal", "apply", start);
+    }
+
+    /// Incremental ("pipelined") checkpointing: once the log region is
+    /// three-quarters full, each append also writes a few of the oldest
+    /// pending records to their home locations.  The eventual checkpoint
+    /// then has little left to do, so the stop-the-world pause stays short
+    /// even under sustained sync load.  Crash-safe because pre-applied
+    /// records remain in the log: replay masks their home copies until the
+    /// next checkpoint commits the maps.  Only records that fit their
+    /// object's existing extent are written — allocating here could reuse
+    /// space freed by a not-yet-durable delete and clobber state an
+    /// earlier checkpoint still owns.
+    fn maybe_preapply(&mut self) {
+        const PREAPPLY_CHUNK: usize = 4;
+        const PREAPPLY_SCAN: usize = 64;
+        if self.wal.used() * 4 <= self.wal.region_len() * 3 {
+            return;
+        }
+        let start = self.tick();
+        let mut written = 0;
+        let mut examined = 0;
+        while written < PREAPPLY_CHUNK
+            && examined < PREAPPLY_SCAN
+            && self.preapplied < self.wal.pending_records()
+        {
+            let idx = self.preapplied;
+            self.preapplied += 1;
+            examined += 1;
+            let LogRecord::PutObject(id, data) = self.wal.pending()[idx].clone() else {
+                continue;
+            };
+            // Skip records superseded later in the log: fsync-heavy
+            // workloads re-sync the same objects, and only the newest
+            // version is worth homing.
+            let superseded = self.wal.pending()[idx + 1..].iter().any(|r| {
+                matches!(r, LogRecord::PutObject(i, _) if *i == id)
+                    || matches!(r, LogRecord::DeleteObject(i) if *i == id)
+            });
+            if superseded {
+                continue;
+            }
+            let fits = match (self.object_loc.get(id), self.object_extent_len.get(id)) {
+                (Some(_), Some(elen)) => elen >= RECORD_HEADER + data.len() as u64,
+                _ => false,
+            };
+            if !fits {
+                continue;
+            }
+            self.write_home(id, &data);
+            // The home copy is current, so the eventual checkpoint can
+            // skip this object — unless the cache has moved on since.
+            if self.cache.get(&id).is_some_and(|cached| *cached == data) {
+                self.dirty.remove(&id);
+            }
+            written += 1;
+        }
+        if written > 0 {
+            self.span("wal", "preapply", start);
+        }
     }
 
     /// Writes one object record to a (possibly new) home location.
@@ -603,19 +716,25 @@ impl SingleLevelStore {
         );
         self.disk.write(meta_extent.offset, &meta_blob);
 
-        // 3. Superblock points at the metadata blob.
+        // 3. Superblock points at the metadata blob.  It also records the
+        //    allocator's high-water mark (computed after the metadata
+        //    allocation, so it covers the blob): everything live sits
+        //    below it, letting recovery preload the whole data region in
+        //    one sequential read.
         self.sequence += 1;
         let mut sb = Encoder::new();
         sb.put_u64(SUPERBLOCK_MAGIC)
             .put_u64(self.sequence)
             .put_u64(meta_extent.offset)
             .put_u64(meta_blob.len() as u64)
-            .put_u64(meta_extent.len);
+            .put_u64(meta_extent.len)
+            .put_u64(self.alloc.high_water());
         self.disk.write(0, &frame(&sb.finish()));
         self.disk.flush();
 
         // 4. The log contents are now folded into the checkpoint.
         let _ = self.wal.take_pending();
+        self.preapplied = 0;
         self.wal.append(
             &mut self.disk,
             LogRecord::CheckpointMarker {
@@ -635,14 +754,17 @@ impl SingleLevelStore {
     }
 
     /// [`SingleLevelStore::recover`] with per-phase flight recording: each
-    /// recovery phase (superblock read, B+-tree rebuild, WAL replay, the
-    /// fold-back checkpoint) emits a `recover` span into `recorder`, and
+    /// recovery phase (superblock read, data-region preload, B+-tree
+    /// rebuild, WAL replay) emits a `recover` span into `recorder`, and
     /// the recorder stays installed on the recovered store.
     pub fn recover_traced(
         config: StoreConfig,
         mut disk: SimDisk,
         recorder: Recorder,
     ) -> Result<SingleLevelStore, StoreError> {
+        // Cap on the preload read: a data region bigger than this is
+        // cheaper to fault in on demand than to stream in full.
+        const PRELOAD_MAX: u64 = 1024 * 1024;
         let phase = |recorder: &Recorder, name: &'static str, start: u64, end: u64| {
             recorder.record(Span {
                 cat: "recover",
@@ -666,10 +788,38 @@ impl SingleLevelStore {
         let meta_off = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
         let meta_len = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
         let meta_alloc_len = d.get_u64().map_err(|_| StoreError::Corrupt("superblock"))?;
-
-        let raw_meta = disk.read(meta_off, meta_len);
+        // High-water mark (absent in superblocks written before it existed:
+        // 0 disables the preload).
+        let high_water = d.get_u64().unwrap_or(0);
         let t1 = disk.clock().now().as_nanos();
         phase(&recorder, "superblock", t0, t1);
+
+        // Preload: one sequential read covering every live extent, instead
+        // of one random read per object later.  The checkpoint metadata is
+        // usually inside the span, so it costs no extra I/O either.
+        let data_start = config.superblock_len + config.log_region_len;
+        let preload: Option<(u64, Vec<u8>)> = if config.replay_mode == ReplayMode::Batched
+            && high_water > data_start
+            && high_water <= config.disk.capacity
+            && high_water - data_start <= PRELOAD_MAX
+        {
+            Some((data_start, disk.read(data_start, high_water - data_start)))
+        } else {
+            None
+        };
+        let t2 = disk.clock().now().as_nanos();
+        if preload.is_some() {
+            phase(&recorder, "preload", t1, t2);
+        }
+
+        let raw_meta: Vec<u8> = match &preload {
+            Some((base, buf))
+                if meta_off >= *base && meta_off + meta_len <= base + buf.len() as u64 =>
+            {
+                buf[(meta_off - base) as usize..(meta_off - base + meta_len) as usize].to_vec()
+            }
+            _ => disk.read(meta_off, meta_len),
+        };
         let (meta_payload, _) =
             unframe(&raw_meta).map_err(|_| StoreError::Corrupt("checkpoint metadata"))?;
         let mut d = Decoder::new(&meta_payload);
@@ -686,9 +836,18 @@ impl SingleLevelStore {
             .get_bytes()
             .map_err(|_| StoreError::Corrupt("free list"))?;
 
-        let object_loc = BPlusTree::deserialize(&loc_bytes);
-        let object_extent_len = BPlusTree::deserialize(&extent_len_bytes);
-        let object_body_len = BPlusTree::deserialize(&body_len_bytes);
+        let (object_loc, object_extent_len, object_body_len) = match config.replay_mode {
+            ReplayMode::Batched => (
+                BPlusTree::deserialize(&loc_bytes),
+                BPlusTree::deserialize(&extent_len_bytes),
+                BPlusTree::deserialize(&body_len_bytes),
+            ),
+            ReplayMode::RecordByRecord => (
+                BPlusTree::deserialize_point_inserts(&loc_bytes),
+                BPlusTree::deserialize_point_inserts(&extent_len_bytes),
+                BPlusTree::deserialize_point_inserts(&body_len_bytes),
+            ),
+        };
         let mut d = Decoder::new(&free_bytes);
         let n = d.get_u64().map_err(|_| StoreError::Corrupt("free list"))? as usize;
         let mut free = Vec::with_capacity(n);
@@ -698,8 +857,8 @@ impl SingleLevelStore {
             free.push(Extent::new(off, len));
         }
         let alloc = ExtentAllocator::from_free_list(config.disk.capacity, &free);
-        let t2 = disk.clock().now().as_nanos();
-        phase(&recorder, "btree_rebuild", t1, t2);
+        let t3 = disk.clock().now().as_nanos();
+        phase(&recorder, "btree_rebuild", t2, t3);
 
         let wal = WriteAheadLog::new(config.superblock_len, config.log_region_len);
         let mut store = SingleLevelStore {
@@ -714,15 +873,57 @@ impl SingleLevelStore {
             deleted: BTreeSet::new(),
             prev_meta: Some(Extent::new(meta_off, meta_alloc_len)),
             sequence,
+            staged: None,
+            preapplied: 0,
             stats: StoreStats::default(),
             recorder,
             disk,
         };
 
+        // Populate the cache from the preload buffer (pure memory work —
+        // zero simulated time).  Entries are inserted CLEAN; the log
+        // replay below overwrites any of them that moved on since the
+        // checkpoint, so a pre-applied home record never shadows a newer
+        // logged version.
+        if let Some((base, buf)) = preload {
+            for (id, off) in store.object_loc.iter() {
+                let Some(body_len) = store.object_body_len.get(id) else {
+                    continue;
+                };
+                if off < base {
+                    continue;
+                }
+                let lo = (off - base) as usize;
+                let Some(hi) = lo.checked_add((RECORD_HEADER + body_len) as usize) else {
+                    continue;
+                };
+                if hi > buf.len() {
+                    continue;
+                }
+                let mut d = Decoder::new(&buf[lo..hi]);
+                let Ok(stored_id) = d.get_u64() else { continue };
+                if stored_id != id {
+                    continue;
+                }
+                let Ok(body) = d.get_bytes() else { continue };
+                store.cache.insert(id, body);
+                store.stats.objects_preloaded += 1;
+            }
+        }
+
         // Replay any log records appended after the checkpoint marker for
         // this sequence number (records before it are already reflected in
-        // the checkpoint).
-        let records = store.wal.recover(&mut store.disk);
+        // the checkpoint).  The log is then RESUMED, not truncated: the
+        // surviving frames stay where they are and new appends continue
+        // after them, so a mount performs no log writes and a second crash
+        // replays the same prefix again.
+        let (records, consumed) = match config.replay_mode {
+            ReplayMode::Batched => store.wal.recover(&mut store.disk),
+            ReplayMode::RecordByRecord => {
+                let region = store.wal.region_len();
+                store.wal.recover_chunked(&mut store.disk, region)
+            }
+        };
         let mut after_marker = Vec::new();
         for rec in records {
             match rec {
@@ -732,33 +933,67 @@ impl SingleLevelStore {
                 other => after_marker.push(other),
             }
         }
-        let replayed = !after_marker.is_empty();
-        for rec in after_marker {
-            match rec {
-                LogRecord::PutObject(id, data) => {
-                    store.deleted.remove(&id);
-                    store.cache.insert(id, data);
-                    store.dirty.insert(id);
+        match config.replay_mode {
+            ReplayMode::Batched => {
+                // Fold to one operation per object.  A DeleteObject's home
+                // drop must still happen even when a later put supersedes
+                // it — the per-record path frees the extent eagerly, and
+                // the allocator state must come out identical.
+                let mut fold: BTreeMap<u64, (Option<&Vec<u8>>, bool)> = BTreeMap::new();
+                for rec in &after_marker {
+                    match rec {
+                        LogRecord::PutObject(id, data) => {
+                            fold.entry(*id).or_insert((None, false)).0 = Some(data);
+                        }
+                        LogRecord::DeleteObject(id) => {
+                            let slot = fold.entry(*id).or_insert((None, false));
+                            slot.0 = None;
+                            slot.1 = true;
+                        }
+                        LogRecord::CheckpointMarker { .. } => {}
+                    }
                 }
-                LogRecord::DeleteObject(id) => {
-                    store.cache.remove(&id);
-                    store.deleted.insert(id);
-                    store.drop_home(id);
+                let folded: Vec<(u64, Option<Vec<u8>>, bool)> = fold
+                    .into_iter()
+                    .map(|(id, (latest, saw_delete))| (id, latest.cloned(), saw_delete))
+                    .collect();
+                for (id, latest, saw_delete) in folded {
+                    if saw_delete {
+                        store.drop_home(id);
+                    }
+                    match latest {
+                        Some(data) => {
+                            store.deleted.remove(&id);
+                            store.cache.insert(id, data);
+                            store.dirty.insert(id);
+                        }
+                        None => {
+                            store.cache.remove(&id);
+                            store.deleted.insert(id);
+                        }
+                    }
                 }
-                LogRecord::CheckpointMarker { .. } => {}
+            }
+            ReplayMode::RecordByRecord => {
+                for rec in &after_marker {
+                    match rec {
+                        LogRecord::PutObject(id, data) => {
+                            store.deleted.remove(id);
+                            store.cache.insert(*id, data.clone());
+                            store.dirty.insert(*id);
+                        }
+                        LogRecord::DeleteObject(id) => {
+                            store.cache.remove(id);
+                            store.deleted.insert(*id);
+                            store.drop_home(*id);
+                        }
+                        LogRecord::CheckpointMarker { .. } => {}
+                    }
+                }
             }
         }
-        store.span("recover", "wal_replay", t2);
-        // Fold the replayed records into a fresh checkpoint before the
-        // log region is reused.  The recovered log head starts back at
-        // zero, so without this, new appends would overwrite records the
-        // previous life never applied — and a *second* crash would lose
-        // updates that were durably synced before the first one.
-        if replayed {
-            let t3 = store.tick();
-            store.checkpoint();
-            store.span("recover", "replay_checkpoint", t3);
-        }
+        store.wal.resume(consumed, after_marker);
+        store.span("recover", "wal_replay", t3);
         Ok(store)
     }
 

@@ -1351,6 +1351,32 @@ impl UnixEnv {
         self.vfs_op(pid, |vfs, ctx, cwd| vfs.fsync_path(ctx, cwd, path))
     }
 
+    /// `fsync` over several paths at once — the group-commit entry point.
+    /// Store-backed paths are resolved to their record keys, deduplicated,
+    /// and synced with ONE `persist_sync`, so the whole group shares a
+    /// single WAL frame and is acked together once that frame is durable.
+    /// Paths on filesystems without a store-backed sync fall back to an
+    /// individual `fsync` each.
+    pub fn fsync_paths(&mut self, pid: Pid, paths: &[&str]) -> Result<()> {
+        self.vfs_op(pid, |vfs, ctx, cwd| {
+            let mut keys: Vec<u64> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for path in paths {
+                match vfs.sync_keys_path(ctx, cwd, path)? {
+                    Some(path_keys) => {
+                        keys.extend(path_keys.into_iter().filter(|k| seen.insert(*k)));
+                    }
+                    None => vfs.fsync_path(ctx, cwd, path)?,
+                }
+            }
+            if !keys.is_empty() {
+                let thread = ctx.thread;
+                ctx.kernel().trap_persist_sync(thread, keys)?;
+            }
+            Ok(())
+        })
+    }
+
     /// `fdatasync` limited to specific pages of an open file: flushes those
     /// pages of the backing segment in place, without writing any metadata —
     /// the fast path for random writes to large existing files.

@@ -7,8 +7,11 @@
 //! paper's durability story directly: its inodes, directory entries and
 //! file extents are keyed records in the store's B+-tree (the
 //! [`histar_store::records`] namespace), bypassing the in-kernel object
-//! heap for cold data.  `fsync` is a write-ahead-log append per record;
-//! recovery replays the log back into a mountable tree, so a crash
+//! heap for cold data.  `fsync` resolves a file to its record keys and
+//! issues one `persist_sync`; the store group-commits every sync in the
+//! same syscall batch into a single multi-record WAL frame, acked only
+//! after the shared append lands (§5's group sync).
+//! Recovery replays the log back into a mountable tree, so a crash
 //! between writes loses at most unsynced data — and never labels, because
 //! **each record carries its label** and the kernel re-checks it on every
 //! `lookup`/`read`/`write`, exactly as it checks a segment's label for
@@ -574,6 +577,15 @@ impl Filesystem for PersistFs {
     }
 
     fn fsync(&mut self, ctx: &mut VfsCtx, dir: u64, name: &str) -> Result<()> {
+        let keys = self
+            .sync_keys(ctx, dir, name)?
+            .expect("PersistFs always has sync keys");
+        let thread = ctx.thread;
+        ctx.kernel().trap_persist_sync(thread, keys)?;
+        Ok(())
+    }
+
+    fn sync_keys(&mut self, ctx: &mut VfsCtx, dir: u64, name: &str) -> Result<Option<Vec<u64>>> {
         let dir = dir as u32;
         Self::read_dir_inode(ctx, dir)?;
         let (dirent_key, d) = Self::find_dirent(ctx, dir, name)?
@@ -585,9 +597,7 @@ impl Filesystem for PersistFs {
         };
         let mut keys = vec![META_KEY, inode_key(dir), dirent_key, inode_key(d.ino)];
         keys.extend(Self::extent_keys(d.ino, len));
-        let thread = ctx.thread;
-        ctx.kernel().trap_persist_sync(thread, keys)?;
-        Ok(())
+        Ok(Some(keys))
     }
 
     fn as_any_mut(&mut self) -> &mut dyn core::any::Any {

@@ -116,6 +116,15 @@ pub trait Filesystem: core::fmt::Debug {
         Ok(())
     }
 
+    /// The store keys `fsync` of `name` under `dir` would make durable,
+    /// or `Ok(None)` if this filesystem has no store-backed sync step
+    /// (the default).  Callers syncing several paths collect each path's
+    /// keys and issue ONE `persist_sync`, so the whole group rides a
+    /// single WAL frame (group commit) instead of one append per file.
+    fn sync_keys(&mut self, _ctx: &mut VfsCtx, _dir: u64, _name: &str) -> Result<Option<Vec<u64>>> {
+        Ok(None)
+    }
+
     /// Downcast hook (the environment uses it to reach `procfs`'s process
     /// mirror and `segfs`'s quota helpers).
     fn as_any_mut(&mut self) -> &mut dyn core::any::Any;
@@ -414,6 +423,19 @@ impl Vfs {
     pub fn fsync_path(&mut self, ctx: &mut VfsCtx, cwd: &str, path: &str) -> Result<()> {
         let r = self.resolve_parent(ctx, cwd, path)?;
         self.filesystems[r.fs].fsync(ctx, r.dir, &r.name)
+    }
+
+    /// The store keys an `fsync` of `path` would sync, or `None` when the
+    /// owning filesystem has no store-backed sync (see
+    /// [`Filesystem::sync_keys`]).
+    pub fn sync_keys_path(
+        &mut self,
+        ctx: &mut VfsCtx,
+        cwd: &str,
+        path: &str,
+    ) -> Result<Option<Vec<u64>>> {
+        let r = self.resolve_parent(ctx, cwd, path)?;
+        self.filesystems[r.fs].sync_keys(ctx, r.dir, &r.name)
     }
 
     /// Rebuilds the vnode for a decoded descriptor state.  File-backed

@@ -697,6 +697,27 @@ fn metrics_entries_are_label_filtered() {
     assert!(global.contains("kernel.syscalls\t"), "got: {global}");
     assert!(global.contains("spans.recorded\t"), "got: {global}");
 
+    // The store file carries the WAL group-commit counters — same gate:
+    // privileged readers see them, the contained reader gets an explicit
+    // CannotObserve.
+    env.write_file_as(init, "/persist/gauged", b"count me", None)
+        .unwrap();
+    env.fsync_path(init, "/persist/gauged").unwrap();
+    let store = String::from_utf8(env.read_file_as(init, "/metrics/store").unwrap()).unwrap();
+    for counter in [
+        "wal.frames\t",
+        "wal.group_commits\t",
+        "wal.records_coalesced\t",
+        "wal.flush_batch.bucket.",
+    ] {
+        assert!(store.contains(counter), "missing {counter} in: {store}");
+    }
+    let err = env.read_file_as(reader, "/metrics/store").unwrap_err();
+    assert!(matches!(
+        err,
+        UnixError::Kernel(SyscallError::CannotObserve(_))
+    ));
+
     // The uncontained reader sees the secret container and its counters.
     let listed: Vec<String> = env
         .readdir(init, "/metrics/containers")
