@@ -1,0 +1,28 @@
+//! The web-server benchmark: the §6.1 label-isolated httpd serving a
+//! burst of concurrent clients over real blocking I/O.
+//! Run with `--smoke` for the quick CI configuration.
+
+use histar_bench::httpd::{chrome_trace, run, HttpdBenchParams};
+use histar_bench::report::write_artifact;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let params = if smoke {
+        HttpdBenchParams::smoke()
+    } else {
+        HttpdBenchParams::full()
+    };
+    println!("parameters: {params:?}\n");
+    let (table, json) = run(params);
+    print!("{}", table.render());
+    match json.write() {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write JSON report: {e}"),
+    }
+    match write_artifact("TRACE_httpd.json", &chrome_trace(params)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write chrome trace: {e}"),
+    }
+    println!("Times are simulated; requests/sec and tail latency are also");
+    println!("emitted as machine-readable JSON for the CI trajectory.");
+}

@@ -16,6 +16,9 @@
 //!   label enforcement on recovered secrets.
 //! * [`rpc`] — cross-node RPC over the exporter subsystem: latency and
 //!   throughput of label-checked calls, with and without message batching.
+//! * [`httpd`] — the web-server benchmark: the §6.1 label-isolated httpd
+//!   serving a burst of concurrent clients (10⁴ in the full run) over real
+//!   blocking I/O (requests/sec, tail latency, no-busy-wait quanta bound).
 //! * [`sched`] — the multiprogramming benchmark: N concurrent untrusted
 //!   logins interleaved by the deterministic scheduler, on one node and
 //!   across the two-node fabric (syscalls/sec, context-switch cost).
@@ -36,6 +39,7 @@ pub mod crash;
 pub mod fig12;
 pub mod fig13;
 pub mod fs;
+pub mod httpd;
 pub mod obs;
 pub mod report;
 pub mod rpc;

@@ -232,6 +232,15 @@ pub enum CompletionKind {
         /// The alert's code.
         code: u64,
     },
+    /// Kernel-pushed readiness notification (no matching submission): an
+    /// object this thread registered a watch on (`segment_watch`) was
+    /// written to or deallocated.  The watch is one-shot — a woken thread
+    /// re-checks the object and re-registers if it still wants to wait.
+    /// This is the wake half of blocking `read(2)`/`accept(2)`/`poll`.
+    ObjectReady {
+        /// The object that made progress.
+        object: ObjectId,
+    },
 }
 
 /// The `user_data` carried by kernel-originated completions (alert

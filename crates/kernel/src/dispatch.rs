@@ -380,10 +380,17 @@ pub enum Syscall {
         /// The record key.
         key: u64,
     },
+    /// `sys_segment_watch`: register a one-shot readiness watch on a
+    /// segment; the kernel pushes an `ObjectReady` completion when the
+    /// segment is next written or deallocated.
+    SegmentWatch {
+        /// The segment, named through a container entry.
+        entry: ContainerEntry,
+    },
 }
 
 /// Number of distinct system calls in the ABI.
-pub const SYSCALL_COUNT: usize = 51;
+pub const SYSCALL_COUNT: usize = 52;
 
 /// The names of all system calls, indexed by [`Syscall::index`].
 pub const SYSCALL_NAMES: [&str; SYSCALL_COUNT] = [
@@ -438,6 +445,7 @@ pub const SYSCALL_NAMES: [&str; SYSCALL_COUNT] = [
     "persist_scan",
     "persist_sync",
     "persist_get_label",
+    "segment_watch",
 ];
 
 impl Syscall {
@@ -495,6 +503,7 @@ impl Syscall {
             Syscall::PersistScan { .. } => 48,
             Syscall::PersistSync { .. } => 49,
             Syscall::PersistGetLabel { .. } => 50,
+            Syscall::SegmentWatch { .. } => 51,
         }
     }
 
@@ -1064,7 +1073,8 @@ impl Kernel {
             | S::SegmentResize { entry, .. }
             | S::SegmentRead { entry, .. }
             | S::SegmentWrite { entry, .. }
-            | S::SegmentLen { entry } => args[0] = Some(entry),
+            | S::SegmentLen { entry }
+            | S::SegmentWatch { entry } => args[0] = Some(entry),
             S::SegmentCopy { src, .. } | S::AsCopy { src, .. } => args[0] = Some(src),
             S::AsMap { aspace, mapping } => {
                 args[0] = Some(aspace);
@@ -1175,6 +1185,7 @@ impl Kernel {
                 .sys_segment_write(tid, entry, offset, &data)
                 .map(|()| R::Unit),
             S::SegmentLen { entry } => self.sys_segment_len(tid, entry).map(R::U64),
+            S::SegmentWatch { entry } => self.sys_segment_watch(tid, entry).map(|()| R::Unit),
             S::SegmentCopy {
                 src,
                 dst_container,
@@ -1581,6 +1592,18 @@ impl Kernel {
                 data: data.to_vec(),
             },
         )? {
+            SyscallResult::Unit => Ok(()),
+            _ => unreachable!("dispatch result variant mismatch"),
+        }
+    }
+
+    /// Traps `sys_segment_watch`.
+    pub fn trap_segment_watch(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        match self.dispatch(tid, Syscall::SegmentWatch { entry })? {
             SyscallResult::Unit => Ok(()),
             _ => unreachable!("dispatch result variant mismatch"),
         }
@@ -2122,7 +2145,10 @@ mod tests {
             "net_receive"
         );
         assert_eq!(
-            Syscall::PersistGetLabel { key: 0 }.index(),
+            Syscall::SegmentWatch {
+                entry: ContainerEntry::self_entry(ObjectId::from_raw(1))
+            }
+            .index(),
             SYSCALL_COUNT - 1
         );
     }

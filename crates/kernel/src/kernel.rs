@@ -114,6 +114,18 @@ pub struct Kernel {
     handles: HashMap<ObjectId, HandleTable>,
     /// Per-thread completion queues (ABI-edge state, not persisted).
     completions: HashMap<ObjectId, std::collections::VecDeque<Completion>>,
+    /// One-shot readiness watches: object → threads to notify (with an
+    /// `ObjectReady` completion) when the object is next written or
+    /// deallocated.  Registered via `segment_watch`; this is how blocking
+    /// pipe/socket reads park without polling.
+    watchers: HashMap<ObjectId, Vec<ObjectId>>,
+    /// Threads whose wake conditions may have changed since the scheduler
+    /// last looked (completion pushed, explicitly woken, or deallocated),
+    /// in event order.  The scheduler drains this instead of scanning its
+    /// whole wait set every quantum, so wakes are O(events) not O(parked).
+    sched_dirty: Vec<ObjectId>,
+    /// Dedup set for `sched_dirty`.
+    sched_dirty_set: std::collections::HashSet<ObjectId>,
     /// True while a submission batch is being drained: the first call
     /// charges the full trap cost, the rest only the batched decode cost.
     in_batch: bool,
@@ -154,6 +166,9 @@ impl Kernel {
             per_thread_syscalls: BTreeMap::new(),
             handles: HashMap::new(),
             completions: HashMap::new(),
+            watchers: HashMap::new(),
+            sched_dirty: Vec::new(),
+            sched_dirty_set: std::collections::HashSet::new(),
             in_batch: false,
             batch_trap_charged: false,
             store: None,
@@ -485,11 +500,28 @@ impl Kernel {
     /// Scheduler hook: marks a blocked thread runnable again (alert arrival
     /// or explicit wake).  Halted threads stay halted.
     pub fn sched_wake(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
+        self.sched_mark_dirty(tid);
         let (_, body) = self.thread_mut(tid)?;
         if body.state == ThreadState::Blocked {
             body.state = ThreadState::Runnable;
         }
         Ok(())
+    }
+
+    /// Records that `tid`'s wake conditions may have changed.  The
+    /// scheduler re-examines exactly these threads instead of scanning its
+    /// whole wait set, which is what keeps 10⁴+ parked clients cheap.
+    pub fn sched_mark_dirty(&mut self, tid: ObjectId) {
+        if self.sched_dirty_set.insert(tid) {
+            self.sched_dirty.push(tid);
+        }
+    }
+
+    /// Drains the set of threads whose wake conditions may have changed
+    /// since the last call, in event order (scheduler hook).
+    pub fn take_sched_dirty(&mut self) -> Vec<ObjectId> {
+        self.sched_dirty_set.clear();
+        std::mem::take(&mut self.sched_dirty)
     }
 
     /// Scheduler hook: parks a runnable thread until the next wake.  Halted
@@ -600,12 +632,65 @@ impl Kernel {
         }
     }
 
-    /// Pushes a completion onto `tid`'s completion queue.
+    /// Pushes a completion onto `tid`'s completion queue.  The thread is
+    /// marked sched-dirty: if it is parked on an empty completion queue,
+    /// the scheduler's next wake pass will find it without a scan.
     pub(crate) fn push_completion(&mut self, tid: ObjectId, completion: Completion) {
+        self.sched_mark_dirty(tid);
         self.completions
             .entry(tid)
             .or_default()
             .push_back(completion);
+    }
+
+    // ----- readiness watches (blocking I/O) -----------------------------
+
+    /// Registers a one-shot readiness watch for `tid` on the object named
+    /// by `entry`.  When the object is next written (`segment_write`) or
+    /// deallocated, the kernel pushes an [`CompletionKind::ObjectReady`]
+    /// completion to `tid` — the wake half of blocking `read(2)`/`poll`.
+    ///
+    /// The watch is observe-checked: watching an object you cannot read
+    /// would turn its write activity into a covert channel.
+    pub fn sys_segment_watch(
+        &mut self,
+        tid: ObjectId,
+        entry: ContainerEntry,
+    ) -> Result<(), SyscallError> {
+        self.charge_syscall();
+        let tl = self.thread_label(tid)?;
+        self.check_entry(&tl, entry)?;
+        self.check_observe(&tl, entry.object)?;
+        let list = self.watchers.entry(entry.object).or_default();
+        if !list.contains(&tid) {
+            list.push(tid);
+        }
+        Ok(())
+    }
+
+    /// Wakes every watcher of `object` with an `ObjectReady` completion
+    /// and clears the watch list (watches are one-shot).  Called on the
+    /// success path of `segment_write` and on deallocation.
+    fn notify_watchers(&mut self, object: ObjectId) {
+        if let Some(list) = self.watchers.remove(&object) {
+            for tid in list {
+                if !self.objects.contains_key(&tid) {
+                    continue; // the watcher died while parked
+                }
+                self.push_completion(
+                    tid,
+                    Completion {
+                        user_data: KERNEL_USER_DATA,
+                        kind: CompletionKind::ObjectReady { object },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Number of threads currently watching `object` (test hook).
+    pub fn watcher_count(&self, object: ObjectId) -> usize {
+        self.watchers.get(&object).map_or(0, |l| l.len())
     }
 
     /// Whether `tid` has unreaped completions (scheduler wake condition: a
@@ -1098,6 +1183,11 @@ impl Kernel {
         };
         self.stats.objects_deallocated += 1;
         self.revoke_handles_for_object(id);
+        // Threads watching this object wake (reads see EOF / a dead fd
+        // rather than sleeping forever), and the scheduler gets a chance
+        // to retire the object if it was itself a parked thread.
+        self.notify_watchers(id);
+        self.sched_mark_dirty(id);
         if obj.header.object_type == ObjectType::Thread {
             // A dead thread's ABI-edge state dies with it.
             self.handles.remove(&id);
@@ -1679,6 +1769,11 @@ impl Kernel {
                 }),
             }
         })();
+        if result.is_ok() {
+            // Readiness: wake anyone parked waiting for this segment to
+            // make progress (blocked pipe/socket readers and pollers).
+            self.notify_watchers(entry.object);
+        }
         result.inspect_err(|_| self.stats.errors += 1)
     }
 

@@ -163,9 +163,15 @@ pub struct Scheduler<Ctx> {
     rng: SimRng,
     queue: VecDeque<ObjectId>,
     /// Threads parked off the run queue until a completion or alert
-    /// arrives.  Blocked threads consume zero quanta: they are not
-    /// rotated through the run queue, only scanned for wake conditions.
-    waiting: Vec<ObjectId>,
+    /// arrives, keyed to their park sequence number.  Blocked threads
+    /// consume zero quanta: they are not rotated through the run queue,
+    /// and — via the kernel's sched-dirty list — only threads whose wake
+    /// conditions actually changed are re-examined, so a wake pass costs
+    /// O(events), not O(parked threads).  Eligible wakes are applied in
+    /// park order, keeping the interleaving a pure function of the seed.
+    waiting: HashMap<ObjectId, u64>,
+    /// Monotonic counter stamping each park, for deterministic wake order.
+    park_seq: u64,
     pending: Vec<ObjectId>,
     programs: HashMap<ObjectId, Program<Ctx>>,
     last_run: Option<ObjectId>,
@@ -180,7 +186,8 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
             quantum,
             rng: SimRng::new(seed ^ 0x5ced_5ced),
             queue: VecDeque::new(),
-            waiting: Vec::new(),
+            waiting: HashMap::new(),
+            park_seq: 0,
             pending: Vec::new(),
             programs: HashMap::new(),
             last_run: None,
@@ -223,40 +230,58 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
         self.queue.extend(batch);
     }
 
-    /// Scans the wait set for threads whose wake condition holds — a
-    /// pending alert, a completion on their completion queue, or an
-    /// external `sched_wake` — and moves them (in blocking order) back to
-    /// the run queue.  Retires threads that halted or died while parked.
+    /// Parks a thread in the wait set and marks it sched-dirty so the next
+    /// wake pass re-checks it once: a completion or alert that landed
+    /// during the thread's final quantum (submit-then-block) must not be
+    /// lost just because the event preceded the park.
+    fn park(&mut self, ctx: &mut Ctx, tid: ObjectId) {
+        self.park_seq += 1;
+        self.waiting.insert(tid, self.park_seq);
+        ctx.sched_kernel().sched_mark_dirty(tid);
+    }
+
+    /// Re-examines exactly the parked threads whose wake conditions may
+    /// have changed — the kernel's sched-dirty list: a pending alert, a
+    /// completion on their completion queue, or an external `sched_wake` —
+    /// and moves the eligible ones (in park order) back to the run queue.
+    /// Retires threads that halted or died while parked.  Threads with no
+    /// event stay parked untouched, so 10⁴ idle clients cost nothing here.
     fn wake_waiters(&mut self, ctx: &mut Ctx) {
-        let mut i = 0;
-        while i < self.waiting.len() {
-            let tid = self.waiting[i];
+        let dirty = ctx.sched_kernel().take_sched_dirty();
+        if dirty.is_empty() {
+            return;
+        }
+        let mut hits: Vec<(u64, ObjectId)> = dirty
+            .into_iter()
+            .filter_map(|tid| self.waiting.get(&tid).map(|&seq| (seq, tid)))
+            .collect();
+        hits.sort_unstable();
+        for (_, tid) in hits {
             let kernel = ctx.sched_kernel();
             match kernel.thread_state(tid) {
                 Err(_) | Ok(ThreadState::Halted) => {
-                    self.waiting.remove(i);
+                    self.waiting.remove(&tid);
                     self.programs.remove(&tid);
                     self.stats.completed += 1;
                 }
                 Ok(ThreadState::Runnable) => {
                     // Woken externally (explicit sched_wake).
-                    self.waiting.remove(i);
+                    self.waiting.remove(&tid);
                     self.queue.push_back(tid);
                 }
                 Ok(ThreadState::Blocked) => {
                     if kernel.thread_has_pending_alerts(tid) {
                         let _ = kernel.sched_wake(tid);
                         self.stats.alert_wakeups += 1;
-                        self.waiting.remove(i);
+                        self.waiting.remove(&tid);
                         self.queue.push_back(tid);
                     } else if kernel.completion_pending(tid) {
                         let _ = kernel.sched_wake(tid);
                         self.stats.completion_wakeups += 1;
-                        self.waiting.remove(i);
+                        self.waiting.remove(&tid);
                         self.queue.push_back(tid);
-                    } else {
-                        i += 1;
                     }
+                    // Otherwise the event was spurious: stay parked.
                 }
             }
         }
@@ -302,7 +327,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                 Ok(ThreadState::Blocked) => {
                     // Blocked outside the scheduler's own Step::Block path
                     // (e.g. a direct sched_block): park it.
-                    self.waiting.push(tid);
+                    self.park(ctx, tid);
                     continue;
                 }
                 Ok(ThreadState::Runnable) => {}
@@ -351,7 +376,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                 Step::Block => {
                     let _ = ctx.sched_kernel().sched_block(tid);
                     self.programs.insert(tid, program);
-                    self.waiting.push(tid);
+                    self.park(ctx, tid);
                 }
                 Step::Done => {
                     // Halt through the trap boundary so the audit trace

@@ -607,6 +607,13 @@ fn cases(fx: &Fx) -> Vec<(Syscall, Direct)> {
             Syscall::PersistGetLabel { key: fx.pkey },
             Box::new(|k, fx| k.sys_persist_get_label(fx.boot, fx.pkey).map(R::Label)),
         ),
+        (
+            Syscall::SegmentWatch { entry: e_seg },
+            Box::new(|k, fx| {
+                k.sys_segment_watch(fx.boot, entry(fx, fx.seg))
+                    .map(|()| R::Unit)
+            }),
+        ),
     ]
 }
 

@@ -22,8 +22,13 @@ use histar_kernel::bodies::DeviceBody;
 use histar_kernel::object::{ContainerEntry, ObjectId};
 use histar_kernel::Syscall;
 use histar_label::{Category, Label, Level};
+use histar_unix::fdtable::{
+    FdKind, FdState, FLAG_NONBLOCK, FLAG_RDONLY, FLAG_SOCK_LISTEN, FLAG_SOCK_SERVER,
+};
+use histar_unix::net_queue::{self, ConnHandoff};
 use histar_unix::process::Pid;
-use histar_unix::{UnixEnv, UnixError};
+use histar_unix::vnode::{self, VfsCtx};
+use histar_unix::{gatecall, Fd, UnixEnv, UnixError};
 
 /// Result alias for networking operations.
 pub type Result<T> = core::result::Result<T, UnixError>;
@@ -57,6 +62,40 @@ pub struct Netd {
     pub tx_handle: Handle,
     /// netd's capability handle for the receive buffer.
     pub rx_handle: Handle,
+    /// Container holding accept queues and connection segments, labelled
+    /// `{i 2, 1}` so the (tainted) netd can create objects in it and any
+    /// `i`-tainted peer can name entries through it.
+    pub conns: ObjectId,
+}
+
+/// A listening socket, as returned by [`Netd::listen`].
+#[derive(Clone, Copy, Debug)]
+pub struct Listener {
+    /// The server's listening descriptor (accept on this).
+    pub fd: Fd,
+    /// The accept-queue segment — what clients pass to [`Netd::connect`]
+    /// (in a real stack this is the address/port they dial).
+    pub queue: ContainerEntry,
+    /// The listener's guard category: the acceptor owns it, and every
+    /// per-connection grant gate netd pre-creates pins it to `0` in the
+    /// gate clearance, so nobody else can enter those gates and steal a
+    /// connection's categories while it waits in the queue.
+    pub guard: Category,
+}
+
+/// One accepted connection, as returned by [`Netd::accept`].
+#[derive(Clone, Copy, Debug)]
+pub struct Accepted {
+    /// The server-side connection descriptor.
+    pub fd: Fd,
+    /// The connection's receive-taint category (the paper's `ssl_r`):
+    /// level 3 in the connection label, so only its owners may observe
+    /// the connection's bytes.
+    pub taint_cat: Category,
+    /// The connection's write-protect category (the paper's `ssl_w`):
+    /// level 0 in the connection label, so only its owners may write the
+    /// connection.
+    pub write_cat: Category,
 }
 
 impl Netd {
@@ -76,7 +115,19 @@ impl Netd {
             .kernel_mut()
             .trap_create_category(parent_thread)?;
 
-        let pid = env.spawn(parent, &format!("/sbin/netd-{name}"), None)?;
+        // netd is born tainted `i 2` (Figure 11): it can eavesdrop on or
+        // tamper with packets, but cannot leak tainted data anywhere
+        // untainted — "a compromised netd can only mount the equivalent
+        // of a network eavesdropping or packet tampering attack".
+        // Spawning it pre-tainted (rather than raising its label later)
+        // also labels its own containers `.. i 2 ..`, so the tainted
+        // daemon can still create grant gates and connection state.
+        let pid = env.spawn_with_label(
+            parent,
+            &format!("/sbin/netd-{name}"),
+            vec![],
+            vec![(taint, Level::L2)],
+        )?;
         let thread = env.process(pid)?.thread;
         let kroot = env.machine().kernel().root_container();
         let kernel = env.machine_mut().kernel_mut();
@@ -109,16 +160,23 @@ impl Netd {
         let rx_buffer = kernel.trap_segment_create(
             parent_thread,
             kroot,
-            buffer_label,
+            buffer_label.clone(),
             64 * 1024,
             &format!("netd-{name} rx"),
         )?;
-        // netd itself runs tainted `i 2` from here on (Figure 11): it can
-        // eavesdrop on or tamper with packets, but cannot leak tainted data
-        // anywhere untainted — "a compromised netd can only mount the
-        // equivalent of a network eavesdropping or packet tampering attack".
-        let netd_label = kernel.thread_label(thread)?.with(taint, Level::L2);
-        kernel.trap_self_set_label(thread, netd_label)?;
+        // Connection state lives in its own container, tainted like the
+        // network: netd (itself `i 2`) creates accept queues and
+        // connection segments here, and any `i`-tainted peer can name
+        // them through it.  Sized for a 10⁴-connection burst (each idle
+        // connection segment charges one page of quota).
+        let conns = kernel.trap_container_create(
+            parent_thread,
+            kroot,
+            buffer_label,
+            &format!("netd-{name} conns"),
+            0,
+            256 * 1024 * 1024,
+        )?;
         let device_entry = ContainerEntry::new(kroot, device);
         let tx_entry = ContainerEntry::new(kroot, tx_buffer);
         let rx_entry = ContainerEntry::new(kroot, rx_buffer);
@@ -149,7 +207,233 @@ impl Netd {
             device_handle,
             tx_handle,
             rx_handle,
+            conns,
         })
+    }
+
+    /// Spawns a process pre-tainted `i 2` — the right birth label for
+    /// anything that will speak sockets.  A process tainted from birth
+    /// carries the taint on its own containers, so it can still maintain
+    /// descriptor state after reading from the network; a process that
+    /// raises the taint later cannot create new descriptors.
+    pub fn spawn_tainted(&self, env: &mut UnixEnv, parent: Pid, executable: &str) -> Result<Pid> {
+        env.spawn_with_label(parent, executable, vec![], vec![(self.taint, Level::L2)])
+    }
+
+    /// Raises `pid`'s taint to `i 2` if it neither owns `i` nor already
+    /// carries it — the label cost of looking at network data.
+    fn ensure_net_taint(&self, env: &mut UnixEnv, pid: Pid) -> Result<()> {
+        let thread = env.process(pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let label = kernel.thread_label(thread)?;
+        if !label.owns(self.taint) && label.level(self.taint).as_low() < Level::L2.as_low() {
+            kernel.trap_self_set_label(thread, label.with(self.taint, Level::L2))?;
+        }
+        Ok(())
+    }
+
+    /// Creates a listening socket for `server`: netd allocates an accept
+    /// queue in its connections container and the server gets a
+    /// descriptor for it (`FLAG_SOCK_LISTEN`).  Returns the listener; the
+    /// queue entry inside it is the "address" clients connect to.
+    ///
+    /// The server should be spawned via [`Netd::spawn_tainted`] (or
+    /// otherwise carry taint `i 2` from birth).
+    pub fn listen(&self, env: &mut UnixEnv, server: Pid) -> Result<Listener> {
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let queue_label = Label::builder().set(self.taint, Level::L2).build();
+        let queue = kernel.trap_segment_create(
+            netd_thread,
+            self.conns,
+            queue_label,
+            net_queue::QUEUE_SEGMENT_LEN,
+            "accept queue",
+        )?;
+        let queue_entry = ContainerEntry::new(self.conns, queue);
+        {
+            let mut ctx = VfsCtx {
+                machine: env.machine_mut(),
+                thread: netd_thread,
+            };
+            net_queue::init_queue_segment(&mut ctx, queue_entry)?;
+        }
+        self.ensure_net_taint(env, server)?;
+        // The listener's guard category: netd keeps `⋆` (one per
+        // listener), the server gains `⋆` through an ordinary grant, and
+        // every pending connection's grant gate demands it at `0`.
+        let guard = {
+            let netd_thread = env.process(self.pid)?.thread;
+            env.machine_mut()
+                .kernel_mut()
+                .trap_create_category(netd_thread)?
+        };
+        gatecall::grant_categories(env, self.pid, server, &[guard])?;
+        let fd = env.install_descriptor(
+            server,
+            FdState {
+                kind: FdKind::Socket,
+                target: queue,
+                target_container: self.conns,
+                position: 0,
+                flags: FLAG_SOCK_LISTEN | FLAG_RDONLY,
+                refs: 1,
+            },
+        )?;
+        Ok(Listener {
+            fd,
+            queue: queue_entry,
+            guard,
+        })
+    }
+
+    /// Connects `client` to a listening socket (§6.1's connection setup):
+    /// netd mints the two per-connection categories (`ssl_r`/`ssl_w`),
+    /// creates the connection segment labelled
+    /// `{i 2, ssl_r 3, ssl_w 0, 1}`, grants both categories to the
+    /// client through a gate, pre-creates the (guarded) grant gate the
+    /// acceptor will enter, and enqueues the handoff.  netd then *sheds*
+    /// its own ownership of the two categories: a daemon that kept `⋆`
+    /// for every connection it ever set up would grow its label without
+    /// bound, and every label check it makes scales with that size.
+    /// Returns the client-side descriptor.
+    pub fn connect(&self, env: &mut UnixEnv, client: Pid, listener: &Listener) -> Result<Fd> {
+        let queue = listener.queue;
+        let netd_thread = env.process(self.pid)?.thread;
+        let kernel = env.machine_mut().kernel_mut();
+        let c_r = kernel.trap_create_category(netd_thread)?;
+        let c_w = kernel.trap_create_category(netd_thread)?;
+        let conn_label = Label::builder()
+            .set(self.taint, Level::L2)
+            .set(c_r, Level::L3)
+            .set(c_w, Level::L0)
+            .build();
+        // Length 0: the two ring headers and the data bytes materialize
+        // lazily inside the segment's one-page quota, so 10⁴ idle
+        // connections cost ~48 bytes of memory each.
+        let conn = kernel.trap_segment_create(netd_thread, self.conns, conn_label, 0, "conn")?;
+        let conn_entry = ContainerEntry::new(self.conns, conn);
+        {
+            let mut ctx = VfsCtx {
+                machine: env.machine_mut(),
+                thread: netd_thread,
+            };
+            vnode::init_socket_segment(&mut ctx, conn_entry)?;
+        }
+        self.ensure_net_taint(env, client)?;
+        gatecall::grant_categories(env, self.pid, client, &[c_r, c_w])?;
+        let fd = env.install_descriptor(
+            client,
+            FdState {
+                kind: FdKind::Socket,
+                target: conn,
+                target_container: self.conns,
+                position: 0,
+                flags: 0,
+                refs: 1,
+            },
+        )?;
+        // The acceptor runs later, so its grant rides a pre-created gate
+        // (in the roomy connections container, not netd's own), guarded
+        // by the listener's category so nobody else can enter it.
+        let grant_gate = gatecall::create_grant_gate(
+            env,
+            self.pid,
+            self.conns,
+            &[c_r, c_w],
+            Some(listener.guard),
+        )?;
+        let mut ctx = VfsCtx {
+            machine: env.machine_mut(),
+            thread: netd_thread,
+        };
+        net_queue::enqueue(
+            &mut ctx,
+            queue,
+            &ConnHandoff {
+                container: self.conns,
+                segment: conn,
+                taint_cat: c_r.raw(),
+                write_cat: c_w.raw(),
+                grant_gate: grant_gate.object,
+            },
+        )?;
+        // Connection state is set up and both grants are arranged: netd
+        // renounces the pair, keeping its own label O(1).
+        gatecall::drop_categories(env, self.pid, &[c_r, c_w])?;
+        Ok(fd)
+    }
+
+    /// Accepts the next pending connection on a listening descriptor.
+    ///
+    /// Returns `Ok(None)` when the queue is empty and the descriptor is
+    /// blocking: a readiness watch is registered on the queue segment, so
+    /// the caller should block its thread and retry after the wake-up —
+    /// `accept(2)` semantics.  With `O_NONBLOCK` set, an empty queue is
+    /// [`UnixError::WouldBlock`] instead.  On success the server is
+    /// granted the connection's two categories and gets a server-side
+    /// descriptor.
+    pub fn accept(
+        &self,
+        env: &mut UnixEnv,
+        server: Pid,
+        listen_fd: Fd,
+    ) -> Result<Option<Accepted>> {
+        let state = env.fd_snapshot(server, listen_fd)?;
+        if state.kind != FdKind::Socket || state.flags & FLAG_SOCK_LISTEN == 0 {
+            return Err(UnixError::Kernel(
+                histar_kernel::syscall::SyscallError::InvalidArgument(
+                    "accept on a non-listening descriptor",
+                ),
+            ));
+        }
+        self.ensure_net_taint(env, server)?;
+        let server_thread = env.process(server)?.thread;
+        // Drain stale wake-ups so a watch registered below is the only
+        // notification outstanding.
+        env.machine_mut()
+            .kernel_mut()
+            .reap_completions(server_thread);
+        let queue = ContainerEntry::new(state.target_container, state.target);
+        let handoff = {
+            let mut ctx = VfsCtx {
+                machine: env.machine_mut(),
+                thread: server_thread,
+            };
+            match net_queue::dequeue(&mut ctx, queue) {
+                Ok(handoff) => handoff,
+                Err(UnixError::WouldBlock) if state.flags & FLAG_NONBLOCK == 0 => {
+                    ctx.kernel().trap_segment_watch(server_thread, queue)?;
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        let taint_cat = Category::from_raw(handoff.taint_cat);
+        let write_cat = Category::from_raw(handoff.write_cat);
+        gatecall::enter_grant_gate(
+            env,
+            self.pid,
+            ContainerEntry::new(handoff.container, handoff.grant_gate),
+            server,
+            &[taint_cat, write_cat],
+        )?;
+        let fd = env.install_descriptor(
+            server,
+            FdState {
+                kind: FdKind::Socket,
+                target: handoff.segment,
+                target_container: handoff.container,
+                position: 0,
+                flags: FLAG_SOCK_SERVER,
+                refs: 1,
+            },
+        )?;
+        Ok(Some(Accepted {
+            fd,
+            taint_cat,
+            write_cat,
+        }))
     }
 
     /// Transmits a payload on behalf of a client process.
@@ -617,6 +901,87 @@ mod tests {
                     | Err(UnixError::Kernel(SyscallError::Label(_)))
             ),
             "trojan-horse write must be refused, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn sockets_connect_accept_and_move_data_both_ways() {
+        let (mut env, init, netd) = setup();
+        let server = netd.spawn_tainted(&mut env, init, "/sbin/httpd").unwrap();
+        let client = netd.spawn_tainted(&mut env, init, "/usr/bin/curl").unwrap();
+
+        let listener = netd.listen(&mut env, server).unwrap();
+        // Nothing pending yet: blocking accept parks (registers a watch).
+        assert!(netd
+            .accept(&mut env, server, listener.fd)
+            .unwrap()
+            .is_none());
+
+        let cfd = netd.connect(&mut env, client, &listener).unwrap();
+        let accepted = netd
+            .accept(&mut env, server, listener.fd)
+            .unwrap()
+            .expect("a connection is pending after connect");
+
+        // Request up, response down.
+        assert_eq!(env.write(client, cfd, b"GET /index").unwrap(), 10);
+        assert_eq!(
+            env.read(server, accepted.fd, 64).unwrap(),
+            b"GET /index".to_vec()
+        );
+        assert_eq!(env.write(server, accepted.fd, b"200 hello").unwrap(), 9);
+        assert_eq!(env.read(client, cfd, 64).unwrap(), b"200 hello".to_vec());
+
+        // An empty connection would block (no data, writers alive)...
+        assert_eq!(env.read(client, cfd, 64), Err(UnixError::WouldBlock));
+        // ...and turns to EOF when the peer closes.
+        env.close(server, accepted.fd).unwrap();
+        assert_eq!(env.read(client, cfd, 64).unwrap(), Vec::<u8>::new());
+        env.close(client, cfd).unwrap();
+    }
+
+    #[test]
+    fn third_parties_cannot_observe_or_write_a_connection() {
+        let (mut env, init, netd) = setup();
+        let server = netd.spawn_tainted(&mut env, init, "/sbin/httpd").unwrap();
+        let client = netd.spawn_tainted(&mut env, init, "/usr/bin/curl").unwrap();
+        // The snoop carries the network taint but owns neither of the
+        // connection's categories.
+        let snoop = netd
+            .spawn_tainted(&mut env, init, "/usr/bin/snoop")
+            .unwrap();
+
+        let listener = netd.listen(&mut env, server).unwrap();
+        let cfd = netd.connect(&mut env, client, &listener).unwrap();
+        let accepted = netd
+            .accept(&mut env, server, listener.fd)
+            .unwrap()
+            .expect("pending connection");
+        env.write(client, cfd, b"secret request").unwrap();
+
+        // The snoop reaches the very same descriptor segment (shared with
+        // it explicitly) but the kernel refuses both directions: reading
+        // needs ownership of the receive-taint category, writing needs
+        // ownership of the write-protect category.
+        let sfd = env.share_fd(server, accepted.fd, snoop).unwrap();
+        let err = env.read(snoop, sfd, 64).unwrap_err();
+        assert!(
+            matches!(err, UnixError::Kernel(SyscallError::CannotObserve(_))),
+            "snoop read must be refused, got {err:?}"
+        );
+        let err = env.write(snoop, sfd, b"forged response").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                UnixError::Kernel(SyscallError::CannotObserve(_))
+                    | UnixError::Kernel(SyscallError::CannotModify(_))
+            ),
+            "snoop write must be refused, got {err:?}"
+        );
+        // The server still reads the client's bytes intact.
+        assert_eq!(
+            env.read(server, accepted.fd, 64).unwrap(),
+            b"secret request".to_vec()
         );
     }
 

@@ -17,7 +17,7 @@
 //! processes (`dup`/`fork` sharing, reference counts).
 
 use crate::devfs::DevFs;
-use crate::fdtable::{Fd, FdState, FdTable};
+use crate::fdtable::{Fd, FdState, FdTable, FLAG_NONBLOCK};
 use crate::fs::DirEntry;
 use crate::fs::{join_path, FileStat, OpenFlags};
 use crate::metricsfs::{MetricsFs, TaskInfo};
@@ -32,7 +32,7 @@ use histar_kernel::bodies::{Mapping, MappingFlags};
 use histar_kernel::kernel::PAGE_SIZE;
 use histar_kernel::object::{ContainerEntry, ObjectId};
 use histar_kernel::syscall::SyscallError;
-use histar_kernel::{Machine, MachineConfig};
+use histar_kernel::{Machine, MachineConfig, Syscall, SyscallResult};
 use histar_label::{Category, Label, Level};
 use std::collections::HashMap;
 
@@ -127,6 +127,12 @@ const DEV_RNG_SEED: u64 = 0x0dd5_eed5;
 struct OpenFd {
     fd_ref: FdRef,
     vnode: Box<dyn Vnode>,
+    /// Snapshot of the descriptor state at open.  The *identity* fields
+    /// (kind, target, flags) never change after install, so readiness
+    /// polling can consult this copy without re-reading the descriptor
+    /// segment; the mutable fields (position, refs) are still read fresh
+    /// by [`UnixEnv::with_fd`] on every operation.
+    meta: FdState,
 }
 
 /// The Unix environment (§5): the untrusted library that makes a HiStar
@@ -141,6 +147,11 @@ pub struct UnixEnv {
     fs_root: ObjectId,
     init_pid: Pid,
     open_vnodes: HashMap<(ObjectId, ObjectId), OpenFd>,
+    /// Library bookkeeping: the container each descriptor segment was
+    /// created in, so sharing a descriptor across processes resolves in
+    /// O(1) instead of scanning every process container.  Purely a cache —
+    /// a stale or missing entry falls back to the scan.
+    fd_homes: HashMap<ObjectId, ObjectId>,
 }
 
 impl UnixEnv {
@@ -193,6 +204,7 @@ impl UnixEnv {
             fs_root,
             init_pid: 1,
             open_vnodes: HashMap::new(),
+            fd_homes: HashMap::new(),
         };
         // PID 1.
         let init = env
@@ -933,7 +945,14 @@ impl UnixEnv {
         preferred_container: ObjectId,
         fd_seg: ObjectId,
     ) -> Result<ContainerEntry> {
+        let home = self.fd_homes.get(&fd_seg).copied();
         let kernel = self.machine.kernel_mut();
+        if let Some(home) = home {
+            let entry = ContainerEntry::new(home, fd_seg);
+            if kernel.trap_segment_len(thread, entry).is_ok() {
+                return Ok(entry);
+            }
+        }
         let entry = ContainerEntry::new(preferred_container, fd_seg);
         if kernel.trap_segment_len(thread, entry).is_ok() {
             return Ok(entry);
@@ -981,8 +1000,14 @@ impl UnixEnv {
             };
             self.vfs.vnode_from_state(&mut ctx, &state)?
         };
-        self.open_vnodes
-            .insert((thread, seg), OpenFd { fd_ref, vnode });
+        self.open_vnodes.insert(
+            (thread, seg),
+            OpenFd {
+                fd_ref,
+                vnode,
+                meta: state,
+            },
+        );
         Ok(())
     }
 
@@ -1042,6 +1067,7 @@ impl UnixEnv {
             kernel.trap_segment_create(thread, container, fd_label, 0, "file descriptor")?;
         let entry = ContainerEntry::new(container, fd_seg);
         kernel.trap_segment_write(thread, entry, 0, &state.encode())?;
+        self.fd_homes.insert(fd_seg, container);
         if let Some(vnode) = vnode {
             self.open_vnodes.insert(
                 (thread, fd_seg),
@@ -1052,6 +1078,7 @@ impl UnixEnv {
                         handle: None,
                     },
                     vnode,
+                    meta: state,
                 },
             );
         }
@@ -1165,6 +1192,9 @@ impl UnixEnv {
         if let Some(h) = fd_ref.handle {
             ctx.kernel().handle_close(thread, h);
         }
+        if state.refs == 0 {
+            self.fd_homes.remove(&seg);
+        }
         self.sync_proc_mirror(pid);
         Ok(())
     }
@@ -1224,6 +1254,196 @@ impl UnixEnv {
         let read_fd = self.install_fd(pid, read_state, None)?;
         let write_fd = self.install_fd(pid, write_state, None)?;
         Ok((read_fd, write_fd))
+    }
+
+    // ----- blocking I/O and readiness ---------------------------------------
+    //
+    // Real `read(2)` semantics on top of the kernel's one-shot readiness
+    // watches: an operation that cannot make progress registers a watch on
+    // the descriptor's backing segment and returns `None`, the caller's
+    // thread program issues `Step::Block`, and the scheduler parks the
+    // thread — zero quanta are charged until a peer's write (or hangup)
+    // pushes an `ObjectReady` completion and wakes it.
+
+    /// Installs an externally built descriptor (e.g. a socket handed over
+    /// by netd) into a process's table.  The descriptor segment is created
+    /// in the process's container as usual.
+    pub fn install_descriptor(&mut self, pid: Pid, state: FdState) -> Result<Fd> {
+        self.install_fd(pid, state, None)
+    }
+
+    /// Shares an open descriptor with another process (the launcher →
+    /// worker handoff): bumps the shared descriptor segment's refcount and
+    /// allocates a number for it in the target's table.  Both processes
+    /// now see the same seek position and flags, exactly like `fork`.
+    pub fn share_fd(&mut self, from: Pid, fd: Fd, to: Pid) -> Result<Fd> {
+        let seg = {
+            let p = self.process(from)?;
+            p.fds.get(fd).ok_or(UnixError::BadFd(fd))?
+        };
+        self.adjust_fd_refs(from, seg, 1)?;
+        let new_fd = self.process_mut(to)?.fds.allocate(seg);
+        self.sync_proc_mirror(to);
+        Ok(new_fd)
+    }
+
+    /// Reads a descriptor's current state (one segment read, no vnode).
+    pub fn fd_snapshot(&mut self, pid: Pid, fd: Fd) -> Result<FdState> {
+        let (thread, container, seg) = {
+            let p = self.process(pid)?;
+            let seg = p.fds.get(fd).ok_or(UnixError::BadFd(fd))?;
+            (p.thread, p.process_container, seg)
+        };
+        let entry = self.locate_fd_segment(thread, container, seg)?;
+        let fd_ref = FdRef {
+            seg,
+            entry,
+            handle: None,
+        };
+        let mut ctx = VfsCtx {
+            machine: &mut self.machine,
+            thread,
+        };
+        vnode::read_fd_state(&mut ctx, &fd_ref)
+    }
+
+    /// Blocking read: `Ok(Some(bytes))` on progress (empty = EOF),
+    /// `Ok(None)` when the descriptor has no data yet — a readiness watch
+    /// has been registered and the caller must block the thread and retry
+    /// after the wake-up.  `O_NONBLOCK` descriptors surface
+    /// [`UnixError::WouldBlock`] instead of parking.
+    pub fn read_blocking(&mut self, pid: Pid, fd: Fd, len: u64) -> Result<Option<Vec<u8>>> {
+        let thread = self.process(pid)?.thread;
+        // Drain any stale wake-up notifications so this attempt's watch
+        // (if needed) is the only one outstanding.
+        self.machine.kernel_mut().reap_completions(thread);
+        self.with_fd(pid, fd, |ctx, fd_ref, vnode, state| {
+            match vnode.read(ctx, fd_ref, state, len) {
+                Ok(data) => Ok(Some(data)),
+                Err(UnixError::WouldBlock) if state.flags & FLAG_NONBLOCK == 0 => {
+                    let watch = ContainerEntry::new(state.target_container, state.target);
+                    let thread = ctx.thread;
+                    ctx.kernel().trap_segment_watch(thread, watch)?;
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Blocking write: `Ok(Some(n))` when at least one byte was accepted,
+    /// `Ok(None)` when the ring is full — a readiness watch has been
+    /// registered (the reader's next drain wakes the writer) and the
+    /// caller must block the thread and retry.
+    pub fn write_blocking(&mut self, pid: Pid, fd: Fd, data: &[u8]) -> Result<Option<u64>> {
+        let thread = self.process(pid)?.thread;
+        self.machine.kernel_mut().reap_completions(thread);
+        self.with_fd(pid, fd, |ctx, fd_ref, vnode, state| {
+            match vnode.write(ctx, fd_ref, state, data) {
+                Ok(n) => Ok(Some(n)),
+                Err(UnixError::WouldBlock) if state.flags & FLAG_NONBLOCK == 0 => {
+                    let watch = ContainerEntry::new(state.target_container, state.target);
+                    let thread = ctx.thread;
+                    ctx.kernel().trap_segment_watch(thread, watch)?;
+                    Ok(None)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Readiness poll over a set of descriptors: one batched submission of
+    /// ring-header reads, one `bool` per descriptor.  Descriptors without
+    /// a blocking discipline (files, devices) always report ready.
+    pub fn poll(&mut self, pid: Pid, fds: &[Fd]) -> Result<Vec<bool>> {
+        self.poll_inner(pid, fds, false)
+            .map(|r| r.expect("non-registering poll always returns a result"))
+    }
+
+    /// Blocking poll: like [`UnixEnv::poll`], but when *nothing* is ready
+    /// it arms a one-shot readiness watch on every polled descriptor (one
+    /// batched submission) and returns `None`; the caller blocks the
+    /// thread and re-polls after the wake-up.  This is how one launcher
+    /// thread multiplexes a listening socket and thousands of idle
+    /// connections without burning a quantum on any of them.
+    pub fn poll_block(&mut self, pid: Pid, fds: &[Fd]) -> Result<Option<Vec<bool>>> {
+        let thread = self.process(pid)?.thread;
+        self.machine.kernel_mut().reap_completions(thread);
+        self.poll_inner(pid, fds, true)
+    }
+
+    fn poll_inner(&mut self, pid: Pid, fds: &[Fd], register: bool) -> Result<Option<Vec<bool>>> {
+        let (thread, container, segs) = {
+            let p = self.process(pid)?;
+            let segs = fds
+                .iter()
+                .map(|&fd| p.fds.get(fd).ok_or(UnixError::BadFd(fd)))
+                .collect::<Result<Vec<_>>>()?;
+            (p.thread, p.process_container, segs)
+        };
+        for &seg in &segs {
+            self.ensure_open_fd(thread, container, seg)?;
+        }
+        // Probe targets from the cached descriptor metadata: the probe for
+        // each blocking descriptor is a read of its ring header, and all
+        // probes go down in ONE submission batch.
+        let probes: Vec<Option<(ContainerEntry, u64, u64, bool)>> = segs
+            .iter()
+            .map(|&seg| {
+                let meta = &self.open_vnodes[&(thread, seg)].meta;
+                vnode::readiness_probe(meta).map(|(header, capacity, write_side)| {
+                    (
+                        ContainerEntry::new(meta.target_container, meta.target),
+                        header,
+                        capacity,
+                        write_side,
+                    )
+                })
+            })
+            .collect();
+        let calls: Vec<Syscall> = probes
+            .iter()
+            .flatten()
+            .map(|&(entry, header, _, _)| Syscall::SegmentRead {
+                entry,
+                offset: header,
+                len: vnode::PIPE_HEADER,
+            })
+            .collect();
+        let results = self.machine.kernel_mut().submit_calls(thread, calls);
+        let mut it = results.into_iter();
+        let mut ready = Vec::with_capacity(fds.len());
+        for probe in &probes {
+            match probe {
+                None => ready.push(true),
+                Some((_, _, capacity, write_side)) => {
+                    let (capacity, write_side) = (*capacity, *write_side);
+                    match it.next().expect("one result per probe") {
+                        Ok(SyscallResult::Bytes(b)) => {
+                            ready.push(vnode::readiness_from_header(&b, capacity, write_side));
+                        }
+                        Ok(_) => return Err(UnixError::Corrupt("poll probe result")),
+                        Err(e) => return Err(UnixError::Kernel(e)),
+                    }
+                }
+            }
+        }
+        if !register || ready.iter().any(|&r| r) {
+            return Ok(Some(ready));
+        }
+        // Nothing ready: arm one-shot watches on every probe target as a
+        // second single batch, then tell the caller to park.  Probe and
+        // watch both run inside the calling thread's quantum, so no peer
+        // can slip a write between them — there is no lost-wakeup window.
+        let watches: Vec<Syscall> = probes
+            .iter()
+            .flatten()
+            .map(|&(entry, ..)| Syscall::SegmentWatch { entry })
+            .collect();
+        for r in self.machine.kernel_mut().submit_calls(thread, watches) {
+            r.map_err(UnixError::Kernel)?;
+        }
+        Ok(None)
     }
 
     // ----- path operations (thin wrappers over the VFS) ---------------------

@@ -116,6 +116,13 @@ pub const FLAG_NONBLOCK: u32 = 1 << 1;
 pub const FLAG_RDONLY: u32 = 1 << 2;
 /// Flag bit: descriptor was opened write-only.
 pub const FLAG_WRONLY: u32 = 1 << 3;
+/// Flag bit (sockets): this descriptor is the *server* side of a
+/// connection — it reads ring 0 (client→server) and writes ring 1.
+/// Absent, the descriptor is the client side and the rings swap roles.
+pub const FLAG_SOCK_SERVER: u32 = 1 << 4;
+/// Flag bit (sockets): a listening socket; `target` is the accept-queue
+/// segment netd enqueues new connections into, not a connection.
+pub const FLAG_SOCK_LISTEN: u32 = 1 << 5;
 
 impl FdState {
     /// Serializes the descriptor state into the bytes stored in its segment.

@@ -372,22 +372,41 @@ pub fn grant_categories(
     if categories.is_empty() {
         return Ok(());
     }
-    let (from_thread, from_container) = {
-        let p = env.process(from)?;
-        (p.thread, p.process_container)
-    };
-    let to_thread = env.process(to)?.thread;
-    let kernel = env.machine_mut().kernel_mut();
+    let from_container = env.process(from)?.process_container;
+    let entry = create_grant_gate(env, from, from_container, categories, None)?;
+    enter_grant_gate(env, from, entry, to, categories)
+}
 
+/// The creation half of [`grant_categories`], for grants where the two
+/// sides run at different times: builds the single-use grant gate in
+/// `container` and returns its entry, without anyone entering it yet.
+/// netd uses this at connect time — the acceptor only shows up later.
+///
+/// A gate that *waits* to be entered is a stealable capability unless it
+/// is guarded: passing `guard` pins that category to `0` in the gate's
+/// clearance, so only threads owning `guard` pass the kernel's
+/// `L_T ⊑ C_G` entry check — everyone else's default `1` is refused.
+pub fn create_grant_gate(
+    env: &mut UnixEnv,
+    from: Pid,
+    container: ObjectId,
+    categories: &[Category],
+    guard: Option<Category>,
+) -> Result<ContainerEntry> {
+    let from_thread = env.process(from)?.thread;
+    let kernel = env.machine_mut().kernel_mut();
     let mut gate_label = kernel.thread_label(from_thread)?;
     let mut gate_clearance = Label::default_clearance();
     for &c in categories {
         gate_label = gate_label.with(c, Level::Star);
         gate_clearance = gate_clearance.with(c, Level::L3);
     }
+    if let Some(g) = guard {
+        gate_clearance = gate_clearance.with(g, Level::L0);
+    }
     let gate = kernel.trap_gate_create(
         from_thread,
-        from_container,
+        container,
         gate_label,
         gate_clearance,
         None,
@@ -395,8 +414,23 @@ pub fn grant_categories(
         vec![],
         "category grant gate",
     )?;
-    let entry = ContainerEntry::new(from_container, gate);
+    Ok(ContainerEntry::new(container, gate))
+}
 
+/// The entry half of [`grant_categories`]: `to`'s thread enters a grant
+/// gate made by [`create_grant_gate`], gaining `⋆` for `categories` while
+/// keeping its current label otherwise, and `owner`'s thread unrefs the
+/// single-use gate.
+pub fn enter_grant_gate(
+    env: &mut UnixEnv,
+    owner: Pid,
+    entry: ContainerEntry,
+    to: Pid,
+    categories: &[Category],
+) -> Result<()> {
+    let owner_thread = env.process(owner)?.thread;
+    let to_thread = env.process(to)?.thread;
+    let kernel = env.machine_mut().kernel_mut();
     let mut requested = kernel.thread_label(to_thread)?;
     let mut requested_clearance = kernel.thread_clearance(to_thread)?;
     for &c in categories {
@@ -406,7 +440,7 @@ pub fn grant_categories(
     let verify = kernel.thread_label(to_thread)?;
     kernel.trap_gate_enter(to_thread, entry, requested, requested_clearance, verify)?;
     // The grant gate is single-use.
-    let _ = kernel.trap_obj_unref(from_thread, entry);
+    let _ = kernel.trap_obj_unref(owner_thread, entry);
 
     let proc = env.process_record_mut(to)?;
     for &c in categories {
@@ -414,6 +448,33 @@ pub fn grant_categories(
             proc.extra_ownership.push(c);
         }
     }
+    Ok(())
+}
+
+/// Renounces ownership of `categories`: drops their `⋆` from `pid`'s
+/// thread label (back to the default `1`) and their `3` from its
+/// clearance (back to the default `2`).  Both transitions are ordinary
+/// `self_set_label`/`self_set_clearance` calls the kernel validates.
+///
+/// Long-running daemons must shed per-connection categories once they
+/// are handed off, or their labels grow without bound — and every label
+/// check they ever make scales with that size.
+pub fn drop_categories(env: &mut UnixEnv, pid: Pid, categories: &[Category]) -> Result<()> {
+    if categories.is_empty() {
+        return Ok(());
+    }
+    let thread = env.process(pid)?.thread;
+    let kernel = env.machine_mut().kernel_mut();
+    let mut label = kernel.thread_label(thread)?;
+    let mut clearance = kernel.thread_clearance(thread)?;
+    for &c in categories {
+        label = label.without(c);
+        clearance = clearance.without(c);
+    }
+    kernel.trap_self_set_label(thread, label)?;
+    kernel.trap_self_set_clearance(thread, clearance)?;
+    let proc = env.process_record_mut(pid)?;
+    proc.extra_ownership.retain(|c| !categories.contains(c));
     Ok(())
 }
 

@@ -40,6 +40,7 @@ pub mod fdtable;
 pub mod fs;
 pub mod gatecall;
 pub mod metricsfs;
+pub mod net_queue;
 pub mod persistfs;
 pub mod process;
 pub mod procfs;

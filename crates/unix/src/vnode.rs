@@ -195,14 +195,14 @@ fn pipe_entry(state: &FdState) -> ContainerEntry {
     ContainerEntry::new(state.target_container, state.target)
 }
 
-fn decode_pipe_header(header: &[u8]) -> (u64, u64, u64) {
+pub(crate) fn decode_pipe_header(header: &[u8]) -> (u64, u64, u64) {
     let rpos = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
     let wpos = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let writers = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
     (rpos, wpos, writers)
 }
 
-fn encode_pipe_header(rpos: u64, wpos: u64, writers: u64) -> Vec<u8> {
+pub(crate) fn encode_pipe_header(rpos: u64, wpos: u64, writers: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(PIPE_HEADER as usize);
     out.extend_from_slice(&rpos.to_le_bytes());
     out.extend_from_slice(&wpos.to_le_bytes());
@@ -210,18 +210,119 @@ fn encode_pipe_header(rpos: u64, wpos: u64, writers: u64) -> Vec<u8> {
     out
 }
 
-impl PipeVnode {
-    fn read_header(ctx: &mut VfsCtx, state: &FdState) -> Result<(u64, u64, u64)> {
+/// One byte ring inside a segment: a `PIPE_HEADER`-byte header plus
+/// `capacity` data bytes, each at an arbitrary offset.  A pipe segment
+/// holds one ring; a socket connection segment holds two (one per
+/// direction), with both headers packed at the front so an idle
+/// connection materializes almost no segment bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    /// The segment holding the ring.
+    pub entry: ContainerEntry,
+    /// Byte offset of the ring's `(rpos, wpos, writers)` header.
+    pub header: u64,
+    /// Byte offset of the ring's data area.
+    pub data: u64,
+    /// Data capacity in bytes.
+    pub capacity: u64,
+}
+
+impl Ring {
+    /// The offset poll probes to compute readiness without data movement.
+    pub fn header_offset(&self) -> u64 {
+        self.header
+    }
+
+    /// Decoded `(rpos, wpos, writers)` header (one trap).
+    pub fn read_header(&self, ctx: &mut VfsCtx) -> Result<(u64, u64, u64)> {
         let thread = ctx.thread;
-        let header = ctx
-            .kernel()
-            .trap_segment_read(thread, pipe_entry(state), 0, PIPE_HEADER)?;
+        let header =
+            ctx.kernel()
+                .trap_segment_read(thread, self.entry, self.header, PIPE_HEADER)?;
         Ok(decode_pipe_header(&header))
     }
 
-    /// Adjusts the writer count (used by `on_last_close` of write ends).
-    fn adjust_writers(ctx: &mut VfsCtx, state: &FdState, delta: i64) -> Result<()> {
-        let (rpos, wpos, writers) = PipeVnode::read_header(ctx, state)?;
+    /// Consumes up to `len` bytes.  Empty ring: end-of-file when no
+    /// writers remain, [`UnixError::WouldBlock`] otherwise.  The data
+    /// read(s) and the header update cross the boundary as one batch.
+    pub(crate) fn read(&self, ctx: &mut VfsCtx, len: u64) -> Result<Vec<u8>> {
+        let (rpos, wpos, writers) = self.read_header(ctx)?;
+        let available = wpos - rpos;
+        if available == 0 {
+            if writers == 0 {
+                return Ok(Vec::new()); // end of file
+            }
+            return Err(UnixError::WouldBlock);
+        }
+        let n = len.min(available);
+        let start = rpos % self.capacity;
+        let first = n.min(self.capacity - start);
+        let mut calls = vec![Syscall::SegmentRead {
+            entry: self.entry,
+            offset: self.data + start,
+            len: first,
+        }];
+        if first < n {
+            calls.push(Syscall::SegmentRead {
+                entry: self.entry,
+                offset: self.data,
+                len: n - first,
+            });
+        }
+        calls.push(Syscall::SegmentWrite {
+            entry: self.entry,
+            offset: self.header,
+            data: encode_pipe_header(rpos + n, wpos, writers),
+        });
+        let thread = ctx.thread;
+        let mut results = ctx.kernel().submit_calls(thread, calls).into_iter();
+        let mut out = results.next().expect("first read completes")?.into_bytes();
+        if first < n {
+            out.extend(results.next().expect("wrap read completes")?.into_bytes());
+        }
+        results.next().expect("header update completes")?;
+        Ok(out)
+    }
+
+    /// Appends up to `data.len()` bytes, returning how many fit.  A full
+    /// ring returns [`UnixError::WouldBlock`].
+    pub(crate) fn write(&self, ctx: &mut VfsCtx, data: &[u8]) -> Result<u64> {
+        let (rpos, wpos, writers) = self.read_header(ctx)?;
+        let free = self.capacity - (wpos - rpos);
+        if free == 0 {
+            return Err(UnixError::WouldBlock);
+        }
+        let n = (data.len() as u64).min(free);
+        let start = wpos % self.capacity;
+        let first = n.min(self.capacity - start);
+        let mut calls = vec![Syscall::SegmentWrite {
+            entry: self.entry,
+            offset: self.data + start,
+            data: data[..first as usize].to_vec(),
+        }];
+        if first < n {
+            calls.push(Syscall::SegmentWrite {
+                entry: self.entry,
+                offset: self.data,
+                data: data[first as usize..n as usize].to_vec(),
+            });
+        }
+        calls.push(Syscall::SegmentWrite {
+            entry: self.entry,
+            offset: self.header,
+            data: encode_pipe_header(rpos, wpos + n, writers),
+        });
+        let thread = ctx.thread;
+        for r in ctx.kernel().submit_calls(thread, calls) {
+            r?;
+        }
+        Ok(n)
+    }
+
+    /// Adjusts the writer count (last close of a write end → EOF for
+    /// readers).
+    fn adjust_writers(&self, ctx: &mut VfsCtx, delta: i64) -> Result<()> {
+        let (rpos, wpos, writers) = self.read_header(ctx)?;
         let writers = if delta < 0 {
             writers.saturating_sub(delta.unsigned_abs())
         } else {
@@ -230,11 +331,22 @@ impl PipeVnode {
         let thread = ctx.thread;
         ctx.kernel().trap_segment_write(
             thread,
-            pipe_entry(state),
-            0,
+            self.entry,
+            self.header,
             &encode_pipe_header(rpos, wpos, writers),
         )?;
         Ok(())
+    }
+}
+
+impl PipeVnode {
+    fn ring(state: &FdState) -> Ring {
+        Ring {
+            entry: pipe_entry(state),
+            header: 0,
+            data: PIPE_HEADER,
+            capacity: PIPE_CAPACITY,
+        }
     }
 }
 
@@ -249,44 +361,7 @@ impl Vnode for PipeVnode {
         if state.kind.is_pipe_write() {
             return Err(UnixError::Unsupported("read from pipe write end"));
         }
-        let (rpos, wpos, writers) = PipeVnode::read_header(ctx, state)?;
-        let available = wpos - rpos;
-        if available == 0 {
-            if writers == 0 {
-                return Ok(Vec::new()); // end of file
-            }
-            return Err(UnixError::WouldBlock);
-        }
-        let n = len.min(available);
-        let start = rpos % PIPE_CAPACITY;
-        let first = n.min(PIPE_CAPACITY - start);
-        // The data read(s) and the header update cross together.
-        let entry = pipe_entry(state);
-        let mut calls = vec![Syscall::SegmentRead {
-            entry,
-            offset: PIPE_HEADER + start,
-            len: first,
-        }];
-        if first < n {
-            calls.push(Syscall::SegmentRead {
-                entry,
-                offset: PIPE_HEADER,
-                len: n - first,
-            });
-        }
-        calls.push(Syscall::SegmentWrite {
-            entry,
-            offset: 0,
-            data: encode_pipe_header(rpos + n, wpos, writers),
-        });
-        let thread = ctx.thread;
-        let mut results = ctx.kernel().submit_calls(thread, calls).into_iter();
-        let mut out = results.next().expect("first read completes")?.into_bytes();
-        if first < n {
-            out.extend(results.next().expect("wrap read completes")?.into_bytes());
-        }
-        results.next().expect("header update completes")?;
-        Ok(out)
+        PipeVnode::ring(state).read(ctx, len)
     }
 
     fn write(
@@ -299,37 +374,7 @@ impl Vnode for PipeVnode {
         if !state.kind.is_pipe_write() {
             return Err(UnixError::Unsupported("write to pipe read end"));
         }
-        let (rpos, wpos, writers) = PipeVnode::read_header(ctx, state)?;
-        let free = PIPE_CAPACITY - (wpos - rpos);
-        if free == 0 {
-            return Err(UnixError::WouldBlock);
-        }
-        let n = (data.len() as u64).min(free);
-        let start = wpos % PIPE_CAPACITY;
-        let first = n.min(PIPE_CAPACITY - start);
-        let entry = pipe_entry(state);
-        let mut calls = vec![Syscall::SegmentWrite {
-            entry,
-            offset: PIPE_HEADER + start,
-            data: data[..first as usize].to_vec(),
-        }];
-        if first < n {
-            calls.push(Syscall::SegmentWrite {
-                entry,
-                offset: PIPE_HEADER,
-                data: data[first as usize..n as usize].to_vec(),
-            });
-        }
-        calls.push(Syscall::SegmentWrite {
-            entry,
-            offset: 0,
-            data: encode_pipe_header(rpos, wpos + n, writers),
-        });
-        let thread = ctx.thread;
-        for r in ctx.kernel().submit_calls(thread, calls) {
-            r?;
-        }
-        Ok(n)
+        PipeVnode::ring(state).write(ctx, data)
     }
 
     fn seek(&mut self, _ctx: &mut VfsCtx, _fd: &FdRef, _position: u64) -> Result<()> {
@@ -338,7 +383,7 @@ impl Vnode for PipeVnode {
 
     fn on_last_close(&mut self, ctx: &mut VfsCtx, state: &FdState) -> Result<()> {
         if state.kind.is_pipe_write() {
-            PipeVnode::adjust_writers(ctx, state, -1)?;
+            PipeVnode::ring(state).adjust_writers(ctx, -1)?;
         }
         Ok(())
     }
@@ -436,35 +481,153 @@ impl Vnode for ConsoleVnode {
 
 // -------------------------------------------------------------- sockets --
 
-/// A network socket descriptor: data moves through `netd`'s gates, never
-/// through the file API, exactly as before the vnode refactor.
+/// Data capacity of one direction of a socket connection.  Sized so the
+/// whole duplex segment (two headers + two data areas) fits in a single
+/// page: a connection created with `len = 0` gets a one-page quota, its
+/// bytes materialize lazily as data flows, and 10⁴ concurrent idle
+/// connections cost 10⁴ × ~48 bytes, not 10⁴ × pages.
+pub const SOCK_RING_CAPACITY: u64 = 2000;
+/// Offset of the first ring's data area: both headers pack at the front.
+const SOCK_DATA_BASE: u64 = 2 * PIPE_HEADER;
+
+/// A connected network socket: one shared *connection segment* holding
+/// two [`Ring`]s — ring 0 carries client→server bytes, ring 1
+/// server→client — so `read`/`write`/`close` are ordinary label-checked
+/// segment operations on whichever ring faces away from the caller.
+/// `netd` creates the segment (labelled with its network taint plus the
+/// connection's own categories), so every byte moved here is subject to
+/// exactly the information-flow rules of §5.7.
+///
+/// Which side of the connection a descriptor is (and whether it is a
+/// listening socket, whose segment is the accept queue) is carried in the
+/// descriptor flags, not in the vnode: positions live in the shared
+/// segment, the vnode stays stateless.
 #[derive(Debug, Default)]
 pub struct SocketVnode;
+
+/// Ring `i` (0 = client→server, 1 = server→client) of a connection
+/// segment.
+fn socket_ring(entry: ContainerEntry, i: u64) -> Ring {
+    Ring {
+        entry,
+        header: i * PIPE_HEADER,
+        data: SOCK_DATA_BASE + i * SOCK_RING_CAPACITY,
+        capacity: SOCK_RING_CAPACITY,
+    }
+}
+
+/// The ring a descriptor *receives* from.
+pub fn socket_rx_ring(state: &FdState) -> Ring {
+    use crate::fdtable::FLAG_SOCK_SERVER;
+    let i = if state.flags & FLAG_SOCK_SERVER != 0 {
+        0
+    } else {
+        1
+    };
+    socket_ring(pipe_entry(state), i)
+}
+
+/// The ring a descriptor *transmits* into.
+pub fn socket_tx_ring(state: &FdState) -> Ring {
+    use crate::fdtable::FLAG_SOCK_SERVER;
+    let i = if state.flags & FLAG_SOCK_SERVER != 0 {
+        1
+    } else {
+        0
+    };
+    socket_ring(pipe_entry(state), i)
+}
 
 impl Vnode for SocketVnode {
     fn read(
         &mut self,
-        _ctx: &mut VfsCtx,
+        ctx: &mut VfsCtx,
         _fd: &FdRef,
-        _state: &FdState,
-        _len: u64,
+        state: &FdState,
+        len: u64,
     ) -> Result<Vec<u8>> {
-        Err(UnixError::Unsupported("socket reads go through netd"))
+        use crate::fdtable::FLAG_SOCK_LISTEN;
+        if state.flags & FLAG_SOCK_LISTEN != 0 {
+            return Err(UnixError::Unsupported("read on a listening socket"));
+        }
+        socket_rx_ring(state).read(ctx, len)
     }
 
     fn write(
         &mut self,
-        _ctx: &mut VfsCtx,
+        ctx: &mut VfsCtx,
         _fd: &FdRef,
-        _state: &FdState,
-        _data: &[u8],
+        state: &FdState,
+        data: &[u8],
     ) -> Result<u64> {
-        Err(UnixError::Unsupported("socket writes go through netd"))
+        use crate::fdtable::FLAG_SOCK_LISTEN;
+        if state.flags & FLAG_SOCK_LISTEN != 0 {
+            return Err(UnixError::Unsupported("write on a listening socket"));
+        }
+        socket_tx_ring(state).write(ctx, data)
     }
 
     fn seek(&mut self, _ctx: &mut VfsCtx, _fd: &FdRef, _position: u64) -> Result<()> {
         Err(UnixError::Unsupported("seek on a non-file descriptor"))
     }
+
+    fn on_last_close(&mut self, ctx: &mut VfsCtx, state: &FdState) -> Result<()> {
+        use crate::fdtable::FLAG_SOCK_LISTEN;
+        if state.flags & FLAG_SOCK_LISTEN == 0 {
+            // Hang up our transmit direction: the peer's next read sees
+            // end-of-file instead of blocking forever.
+            socket_tx_ring(state).adjust_writers(ctx, -1)?;
+        }
+        Ok(())
+    }
+}
+
+/// What `poll` must read to decide this descriptor's readiness, when
+/// readiness is ring-derived: `(header offset within the target segment,
+/// ring capacity, write side?)`.  `None` means the descriptor is always
+/// ready (files, console, pseudo-files).  One `PIPE_HEADER`-byte read at
+/// the returned offset — batchable across descriptors — fully decides
+/// readiness; no data moves.
+pub fn readiness_probe(state: &FdState) -> Option<(u64, u64, bool)> {
+    use crate::fdtable::{FdKind, FLAG_SOCK_LISTEN};
+    match state.kind {
+        FdKind::PipeRead => Some((0, PIPE_CAPACITY, false)),
+        FdKind::PipeWrite => Some((0, PIPE_CAPACITY, true)),
+        FdKind::Socket if state.flags & FLAG_SOCK_LISTEN != 0 => {
+            // The accept queue is ring 0 of its segment.
+            Some((0, crate::net_queue::QUEUE_CAPACITY, false))
+        }
+        FdKind::Socket => {
+            let rx = socket_rx_ring(state);
+            Some((rx.header_offset(), rx.capacity, false))
+        }
+        _ => None,
+    }
+}
+
+/// Decides readiness from a probed ring header: a read side is ready when
+/// bytes are buffered or every writer hung up (EOF is readable); a write
+/// side is ready when the ring has free space.
+pub fn readiness_from_header(header: &[u8], capacity: u64, write_side: bool) -> bool {
+    let (rpos, wpos, writers) = decode_pipe_header(header);
+    if write_side {
+        capacity - (wpos - rpos) > 0
+    } else {
+        wpos > rpos || writers == 0
+    }
+}
+
+/// Initializes a fresh connection segment's two ring headers (one writer
+/// each — the two peers).  The segment itself is created by the caller
+/// (netd), which chooses its label and container; created with `len = 0`,
+/// only these 48 header bytes materialize until data actually flows.
+pub fn init_socket_segment(ctx: &mut VfsCtx, entry: ContainerEntry) -> Result<()> {
+    let thread = ctx.thread;
+    let mut headers = encode_pipe_header(0, 0, 1);
+    headers.extend(encode_pipe_header(0, 0, 1));
+    ctx.kernel()
+        .trap_segment_write(thread, entry, 0, &headers)?;
+    Ok(())
 }
 
 // ---------------------------------------------------- durability helper --

@@ -1,9 +1,13 @@
 //! Integration tests for the VFS layer: mount resolution, descriptor
-//! sharing through descriptor segments, label-filtered `/proc`, and the
-//! cross-mount rename error.
+//! sharing through descriptor segments, label-filtered `/proc`, the
+//! cross-mount rename error, and blocking-read semantics under the
+//! deterministic scheduler.
 
+use histar_kernel::sched::{RunLimit, SchedContext, Scheduler, Step, StopReason};
 use histar_kernel::syscall::SyscallError;
+use histar_kernel::Kernel;
 use histar_label::{Label, Level};
+use histar_sim::SimDuration;
 use histar_unix::fs::OpenFlags;
 use histar_unix::{UnixEnv, UnixError};
 
@@ -830,4 +834,100 @@ fn metrics_reads_recheck_labels_and_deny_as_absence() {
     assert!(!rest.is_empty());
     env.close(child, fd).unwrap();
     env.close(parent, fd).unwrap();
+}
+
+/// Shared world for the blocking-semantics test below: two scheduled
+/// programs around one pipe, with per-program turn counters.
+struct PipeWorld {
+    env: UnixEnv,
+    reader_turns: u64,
+    writer_turns: u64,
+    got: Vec<u8>,
+}
+
+impl SchedContext for PipeWorld {
+    fn sched_kernel(&mut self) -> &mut Kernel {
+        self.env.machine_mut().kernel_mut()
+    }
+}
+
+/// `read(2)` semantics on a pipe: a reader parked on an empty pipe
+/// consumes **zero quanta** until the writer's bytes wake it.  The reader
+/// runs exactly twice — the attempt that parks it and the turn after the
+/// kernel's readiness completion — no matter how long the writer dawdles
+/// first, and the scheduler's quanta bill covers only turns that actually
+/// ran.
+#[test]
+fn reader_parked_on_empty_pipe_consumes_zero_quanta_until_woken() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let reader = env.spawn(init, "/bin/reader", None).unwrap();
+    let writer = env.spawn(init, "/bin/writer", None).unwrap();
+    // The pipe is created in the reader and its write end handed to the
+    // writer; the reader drops its own copy so exactly one writer holds
+    // the ring.
+    let (rfd, wfd_local) = env.pipe(reader).unwrap();
+    let wfd = env.share_fd(reader, wfd_local, writer).unwrap();
+    env.close(reader, wfd_local).unwrap();
+
+    let reader_thread = env.process(reader).unwrap().thread;
+    let writer_thread = env.process(writer).unwrap().thread;
+
+    const WRITER_SPINS: u64 = 40;
+    let mut sched: Scheduler<PipeWorld> = Scheduler::new(0xb10c, SimDuration::from_micros(50));
+    sched.spawn(
+        reader_thread,
+        Box::new(move |world: &mut PipeWorld, _tid| {
+            world.reader_turns += 1;
+            match world.env.read_blocking(reader, rfd, 64).unwrap() {
+                None => Step::Block,
+                Some(data) => {
+                    world.got.extend_from_slice(&data);
+                    Step::Done
+                }
+            }
+        }),
+    );
+    sched.spawn(
+        writer_thread,
+        Box::new(move |world: &mut PipeWorld, _tid| {
+            world.writer_turns += 1;
+            if world.writer_turns <= WRITER_SPINS {
+                return Step::Yield;
+            }
+            let wrote = world.env.write_blocking(writer, wfd, b"wake up").unwrap();
+            assert_eq!(wrote, Some(7));
+            world.env.close(writer, wfd).unwrap();
+            Step::Done
+        }),
+    );
+
+    let mut world = PipeWorld {
+        env,
+        reader_turns: 0,
+        writer_turns: 0,
+        got: Vec::new(),
+    };
+    let report = sched.run(&mut world, RunLimit::to_completion());
+
+    assert_eq!(report.stop, StopReason::AllComplete);
+    assert_eq!(world.got, b"wake up");
+    assert_eq!(
+        world.reader_turns, 2,
+        "a parked reader must not be scheduled while the pipe stays empty"
+    );
+    assert_eq!(world.writer_turns, WRITER_SPINS + 1);
+    // Blocked threads are billed nothing: the total quanta are exactly
+    // the turns the two programs actually took.
+    assert_eq!(
+        sched.stats().quanta,
+        world.reader_turns + world.writer_turns,
+        "parked turns must cost zero quanta"
+    );
+    // The wake came from the kernel's readiness completion on the pipe
+    // segment, not from polling.
+    assert!(
+        sched.stats().completion_wakeups >= 1,
+        "the reader's wake must be a kernel completion"
+    );
 }

@@ -15,6 +15,8 @@
 //!   flight-recorder span tracing.
 //! * [`exporter`] — DStar-style exporters: label-checked RPC across nodes.
 //! * [`auth`] — the decentralized user-authentication service.
+//! * [`httpd`] — the §6.1 label-isolated web server: launcher, per-user
+//!   workers, blocking sockets under load.
 //! * [`apps`] — wrap/ClamAV-style scanner isolation and workloads.
 //! * [`baseline`] — monolithic Unix-model comparators used by benchmarks.
 //!
@@ -36,6 +38,7 @@ pub use histar_apps as apps;
 pub use histar_auth as auth;
 pub use histar_baseline as baseline;
 pub use histar_exporter as exporter;
+pub use histar_httpd as httpd;
 pub use histar_kernel as kernel;
 pub use histar_label as label;
 pub use histar_net as net;

@@ -277,3 +277,211 @@ fn proc_entries_are_label_filtered() {
         .unwrap()
         .contains("state:\trunning"));
 }
+
+/// §6.1's web-server isolation, attacked directly: a worker holding
+/// *alice's* privilege (it legitimately serves her files) obtains a
+/// descriptor for **bob's** connection and tries to write her secret to
+/// it.  Descriptor state is just numbers — the protection is the label on
+/// the connection segment, and the kernel stops the write cold.  The
+/// denial lands in the syscall audit trace, and the only process that
+/// could have bridged the two users is the launcher, the one piece of
+/// code trusted with the network taint category.
+#[test]
+fn compromised_worker_cannot_leak_alice_files_to_bobs_connection() {
+    use histar::kernel::TraceRecord;
+    use histar::unix::fdtable::{FdKind, FdState, FLAG_SOCK_SERVER};
+    use histar::unix::gatecall;
+
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let netd = Netd::start(&mut env, init, "internet").unwrap();
+
+    // Two users with private home pages under /persist/home.
+    let mut auth = AuthSystem::new();
+    let alice = env.create_user("alice").unwrap();
+    env.create_user("bob").unwrap();
+    auth.register(AuthService::new(alice.clone(), "a-pass"));
+    env.mkdir(init, "/persist/home", None).unwrap();
+    env.mkdir(init, "/persist/home/alice", None).unwrap();
+    let alice_shell = env.spawn(init, "/bin/sh", Some("alice")).unwrap();
+    env.write_file_as(
+        alice_shell,
+        "/persist/home/alice/secret.html",
+        b"<html>alice's diary</html>",
+        Some(alice.private_file_label()),
+    )
+    .unwrap();
+
+    // The launcher: the single trusted component, owning the network
+    // taint category.  It authenticates as alice (the auth gates grant it
+    // her categories, like any login) so it can spawn her worker.
+    let launcher = env
+        .spawn_with_label(init, "/usr/sbin/httpd", vec![netd.taint], vec![])
+        .unwrap();
+    let listener = netd.listen(&mut env, launcher).unwrap();
+    assert_eq!(
+        auth.login(&mut env, launcher, "alice", "a-pass").unwrap(),
+        LoginOutcome::Granted
+    );
+
+    // Alice and bob connect; the launcher accepts both connections and
+    // thereby owns each connection's `c_r`/`c_w` pair.
+    let alice_client = netd
+        .spawn_tainted(&mut env, init, "/usr/bin/alice-browser")
+        .unwrap();
+    let bob_client = netd
+        .spawn_tainted(&mut env, init, "/usr/bin/bob-browser")
+        .unwrap();
+    let alice_client_fd = netd.connect(&mut env, alice_client, &listener).unwrap();
+    netd.connect(&mut env, bob_client, &listener).unwrap();
+    let alice_conn = netd
+        .accept(&mut env, launcher, listener.fd)
+        .unwrap()
+        .unwrap();
+    let bob_conn = netd
+        .accept(&mut env, launcher, listener.fd)
+        .unwrap()
+        .unwrap();
+
+    // Alice's worker: her categories, net-tainted from birth, granted
+    // *her* connection only.
+    let worker = env
+        .spawn_with_label(
+            launcher,
+            "/usr/bin/worker-alice",
+            vec![alice.read_cat, alice.write_cat],
+            vec![(netd.taint, Level::L2)],
+        )
+        .unwrap();
+    gatecall::grant_categories(
+        &mut env,
+        launcher,
+        worker,
+        &[alice_conn.taint_cat, alice_conn.write_cat],
+    )
+    .unwrap();
+    let alice_state = env.fd_snapshot(launcher, alice_conn.fd).unwrap();
+    let worker_alice_fd = env
+        .install_descriptor(
+            worker,
+            FdState {
+                kind: FdKind::Socket,
+                target: alice_state.target,
+                target_container: alice_state.target_container,
+                position: 0,
+                flags: FLAG_SOCK_SERVER,
+                refs: 1,
+            },
+        )
+        .unwrap();
+
+    // The legitimate path works end to end: the worker reads alice's
+    // secret (it owns her read category) and serves it to alice.
+    let secret = env
+        .read_file_as(worker, "/persist/home/alice/secret.html")
+        .unwrap();
+    assert_eq!(secret, b"<html>alice's diary</html>");
+    env.write(worker, worker_alice_fd, &secret).unwrap();
+    assert_eq!(env.read(alice_client, alice_client_fd, 64).unwrap(), secret);
+
+    // Now the worker goes rogue.  It forges a descriptor for bob's
+    // connection — the numbers are no secret — and tries to exfiltrate
+    // the page it just read.  Audit tracing is on for the attempt.
+    env.kernel_mut().enable_syscall_trace(1 << 16);
+    let bob_state = env.fd_snapshot(launcher, bob_conn.fd).unwrap();
+    let stolen_fd = env
+        .install_descriptor(
+            worker,
+            FdState {
+                kind: FdKind::Socket,
+                target: bob_state.target,
+                target_container: bob_state.target_container,
+                position: 0,
+                flags: FLAG_SOCK_SERVER,
+                refs: 1,
+            },
+        )
+        .unwrap();
+
+    // Trusted-code surface: of every process in the scenario, exactly one
+    // — the launcher — owns the network taint category `i`.  Everything
+    // else (netd, workers, clients) runs without cross-user privilege.
+    let mut trusted = 0;
+    for pid in [netd.pid, launcher, worker, alice_client, bob_client] {
+        let thread = env.process(pid).unwrap().thread;
+        let label = env.machine().kernel().thread_label(thread).unwrap();
+        if label.owns(netd.taint) {
+            trusted += 1;
+        }
+    }
+    assert_eq!(
+        trusted, 1,
+        "trusted surface: {trusted} of 5 server-side processes own the \
+         network taint category; only the launcher may"
+    );
+
+    // The leak attempt fails closed.  The worker owns neither of bob's
+    // connection categories: it cannot even observe the connection ring
+    // (`c_r 3` in the connection label), so the descriptor write dies on
+    // the very first label check.
+    assert!(matches!(
+        env.read(worker, stolen_fd, 64),
+        Err(UnixError::Kernel(SyscallError::CannotObserve(_)))
+    ));
+    let err = env.write(worker, stolen_fd, &secret).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            UnixError::Kernel(SyscallError::CannotObserve(_) | SyscallError::CannotModify(_))
+        ),
+        "expected a label-check denial on bob's connection, got {err:?}"
+    );
+    // Even aiming the raw segment-write syscall straight at bob's
+    // connection segment — skipping the descriptor layer entirely — the
+    // kernel refuses: `c_w 0` in the connection label, and the worker's
+    // level is 1.
+    let worker_thread = env.process(worker).unwrap().thread;
+    let bob_ring =
+        histar::kernel::object::ContainerEntry::new(bob_state.target_container, bob_state.target);
+    let raw = env
+        .kernel_mut()
+        .trap_segment_write(worker_thread, bob_ring, 0, &secret);
+    assert!(
+        matches!(
+            raw,
+            Err(SyscallError::CannotModify(_) | SyscallError::CannotObserve(_))
+        ),
+        "raw segment write must be refused, got {raw:?}"
+    );
+
+    // The denial is visible in the audit trace: failed segment syscalls
+    // from the worker's thread, with no successful write of bob's
+    // connection anywhere.
+    let records: Vec<TraceRecord> = env
+        .machine()
+        .kernel()
+        .syscall_trace()
+        .expect("tracing enabled")
+        .records()
+        .copied()
+        .collect();
+    assert!(
+        records
+            .iter()
+            .any(|r| r.tid == worker_thread && r.syscall == "segment_write" && !r.ok),
+        "the refused write must appear in the audit trace"
+    );
+    // From the worker's first denial onward, none of its segment writes
+    // succeeded: the attack window contains denials only.
+    let first_denial = records
+        .iter()
+        .find(|r| r.tid == worker_thread && !r.ok)
+        .expect("a denial from the worker's thread")
+        .seq;
+    assert!(
+        !records.iter().any(|r| {
+            r.tid == worker_thread && r.syscall == "segment_write" && r.ok && r.seq > first_denial
+        }),
+        "the worker must not have written any segment after its first denial"
+    );
+}
