@@ -1,0 +1,12 @@
+//! Must fail: drain order of a HashMap is hash order.
+struct Pool {
+    free: HashMap<u64, u8>,
+}
+
+impl Pool {
+    fn flush(&mut self, out: &mut Vec<u64>) {
+        for (id, _) in self.free.drain() {
+            out.push(id);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Must fail: iterating a hash-typed struct field leaks hash order.
+struct Kernel {
+    watchers: HashMap<u64, Vec<u64>>,
+}
+
+impl Kernel {
+    fn notify_all(&mut self, out: &mut Vec<u64>) {
+        for (obj, threads) in self.watchers.iter() {
+            out.push(*obj);
+            out.extend(threads.iter().copied());
+        }
+    }
+}

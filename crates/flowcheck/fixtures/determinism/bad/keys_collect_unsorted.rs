@@ -1,0 +1,11 @@
+//! Must fail: keys collected into a Vec that is never sorted.
+struct Table {
+    slots: HashMap<u64, u8>,
+}
+
+impl Table {
+    fn ids(&self) -> Vec<u64> {
+        let ids: Vec<u64> = self.slots.keys().copied().collect();
+        ids
+    }
+}

@@ -1,0 +1,12 @@
+//! Must fail: a local HashMap's values feed an order-sensitive sink.
+fn summarize(rows: &[(u64, u64)]) -> Vec<u64> {
+    let mut acc = HashMap::new();
+    for (k, v) in rows {
+        *acc.entry(*k).or_insert(0u64) += v;
+    }
+    let mut out = Vec::new();
+    for total in acc.values() {
+        out.push(*total);
+    }
+    out
+}

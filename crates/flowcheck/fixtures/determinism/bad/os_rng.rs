@@ -1,0 +1,7 @@
+//! Must fail: OS randomness in a trace-affecting crate.
+use rand::Rng;
+
+fn pick(n: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..n)
+}

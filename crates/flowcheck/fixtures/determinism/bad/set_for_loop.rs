@@ -1,0 +1,12 @@
+//! Must fail: `for` directly over a HashSet.
+struct Sched {
+    dirty: HashSet<u64>,
+}
+
+impl Sched {
+    fn drain(&mut self, out: &mut Vec<u64>) {
+        for id in &self.dirty {
+            out.push(*id);
+        }
+    }
+}

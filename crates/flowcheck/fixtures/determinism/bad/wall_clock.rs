@@ -1,0 +1,5 @@
+//! Must fail: wall-clock time in a trace-affecting crate.
+fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}

@@ -1,0 +1,12 @@
+//! Must pass: BTreeMap iteration is ordered by key.
+struct Kernel {
+    bindings: BTreeMap<u64, (u64, u64)>,
+}
+
+impl Kernel {
+    fn dump(&self, out: &mut Vec<u64>) {
+        for (cat, _name) in self.bindings.iter() {
+            out.push(*cat);
+        }
+    }
+}

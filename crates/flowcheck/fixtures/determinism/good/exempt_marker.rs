@@ -1,0 +1,11 @@
+//! Must pass: a deliberate unordered iteration carrying its marker.
+struct Kernel {
+    objects: HashMap<u64, u8>,
+}
+
+impl Kernel {
+    fn objects(&self) -> impl Iterator<Item = (&u64, &u8)> {
+        // flowcheck: exempt(every consumer sorts by id before order is visible)
+        self.objects.iter()
+    }
+}

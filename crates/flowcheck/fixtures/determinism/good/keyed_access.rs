@@ -1,0 +1,14 @@
+//! Must pass: keyed probes of a HashMap never observe hash order.
+struct Table {
+    slots: HashMap<u64, u8>,
+}
+
+impl Table {
+    fn get(&self, id: u64) -> Option<u8> {
+        self.slots.get(&id).copied()
+    }
+
+    fn put(&mut self, id: u64, v: u8) {
+        self.slots.insert(id, v);
+    }
+}

@@ -1,0 +1,18 @@
+//! Must pass: counts, sums and existence tests don't observe order.
+struct Env {
+    processes: HashMap<u64, u8>,
+}
+
+impl Env {
+    fn alive(&self) -> usize {
+        self.processes.values().count()
+    }
+
+    fn any_root(&self) -> bool {
+        self.processes.values().any(|p| *p == 0)
+    }
+
+    fn total(&self) -> u64 {
+        self.processes.keys().sum()
+    }
+}

@@ -1,0 +1,12 @@
+//! Must pass: hash iteration whose result is sorted before use.
+struct Kernel {
+    objects: HashMap<u64, u8>,
+}
+
+impl Kernel {
+    fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

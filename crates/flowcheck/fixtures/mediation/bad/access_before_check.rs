@@ -1,0 +1,13 @@
+//! Must fail: the syscall reads the object table before its label check.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_peek(tid, entry)
+    }
+
+    fn sys_peek(&mut self, tid: ObjectId, entry: ContainerEntry) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        let data = self.obj(entry.object)?.payload.clone();
+        self.check_observe(&tl, entry.object)?;
+        Ok(data)
+    }
+}

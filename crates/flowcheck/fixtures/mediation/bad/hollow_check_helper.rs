@@ -1,0 +1,17 @@
+//! Must fail: the trusted helper `check_observe` compares no labels —
+//! a mediation rule that trusts it would be circular.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_read(tid, entry)
+    }
+
+    fn sys_read(&mut self, tid: ObjectId, entry: ContainerEntry) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        self.check_observe(&tl, entry.object)?;
+        self.obj(entry.object).map(|o| o.size())
+    }
+
+    fn check_observe(&mut self, _tl: &Label, _object: ObjectId) -> Result<(), E> {
+        Ok(())
+    }
+}

@@ -1,0 +1,16 @@
+//! Must fail: a dispatch arm pokes kernel state inline instead of
+//! delegating to a sys_* method.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        match call {
+            Syscall::Fast { id } => Ok(self.objects.get(&id).unwrap().size()),
+            other => self.sys_slow(tid, other),
+        }
+    }
+
+    fn sys_slow(&mut self, tid: ObjectId, call: Syscall) -> R {
+        let tl = self.calling_thread(tid)?;
+        self.check_observe(&tl, call.object())?;
+        self.obj(call.object()).map(|o| o.size())
+    }
+}

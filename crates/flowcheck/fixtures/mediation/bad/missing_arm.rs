@@ -1,0 +1,21 @@
+//! Must fail: `Quietly` is declared as a syscall but dispatch_inner
+//! never routes it to a sys_* method (completeness violation).
+pub enum Syscall {
+    Loudly { entry: ContainerEntry },
+    Quietly { entry: ContainerEntry },
+}
+
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        match call {
+            Syscall::Loudly { entry } => self.sys_loudly(tid, entry),
+            Syscall::Quietly { .. } => Ok(R::Unit),
+        }
+    }
+
+    fn sys_loudly(&mut self, tid: ObjectId, entry: ContainerEntry) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        self.check_observe(&tl, entry.object)?;
+        self.obj(entry.object).map(|o| o.size())
+    }
+}

@@ -1,0 +1,14 @@
+//! Must fail: returns a persist record's payload without any
+//! check_record_* call.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_persist_peek(tid, key)
+    }
+
+    fn sys_persist_peek(&mut self, tid: ObjectId, key: u64) -> R {
+        self.calling_thread(tid)?;
+        let bytes = self.persist_record(key)?.ok_or(E::NoSuchRecord(key))?;
+        let (_, payload) = Self::persist_unframe(key, &bytes)?;
+        Ok(payload.to_vec())
+    }
+}

@@ -1,0 +1,12 @@
+//! Must fail: a check-free self-only syscall without an exempt marker.
+//! Check-free is sometimes legitimate, but it must be *declared* so the
+//! exemption list stays the complete audit surface.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_whoami(tid)
+    }
+
+    fn sys_whoami(&mut self, tid: ObjectId) -> R {
+        Ok(tid)
+    }
+}

@@ -1,0 +1,19 @@
+//! Must pass: an alias syscall that delegates to a mediated one.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        match call {
+            Syscall::Read { entry } => self.sys_read(tid, entry),
+            Syscall::ReadAlias { entry } => self.sys_read_alias(tid, entry),
+        }
+    }
+
+    fn sys_read_alias(&mut self, tid: ObjectId, entry: ContainerEntry) -> R {
+        self.sys_read(tid, entry)
+    }
+
+    fn sys_read(&mut self, tid: ObjectId, entry: ContainerEntry) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        self.check_observe(&tl, entry.object)?;
+        self.obj(entry.object).map(|o| o.size())
+    }
+}

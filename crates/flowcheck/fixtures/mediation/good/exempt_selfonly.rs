@@ -1,0 +1,11 @@
+//! Must pass: a check-free self-only syscall carrying its marker.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_whoami(tid)
+    }
+
+    // flowcheck: exempt(returns the caller's own id; self-only metadata)
+    fn sys_whoami(&mut self, tid: ObjectId) -> R {
+        Ok(tid)
+    }
+}

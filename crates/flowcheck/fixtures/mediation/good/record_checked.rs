@@ -1,0 +1,15 @@
+//! Must pass: record syscalls fetch the record first (the label rides
+//! inside it), then check before the payload flows out.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        self.sys_persist_read(tid, key)
+    }
+
+    fn sys_persist_read(&mut self, tid: ObjectId, key: u64) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        let bytes = self.persist_record(key)?.ok_or(E::NoSuchRecord(key))?;
+        let (rlabel, payload) = Self::persist_unframe(key, &bytes)?;
+        self.check_record_observe(&tl, &rlabel)?;
+        Ok(payload.to_vec())
+    }
+}

@@ -1,0 +1,25 @@
+//! Must pass: ABI-edge state keyed by the calling thread is self access;
+//! the ownership test (`owns`) mediates the category bind.
+impl Kernel {
+    fn dispatch_inner(&mut self, tid: ObjectId, call: Syscall) -> R {
+        match call {
+            Syscall::TakeAlert => self.sys_take(tid),
+            Syscall::Bind { category, name } => self.sys_bind(tid, category, name),
+        }
+    }
+
+    // flowcheck: exempt(pops the caller's own completion queue)
+    fn sys_take(&mut self, tid: ObjectId) -> R {
+        let queue = self.completions.get_mut(&tid);
+        Ok(queue.and_then(|q| q.pop_front()))
+    }
+
+    fn sys_bind(&mut self, tid: ObjectId, category: Category, name: Name) -> R {
+        let (tl, _) = self.calling_thread(tid)?;
+        if !tl.owns(category) {
+            return Err(E::NotOwner);
+        }
+        self.remote_bindings.insert(category, name);
+        Ok(())
+    }
+}

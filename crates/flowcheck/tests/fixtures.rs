@@ -1,0 +1,131 @@
+//! Golden fixtures: every file under `fixtures/<rule>/bad/` must produce
+//! at least one finding for that rule; every file under
+//! `fixtures/<rule>/good/` must produce none.
+
+use flowcheck::model::SourceFile;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(rule: &str, verdict: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(verdict)
+}
+
+fn analyze_fixture(rule: &str, path: &Path) -> flowcheck::Analysis {
+    let text = std::fs::read_to_string(path).unwrap();
+    let parsed = SourceFile::parse(&path.display().to_string(), &text);
+    match rule {
+        "mediation" => flowcheck::analyze(std::slice::from_ref(&parsed), &[]),
+        "determinism" => flowcheck::analyze(&[], std::slice::from_ref(&parsed)),
+        other => panic!("unknown rule {other}"),
+    }
+}
+
+fn run_dir(rule: &str, verdict: &str) -> Vec<(PathBuf, flowcheck::Analysis)> {
+    let dir = fixture_dir(rule, verdict);
+    let files = flowcheck::rust_files(&dir);
+    assert!(
+        !files.is_empty(),
+        "no fixtures in {} — fixture sweep would vacuously pass",
+        dir.display()
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let a = analyze_fixture(rule, &p);
+            (p, a)
+        })
+        .collect()
+}
+
+#[test]
+fn mediation_bad_fixtures_all_fail() {
+    let results = run_dir("mediation", "bad");
+    assert!(results.len() >= 6, "need >=6 must-fail mediation fixtures");
+    for (path, a) in results {
+        assert!(
+            !a.ok(),
+            "{} should produce a mediation finding but passed",
+            path.display()
+        );
+        assert!(
+            a.findings.iter().all(|f| f.rule == "mediation"),
+            "{} produced non-mediation findings: {:?}",
+            path.display(),
+            a.findings
+        );
+    }
+}
+
+#[test]
+fn mediation_good_fixtures_all_pass() {
+    let results = run_dir("mediation", "good");
+    assert!(results.len() >= 4, "need >=4 must-pass mediation fixtures");
+    for (path, a) in results {
+        assert!(
+            a.ok(),
+            "{} should pass but produced: {:?}",
+            path.display(),
+            a.findings
+        );
+    }
+}
+
+#[test]
+fn determinism_bad_fixtures_all_fail() {
+    let results = run_dir("determinism", "bad");
+    assert!(
+        results.len() >= 6,
+        "need >=6 must-fail determinism fixtures"
+    );
+    for (path, a) in results {
+        assert!(
+            !a.ok(),
+            "{} should produce a determinism finding but passed",
+            path.display()
+        );
+        assert!(
+            a.findings.iter().all(|f| f.rule == "determinism"),
+            "{} produced non-determinism findings: {:?}",
+            path.display(),
+            a.findings
+        );
+    }
+}
+
+#[test]
+fn determinism_good_fixtures_all_pass() {
+    let results = run_dir("determinism", "good");
+    assert!(
+        results.len() >= 4,
+        "need >=4 must-pass determinism fixtures"
+    );
+    for (path, a) in results {
+        assert!(
+            a.ok(),
+            "{} should pass but produced: {:?}",
+            path.display(),
+            a.findings
+        );
+    }
+}
+
+#[test]
+fn exempt_fixtures_surface_their_markers() {
+    // The marker-carrying good fixtures must show up in the exemption
+    // list — silently swallowed markers would hide TCB surface.
+    let path = fixture_dir("mediation", "good").join("exempt_selfonly.rs");
+    let a = analyze_fixture("mediation", &path);
+    assert!(a.ok());
+    assert!(
+        a.exemptions.iter().any(|e| e.name == "sys_whoami"),
+        "marker on sys_whoami not surfaced: {:?}",
+        a.exemptions
+    );
+
+    let path = fixture_dir("determinism", "good").join("exempt_marker.rs");
+    let a = analyze_fixture("determinism", &path);
+    assert!(a.ok());
+    assert_eq!(a.exemptions.len(), 1, "{:?}", a.exemptions);
+}

@@ -28,7 +28,7 @@
 use crate::dispatch::{Syscall, SyscallResult};
 use crate::object::{ContainerEntry, ObjectId, HANDLE_NAMESPACE};
 use crate::syscall::SyscallError;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A dense, per-thread capability handle naming one kernel object through
 /// the container link it was resolved against.
@@ -77,7 +77,7 @@ pub struct HandleTable {
     /// Reverse index: every live slot holding `entry`, in install order.
     /// Invariant: `index[e]` lists exactly the slots `i` with
     /// `slots[i] == Some(e)`, and no empty lists are retained.
-    index: HashMap<ContainerEntry, Vec<u32>>,
+    index: BTreeMap<ContainerEntry, Vec<u32>>,
 }
 
 impl HandleTable {

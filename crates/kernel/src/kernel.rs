@@ -24,6 +24,10 @@ use histar_sim::{CostModel, OsFlavor, SimClock, SimDuration};
 use histar_store::codec::{Decoder, Encoder};
 use histar_store::records::is_persist_key;
 use histar_store::SingleLevelStore;
+// The object table is the one sanctioned HashMap in this crate (hot
+// per-syscall lookups; every iteration site sorts before order becomes
+// visible) — allowed here and at each use, and listed by flowcheck.
+#[allow(clippy::disallowed_types)]
 use std::collections::{BTreeMap, HashMap};
 
 /// Size of one page, matching the simulated hardware.
@@ -76,6 +80,7 @@ pub type RemoteCategoryName = (u64, u64);
 /// The HiStar kernel.
 #[derive(Debug)]
 pub struct Kernel {
+    #[allow(clippy::disallowed_types)]
     objects: HashMap<ObjectId, KObject>,
     root: ObjectId,
     categories: CategoryAllocator,
@@ -91,9 +96,9 @@ pub struct Kernel {
     /// Category-translation table maintained for exporters: local category →
     /// self-certifying global name.  Bindings are immutable once set, so a
     /// label translated out and back can never silently change category.
-    remote_bindings: HashMap<Category, RemoteCategoryName>,
+    remote_bindings: BTreeMap<Category, RemoteCategoryName>,
     /// Reverse index of `remote_bindings` (global name → local category).
-    remote_index: HashMap<RemoteCategoryName, Category>,
+    remote_index: BTreeMap<RemoteCategoryName, Category>,
     /// Per-syscall counters for calls crossing the dispatch boundary.
     dispatch_stats: DispatchStats,
     /// The bounded audit trace of dispatched syscalls, when enabled.
@@ -111,21 +116,21 @@ pub struct Kernel {
     /// metrics filesystem.  Entries die with their thread.
     per_thread_syscalls: BTreeMap<ObjectId, u64>,
     /// Per-thread capability handle tables (ABI-edge state, not persisted).
-    handles: HashMap<ObjectId, HandleTable>,
+    handles: BTreeMap<ObjectId, HandleTable>,
     /// Per-thread completion queues (ABI-edge state, not persisted).
-    completions: HashMap<ObjectId, std::collections::VecDeque<Completion>>,
+    completions: BTreeMap<ObjectId, std::collections::VecDeque<Completion>>,
     /// One-shot readiness watches: object → threads to notify (with an
     /// `ObjectReady` completion) when the object is next written or
     /// deallocated.  Registered via `segment_watch`; this is how blocking
     /// pipe/socket reads park without polling.
-    watchers: HashMap<ObjectId, Vec<ObjectId>>,
+    watchers: BTreeMap<ObjectId, Vec<ObjectId>>,
     /// Threads whose wake conditions may have changed since the scheduler
     /// last looked (completion pushed, explicitly woken, or deallocated),
     /// in event order.  The scheduler drains this instead of scanning its
     /// whole wait set every quantum, so wakes are O(events) not O(parked).
     sched_dirty: Vec<ObjectId>,
     /// Dedup set for `sched_dirty`.
-    sched_dirty_set: std::collections::HashSet<ObjectId>,
+    sched_dirty_set: std::collections::BTreeSet<ObjectId>,
     /// True while a submission batch is being drained: the first call
     /// charges the full trap cost, the rest only the batched decode cost.
     in_batch: bool,
@@ -147,7 +152,7 @@ impl Kernel {
     /// (pass `None` for pure functional tests).
     pub fn new(seed: u64, clock: Option<SimClock>) -> Kernel {
         let mut kernel = Kernel {
-            objects: HashMap::new(),
+            objects: Default::default(),
             root: ObjectId::from_raw(0),
             categories: CategoryAllocator::new(seed ^ 0xcafe),
             id_cipher: FeistelCipher::new(seed ^ 0xbeef),
@@ -157,18 +162,18 @@ impl Kernel {
             cost: CostModel::for_flavor(OsFlavor::HiStar),
             stats: SyscallStats::default(),
             last_address_space: None,
-            remote_bindings: HashMap::new(),
-            remote_index: HashMap::new(),
+            remote_bindings: BTreeMap::new(),
+            remote_index: BTreeMap::new(),
             dispatch_stats: DispatchStats::default(),
             trace: None,
             recorder: Recorder::disabled(),
             dispatch_seq: 0,
             per_thread_syscalls: BTreeMap::new(),
-            handles: HashMap::new(),
-            completions: HashMap::new(),
-            watchers: HashMap::new(),
+            handles: BTreeMap::new(),
+            completions: BTreeMap::new(),
+            watchers: BTreeMap::new(),
             sched_dirty: Vec::new(),
-            sched_dirty_set: std::collections::HashSet::new(),
+            sched_dirty_set: std::collections::BTreeSet::new(),
             in_batch: false,
             batch_trap_charged: false,
             store: None,
@@ -595,6 +600,7 @@ impl Kernel {
 
     /// Drops a handle from `tid`'s handle table.  Returns whether the
     /// handle was live.
+    // flowcheck: exempt(drops an entry from the calling thread's own handle table; revoking your own capability observes nothing)
     pub fn handle_close(&mut self, tid: ObjectId, handle: Handle) -> bool {
         self.charge_boundary();
         self.dispatch_stats.handle_closes += 1;
@@ -1012,6 +1018,7 @@ impl Kernel {
     /// label itself is metadata a caller needs in order to make labeling
     /// decisions (e.g. labeling new extents of an existing file), not
     /// protected content.
+    // flowcheck: exempt(reads only the record's label, which is the metadata needed to decide labeling; payload stays sealed)
     pub fn sys_persist_get_label(
         &mut self,
         tid: ObjectId,
@@ -1210,6 +1217,7 @@ impl Kernel {
 
     /// `cat_t create_category(void)`: allocates a fresh category, granting
     /// the calling thread ownership (`⋆`) and clearance `3` in it.
+    // flowcheck: exempt(allocates a fresh category owned by the caller; touches only the caller's own label and clearance)
     pub fn sys_create_category(&mut self, tid: ObjectId) -> Result<Category, SyscallError> {
         let (label, clearance) = self.calling_thread(tid)?;
         let cat = self.categories.alloc();
@@ -1258,12 +1266,14 @@ impl Kernel {
     }
 
     /// Returns the calling thread's own label.
+    // flowcheck: exempt(returns the calling thread's own label; self-observation leaks nothing)
     pub fn sys_self_get_label(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
         let (label, _) = self.calling_thread(tid)?;
         Ok(label)
     }
 
     /// Returns the calling thread's own clearance.
+    // flowcheck: exempt(returns the calling thread's own clearance; self-observation leaks nothing)
     pub fn sys_self_get_clearance(&mut self, tid: ObjectId) -> Result<Label, SyscallError> {
         let (_, clearance) = self.calling_thread(tid)?;
         Ok(clearance)
@@ -2139,6 +2149,7 @@ impl Kernel {
     }
 
     /// The calling thread's thread-local segment.
+    // flowcheck: exempt(returns the id of the caller's own thread-local segment; self-only metadata)
     pub fn sys_self_local_segment(&mut self, tid: ObjectId) -> Result<ObjectId, SyscallError> {
         self.calling_thread(tid)?;
         self.thread(tid)?
@@ -2148,6 +2159,7 @@ impl Kernel {
     }
 
     /// Halts the calling thread; it can never run (or make syscalls) again.
+    // flowcheck: exempt(halts the calling thread itself; a thread may always give up its own CPU)
     pub fn sys_self_halt(&mut self, tid: ObjectId) -> Result<(), SyscallError> {
         self.calling_thread(tid)?;
         let (_, body) = self.thread_mut(tid)?;
@@ -2203,6 +2215,7 @@ impl Kernel {
     }
 
     /// Removes and returns the oldest pending alert for the calling thread.
+    // flowcheck: exempt(pops the caller's own alert queue; alerts were label-checked when posted by thread_alert)
     pub fn sys_self_take_alert(&mut self, tid: ObjectId) -> Result<Option<Alert>, SyscallError> {
         self.calling_thread(tid)?;
         let (_, body) = self.thread_mut(tid)?;
@@ -2428,6 +2441,7 @@ impl Kernel {
     /// Looks up a category's global name.  Global names are self-certifying
     /// and deliberately public (they are what appears on the wire), so no
     /// label check is needed beyond the calling thread being runnable.
+    // flowcheck: exempt(global names are self-certifying public handles; the binding table carries no payload)
     pub fn sys_category_get_remote(
         &mut self,
         tid: ObjectId,
@@ -2438,6 +2452,7 @@ impl Kernel {
     }
 
     /// Resolves a global name back to the local category bound to it.
+    // flowcheck: exempt(reverse lookup of a self-certifying public name; the binding table carries no payload)
     pub fn sys_category_resolve_remote(
         &mut self,
         tid: ObjectId,
@@ -2614,6 +2629,7 @@ impl Kernel {
 
     /// Iterates over all objects (used by snapshotting).
     pub fn objects(&self) -> impl Iterator<Item = (&ObjectId, &KObject)> {
+        // flowcheck: exempt(hot object table stays a HashMap; every consumer sorts by id before order becomes visible — see Machine::snapshot)
         self.objects.iter()
     }
 
@@ -2623,6 +2639,7 @@ impl Kernel {
     }
 
     /// Replaces the entire object table (used by recovery).
+    #[allow(clippy::disallowed_types)]
     pub fn restore_objects(
         &mut self,
         root: ObjectId,

@@ -16,7 +16,10 @@ use histar_sim::{SimClock, SimDuration};
 use histar_store::codec::{Decoder, Encoder};
 use histar_store::records::is_persist_key;
 use histar_store::{SingleLevelStore, StoreConfig, StoreError, SyncPolicy};
-use std::collections::{HashMap, HashSet};
+// HashMap appears only as the recovery builder for the kernel's object
+// table (insert-only; never iterated).
+#[allow(clippy::disallowed_types)]
+use std::collections::{BTreeSet, HashMap};
 
 /// Store key (outside the 61-bit object-ID space) holding machine metadata.
 const MACHINE_META_KEY: u64 = 1 << 62;
@@ -221,7 +224,7 @@ impl Machine {
             .map(|(id, obj)| (id.raw(), encode_object(obj)))
             .collect();
         objects.sort_unstable_by_key(|(id, _)| *id);
-        let live: HashSet<u64> = objects.iter().map(|(id, _)| *id).collect();
+        let live: BTreeSet<u64> = objects.iter().map(|(id, _)| *id).collect();
         for (id, bytes) in objects {
             self.store_mut().put(id, bytes);
         }
@@ -339,6 +342,7 @@ impl Machine {
             }
         }
 
+        #[allow(clippy::disallowed_types)]
         let mut objects: HashMap<ObjectId, KObject> = HashMap::new();
         for id in store.object_ids() {
             // Skip the machine metadata blob and the persist record

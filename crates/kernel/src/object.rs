@@ -136,7 +136,7 @@ pub struct ObjectFlags {
 /// Most system calls name objects by container entry rather than bare ID so
 /// the kernel can check that the calling thread is allowed to know of the
 /// object's existence (§3.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ContainerEntry {
     /// The container through which the object is being named.
     pub container: ObjectId,

@@ -29,7 +29,7 @@ use crate::kernel::Kernel;
 use crate::machine::Machine;
 use crate::object::ObjectId;
 use histar_sim::{SimDuration, SimRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a program reports at the end of one quantum.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,11 +169,11 @@ pub struct Scheduler<Ctx> {
     /// conditions actually changed are re-examined, so a wake pass costs
     /// O(events), not O(parked threads).  Eligible wakes are applied in
     /// park order, keeping the interleaving a pure function of the seed.
-    waiting: HashMap<ObjectId, u64>,
+    waiting: BTreeMap<ObjectId, u64>,
     /// Monotonic counter stamping each park, for deterministic wake order.
     park_seq: u64,
     pending: Vec<ObjectId>,
-    programs: HashMap<ObjectId, Program<Ctx>>,
+    programs: BTreeMap<ObjectId, Program<Ctx>>,
     last_run: Option<ObjectId>,
     stats: SchedStats,
 }
@@ -186,10 +186,10 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
             quantum,
             rng: SimRng::new(seed ^ 0x5ced_5ced),
             queue: VecDeque::new(),
-            waiting: HashMap::new(),
+            waiting: BTreeMap::new(),
             park_seq: 0,
             pending: Vec::new(),
-            programs: HashMap::new(),
+            programs: BTreeMap::new(),
             last_run: None,
             stats: SchedStats::default(),
         }

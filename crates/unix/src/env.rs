@@ -34,7 +34,7 @@ use histar_kernel::object::{ContainerEntry, ObjectId};
 use histar_kernel::syscall::SyscallError;
 use histar_kernel::{Machine, MachineConfig, Syscall, SyscallResult};
 use histar_label::{Category, Label, Level};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors returned by the Unix library.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -140,18 +140,18 @@ struct OpenFd {
 #[derive(Debug)]
 pub struct UnixEnv {
     machine: Machine,
-    processes: HashMap<Pid, Process>,
+    processes: BTreeMap<Pid, Process>,
     next_pid: Pid,
     users: UserTable,
     vfs: Vfs,
     fs_root: ObjectId,
     init_pid: Pid,
-    open_vnodes: HashMap<(ObjectId, ObjectId), OpenFd>,
+    open_vnodes: BTreeMap<(ObjectId, ObjectId), OpenFd>,
     /// Library bookkeeping: the container each descriptor segment was
     /// created in, so sharing a descriptor across processes resolves in
     /// O(1) instead of scanning every process container.  Purely a cache —
     /// a stale or missing entry falls back to the scan.
-    fd_homes: HashMap<ObjectId, ObjectId>,
+    fd_homes: BTreeMap<ObjectId, ObjectId>,
 }
 
 impl UnixEnv {
@@ -197,14 +197,14 @@ impl UnixEnv {
         vfs.mount("/persist", persistfs);
         let mut env = UnixEnv {
             machine,
-            processes: HashMap::new(),
+            processes: BTreeMap::new(),
             next_pid: 1,
             users: UserTable::new(),
             vfs,
             fs_root,
             init_pid: 1,
-            open_vnodes: HashMap::new(),
-            fd_homes: HashMap::new(),
+            open_vnodes: BTreeMap::new(),
+            fd_homes: BTreeMap::new(),
         };
         // PID 1.
         let init = env
