@@ -18,7 +18,9 @@
 //! [`DispatchStats`] batch-size histogram.
 
 use histar_auth::{AuthService, AuthSystem, LoginOutcome};
-use histar_kernel::sched::{Program, RunLimit, SchedContext, ScheduleReport, Scheduler, Step};
+use histar_kernel::sched::{
+    Program, RunLimit, SchedConfig, SchedContext, ScheduleReport, Scheduler, Step, DEFAULT_SHARDS,
+};
 use histar_kernel::{DispatchStats, Kernel, SyscallStats};
 use histar_label::Label;
 use histar_sim::SimDuration;
@@ -55,6 +57,9 @@ pub struct MultiLoginParams {
     pub users: usize,
     /// Scheduler seed (fixes the interleaving).
     pub seed: u64,
+    /// Run-queue shards in the scheduler (the interleaving is a pure
+    /// function of the `(seed, shards)` pair).
+    pub shards: usize,
     /// Every `wrong_every`-th process presents a wrong password (0 = none),
     /// exercising the failure path under contention.
     pub wrong_every: usize,
@@ -71,6 +76,7 @@ impl Default for MultiLoginParams {
             processes: 100,
             users: 8,
             seed: 0x10_91,
+            shards: DEFAULT_SHARDS,
             wrong_every: 7,
             trace_capacity: 0,
             recorder_capacity: 0,
@@ -232,7 +238,7 @@ pub fn build_multilogin(
     }
 
     let mut sched: Scheduler<LoginWorld> =
-        Scheduler::new(params.seed, SimDuration::from_micros(50));
+        Scheduler::new(SchedConfig::new().seed(params.seed).shards(params.shards));
     let mut world = LoginWorld {
         env,
         auth,
@@ -299,6 +305,7 @@ mod tests {
             processes: 100,
             users: 8,
             seed: 42,
+            shards: DEFAULT_SHARDS,
             wrong_every: 7,
             trace_capacity: 1 << 20,
             recorder_capacity: 1 << 16,
@@ -312,7 +319,7 @@ mod tests {
         assert_eq!(report.rejected, expected_rejected);
         assert_eq!(report.granted, 100 - expected_rejected);
         assert!(report.syscalls > 1000, "got {} syscalls", report.syscalls);
-        assert!(report.schedule.context_switches >= 100);
+        assert!(report.schedule.stats.context_switches >= 100);
         // The gate-call spills are batched: strictly fewer boundary
         // crossings than dispatched entries.
         assert!(report.dispatch.batches > 0);
@@ -326,7 +333,7 @@ mod tests {
         let (world2, report2) = run_multilogin(params).unwrap();
         assert_eq!(world.outcomes, world2.outcomes);
         assert_eq!(report.syscalls, report2.syscalls);
-        assert_eq!(report.schedule.quanta, report2.schedule.quanta);
+        assert_eq!(report.schedule.stats.quanta, report2.schedule.stats.quanta);
         let t1: Vec<TraceRecord> = world
             .env
             .machine()
@@ -355,6 +362,7 @@ mod tests {
             processes: 24,
             users: 4,
             seed: 1,
+            shards: DEFAULT_SHARDS,
             wrong_every: 0,
             trace_capacity: 0,
             recorder_capacity: 0,
@@ -382,6 +390,7 @@ mod tests {
             processes: 10,
             users: 2,
             seed: 3,
+            shards: DEFAULT_SHARDS,
             wrong_every: 0,
             trace_capacity: 0,
             recorder_capacity: 0,

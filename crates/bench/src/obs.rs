@@ -109,6 +109,7 @@ fn measure(params: ObsBenchParams, tracing: bool) -> ObsRun {
         processes: params.processes,
         users: params.users,
         seed: params.seed,
+        shards: histar_kernel::sched::DEFAULT_SHARDS,
         wrong_every: 7,
         trace_capacity: capacity,
         recorder_capacity: capacity,

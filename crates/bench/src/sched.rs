@@ -12,7 +12,9 @@ use crate::report::{BenchJson, Row, Table};
 use histar_apps::multilogin::{run_multilogin, MultiLoginParams};
 use histar_auth::{AuthService, AuthSystem, LoginOutcome};
 use histar_exporter::Fabric;
-use histar_kernel::sched::{Program, RunLimit, SchedContext, Scheduler, Step};
+use histar_kernel::sched::{
+    Program, RunLimit, SchedConfig, SchedContext, Scheduler, Step, StopReason, DEFAULT_SHARDS,
+};
 use histar_kernel::{DispatchStats, Kernel, SyscallStats};
 use histar_sim::{CostModel, OsFlavor, SimDuration};
 use histar_unix::process::Pid;
@@ -28,6 +30,12 @@ pub struct SchedBenchParams {
     pub seed: u64,
     /// Login processes per node in the fabric variant.
     pub fabric_processes: usize,
+    /// Simulated users admitted in the `max_users` phase (mostly parked).
+    pub max_users: usize,
+    /// Users in the `max_users` phase that actually run a small workload.
+    pub max_users_working: usize,
+    /// Parked users the `max_users` phase wakes individually at the end.
+    pub max_users_wakes: usize,
 }
 
 impl SchedBenchParams {
@@ -38,6 +46,9 @@ impl SchedBenchParams {
             users: 4,
             seed: 0xded,
             fabric_processes: 6,
+            max_users: 2_000,
+            max_users_working: 32,
+            max_users_wakes: 8,
         }
     }
 
@@ -48,6 +59,9 @@ impl SchedBenchParams {
             users: 16,
             seed: 0xded,
             fabric_processes: 24,
+            max_users: 100_000,
+            max_users_working: 512,
+            max_users_wakes: 64,
         }
     }
 }
@@ -114,16 +128,17 @@ pub fn measure_single_node(params: SchedBenchParams) -> SchedMeasurement {
         processes: params.processes,
         users: params.users,
         seed: params.seed,
+        shards: DEFAULT_SHARDS,
         wrong_every: 7,
         trace_capacity: 0,
         recorder_capacity: 0,
     })
     .expect("multilogin scenario");
     SchedMeasurement {
-        completed: report.schedule.completed,
+        completed: report.schedule.stats.completed,
         syscalls: report.syscalls,
-        quanta: report.schedule.quanta,
-        context_switches: report.schedule.context_switches,
+        quanta: report.schedule.stats.quanta,
+        context_switches: report.schedule.stats.context_switches,
         elapsed: report.elapsed,
         switch_cost: mean_switch_cost(&report.kernel),
         dispatch: report.dispatch,
@@ -140,6 +155,7 @@ pub fn chrome_trace(params: SchedBenchParams) -> String {
         processes: params.processes.min(24),
         users: params.users,
         seed: params.seed,
+        shards: DEFAULT_SHARDS,
         wrong_every: 7,
         trace_capacity: 0,
         recorder_capacity: 1 << 16,
@@ -254,8 +270,7 @@ pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
         auths.push(auth);
         spawned.push(jobs);
         scheds.push(Scheduler::new(
-            params.seed + node as u64,
-            SimDuration::from_micros(50),
+            SchedConfig::new().seed(params.seed + node as u64),
         ));
     }
     // Each node provides an echo service the other node's logins call.
@@ -347,11 +362,141 @@ pub fn measure_fabric(params: SchedBenchParams) -> SchedMeasurement {
     }
 }
 
+// ----- the max-users variant ----------------------------------------------
+
+/// What the `max_users` phase measured: a population of mostly-parked
+/// simulated users, a small working subset, then a handful of targeted
+/// wakes — the scaling story of the sharded scheduler in numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxUsersMeasurement {
+    /// Users admitted (each parks after its first quantum unless working).
+    pub users: u64,
+    /// Most threads parked at once.
+    pub parked_high_water: u64,
+    /// Quanta spent admitting and parking the whole population.
+    pub admit_quanta: u64,
+    /// Quanta spent waking and retiring the targeted users.
+    pub wake_quanta: u64,
+    /// Parked threads re-examined during the targeted-wake phase.  The
+    /// O(events) claim: this must scale with the wakes, not the parked
+    /// population.
+    pub wake_examined: u64,
+    /// Targeted wakes issued.
+    pub wakes: u64,
+    /// Simulated time for the whole phase.
+    pub elapsed: SimDuration,
+}
+
+impl MaxUsersMeasurement {
+    /// Parked threads examined per targeted wake (≈1 when wakes are O(1)).
+    pub fn examined_per_wake(&self) -> f64 {
+        if self.wakes == 0 {
+            0.0
+        } else {
+            self.wake_examined as f64 / self.wakes as f64
+        }
+    }
+
+    /// Fraction of examined threads that actually woke (1.0 when every
+    /// wake pass touches only dirtied threads).  Higher is better, so CI
+    /// can gate it directly: any rescan of the parked mass drags it
+    /// toward zero.
+    pub fn wake_efficiency(&self) -> f64 {
+        if self.wake_examined == 0 {
+            1.0
+        } else {
+            self.wakes as f64 / self.wake_examined as f64
+        }
+    }
+}
+
+/// Admits `params.max_users` threads on a raw machine — a working subset
+/// runs a few labeled syscalls and retires, the rest park — then wakes
+/// `params.max_users_wakes` parked users one by one via the external-wake
+/// path and measures what each wake cost the scheduler.
+pub fn measure_max_users(params: SchedBenchParams) -> MaxUsersMeasurement {
+    use histar_kernel::{Machine, MachineConfig};
+    use histar_label::Label;
+
+    let mut m = Machine::boot(MachineConfig::default());
+    let boot = m.kernel_thread();
+    let root = m.kernel().root_container();
+    let mut sched: Scheduler<Machine> = Scheduler::new(SchedConfig::new().seed(params.seed));
+
+    let users = params.max_users.max(1);
+    let working_stride = (users / params.max_users_working.max(1)).max(1);
+    let mut parked_tids = Vec::new();
+    for i in 0..users {
+        let tid = m
+            .kernel_mut()
+            .trap_thread_create(
+                boot,
+                root,
+                Label::unrestricted(),
+                Label::default_clearance(),
+                0,
+                &format!("u{i}"),
+            )
+            .expect("create user thread");
+        if i % working_stride == 0 {
+            // The working subset: a couple of real syscalls, then done.
+            sched.spawn(
+                tid,
+                Box::new(move |m: &mut Machine, tid| {
+                    let _ = m.kernel_mut().trap_self_get_label(tid);
+                    Step::Done
+                }),
+            );
+        } else {
+            // The idle mass: park on the first quantum, retire if woken.
+            parked_tids.push(tid);
+            let mut parked = false;
+            sched.spawn(
+                tid,
+                Box::new(move |_m: &mut Machine, _tid| {
+                    if parked {
+                        Step::Done
+                    } else {
+                        parked = true;
+                        Step::Block
+                    }
+                }),
+            );
+        }
+    }
+
+    let start = m.kernel().now();
+    let admit = m.run_until(&mut sched, RunLimit::to_completion());
+    assert_eq!(admit.stop, StopReason::AllBlocked, "the idle mass parks");
+
+    // Wake a spread of parked users, one targeted event each.
+    let wakes = params.max_users_wakes.min(parked_tids.len());
+    let wake_stride = (parked_tids.len() / wakes.max(1)).max(1);
+    for w in 0..wakes {
+        let tid = parked_tids[w * wake_stride];
+        m.kernel_mut().sched_wake(tid).expect("wake parked user");
+    }
+    let wake = m.run_until(&mut sched, RunLimit::to_completion());
+    assert_eq!(wake.stop, StopReason::AllBlocked, "the rest stay parked");
+    assert_eq!(wake.stats.completed, wakes as u64, "each wake retires one");
+
+    MaxUsersMeasurement {
+        users: users as u64,
+        parked_high_water: sched.stats().parked_high_water,
+        admit_quanta: admit.stats.quanta,
+        wake_quanta: wake.stats.quanta,
+        wake_examined: wake.stats.wake_examined,
+        wakes: wakes as u64,
+        elapsed: m.kernel().now() - start,
+    }
+}
+
 /// Runs both variants and renders the table plus the machine-readable
 /// report.
 pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
     let single = measure_single_node(params);
     let fabric = measure_fabric(params);
+    let max_users = measure_max_users(params);
 
     let mut table = Table::new(&format!(
         "Scheduler: {} multiprogrammed untrusted logins (quantum 50us)",
@@ -371,6 +516,13 @@ pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
             "HiStar",
             SimDuration::from_nanos(single.amortized_trap_ns() as u64),
         ),
+    );
+    table.push(
+        Row::new(&format!(
+            "max users: {} admitted, {} targeted wakes",
+            max_users.users, max_users.wakes
+        ))
+        .measure("HiStar", max_users.elapsed),
     );
 
     let mut json = BenchJson::new("sched");
@@ -439,6 +591,31 @@ pub fn run(params: SchedBenchParams) -> (Table, BenchJson) {
         fabric.dispatch.handle_resolutions as f64,
         fabric.elapsed.as_nanos(),
     );
+    json.metric(
+        "max_users.users",
+        max_users.users as f64,
+        max_users.elapsed.as_nanos(),
+    );
+    json.metric(
+        "max_users.parked_high_water",
+        max_users.parked_high_water as f64,
+        max_users.elapsed.as_nanos(),
+    );
+    json.metric(
+        "max_users.examined_per_wake",
+        max_users.examined_per_wake(),
+        max_users.elapsed.as_nanos(),
+    );
+    json.metric(
+        "max_users.wake_efficiency",
+        max_users.wake_efficiency(),
+        max_users.elapsed.as_nanos(),
+    );
+    json.metric(
+        "max_users.wake_quanta",
+        max_users.wake_quanta as f64,
+        max_users.elapsed.as_nanos(),
+    );
     (table, json)
 }
 
@@ -476,6 +653,7 @@ mod tests {
         let rendered = table.render();
         assert!(rendered.contains("single node"));
         assert!(rendered.contains("two-node fabric"));
+        assert!(rendered.contains("max users"));
         let j = json.render();
         assert!(j.contains("\"name\": \"sched\""));
         assert!(j.contains("single_node.syscalls_per_sec"));
@@ -483,6 +661,28 @@ mod tests {
         assert!(j.contains("single_node.mean_batch_size"));
         assert!(j.contains("single_node.amortized_trap_ns_per_call"));
         assert!(j.contains("single_node.batch_hist.1"));
+        assert!(j.contains("max_users.examined_per_wake"));
+    }
+
+    #[test]
+    fn max_users_wakes_are_o_of_events() {
+        let m = measure_max_users(SchedBenchParams::smoke());
+        assert_eq!(m.users, 2_000);
+        assert!(
+            m.parked_high_water >= m.users - 40,
+            "nearly everyone parks; high water {}",
+            m.parked_high_water
+        );
+        assert_eq!(m.wakes, 8);
+        // The wake pass must examine only the dirtied threads, never the
+        // parked population.
+        assert!(
+            m.wake_examined <= 2 * m.wakes,
+            "examined {} for {} wakes",
+            m.wake_examined,
+            m.wakes
+        );
+        assert!(m.wake_quanta <= 2 * m.wakes);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::collections::{HashMap, VecDeque};
 use histar_auth::{AuthService, AuthSystem, LoginOutcome};
 use histar_kernel::object::{ContainerEntry, ObjectId};
 use histar_kernel::sched::{
-    Program, RunLimit, SchedContext, SchedStats, Scheduler, Step, StopReason,
+    Program, RunLimit, SchedConfig, SchedContext, SchedStats, Scheduler, Step, StopReason,
 };
 use histar_kernel::{DispatchStats, Kernel, SyscallStats};
 use histar_label::{Category, Label, Level};
@@ -708,8 +708,7 @@ pub fn build_httpd(params: HttpdParams) -> Result<(HttpdWorld, Scheduler<HttpdWo
             .enable_flight_recorder(params.recorder_capacity);
     }
 
-    let mut sched: Scheduler<HttpdWorld> =
-        Scheduler::new(params.seed, SimDuration::from_micros(50));
+    let mut sched: Scheduler<HttpdWorld> = Scheduler::new(SchedConfig::new().seed(params.seed));
     let launcher_thread = env.process(launcher)?.thread;
     sched.spawn(launcher_thread, launcher_program(launcher, listener.fd));
 

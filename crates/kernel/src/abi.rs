@@ -182,6 +182,17 @@ impl HandleTable {
     pub fn is_empty(&self) -> bool {
         self.live == 0
     }
+
+    /// Live handle counts aggregated per named object, in object order —
+    /// what the kernel's holder index must forget when this table's
+    /// thread dies.
+    pub fn live_holdings(&self) -> Vec<(ObjectId, u64)> {
+        let mut counts: std::collections::BTreeMap<ObjectId, u64> = Default::default();
+        for (entry, slots) in &self.index {
+            *counts.entry(entry.object).or_insert(0) += slots.len() as u64;
+        }
+        counts.into_iter().collect()
+    }
 }
 
 /// One operation in a submission batch.

@@ -41,10 +41,18 @@ impl SegmentBody {
 }
 
 /// A container: hierarchical holder of hard links (§3.2).
+///
+/// Membership is probed on every syscall's `check_entry`, so the
+/// insertion-ordered link list carries a sorted index alongside it:
+/// `contains` is O(log n) however many threads a burst links into one
+/// container, while enumeration (and the snapshot encoding) still sees
+/// insertion order.
 #[derive(Clone, Debug, Default)]
 pub struct ContainerBody {
     /// Hard links to objects, in insertion order.
-    pub links: Vec<ObjectId>,
+    pub(crate) links: Vec<ObjectId>,
+    /// Membership index over `links` (invariant: identical contents).
+    index: std::collections::BTreeSet<ObjectId>,
     /// Object ID of the parent container (`None` only for the root).
     pub parent: Option<ObjectId>,
     /// Bitmask of [`ObjectType::mask_bit`]s that may *not* be created in
@@ -53,21 +61,48 @@ pub struct ContainerBody {
 }
 
 impl ContainerBody {
+    /// Rebuilds a container body from its serialized parts, restoring the
+    /// membership index.
+    pub fn with_links(
+        links: Vec<ObjectId>,
+        parent: Option<ObjectId>,
+        avoid_types: u8,
+    ) -> ContainerBody {
+        let index = links.iter().copied().collect();
+        ContainerBody {
+            links,
+            index,
+            parent,
+            avoid_types,
+        }
+    }
+
     /// Returns true if the container holds a link to `id`.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.links.contains(&id)
+        self.index.contains(&id)
+    }
+
+    /// The linked objects, in insertion order.
+    pub fn links(&self) -> &[ObjectId] {
+        &self.links
     }
 
     /// Adds a hard link (idempotent).
     pub fn link(&mut self, id: ObjectId) {
-        if !self.contains(id) {
+        if self.index.insert(id) {
             self.links.push(id);
         }
     }
 
-    /// Removes a hard link, returning true if it was present.
+    /// Removes a hard link, returning true if it was present.  The ordered
+    /// list shifts (O(n) memmove); the hot path is `contains`, not unlink.
     pub fn unlink(&mut self, id: ObjectId) -> bool {
-        if let Some(pos) = self.links.iter().position(|&x| x == id) {
+        if self.index.remove(&id) {
+            let pos = self
+                .links
+                .iter()
+                .position(|&x| x == id)
+                .expect("index and links agree");
             self.links.remove(pos);
             true
         } else {
@@ -100,6 +135,11 @@ pub struct Alert {
     pub code: u64,
 }
 
+/// Wake-state bit: the thread has at least one undelivered alert.
+pub const WAKE_ALERT: u8 = 1 << 0;
+/// Wake-state bit: the thread has at least one unreaped completion.
+pub const WAKE_COMPLETION: u8 = 1 << 1;
+
 /// A thread: the only active object type (§3.1).
 ///
 /// The thread's label and clearance are mutable (via `self_set_label` /
@@ -120,6 +160,13 @@ pub struct ThreadBody {
     pub local_segment: Option<ObjectId>,
     /// Alerts queued for delivery.
     pub pending_alerts: Vec<Alert>,
+    /// Wake-state bits ([`WAKE_ALERT`] | [`WAKE_COMPLETION`]), maintained
+    /// by the kernel at alert-post/take and completion-push/reap time so
+    /// the scheduler's wake probe is a single O(1) read instead of three
+    /// queue inspections.  Not persisted: the alert bit is recomputed from
+    /// `pending_alerts` on decode, and completions are ABI-edge state that
+    /// dies with a snapshot anyway.
+    pub wake_flags: u8,
 }
 
 impl ThreadBody {
@@ -132,6 +179,7 @@ impl ThreadBody {
             state: ThreadState::Runnable,
             local_segment: None,
             pending_alerts: Vec::new(),
+            wake_flags: 0,
         }
     }
 }

@@ -9,7 +9,7 @@
 use crate::abi::{Completion, CompletionKind, Handle, HandleTable, KERNEL_USER_DATA};
 use crate::bodies::{
     AddressSpaceBody, Alert, ContainerBody, DeviceBody, GateBody, Mapping, ObjectBody, SegmentBody,
-    ThreadBody, ThreadState,
+    ThreadBody, ThreadState, WAKE_ALERT, WAKE_COMPLETION,
 };
 use crate::dispatch::{DispatchStats, SyscallTrace};
 use crate::object::{
@@ -57,6 +57,23 @@ pub struct GateEntryResult {
     pub stack_pointer: u64,
     /// The gate's closure arguments.
     pub closure_args: Vec<u64>,
+}
+
+/// What the scheduler should do with a parked thread, answered by
+/// [`Kernel::wake_eligibility`] in one O(1) probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WakeReason {
+    /// The thread halted or no longer exists: retire its program.
+    Retired,
+    /// The thread is already runnable again (an external `sched_wake`):
+    /// requeue it without charging a wakeup.
+    External,
+    /// An undelivered alert is pending: wake it.
+    Alert,
+    /// An unreaped completion is pending: wake it.
+    Completion,
+    /// Nothing happened — the dirty mark was spurious; stay parked.
+    Parked,
 }
 
 /// Where a page fault resolved to.
@@ -117,6 +134,12 @@ pub struct Kernel {
     per_thread_syscalls: BTreeMap<ObjectId, u64>,
     /// Per-thread capability handle tables (ABI-edge state, not persisted).
     handles: BTreeMap<ObjectId, HandleTable>,
+    /// Reverse index over every thread's handle table: object → the
+    /// threads holding live handles naming it (with a refcount per
+    /// thread).  Unref/dealloc revocation sweeps visit exactly the holder
+    /// threads instead of every thread that ever opened a handle, so
+    /// severing one link stays O(holders) with 10⁵ threads resident.
+    handle_holders: BTreeMap<ObjectId, BTreeMap<ObjectId, u64>>,
     /// Per-thread completion queues (ABI-edge state, not persisted).
     completions: BTreeMap<ObjectId, std::collections::VecDeque<Completion>>,
     /// One-shot readiness watches: object → threads to notify (with an
@@ -131,6 +154,10 @@ pub struct Kernel {
     sched_dirty: Vec<ObjectId>,
     /// Dedup set for `sched_dirty`.
     sched_dirty_set: std::collections::BTreeSet<ObjectId>,
+    /// The scheduler's last published counter snapshot (the scheduler
+    /// lives outside the kernel, but its counters belong to the machine's
+    /// metrics registry so `/metrics/sched` can serve them).
+    sched_metrics: MetricSet,
     /// True while a submission batch is being drained: the first call
     /// charges the full trap cost, the rest only the batched decode cost.
     in_batch: bool,
@@ -170,10 +197,12 @@ impl Kernel {
             dispatch_seq: 0,
             per_thread_syscalls: BTreeMap::new(),
             handles: BTreeMap::new(),
+            handle_holders: BTreeMap::new(),
             completions: BTreeMap::new(),
             watchers: BTreeMap::new(),
             sched_dirty: Vec::new(),
             sched_dirty_set: std::collections::BTreeSet::new(),
+            sched_metrics: MetricSet::new(),
             in_batch: false,
             batch_trap_charged: false,
             store: None,
@@ -320,7 +349,16 @@ impl Kernel {
             set.collect(&store.wal_stats());
             set.collect(&store.disk_stats());
         }
+        set.extend(&self.sched_metrics);
         set
+    }
+
+    /// Stores the scheduler's latest counter snapshot (counters plus
+    /// per-shard queue-depth gauges) so `metrics()` — and therefore
+    /// `/metrics/sched` — serves scheduling alongside every kernel-owned
+    /// source.  The scheduler calls this at the end of every `run`.
+    pub fn publish_sched_metrics(&mut self, set: MetricSet) {
+        self.sched_metrics = set;
     }
 
     /// Simulated time since boot (zero when no clock is attached).
@@ -494,12 +532,32 @@ impl Kernel {
         Ok(self.thread(tid)?.1.state)
     }
 
-    /// Whether a thread has undelivered alerts (scheduler hook: a blocked
-    /// thread with pending alerts is woken rather than skipped).
-    pub fn thread_has_pending_alerts(&self, tid: ObjectId) -> bool {
-        self.thread(tid)
-            .map(|(_, b)| !b.pending_alerts.is_empty())
-            .unwrap_or(false)
+    /// What the scheduler should do with a parked thread — the single O(1)
+    /// wake probe.  The answer is read from the thread's scheduling state
+    /// and its wake-state bits, which the kernel maintains at the moment
+    /// an alert is posted or taken and a completion is pushed or reaped;
+    /// no queue is inspected here.  This replaced the three-call probe
+    /// (`thread_state` + pending-alert scan + completion-queue scan) the
+    /// scheduler used to make per dirty thread.
+    pub fn wake_eligibility(&self, tid: ObjectId) -> WakeReason {
+        match self.thread(tid) {
+            Err(_) => WakeReason::Retired,
+            Ok((_, body)) => match body.state {
+                ThreadState::Halted => WakeReason::Retired,
+                ThreadState::Runnable => WakeReason::External,
+                ThreadState::Blocked => {
+                    // Alerts outrank completions, preserving the wake
+                    // priority the scheduler has always applied.
+                    if body.wake_flags & WAKE_ALERT != 0 {
+                        WakeReason::Alert
+                    } else if body.wake_flags & WAKE_COMPLETION != 0 {
+                        WakeReason::Completion
+                    } else {
+                        WakeReason::Parked
+                    }
+                }
+            },
+        }
     }
 
     /// Scheduler hook: marks a blocked thread runnable again (alert arrival
@@ -577,7 +635,38 @@ impl Kernel {
         self.charge_boundary();
         self.check_entry(&tl, entry)?;
         self.dispatch_stats.handle_opens += 1;
-        Ok(self.handles.entry(tid).or_default().install(entry))
+        let handle = self.handles.entry(tid).or_default().install(entry);
+        self.holders_note_install(entry.object, tid);
+        Ok(handle)
+    }
+
+    /// Records one more live handle `tid` holds for `object`.
+    fn holders_note_install(&mut self, object: ObjectId, tid: ObjectId) {
+        *self
+            .handle_holders
+            .entry(object)
+            .or_default()
+            .entry(tid)
+            .or_insert(0) += 1;
+    }
+
+    /// Releases `n` of the live handles `tid` held for `object`, dropping
+    /// empty index entries so the map stays proportional to live holders.
+    fn holders_release(&mut self, object: ObjectId, tid: ObjectId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(holders) = self.handle_holders.get_mut(&object) {
+            if let Some(count) = holders.get_mut(&tid) {
+                *count = count.saturating_sub(n);
+                if *count == 0 {
+                    holders.remove(&tid);
+                }
+            }
+            if holders.is_empty() {
+                self.handle_holders.remove(&object);
+            }
+        }
     }
 
     /// Like [`Kernel::handle_open`], but reuses an already-installed live
@@ -604,10 +693,13 @@ impl Kernel {
     pub fn handle_close(&mut self, tid: ObjectId, handle: Handle) -> bool {
         self.charge_boundary();
         self.dispatch_stats.handle_closes += 1;
-        self.handles
-            .get_mut(&tid)
-            .and_then(|t| t.revoke(handle))
-            .is_some()
+        match self.handles.get_mut(&tid).and_then(|t| t.revoke(handle)) {
+            Some(entry) => {
+                self.holders_release(entry.object, tid, 1);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The entry a handle currently resolves to for `tid`, if live.
@@ -621,28 +713,50 @@ impl Kernel {
     }
 
     /// Revokes, across every thread, handles installed through exactly
-    /// this severed container link.  Empty tables are skipped in O(1), so
-    /// the sweep costs nothing on unref-heavy workloads that never
-    /// installed handles.
+    /// this severed container link.  Served from the holder index: only
+    /// the threads actually holding a handle for this object are visited,
+    /// so the sweep is O(holders), not O(threads) — with 10⁵ resident
+    /// threads an unref touching nobody's handles costs one map probe.
     fn revoke_handles_for_entry(&mut self, entry: ContainerEntry) {
-        for table in self.handles.values_mut().filter(|t| !t.is_empty()) {
-            self.dispatch_stats.handle_revocations += table.revoke_entry(entry) as u64;
+        let Some(holders) = self.handle_holders.get(&entry.object) else {
+            return;
+        };
+        let tids: Vec<ObjectId> = holders.keys().copied().collect();
+        for tid in tids {
+            let revoked = self
+                .handles
+                .get_mut(&tid)
+                .map_or(0, |t| t.revoke_entry(entry));
+            self.dispatch_stats.handle_revocations += revoked as u64;
+            // The thread may still hold handles for the same object
+            // through a different link, so release only what was revoked.
+            self.holders_release(entry.object, tid, revoked as u64);
         }
     }
 
     /// Revokes, across every thread, handles naming a deallocated object
-    /// through any link.
+    /// through any link.  O(holders), like the by-entry sweep.
     fn revoke_handles_for_object(&mut self, object: ObjectId) {
-        for table in self.handles.values_mut().filter(|t| !t.is_empty()) {
-            self.dispatch_stats.handle_revocations += table.revoke_object(object) as u64;
+        let Some(holders) = self.handle_holders.remove(&object) else {
+            return;
+        };
+        for tid in holders.keys() {
+            if let Some(table) = self.handles.get_mut(tid) {
+                self.dispatch_stats.handle_revocations += table.revoke_object(object) as u64;
+            }
         }
     }
 
     /// Pushes a completion onto `tid`'s completion queue.  The thread is
-    /// marked sched-dirty: if it is parked on an empty completion queue,
-    /// the scheduler's next wake pass will find it without a scan.
+    /// marked sched-dirty (if it is parked on an empty completion queue,
+    /// the scheduler's next wake pass will find it without a scan) and its
+    /// completion wake-state bit is set, so `wake_eligibility` never has
+    /// to look at the queue itself.
     pub(crate) fn push_completion(&mut self, tid: ObjectId, completion: Completion) {
         self.sched_mark_dirty(tid);
+        if let Ok((_, body)) = self.thread_mut(tid) {
+            body.wake_flags |= WAKE_COMPLETION;
+        }
         self.completions
             .entry(tid)
             .or_default()
@@ -713,16 +827,32 @@ impl Kernel {
 
     /// Removes and returns `tid`'s oldest unreaped completion.
     pub fn reap_completion(&mut self, tid: ObjectId) -> Option<Completion> {
-        self.completions.get_mut(&tid).and_then(|q| q.pop_front())
+        let taken = self.completions.get_mut(&tid).and_then(|q| q.pop_front());
+        if taken.is_some() && !self.completion_pending(tid) {
+            self.clear_wake_flag(tid, WAKE_COMPLETION);
+        }
+        taken
     }
 
     /// Removes and returns all of `tid`'s unreaped completions, oldest
     /// first.
     pub fn reap_completions(&mut self, tid: ObjectId) -> Vec<Completion> {
-        self.completions
+        let taken: Vec<Completion> = self
+            .completions
             .get_mut(&tid)
             .map(|q| q.drain(..).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if !taken.is_empty() {
+            self.clear_wake_flag(tid, WAKE_COMPLETION);
+        }
+        taken
+    }
+
+    /// Clears a wake-state bit once the matching queue drained.
+    fn clear_wake_flag(&mut self, tid: ObjectId, flag: u8) {
+        if let Ok((_, body)) = self.thread_mut(tid) {
+            body.wake_flags &= !flag;
+        }
     }
 
     // ----- the single-level store and persist records -------------------
@@ -1196,8 +1326,14 @@ impl Kernel {
         self.notify_watchers(id);
         self.sched_mark_dirty(id);
         if obj.header.object_type == ObjectType::Thread {
-            // A dead thread's ABI-edge state dies with it.
-            self.handles.remove(&id);
+            // A dead thread's ABI-edge state dies with it — including its
+            // slots in the holder index, or the index would pin ghost
+            // threads forever.
+            if let Some(table) = self.handles.remove(&id) {
+                for (object, count) in table.live_holdings() {
+                    self.holders_release(object, id, count);
+                }
+            }
             self.completions.remove(&id);
             self.per_thread_syscalls.remove(&id);
         }
@@ -1292,11 +1428,11 @@ impl Kernel {
         quota: u64,
     ) -> Result<ObjectId, SyscallError> {
         let (tl, tc) = self.calling_thread(tid)?;
-        let body = ObjectBody::Container(ContainerBody {
-            links: Vec::new(),
-            parent: Some(parent),
+        let body = ObjectBody::Container(ContainerBody::with_links(
+            Vec::new(),
+            Some(parent),
             avoid_types,
-        });
+        ));
         self.create_object(&tl, &tc, parent, label, quota, descrip, body)
             .inspect_err(|_| self.stats.errors += 1)
     }
@@ -2199,6 +2335,7 @@ impl Kernel {
             }
             let (_, body) = self.thread_mut(target.object)?;
             body.pending_alerts.push(Alert { code });
+            body.wake_flags |= WAKE_ALERT;
             // The alert is also announced on the target's completion
             // queue, so a thread blocked on an empty queue wakes without
             // polling `self_take_alert` every quantum.
@@ -2223,6 +2360,9 @@ impl Kernel {
             Ok(None)
         } else {
             let alert = body.pending_alerts.remove(0);
+            if body.pending_alerts.is_empty() {
+                body.wake_flags &= !WAKE_ALERT;
+            }
             // The alert's completion-queue notification is consumed with
             // it; a stale notification would re-wake a blocked thread
             // forever (the busy-poll the completion queue exists to avoid).
@@ -2233,6 +2373,9 @@ impl Kernel {
                 {
                     q.remove(i);
                 }
+            }
+            if !self.completion_pending(tid) {
+                self.clear_wake_flag(tid, WAKE_COMPLETION);
             }
             Ok(Some(alert))
         }

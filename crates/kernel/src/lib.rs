@@ -61,7 +61,9 @@ pub use dispatch::{DispatchStats, Syscall, SyscallResult, SyscallTrace, TraceRec
 pub use kernel::Kernel;
 pub use machine::{Machine, MachineConfig};
 pub use object::{ContainerEntry, ObjectFlags, ObjectId, ObjectType};
-pub use sched::{RunLimit, SchedContext, ScheduleReport, Scheduler, Step, StopReason};
+pub use sched::{
+    RunLimit, SchedConfig, SchedContext, SchedStats, ScheduleReport, Scheduler, Step, StopReason,
+};
 pub use syscall::{SyscallError, SyscallStats};
 
 /// Convenience result alias for kernel operations.

@@ -1,4 +1,5 @@
-//! A deterministic round-robin scheduler over kernel threads.
+//! A deterministic scheduler over kernel threads, built on sharded run
+//! queues with O(1) wake.
 //!
 //! The paper's kernel schedules threads; this reproduction historically let
 //! library code drive every thread to completion as nested function calls,
@@ -8,15 +9,23 @@
 //! * every scheduled thread is represented by a **program** — a state
 //!   machine stepped one quantum at a time, issuing its kernel work through
 //!   [`Kernel::dispatch`](crate::kernel::Kernel) on its own thread ID;
-//! * the [`Scheduler`] interleaves programs round-robin, charging each
-//!   quantum and context switch to the [`SimClock`], honoring
-//!   `sys_self_halt` (a halted thread is retired) and alerts (a blocked
-//!   thread with pending alerts is woken);
-//! * scheduling is **deterministic**: the run queue order is a pure
-//!   function of admission order and the scheduler seed (threads admitted
-//!   in the same batch are tie-broken by a seeded shuffle), so the same
-//!   seed replays the identical interleaving — and, with tracing enabled,
-//!   the identical syscall audit stream.
+//! * the [`Scheduler`] spreads threads over **shards**: each shard owns its
+//!   own run queue and wait set, a thread's shard is a seeded hash of its
+//!   admission order, and a seed-fixed rotation visits the shards taking
+//!   one quantum from each non-empty queue per revolution.  With one shard
+//!   this degenerates to the classic global round-robin; with many, queue
+//!   and wait-set operations touch only the owning shard, which is what
+//!   lets the wait side hold 10⁵ parked users without any global scan;
+//! * waking is **O(events)**: parked threads are re-examined only when the
+//!   kernel marks them sched-dirty, and eligibility is a single
+//!   [`Kernel::wake_eligibility`] probe against per-thread wake-state bits
+//!   (maintained at alert-post, completion-push and `sched_wake` time),
+//!   not a walk over the thread's alert and completion queues;
+//! * scheduling is **deterministic**: shard assignment, shard visit order
+//!   and admission tie-breaks are pure functions of the seed and the spawn
+//!   order, and wakes within a shard apply in park order — so the same
+//!   seed and shard count replay the identical interleaving, and, with
+//!   tracing enabled, the identical syscall audit stream.
 //!
 //! Programs run against a caller-supplied context type implementing
 //! [`SchedContext`] (the kernel itself, a whole [`Machine`], or a library
@@ -24,8 +33,7 @@
 //! — the Unix environment, the auth services — are multiprogrammed without
 //! the kernel crate knowing about them.
 
-use crate::bodies::ThreadState;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, WakeReason};
 use crate::machine::Machine;
 use crate::object::ObjectId;
 use histar_sim::{SimDuration, SimRng};
@@ -62,6 +70,63 @@ impl SchedContext for Kernel {
 impl SchedContext for Machine {
     fn sched_kernel(&mut self) -> &mut Kernel {
         self.kernel_mut()
+    }
+}
+
+/// Default number of run-queue shards.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default quantum charged per program step.
+pub const DEFAULT_QUANTUM: SimDuration = SimDuration::from_micros(50);
+
+/// Construction-time parameters for a [`Scheduler`], built fluently:
+///
+/// ```ignore
+/// let sched = Scheduler::new(SchedConfig::new().seed(7).shards(16));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Seed fixing every tie-break: shard assignment, shard visit order
+    /// and admission-batch shuffles.
+    pub seed: u64,
+    /// CPU time charged per program step.
+    pub quantum: SimDuration,
+    /// Number of run-queue shards (at least 1).
+    pub shards: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            seed: 0,
+            quantum: DEFAULT_QUANTUM,
+            shards: DEFAULT_SHARDS,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// The default configuration (seed 0, 50µs quantum, 8 shards).
+    pub fn new() -> SchedConfig {
+        SchedConfig::default()
+    }
+
+    /// Sets the scheduler seed.
+    pub fn seed(mut self, seed: u64) -> SchedConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the quantum charged per program step.
+    pub fn quantum(mut self, quantum: SimDuration) -> SchedConfig {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> SchedConfig {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -108,7 +173,7 @@ pub enum StopReason {
     QuantaExhausted,
     /// The simulated-time deadline passed.
     DeadlinePassed,
-    /// Only blocked threads remain and none has a pending alert.
+    /// Only blocked threads remain and none has a pending wake event.
     AllBlocked,
 }
 
@@ -126,6 +191,34 @@ pub struct SchedStats {
     /// Blocked threads woken because a completion landed on their
     /// completion queue.
     pub completion_wakeups: u64,
+    /// Parked threads found already runnable (an explicit `sched_wake`).
+    pub external_wakeups: u64,
+    /// Wake passes that had at least one sched-dirty thread to examine.
+    pub wake_passes: u64,
+    /// Parked threads re-examined across all wake passes.  The O(events)
+    /// guarantee in numbers: this tracks dirtied threads, not the parked
+    /// population, so 10⁵ idle users cost nothing here.
+    pub wake_examined: u64,
+    /// Most threads ever parked at once (a level, not a count).
+    pub parked_high_water: u64,
+}
+
+impl SchedStats {
+    /// The per-run delta between two snapshots: counters subtract;
+    /// `parked_high_water` is a level and carries the later value.
+    pub fn since(&self, before: &SchedStats) -> SchedStats {
+        SchedStats {
+            quanta: self.quanta - before.quanta,
+            context_switches: self.context_switches - before.context_switches,
+            completed: self.completed - before.completed,
+            alert_wakeups: self.alert_wakeups - before.alert_wakeups,
+            completion_wakeups: self.completion_wakeups - before.completion_wakeups,
+            external_wakeups: self.external_wakeups - before.external_wakeups,
+            wake_passes: self.wake_passes - before.wake_passes,
+            wake_examined: self.wake_examined - before.wake_examined,
+            parked_high_water: self.parked_high_water,
+        }
+    }
 }
 
 impl histar_obs::MetricSource for SchedStats {
@@ -135,43 +228,64 @@ impl histar_obs::MetricSource for SchedStats {
         set.counter("sched.completed", self.completed);
         set.counter("sched.alert_wakeups", self.alert_wakeups);
         set.counter("sched.completion_wakeups", self.completion_wakeups);
+        set.counter("sched.external_wakeups", self.external_wakeups);
+        set.counter("sched.wake_passes", self.wake_passes);
+        set.counter("sched.wake_examined", self.wake_examined);
+        set.gauge("sched.parked_high_water", self.parked_high_water);
     }
 }
 
-/// The result of one [`Scheduler::run`] invocation.
+/// The result of one [`Scheduler::run`] invocation: the per-run
+/// [`SchedStats`] delta plus why the run stopped and what it cost.
 #[derive(Clone, Copy, Debug)]
 pub struct ScheduleReport {
     /// Why the run stopped.
     pub stop: StopReason,
-    /// Quanta executed during this run.
-    pub quanta: u64,
-    /// Context switches during this run.
-    pub context_switches: u64,
-    /// Programs retired during this run.
-    pub completed: u64,
+    /// Counter deltas for this run (see [`SchedStats::since`]).
+    pub stats: SchedStats,
     /// Programs still scheduled (runnable or blocked) at return.
     pub remaining: usize,
     /// Simulated time consumed by this run.
     pub elapsed: SimDuration,
 }
 
-/// A deterministic round-robin scheduler.
+/// One run-queue shard: a FIFO of runnable threads plus the shard's own
+/// wait set (parked thread → park sequence number).
+#[derive(Default)]
+struct Shard {
+    queue: VecDeque<ObjectId>,
+    waiting: BTreeMap<ObjectId, u64>,
+}
+
+/// SplitMix64: the shard-assignment hash.  A fixed, seedable avalanche so
+/// shard placement is a pure function of (seed, admission index).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic scheduler over sharded run queues.
 ///
 /// `Ctx` is the shared world the programs mutate — see [`SchedContext`].
 pub struct Scheduler<Ctx> {
-    quantum: SimDuration,
+    config: SchedConfig,
     rng: SimRng,
-    queue: VecDeque<ObjectId>,
-    /// Threads parked off the run queue until a completion or alert
-    /// arrives, keyed to their park sequence number.  Blocked threads
-    /// consume zero quanta: they are not rotated through the run queue,
-    /// and — via the kernel's sched-dirty list — only threads whose wake
-    /// conditions actually changed are re-examined, so a wake pass costs
-    /// O(events), not O(parked threads).  Eligible wakes are applied in
-    /// park order, keeping the interleaving a pure function of the seed.
-    waiting: BTreeMap<ObjectId, u64>,
+    shards: Vec<Shard>,
+    /// Seed-fixed shard visit order; the rotation cursor walks this.
+    visit: Vec<usize>,
+    cursor: usize,
+    /// Which shard each scheduled thread was assigned to.
+    shard_of: BTreeMap<ObjectId, usize>,
+    /// Threads admitted so far; feeds the shard-assignment hash.
+    admitted: u64,
     /// Monotonic counter stamping each park, for deterministic wake order.
     park_seq: u64,
+    /// Runnable threads across all shard queues.
+    queued: usize,
+    /// Parked threads across all shard wait sets.
+    parked: usize,
     pending: Vec<ObjectId>,
     programs: BTreeMap<ObjectId, Program<Ctx>>,
     last_run: Option<ObjectId>,
@@ -179,20 +293,35 @@ pub struct Scheduler<Ctx> {
 }
 
 impl<Ctx: SchedContext> Scheduler<Ctx> {
-    /// Creates a scheduler.  `seed` fixes every tie-break; `quantum` is the
-    /// CPU time charged per program step.
-    pub fn new(seed: u64, quantum: SimDuration) -> Scheduler<Ctx> {
+    /// Creates a scheduler from its configuration.
+    pub fn new(config: SchedConfig) -> Scheduler<Ctx> {
+        let shards = config.shards.max(1);
+        let mut visit: Vec<usize> = (0..shards).collect();
+        // The visit order is drawn from its own seeded stream so admission
+        // shuffles are unaffected by the shard count.
+        SimRng::new(config.seed ^ 0x51a2_d0e5).shuffle(&mut visit);
         Scheduler {
-            quantum,
-            rng: SimRng::new(seed ^ 0x5ced_5ced),
-            queue: VecDeque::new(),
-            waiting: BTreeMap::new(),
+            config,
+            rng: SimRng::new(config.seed ^ 0x5ced_5ced),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            visit,
+            cursor: 0,
+            shard_of: BTreeMap::new(),
+            admitted: 0,
             park_seq: 0,
+            queued: 0,
+            parked: 0,
             pending: Vec::new(),
             programs: BTreeMap::new(),
             last_run: None,
             stats: SchedStats::default(),
         }
+    }
+
+    /// Creates a scheduler from a bare seed and quantum.
+    #[deprecated(note = "use Scheduler::new(SchedConfig::new().seed(..).quantum(..))")]
+    pub fn from_seed_quantum(seed: u64, quantum: SimDuration) -> Scheduler<Ctx> {
+        Scheduler::new(SchedConfig::new().seed(seed).quantum(quantum))
     }
 
     /// Schedules `program` to run as thread `tid`.  Threads spawned between
@@ -213,95 +342,173 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
         self.stats
     }
 
-    /// The configured quantum.
-    pub fn quantum(&self) -> SimDuration {
-        self.quantum
+    /// The configuration this scheduler was built with.
+    pub fn config(&self) -> SchedConfig {
+        self.config
     }
 
-    /// Admits the pending batch: seeded-shuffle, then append.  This is the
-    /// scheduler's only use of randomness, and it is fully determined by
-    /// the seed and the spawn order.
+    /// The configured quantum.
+    pub fn quantum(&self) -> SimDuration {
+        self.config.quantum
+    }
+
+    /// Current depth of each shard's run queue, in shard order.
+    pub fn shard_queue_depths(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.queue.len()).collect()
+    }
+
+    /// Admits the pending batch: seeded-shuffle, then hash each thread to
+    /// its shard.  The shuffle is the scheduler's only use of randomness
+    /// and is fully determined by the seed and the spawn order; the shard
+    /// is a pure function of (seed, admission index).
     fn admit_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         let mut batch = std::mem::take(&mut self.pending);
         self.rng.shuffle(&mut batch);
-        self.queue.extend(batch);
+        for tid in batch {
+            let shard =
+                (splitmix64(self.config.seed ^ self.admitted) % self.shards.len() as u64) as usize;
+            self.admitted += 1;
+            self.shard_of.insert(tid, shard);
+            self.shards[shard].queue.push_back(tid);
+            self.queued += 1;
+        }
     }
 
-    /// Parks a thread in the wait set and marks it sched-dirty so the next
-    /// wake pass re-checks it once: a completion or alert that landed
-    /// during the thread's final quantum (submit-then-block) must not be
-    /// lost just because the event preceded the park.
+    /// Pops the next thread under the rotation: starting at the cursor,
+    /// the first non-empty shard in the seed-fixed visit order gives up
+    /// its queue head, and the cursor moves past it — one quantum per
+    /// non-empty shard per revolution.
+    fn pop_next(&mut self) -> Option<ObjectId> {
+        if self.queued == 0 {
+            return None;
+        }
+        let n = self.visit.len();
+        for i in 0..n {
+            let at = (self.cursor + i) % n;
+            let shard = self.visit[at];
+            if let Some(tid) = self.shards[shard].queue.pop_front() {
+                self.cursor = (at + 1) % n;
+                self.queued -= 1;
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    /// Requeues a runnable thread at the tail of its own shard.
+    fn requeue(&mut self, tid: ObjectId) {
+        let shard = self.shard_of[&tid];
+        self.shards[shard].queue.push_back(tid);
+        self.queued += 1;
+    }
+
+    /// Parks a thread in its shard's wait set and marks it sched-dirty so
+    /// the next wake pass re-checks it once: a completion or alert that
+    /// landed during the thread's final quantum (submit-then-block) must
+    /// not be lost just because the event preceded the park.
     fn park(&mut self, ctx: &mut Ctx, tid: ObjectId) {
         self.park_seq += 1;
-        self.waiting.insert(tid, self.park_seq);
+        let shard = self.shard_of[&tid];
+        self.shards[shard].waiting.insert(tid, self.park_seq);
+        self.parked += 1;
+        self.stats.parked_high_water = self.stats.parked_high_water.max(self.parked as u64);
         ctx.sched_kernel().sched_mark_dirty(tid);
     }
 
+    /// Drops a thread from the scheduler entirely (halted or deallocated).
+    fn retire(&mut self, tid: ObjectId) {
+        self.programs.remove(&tid);
+        self.shard_of.remove(&tid);
+        self.stats.completed += 1;
+    }
+
     /// Re-examines exactly the parked threads whose wake conditions may
-    /// have changed — the kernel's sched-dirty list: a pending alert, a
-    /// completion on their completion queue, or an external `sched_wake` —
-    /// and moves the eligible ones (in park order) back to the run queue.
-    /// Retires threads that halted or died while parked.  Threads with no
-    /// event stay parked untouched, so 10⁴ idle clients cost nothing here.
+    /// have changed — the kernel's sched-dirty list — and moves the
+    /// eligible ones back to their shard's run queue.  Eligibility is one
+    /// [`Kernel::wake_eligibility`] probe per dirtied thread: the kernel
+    /// maintains per-thread wake-state bits at alert/completion time, so
+    /// the pass never walks a thread's queues.  Shards are visited in the
+    /// seed-fixed order and wakes within a shard apply in park order,
+    /// keeping the interleaving a pure function of (seed, shard count).
+    /// Threads with no event stay parked untouched, so 10⁵ idle users
+    /// cost nothing here.
     fn wake_waiters(&mut self, ctx: &mut Ctx) {
         let dirty = ctx.sched_kernel().take_sched_dirty();
         if dirty.is_empty() {
             return;
         }
-        let mut hits: Vec<(u64, ObjectId)> = dirty
-            .into_iter()
-            .filter_map(|tid| self.waiting.get(&tid).map(|&seq| (seq, tid)))
-            .collect();
-        hits.sort_unstable();
-        for (_, tid) in hits {
-            let kernel = ctx.sched_kernel();
-            match kernel.thread_state(tid) {
-                Err(_) | Ok(ThreadState::Halted) => {
-                    self.waiting.remove(&tid);
-                    self.programs.remove(&tid);
-                    self.stats.completed += 1;
+        self.stats.wake_passes += 1;
+        let mut hits: Vec<Vec<(u64, ObjectId)>> = vec![Vec::new(); self.shards.len()];
+        for tid in dirty {
+            if let Some(&shard) = self.shard_of.get(&tid) {
+                if let Some(&seq) = self.shards[shard].waiting.get(&tid) {
+                    hits[shard].push((seq, tid));
                 }
-                Ok(ThreadState::Runnable) => {
-                    // Woken externally (explicit sched_wake).
-                    self.waiting.remove(&tid);
-                    self.queue.push_back(tid);
-                }
-                Ok(ThreadState::Blocked) => {
-                    if kernel.thread_has_pending_alerts(tid) {
+            }
+        }
+        for vi in 0..self.visit.len() {
+            let shard = self.visit[vi];
+            let mut shard_hits = std::mem::take(&mut hits[shard]);
+            shard_hits.sort_unstable();
+            for (_, tid) in shard_hits {
+                self.stats.wake_examined += 1;
+                let kernel = ctx.sched_kernel();
+                let unpark = match kernel.wake_eligibility(tid) {
+                    WakeReason::Retired => {
+                        self.shards[shard].waiting.remove(&tid);
+                        self.parked -= 1;
+                        self.retire(tid);
+                        continue;
+                    }
+                    WakeReason::External => {
+                        // Already runnable: an explicit sched_wake.
+                        self.stats.external_wakeups += 1;
+                        true
+                    }
+                    WakeReason::Alert => {
                         let _ = kernel.sched_wake(tid);
                         self.stats.alert_wakeups += 1;
-                        self.waiting.remove(&tid);
-                        self.queue.push_back(tid);
-                    } else if kernel.completion_pending(tid) {
+                        true
+                    }
+                    WakeReason::Completion => {
                         let _ = kernel.sched_wake(tid);
                         self.stats.completion_wakeups += 1;
-                        self.waiting.remove(&tid);
-                        self.queue.push_back(tid);
+                        true
                     }
-                    // Otherwise the event was spurious: stay parked.
+                    // The event was spurious: stay parked.
+                    WakeReason::Parked => false,
+                };
+                if unpark {
+                    self.shards[shard].waiting.remove(&tid);
+                    self.parked -= 1;
+                    self.shards[shard].queue.push_back(tid);
+                    self.queued += 1;
                 }
             }
         }
     }
 
-    /// Runs scheduled programs round-robin until `limit` is reached, every
-    /// program completes, or only hopelessly blocked threads remain.
+    /// Runs scheduled programs under the shard rotation until `limit` is
+    /// reached, every program completes, or only hopelessly blocked
+    /// threads remain.
     ///
-    /// Blocked threads live in a wait set, not the run queue: they are
-    /// charged no quanta and never stepped until a completion or alert
-    /// wakes them (this replaced the old busy rotation that cycled blocked
-    /// threads through the queue every pass).
+    /// Blocked threads live in their shard's wait set, not the run queue:
+    /// they are charged no quanta and never stepped until a completion or
+    /// alert wakes them.  Each `run` is a fresh occupancy of the CPU: the
+    /// first quantum always charges a context switch (`last_run` does not
+    /// leak across invocations).
     pub fn run(&mut self, ctx: &mut Ctx, limit: RunLimit) -> ScheduleReport {
+        self.last_run = None;
         self.admit_pending();
         let start = ctx.sched_kernel().now();
         let before = self.stats;
         let stop = loop {
             self.wake_waiters(ctx);
-            if self.queue.is_empty() {
-                break if self.waiting.is_empty() {
+            if self.queued == 0 {
+                break if self.parked == 0 {
                     StopReason::AllComplete
                 } else {
                     StopReason::AllBlocked
@@ -315,22 +522,21 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                     break StopReason::DeadlinePassed;
                 }
             }
-            let tid = self.queue.pop_front().expect("queue checked non-empty");
-            match ctx.sched_kernel().thread_state(tid) {
+            let tid = self.pop_next().expect("queued count checked non-zero");
+            match ctx.sched_kernel().wake_eligibility(tid) {
                 // A halted (or deallocated) thread is retired without
                 // running: self_halt and thread teardown are honored here.
-                Err(_) | Ok(ThreadState::Halted) => {
-                    self.programs.remove(&tid);
-                    self.stats.completed += 1;
+                WakeReason::Retired => {
+                    self.retire(tid);
                     continue;
                 }
-                Ok(ThreadState::Blocked) => {
+                WakeReason::Alert | WakeReason::Completion | WakeReason::Parked => {
                     // Blocked outside the scheduler's own Step::Block path
                     // (e.g. a direct sched_block): park it.
                     self.park(ctx, tid);
                     continue;
                 }
-                Ok(ThreadState::Runnable) => {}
+                WakeReason::External => {}
             }
 
             // Charge the switch onto this thread and its timeslice.
@@ -349,7 +555,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                         seq: self.stats.context_switches,
                     });
                 }
-                kernel.sched_charge(self.quantum);
+                kernel.sched_charge(self.config.quantum);
                 (kernel.recorder().clone(), quantum_start)
             };
             self.last_run = Some(tid);
@@ -371,7 +577,7 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
             match step {
                 Step::Yield => {
                     self.programs.insert(tid, program);
-                    self.queue.push_back(tid);
+                    self.requeue(tid);
                 }
                 Step::Block => {
                     let _ = ctx.sched_kernel().sched_block(tid);
@@ -382,21 +588,33 @@ impl<Ctx: SchedContext> Scheduler<Ctx> {
                     // Halt through the trap boundary so the audit trace
                     // records the thread's exit like any other syscall.
                     let _ = ctx.sched_kernel().trap_self_halt(tid);
+                    self.shard_of.remove(&tid);
                     self.stats.completed += 1;
                 }
             }
             // Admit any threads the program spawned during its quantum.
             self.admit_pending();
         };
+        self.publish_metrics(ctx);
         let after = self.stats;
         ScheduleReport {
             stop,
-            quanta: after.quanta - before.quanta,
-            context_switches: after.context_switches - before.context_switches,
-            completed: after.completed - before.completed,
+            stats: after.since(&before),
             remaining: self.programs.len(),
             elapsed: ctx.sched_kernel().now() - start,
         }
+    }
+
+    /// Publishes the scheduler's counters and per-shard queue gauges to
+    /// the kernel's metric registry, making them visible at `/metrics`.
+    fn publish_metrics(&self, ctx: &mut Ctx) {
+        let mut set = histar_obs::MetricSet::new();
+        set.collect(&self.stats);
+        for (i, shard) in self.shards.iter().enumerate() {
+            set.gauge_indexed("sched.shard_queue_depth", i, shard.queue.len() as u64);
+            set.gauge_indexed("sched.shard_parked", i, shard.waiting.len() as u64);
+        }
+        ctx.sched_kernel().publish_sched_metrics(set);
     }
 }
 
@@ -448,7 +666,7 @@ mod tests {
         })
     }
 
-    fn interleaving(seed: u64) -> (Vec<u8>, ScheduleReport) {
+    fn interleaving(config: SchedConfig) -> (Vec<u8>, ScheduleReport) {
         let mut m = Machine::boot(MachineConfig::default());
         let boot = m.kernel_thread();
         let root = m.kernel().root_container();
@@ -457,7 +675,7 @@ mod tests {
             .trap_segment_create(boot, root, Label::unrestricted(), 0, "log")
             .unwrap();
         let entry = ContainerEntry::new(root, seg);
-        let mut sched: Scheduler<Machine> = Scheduler::new(seed, SimDuration::from_micros(100));
+        let mut sched: Scheduler<Machine> = Scheduler::new(config);
         for (i, tag) in [b'a', b'b', b'c'].into_iter().enumerate() {
             let tid = spawn_thread(&mut m, &format!("w{i}"));
             sched.spawn(tid, writer(entry, tag, 3));
@@ -475,17 +693,23 @@ mod tests {
         (bytes, report)
     }
 
+    fn cfg(seed: u64, quantum_us: u64) -> SchedConfig {
+        SchedConfig::new()
+            .seed(seed)
+            .quantum(SimDuration::from_micros(quantum_us))
+    }
+
     #[test]
     fn round_robin_interleaves_and_completes() {
-        let (bytes, report) = interleaving(7);
+        let (bytes, report) = interleaving(cfg(7, 100));
         assert_eq!(report.stop, StopReason::AllComplete);
-        assert_eq!(report.quanta, 9);
-        assert_eq!(report.completed, 3);
+        assert_eq!(report.stats.quanta, 9);
+        assert_eq!(report.stats.completed, 3);
         assert_eq!(report.remaining, 0);
         assert!(report.elapsed > SimDuration::ZERO);
         // Nine writes, three per writer, strictly interleaved: the first
-        // three bytes are the three distinct tags (round-robin, not
-        // run-to-completion).
+        // three bytes are the three distinct tags (the shard rotation takes
+        // one quantum per non-empty shard, never run-to-completion).
         assert_eq!(bytes.len(), 9);
         let mut first: Vec<u8> = bytes[..3].to_vec();
         first.sort_unstable();
@@ -494,16 +718,72 @@ mod tests {
 
     #[test]
     fn same_seed_same_interleaving_different_seed_may_differ() {
-        let (a1, _) = interleaving(7);
-        let (a2, _) = interleaving(7);
+        let (a1, _) = interleaving(cfg(7, 100));
+        let (a2, _) = interleaving(cfg(7, 100));
         assert_eq!(a1, a2, "scheduling must be deterministic per seed");
-        // Across all seeds the multiset of work is identical.
-        let (b, _) = interleaving(8);
-        let mut sa = a1.clone();
-        let mut sb = b.clone();
-        sa.sort_unstable();
-        sb.sort_unstable();
-        assert_eq!(sa, sb);
+        // Across all seeds and shard counts the multiset of work is
+        // identical.
+        for other in [cfg(8, 100), cfg(7, 100).shards(1), cfg(7, 100).shards(16)] {
+            let (b, _) = interleaving(other);
+            let mut sa = a1.clone();
+            let mut sb = b.clone();
+            sa.sort_unstable();
+            sb.sort_unstable();
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn deprecated_seed_quantum_shim_still_constructs() {
+        #[allow(deprecated)]
+        let mut sched: Scheduler<Machine> =
+            Scheduler::from_seed_quantum(7, SimDuration::from_micros(10));
+        assert_eq!(sched.config().seed, 7);
+        assert_eq!(sched.config().shards, DEFAULT_SHARDS);
+        let mut m = Machine::boot(MachineConfig::default());
+        let t = spawn_thread(&mut m, "t");
+        sched.spawn(t, Box::new(|_m, _tid| Step::Done));
+        let report = m.run_until(&mut sched, RunLimit::to_completion());
+        assert_eq!(report.stop, StopReason::AllComplete);
+    }
+
+    #[test]
+    fn each_run_charges_its_first_context_switch() {
+        // Regression: `last_run` must not leak across `run` invocations.
+        // A scheduler that remembers the previous run's last thread would
+        // skip the context-switch charge on the first quantum of the next
+        // run, under-counting switches and under-charging simulated time.
+        let mut m = Machine::boot(MachineConfig::default());
+        let t = spawn_thread(&mut m, "spinner");
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(1, 10));
+        sched.spawn(t, Box::new(|_m, _tid| Step::Yield));
+        let first = m.run_until(&mut sched, RunLimit::quanta(3));
+        assert_eq!(first.stats.quanta, 3);
+        assert_eq!(
+            first.stats.context_switches, 1,
+            "one switch onto the only thread, then none"
+        );
+        let second = m.run_until(&mut sched, RunLimit::quanta(2));
+        assert_eq!(second.stats.quanta, 2);
+        assert_eq!(
+            second.stats.context_switches, 1,
+            "a new run is a fresh occupancy: its first quantum pays the switch"
+        );
+    }
+
+    #[test]
+    fn run_publishes_metrics_to_kernel_registry() {
+        let mut m = Machine::boot(MachineConfig::default());
+        let t = spawn_thread(&mut m, "t");
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(3, 10).shards(4));
+        sched.spawn(t, Box::new(|_m, _tid| Step::Done));
+        m.run_until(&mut sched, RunLimit::to_completion());
+        let set = m.kernel().metrics();
+        assert_eq!(set.get("sched.quanta"), Some(1));
+        assert_eq!(set.get("sched.completed"), Some(1));
+        assert_eq!(set.get("sched.shard_queue_depth.0"), Some(0));
+        assert_eq!(set.get("sched.shard_queue_depth.3"), Some(0));
+        assert!(set.get("sched.shard_queue_depth.4").is_none());
     }
 
     #[test]
@@ -521,7 +801,7 @@ mod tests {
         let ae = ContainerEntry::new(root, aspace);
         m.kernel_mut().trap_self_set_as(sleeper, ae).unwrap();
 
-        let mut sched: Scheduler<Machine> = Scheduler::new(1, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(1, 10));
         let woke = std::rc::Rc::new(std::cell::Cell::new(false));
         let woke2 = woke.clone();
         sched.spawn(
@@ -535,18 +815,23 @@ mod tests {
                 }
             }),
         );
-        let mut sent = false;
+        let mut waker_steps = 0u32;
         sched.spawn(
             waker,
             Box::new(move |m: &mut Machine, tid| {
-                if !sent {
-                    sent = true;
-                    m.kernel_mut()
-                        .trap_thread_alert(tid, ContainerEntry::new(root, sleeper), 9)
-                        .unwrap();
-                    Step::Yield
-                } else {
-                    Step::Done
+                waker_steps += 1;
+                match waker_steps {
+                    // Let the sleeper run (and park) first: the rotation
+                    // guarantees every runnable thread steps once per
+                    // revolution, so by our second quantum it has blocked.
+                    1 => Step::Yield,
+                    2 => {
+                        m.kernel_mut()
+                            .trap_thread_alert(tid, ContainerEntry::new(root, sleeper), 9)
+                            .unwrap();
+                        Step::Yield
+                    }
+                    _ => Step::Done,
                 }
             }),
         );
@@ -560,11 +845,12 @@ mod tests {
     fn all_blocked_is_detected_not_spun() {
         let mut m = Machine::boot(MachineConfig::default());
         let t = spawn_thread(&mut m, "forever");
-        let mut sched: Scheduler<Machine> = Scheduler::new(1, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(1, 10));
         sched.spawn(t, Box::new(|_m, _tid| Step::Block));
         let report = m.run_until(&mut sched, RunLimit::to_completion());
         assert_eq!(report.stop, StopReason::AllBlocked);
         assert_eq!(report.remaining, 1);
+        assert_eq!(report.stats.parked_high_water, 1);
     }
 
     #[test]
@@ -586,7 +872,7 @@ mod tests {
             .trap_self_set_as(sleeper, ContainerEntry::new(root, aspace))
             .unwrap();
 
-        let mut sched: Scheduler<Machine> = Scheduler::new(5, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(5, 10));
         let mut taken = 0u32;
         sched.spawn(
             sleeper,
@@ -623,7 +909,11 @@ mod tests {
             StopReason::AllBlocked,
             "a spinning re-wake would exhaust the quantum budget instead"
         );
-        assert!(report.quanta <= 4, "got {} quanta", report.quanta);
+        assert!(
+            report.stats.quanta <= 4,
+            "got {} quanta",
+            report.stats.quanta
+        );
         assert_eq!(report.remaining, 1);
     }
 
@@ -646,7 +936,7 @@ mod tests {
             .trap_self_set_as(sleeper, ContainerEntry::new(root, aspace))
             .unwrap();
 
-        let mut sched: Scheduler<Machine> = Scheduler::new(9, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(9, 10));
         let sleeper_steps = std::rc::Rc::new(std::cell::Cell::new(0u64));
         let steps = sleeper_steps.clone();
         sched.spawn(
@@ -686,11 +976,19 @@ mod tests {
         assert_eq!(report.stop, StopReason::AllComplete);
         assert_eq!(sleeper_steps.get(), 2, "one step to block, one to wake");
         assert_eq!(
-            report.quanta,
+            report.stats.quanta,
             BUSY_QUANTA + 2,
             "the parked sleeper must be charged no quanta"
         );
         assert_eq!(sched.stats().alert_wakeups, 1);
+        // The wake side is O(events): the sleeper was examined at most
+        // once per event (its own park mark, then the alert), never per
+        // pass of the waker's 25 busy quanta.
+        assert!(
+            sched.stats().wake_examined <= 3,
+            "wake_examined = {}",
+            sched.stats().wake_examined
+        );
     }
 
     #[test]
@@ -700,7 +998,7 @@ mod tests {
         // alert).
         let mut m = Machine::boot(MachineConfig::default());
         let t = spawn_thread(&mut m, "submitter");
-        let mut sched: Scheduler<Machine> = Scheduler::new(2, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(2, 10));
         let mut submitted = false;
         sched.spawn(
             t,
@@ -732,11 +1030,11 @@ mod tests {
     fn quantum_budget_is_respected() {
         let mut m = Machine::boot(MachineConfig::default());
         let t = spawn_thread(&mut m, "spinner");
-        let mut sched: Scheduler<Machine> = Scheduler::new(1, SimDuration::from_micros(10));
+        let mut sched: Scheduler<Machine> = Scheduler::new(cfg(1, 10));
         sched.spawn(t, Box::new(|_m, _tid| Step::Yield));
         let report = m.run_until(&mut sched, RunLimit::quanta(5));
         assert_eq!(report.stop, StopReason::QuantaExhausted);
-        assert_eq!(report.quanta, 5);
+        assert_eq!(report.stats.quanta, 5);
         assert_eq!(report.remaining, 1);
     }
 }

@@ -263,11 +263,7 @@ fn decode_body(d: &mut Decoder<'_>, ty: ObjectType) -> Result<ObjectBody, Serial
                 other => return Err(SerializeError::BadTag("container parent", other)),
             };
             let avoid_types = d.get_u8()?;
-            ObjectBody::Container(ContainerBody {
-                links,
-                parent,
-                avoid_types,
-            })
+            ObjectBody::Container(ContainerBody::with_links(links, parent, avoid_types))
         }
         ObjectType::Thread => {
             let clearance = decode_label(d)?;
@@ -289,6 +285,13 @@ fn decode_body(d: &mut Decoder<'_>, ty: ObjectType) -> Result<ObjectBody, Serial
             for _ in 0..n {
                 pending_alerts.push(Alert { code: d.get_u64()? });
             }
+            // The completion-side wake bit is ABI-edge state (completion
+            // queues are not persisted); the alert bit is derivable.
+            let wake_flags = if pending_alerts.is_empty() {
+                0
+            } else {
+                crate::bodies::WAKE_ALERT
+            };
             ObjectBody::Thread(ThreadBody {
                 clearance,
                 address_space,
@@ -296,6 +299,7 @@ fn decode_body(d: &mut Decoder<'_>, ty: ObjectType) -> Result<ObjectBody, Serial
                 state,
                 local_segment,
                 pending_alerts,
+                wake_flags,
             })
         }
         ObjectType::AddressSpace => {
@@ -486,11 +490,11 @@ mod tests {
     fn container_round_trip() {
         round_trip(KObject {
             header: header(ObjectType::Container),
-            body: ObjectBody::Container(ContainerBody {
-                links: vec![oid(1), oid(2), oid(3)],
-                parent: Some(oid(99)),
-                avoid_types: 0b10_0101,
-            }),
+            body: ObjectBody::Container(ContainerBody::with_links(
+                vec![oid(1), oid(2), oid(3)],
+                Some(oid(99)),
+                0b10_0101,
+            )),
         });
     }
 

@@ -895,6 +895,45 @@ fn handles_are_revoked_on_unref() {
 }
 
 #[test]
+fn revocation_reaches_every_holder_through_the_holder_index() {
+    // The kernel keeps a reverse index from object to the threads holding
+    // handles on it, so a revocation sweep visits the holders instead of
+    // every thread in the system.  The sweep must stay exact under the
+    // index's edge cases: multiple handles from one thread, holders on
+    // other threads, closed handles, and holder threads that died.
+    let (mut k, fx) = setup();
+    let e_seg = entry(&fx, fx.seg);
+    let boot_h1 = k.handle_open(fx.boot, e_seg).unwrap();
+    let boot_h2 = k.handle_open(fx.boot, e_seg).unwrap();
+    let peer_h = k.handle_open(fx.peer, e_seg).unwrap();
+
+    // Closing one of boot's handles must not release the other.
+    assert!(k.handle_close(fx.boot, boot_h1));
+    assert_eq!(k.handle_entry(fx.boot, boot_h2), Some(e_seg));
+
+    // Unref revokes the survivors on BOTH holder threads.
+    k.trap_obj_unref(fx.boot, e_seg).unwrap();
+    assert_eq!(k.handle_entry(fx.boot, boot_h2), None);
+    assert_eq!(k.handle_entry(fx.peer, peer_h), None);
+
+    // A holder thread that dies drops out of the index: revoking the
+    // object afterwards must not trip over the dead thread's entries.
+    let seg2 = k
+        .sys_segment_create(fx.boot, fx.root, Label::unrestricted(), 16, "s2")
+        .unwrap();
+    let e_seg2 = entry(&fx, seg2);
+    let _peer_h2 = k.handle_open(fx.peer, e_seg2).unwrap();
+    k.trap_obj_unref(fx.boot, ContainerEntry::new(fx.root, fx.peer))
+        .unwrap();
+    k.trap_obj_unref(fx.boot, e_seg2).unwrap();
+    let boot_h3_err = k.handle_open(fx.boot, e_seg2).unwrap_err();
+    assert!(
+        matches!(boot_h3_err, SyscallError::NotInContainer { .. }),
+        "the unref severed the segment's link, got {boot_h3_err:?}"
+    );
+}
+
+#[test]
 fn mixed_batches_interleave_calls_and_handle_ops() {
     let (mut k, fx) = setup();
     let _ = k.reap_completions(fx.boot);

@@ -41,11 +41,14 @@ pub struct Metric {
 }
 
 impl Metric {
-    /// The full rendered name (`name` plus `.bucket.<label>` for histogram
-    /// buckets).
+    /// The full rendered name: `name` plus `.bucket.<label>` for histogram
+    /// buckets, or `.<index>` for indexed gauges.
     pub fn full_name(&self) -> String {
         match &self.bucket {
-            Some(b) => format!("{}.bucket.{}", self.name, b),
+            Some(b) if self.kind == MetricKind::HistogramBucket => {
+                format!("{}.bucket.{}", self.name, b)
+            }
+            Some(b) => format!("{}.{}", self.name, b),
             None => self.name.to_string(),
         }
     }
@@ -81,6 +84,25 @@ impl MetricSet {
             kind: MetricKind::Gauge,
             value,
         });
+    }
+
+    /// Adds one gauge of a statically-named family distinguished by a
+    /// numeric index (`sched.shard_runnable.3`).  Like histogram bucket
+    /// labels, the dynamic component is derived from a number, never from
+    /// data bytes, so the static-name guarantee holds.
+    pub fn gauge_indexed(&mut self, name: &'static str, index: usize, value: u64) {
+        self.metrics.push(Metric {
+            name,
+            bucket: Some(index.to_string()),
+            kind: MetricKind::Gauge,
+            value,
+        });
+    }
+
+    /// Appends a copy of every metric in `other` (the kernel merging an
+    /// externally-published snapshot into its own).
+    pub fn extend(&mut self, other: &MetricSet) {
+        self.metrics.extend(other.metrics.iter().cloned());
     }
 
     /// Adds every non-empty bucket of a histogram.

@@ -4,7 +4,7 @@
 //! Three namespaces, three gates:
 //!
 //! * **Global counter files** (`/metrics/kernel`, `dispatch`, `labels`,
-//!   `store`) aggregate activity across every label in the system, so
+//!   `store`, `sched`) aggregate activity across every label in the system, so
 //!   reading them is observing the whole machine.  They are gated the
 //!   same way `/proc` gates a process: a label-checked syscall against a
 //!   dedicated *metrics gate container* created at boot with a secrecy
@@ -41,11 +41,12 @@ type Result<T> = core::result::Result<T, UnixError>;
 
 /// The global counter files, in directory order, with the metric-name
 /// prefixes each one serves.
-const GLOBAL_FILES: [(&str, &[&str]); 4] = [
+const GLOBAL_FILES: [(&str, &[&str]); 5] = [
     ("kernel", &["kernel.", "trace.", "spans."]),
     ("dispatch", &["dispatch."]),
     ("labels", &["label_cache."]),
     ("store", &["store.", "wal.", "disk."]),
+    ("sched", &["sched."]),
 ];
 
 /// Node encoding: `payload << 4 | tag`.  Tag 0 is the special namespace
@@ -59,8 +60,8 @@ const TAG_TASK: u64 = 1;
 const TAG_CONTAINER: u64 = 2;
 
 const NODE_ROOT: u64 = 0;
-const SPECIAL_TASKS_DIR: u64 = 5;
-const SPECIAL_CONTAINERS_DIR: u64 = 6;
+const SPECIAL_TASKS_DIR: u64 = 6;
+const SPECIAL_CONTAINERS_DIR: u64 = 7;
 
 fn node_of(tag: u64, payload: u64) -> u64 {
     (payload << 4) | tag

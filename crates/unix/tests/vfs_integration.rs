@@ -3,11 +3,10 @@
 //! cross-mount rename error, and blocking-read semantics under the
 //! deterministic scheduler.
 
-use histar_kernel::sched::{RunLimit, SchedContext, Scheduler, Step, StopReason};
+use histar_kernel::sched::{RunLimit, SchedConfig, SchedContext, Scheduler, Step, StopReason};
 use histar_kernel::syscall::SyscallError;
 use histar_kernel::Kernel;
 use histar_label::{Label, Level};
-use histar_sim::SimDuration;
 use histar_unix::fs::OpenFlags;
 use histar_unix::{UnixEnv, UnixError};
 
@@ -683,6 +682,7 @@ fn metrics_entries_are_label_filtered() {
         "dispatch",
         "labels",
         "store",
+        "sched",
         "tasks",
         "containers",
     ] {
@@ -874,7 +874,7 @@ fn reader_parked_on_empty_pipe_consumes_zero_quanta_until_woken() {
     let writer_thread = env.process(writer).unwrap().thread;
 
     const WRITER_SPINS: u64 = 40;
-    let mut sched: Scheduler<PipeWorld> = Scheduler::new(0xb10c, SimDuration::from_micros(50));
+    let mut sched: Scheduler<PipeWorld> = Scheduler::new(SchedConfig::new().seed(0xb10c));
     sched.spawn(
         reader_thread,
         Box::new(move |world: &mut PipeWorld, _tid| {
@@ -930,4 +930,56 @@ fn reader_parked_on_empty_pipe_consumes_zero_quanta_until_woken() {
         sched.stats().completion_wakeups >= 1,
         "the reader's wake must be a kernel completion"
     );
+}
+
+/// A finished scheduler run publishes its counters into the kernel's
+/// metric registry, so `/metrics/sched` serves them — aggregate counters
+/// and the per-shard queue gauges — behind the same global-file gate as
+/// the other counter files.
+#[test]
+fn scheduler_counters_are_served_at_metrics_sched() {
+    let mut env = UnixEnv::boot();
+    let init = env.init_pid();
+    let worker = env.spawn(init, "/bin/worker", None).unwrap();
+    let worker_thread = env.process(worker).unwrap().thread;
+
+    struct W {
+        env: UnixEnv,
+    }
+    impl SchedContext for W {
+        fn sched_kernel(&mut self) -> &mut Kernel {
+            self.env.machine_mut().kernel_mut()
+        }
+    }
+
+    let mut sched: Scheduler<W> = Scheduler::new(SchedConfig::new().seed(7).shards(4));
+    let mut steps = 0u32;
+    sched.spawn(
+        worker_thread,
+        Box::new(move |_w: &mut W, _tid| {
+            steps += 1;
+            if steps < 3 {
+                Step::Yield
+            } else {
+                Step::Done
+            }
+        }),
+    );
+    let mut world = W { env };
+    let report = sched.run(&mut world, RunLimit::to_completion());
+    assert_eq!(report.stop, StopReason::AllComplete);
+
+    let text = String::from_utf8(world.env.read_file_as(init, "/metrics/sched").unwrap()).unwrap();
+    for line in [
+        "sched.quanta\t3",
+        "sched.completed\t1",
+        "sched.shard_queue_depth.0\t",
+        "sched.shard_queue_depth.3\t",
+        "sched.shard_parked.0\t",
+        "sched.parked_high_water\t",
+    ] {
+        assert!(text.contains(line), "missing {line} in: {text}");
+    }
+    // Only sched.* counters live here; the kernel file keeps its own.
+    assert!(!text.contains("kernel.syscalls"));
 }

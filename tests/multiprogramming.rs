@@ -25,6 +25,7 @@ fn hundred_interleaved_logins_replay_identically() {
         processes: 100,
         users: 10,
         seed: 0xfeed,
+        shards: histar::kernel::sched::DEFAULT_SHARDS,
         wrong_every: 9,
         trace_capacity: 1 << 20,
         recorder_capacity: 0,
@@ -44,7 +45,7 @@ fn hundred_interleaved_logins_replay_identically() {
 
     // Multiprogramming really happened: far more context switches than
     // processes, and a dense trapped syscall stream.
-    assert!(r1.schedule.context_switches > 200);
+    assert!(r1.schedule.stats.context_switches > 200);
     assert!(r1.syscalls > 5_000);
     assert_eq!(
         r1.kernel.syscalls, r1.syscalls,
@@ -54,11 +55,43 @@ fn hundred_interleaved_logins_replay_identically() {
     // Determinism: same seed ⇒ identical outcome list, identical schedule,
     // identical audit trace, tick for tick.
     assert_eq!(w1.outcomes, w2.outcomes);
-    assert_eq!(r1.schedule.quanta, r2.schedule.quanta);
+    assert_eq!(r1.schedule.stats.quanta, r2.schedule.stats.quanta);
     assert_eq!(r1.elapsed, r2.elapsed);
     let (t1, t2) = (trace_of(&w1), trace_of(&w2));
     assert!(!t1.is_empty());
     assert_eq!(t1, t2);
+}
+
+/// The sharded run queues keep the determinism contract at every width:
+/// for a fixed `(seed, shards)` pair the full login workload replays the
+/// identical audit trace, at one shard (the classic global round-robin),
+/// four and sixteen.
+#[test]
+fn shard_width_one_four_sixteen_each_replays_identically() {
+    for shards in [1usize, 4, 16] {
+        let params = MultiLoginParams {
+            processes: 40,
+            users: 5,
+            seed: 0x54a2d,
+            shards,
+            wrong_every: 0,
+            trace_capacity: 1 << 20,
+            recorder_capacity: 0,
+        };
+        let (w1, r1) = run_multilogin(params).expect("scenario");
+        let (w2, r2) = run_multilogin(params).expect("scenario");
+        assert_eq!(r1.schedule.stop, StopReason::AllComplete);
+        assert!(w1.failures.is_empty(), "failures: {:?}", w1.failures);
+        assert_eq!(w1.outcomes, w2.outcomes, "shards={shards}");
+        assert_eq!(r1.schedule.stats.quanta, r2.schedule.stats.quanta);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        let (t1, t2) = (trace_of(&w1), trace_of(&w2));
+        assert!(!t1.is_empty());
+        assert_eq!(
+            t1, t2,
+            "shards={shards}: same (seed, shards) must replay the identical trace"
+        );
+    }
 }
 
 /// The web-server burst under the same scheduler stack: wake order is a
@@ -129,10 +162,9 @@ fn web_server_wake_order_is_deterministic_per_seed() {
 /// the socket never becomes readable.
 #[test]
 fn thread_blocked_on_a_socket_is_killable_while_parked() {
-    use histar::kernel::sched::{RunLimit, SchedContext, Scheduler, Step};
+    use histar::kernel::sched::{RunLimit, SchedConfig, SchedContext, Scheduler, Step};
     use histar::kernel::Kernel;
     use histar::net::Netd;
-    use histar::sim::SimDuration;
     use histar::unix::UnixEnv;
 
     struct ParkWorld {
@@ -164,7 +196,7 @@ fn thread_blocked_on_a_socket_is_killable_while_parked() {
     let surfer_thread = env.process(surfer).unwrap().thread;
     let server_thread = env.process(server).unwrap().thread;
 
-    let mut sched: Scheduler<ParkWorld> = Scheduler::new(0x5106, SimDuration::from_micros(50));
+    let mut sched: Scheduler<ParkWorld> = Scheduler::new(SchedConfig::new().seed(0x5106));
     sched.spawn(
         surfer_thread,
         Box::new(move |world: &mut ParkWorld, _tid| {
